@@ -1,0 +1,104 @@
+//! Query-modificator benches: the client-side cost of §5.5's steps A–D.
+//! The paper stores translated conditions in the rule table precisely to
+//! keep this path cheap; these benches quantify it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashSet;
+use std::hint::black_box;
+
+use pdm_core::query::modificator::Modificator;
+use pdm_core::query::{navigational, recursive};
+use pdm_core::rules::condition::{AggFunc, CmpOp, Condition, RowPredicate};
+use pdm_core::rules::{ActionKind, Rule};
+use pdm_core::RuleTable;
+
+fn full_rule_table() -> RuleTable {
+    let mut t = RuleTable::new();
+    for table in ["link", "assy", "comp"] {
+        t.add(Rule::for_all_users(
+            ActionKind::Access,
+            table,
+            Condition::Row(RowPredicate::compare("strc_opt", CmpOp::Eq, "OPTA")),
+        ));
+    }
+    t.add(Rule::for_all_users(
+        ActionKind::MultiLevelExpand,
+        "assy",
+        Condition::ForAllRows {
+            object_type: Some("assy".into()),
+            predicate: RowPredicate::compare("dec", CmpOp::Eq, "+"),
+        },
+    ));
+    t.add(Rule::for_all_users(
+        ActionKind::MultiLevelExpand,
+        "assy",
+        Condition::TreeAggregate {
+            func: AggFunc::Count,
+            attr: None,
+            object_type: Some("assy".into()),
+            op: CmpOp::LtEq,
+            value: 100_000.0,
+        },
+    ));
+    t.add(Rule::for_all_users(
+        ActionKind::MultiLevelExpand,
+        "comp",
+        Condition::ExistsStructure {
+            object_table: "comp".into(),
+            relation_table: "specified_by".into(),
+            related_table: "spec".into(),
+        },
+    ));
+    t
+}
+
+fn bench_modify_recursive(c: &mut Criterion) {
+    let rules = full_rule_table();
+    let views = HashSet::new();
+    let m = Modificator::new(&rules, "scott", ActionKind::MultiLevelExpand, &views);
+    c.bench_function("modify/recursive_all_classes", |b| {
+        b.iter(|| {
+            let mut q = recursive::mle_query(1);
+            m.modify_recursive(black_box(&mut q)).unwrap();
+            q
+        });
+    });
+}
+
+fn bench_modify_navigational(c: &mut Criterion) {
+    let rules = full_rule_table();
+    let views = HashSet::new();
+    let m = Modificator::new(&rules, "scott", ActionKind::MultiLevelExpand, &views);
+    c.bench_function("modify/navigational_row_conditions", |b| {
+        b.iter(|| {
+            let mut q = navigational::expand_query(42);
+            m.modify_navigational(black_box(&mut q)).unwrap();
+            q
+        });
+    });
+}
+
+fn bench_render_and_parse(c: &mut Criterion) {
+    // Generating SQL text and re-parsing it at the server is on the per-
+    // query path of every strategy.
+    let rules = full_rule_table();
+    let views = HashSet::new();
+    let m = Modificator::new(&rules, "scott", ActionKind::MultiLevelExpand, &views);
+    let mut q = recursive::mle_query(1);
+    m.modify_recursive(&mut q).unwrap();
+    let sql = q.to_string();
+    c.bench_function("modify/render_modified_query", |b| {
+        b.iter(|| black_box(&q).to_string());
+    });
+    c.bench_function("modify/reparse_modified_query", |b| {
+        b.iter(|| pdm_sql::parser::parse_query(black_box(&sql)).unwrap());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_modify_recursive,
+    bench_modify_navigational,
+    bench_render_and_parse
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! End-to-end strategy benches: one full PDM action (real SQL, metered WAN)
+//! per iteration. Wall-clock here measures the *machinery*; the reproduced
+//! result is the virtual response time, which the `validate` binary and the
+//! integration tests check against the model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pdm_bench::{make_session, run_action, SimAction};
+use pdm_core::Strategy;
+use pdm_net::LinkProfile;
+
+fn bench_mle_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mle");
+    group.sample_size(10);
+    for strategy in Strategy::ALL {
+        let mut session =
+            make_session(4, 3, 0.6, 256, strategy, LinkProfile::wan_256());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label().replace(' ', "_")),
+            &(),
+            |b, _| {
+                b.iter(|| run_action(&mut session, SimAction::MultiLevelExpand));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_query_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_all");
+    group.sample_size(10);
+    for strategy in [Strategy::LateEval, Strategy::EarlyEval] {
+        let mut session =
+            make_session(4, 3, 0.6, 256, strategy, LinkProfile::wan_256());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label().replace(' ', "_")),
+            &(),
+            |b, _| {
+                b.iter(|| run_action(&mut session, SimAction::Query));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_checkout_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkout");
+    group.sample_size(10);
+
+    group.bench_function("classic_recursive", |b| {
+        let mut session =
+            make_session(3, 3, 1.0, 256, Strategy::Recursive, LinkProfile::wan_256());
+        b.iter(|| {
+            let out = session.check_out(1).unwrap();
+            let tree = out.tree.expect("checkout succeeds");
+            session.check_in(&tree).unwrap();
+        });
+    });
+
+    group.bench_function("function_shipping", |b| {
+        let mut session =
+            make_session(3, 3, 1.0, 256, Strategy::Recursive, LinkProfile::wan_256());
+        b.iter(|| {
+            let out = session.check_out_function_shipping(1).unwrap();
+            let tree = out.tree.expect("checkout succeeds");
+            session.check_in(&tree).unwrap();
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mle_strategies,
+    bench_query_strategies,
+    bench_checkout_variants
+);
+criterion_main!(benches);

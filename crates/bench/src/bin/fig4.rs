@@ -1,0 +1,21 @@
+//! Regenerate Figure 4: response-time bars for δ=9, β=3, γ=0.6 at
+//! T_Lat=150ms, dtr=512 kbit/s, across the three system variants.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    println!("{}", pdm_model::figure4());
+    if args.iter().any(|a| a == "--simulate") {
+        println!();
+        println!(
+            "{}",
+            pdm_bench::simulate_figure(
+                "Figure 4 simulated: δ=9, β=3, γ=0.6, T_Lat=150ms, dtr=512kBit/s",
+                9,
+                3,
+                0.6,
+                512,
+                pdm_net::LinkProfile::wan_512(),
+            )
+        );
+    }
+}

@@ -1,0 +1,21 @@
+//! Regenerate Figure 5: response-time bars for δ=7, β=5, γ=0.6 at
+//! T_Lat=150ms, dtr=256 kbit/s, across the three system variants.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    println!("{}", pdm_model::figure5());
+    if args.iter().any(|a| a == "--simulate") {
+        println!();
+        println!(
+            "{}",
+            pdm_bench::simulate_figure(
+                "Figure 5 simulated: δ=7, β=5, γ=0.6, T_Lat=150ms, dtr=256kBit/s",
+                7,
+                5,
+                0.6,
+                512,
+                pdm_net::LinkProfile::wan_256(),
+            )
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Sweep the visibility probability γ: how rule selectivity shifts the
+//! balance between the three strategies (analytic, δ=7, β=5, 256 kbit/s).
+//!
+//! Low γ (restrictive rules) makes early evaluation shine on Query actions
+//! and shrinks the recursive result; γ→1 (everything visible) leaves only
+//! the round-trip reduction as a win.
+
+use pdm_model::response::response;
+use pdm_model::{Action, KaryTree, Strategy};
+use pdm_net::LinkProfile;
+
+fn main() {
+    let link = LinkProfile::wan_256();
+    println!("γ sweep, δ=7, β=5, node=512B, dtr=256 kbit/s, T_Lat=150ms (analytic)");
+    println!(
+        "{:>6}{:>14}{:>14}{:>14}{:>16}{:>16}",
+        "γ", "MLE late", "MLE early", "MLE rec", "early saving%", "rec saving%"
+    );
+    for g10 in 1..=10 {
+        let gamma = g10 as f64 / 10.0;
+        let tree = KaryTree::new(7, 5, gamma);
+        let late = response(&tree, Action::MultiLevelExpand, Strategy::LateEval, &link, 512, 0);
+        let early = response(&tree, Action::MultiLevelExpand, Strategy::EarlyEval, &link, 512, 0);
+        let rec = response(&tree, Action::MultiLevelExpand, Strategy::Recursive, &link, 512, 0);
+        println!(
+            "{:>6.1}{:>14.2}{:>14.2}{:>14.2}{:>15.2}%{:>15.2}%",
+            gamma,
+            late.total(),
+            early.total(),
+            rec.total(),
+            100.0 * (late.total() - early.total()) / late.total(),
+            100.0 * (late.total() - rec.total()) / late.total(),
+        );
+    }
+    println!();
+    println!("Query action (where early evaluation is the headline win):");
+    println!(
+        "{:>6}{:>14}{:>14}{:>16}",
+        "γ", "Query late", "Query early", "early saving%"
+    );
+    for g10 in 1..=10 {
+        let gamma = g10 as f64 / 10.0;
+        let tree = KaryTree::new(7, 5, gamma);
+        let late = response(&tree, Action::Query, Strategy::LateEval, &link, 512, 0);
+        let early = response(&tree, Action::Query, Strategy::EarlyEval, &link, 512, 0);
+        println!(
+            "{:>6.1}{:>14.2}{:>14.2}{:>15.2}%",
+            gamma,
+            late.total(),
+            early.total(),
+            100.0 * (late.total() - early.total()) / late.total(),
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Sweep the packet size and the generated-query size: §5.4's caveat that
+//! "the recursive query may become quite large ... potentially needs more
+//! than one packet to be transmitted to the server" (q_r > 1 in eq. (5)).
+//!
+//! The sweep shows that even pathological rule tables (tens of kilobytes of
+//! predicates) cost only a few extra request packets — negligible against
+//! the thousands of round trips they replace.
+
+use pdm_model::response::response;
+use pdm_model::{Action, KaryTree, Strategy};
+use pdm_net::LinkProfile;
+
+fn main() {
+    let tree = KaryTree::new(7, 5, 0.6);
+
+    println!("query-size sweep (packet 4kB, δ=7, β=5, γ=0.6, 256 kbit/s):");
+    println!(
+        "{:>14}{:>8}{:>14}{:>18}",
+        "query bytes", "q_r", "MLE rec T", "vs 1-packet Δ%"
+    );
+    let link = LinkProfile::wan_256();
+    let base = response(&tree, Action::MultiLevelExpand, Strategy::Recursive, &link, 512, 0);
+    for query_bytes in [512usize, 2_048, 4_096, 8_192, 16_384, 65_536] {
+        let r = response(
+            &tree,
+            Action::MultiLevelExpand,
+            Strategy::Recursive,
+            &link,
+            512,
+            query_bytes,
+        );
+        println!(
+            "{:>14}{:>8.0}{:>14.2}{:>17.2}%",
+            query_bytes,
+            r.queries,
+            r.total(),
+            100.0 * (r.total() - base.total()) / base.total()
+        );
+    }
+
+    println!();
+    println!("packet-size sweep (recursive query of 6 kB):");
+    println!(
+        "{:>14}{:>8}{:>14}{:>14}",
+        "packet bytes", "q_r", "MLE rec T", "MLE late T"
+    );
+    for packet in [512usize, 1_024, 2_048, 4_096, 8_192] {
+        let link = LinkProfile::new(256.0, 0.15, packet);
+        let rec = response(&tree, Action::MultiLevelExpand, Strategy::Recursive, &link, 512, 6_000);
+        let late = response(&tree, Action::MultiLevelExpand, Strategy::LateEval, &link, 512, 0);
+        println!(
+            "{:>14}{:>8.0}{:>14.2}{:>14.2}",
+            packet,
+            rec.queries,
+            rec.total(),
+            late.total()
+        );
+    }
+}

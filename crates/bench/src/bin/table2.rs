@@ -1,0 +1,22 @@
+//! Regenerate Table 2: response times under late rule evaluation.
+//!
+//! Default: the paper's analytic table. `--simulate` additionally measures
+//! real SQL traffic over the simulated WAN (scaled grid; add `--paper` for
+//! the full 97k-node grid, release build recommended).
+
+use pdm_bench::{PaperSim, SimAction};
+use pdm_core::Strategy;
+
+fn main() {
+    println!("{}", pdm_model::table2());
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--simulate") {
+        let grid = if args.iter().any(|a| a == "--paper") {
+            PaperSim::paper()
+        } else {
+            PaperSim::small()
+        };
+        println!();
+        println!("{}", grid.render(Strategy::LateEval, &SimAction::ALL, false));
+    }
+}

@@ -1,0 +1,19 @@
+//! Regenerate Table 3: response times with early rule evaluation
+//! (Approach 1), including savings against late evaluation.
+
+use pdm_bench::{PaperSim, SimAction};
+use pdm_core::Strategy;
+
+fn main() {
+    println!("{}", pdm_model::table3());
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--simulate") {
+        let grid = if args.iter().any(|a| a == "--paper") {
+            PaperSim::paper()
+        } else {
+            PaperSim::small()
+        };
+        println!();
+        println!("{}", grid.render(Strategy::EarlyEval, &SimAction::ALL, true));
+    }
+}

@@ -1,0 +1,22 @@
+//! Regenerate Table 4: multi-level expands with recursive queries
+//! (Approach 2), including savings against late evaluation.
+
+use pdm_bench::{PaperSim, SimAction};
+use pdm_core::Strategy;
+
+fn main() {
+    println!("{}", pdm_model::table4());
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--simulate") {
+        let grid = if args.iter().any(|a| a == "--paper") {
+            PaperSim::paper()
+        } else {
+            PaperSim::small()
+        };
+        println!();
+        println!(
+            "{}",
+            grid.render(Strategy::Recursive, &[SimAction::MultiLevelExpand], true)
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Full-scale validation: run every paper cell end-to-end (real SQL through
+//! the engine, metered WAN) and report measured vs predicted response
+//! times. This is the repository's evidence that the simulation and the
+//! closed-form model agree.
+//!
+//! `--paper` runs the full grid including the 97,655-node tree (use a
+//! release build); default is the scaled grid.
+
+use pdm_bench::{PaperSim, SimAction};
+use pdm_core::Strategy;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let grid = if args.iter().any(|a| a == "--paper") {
+        PaperSim::paper()
+    } else {
+        PaperSim::small()
+    };
+
+    println!("== late evaluation (Table 2 regime) ==");
+    println!("{}", grid.render(Strategy::LateEval, &SimAction::ALL, false));
+    println!("== early rule evaluation (Table 3 regime) ==");
+    println!("{}", grid.render(Strategy::EarlyEval, &SimAction::ALL, true));
+    println!("== recursive queries (Table 4 regime) ==");
+    println!(
+        "{}",
+        grid.render(Strategy::Recursive, &[SimAction::MultiLevelExpand], true)
+    );
+}

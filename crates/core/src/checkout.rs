@@ -1,0 +1,308 @@
+//! Check-out / check-in (§6).
+//!
+//! The paper's point: a check-out "cannot be represented in one single
+//! query" — the retrieval can be one recursive query, but setting the
+//! checked-out flags is an UPDATE that costs a *separate* WAN communication.
+//! The remedy it sketches is function shipping: install the whole action at
+//! the server. Both variants are implemented here so the benches can
+//! measure the difference.
+
+use pdm_net::TrafficStats;
+
+use crate::product::{ObjectId, ProductTree};
+use crate::query::recursive;
+use crate::rules::classify::ConditionClass;
+use crate::rules::condition::Condition;
+use crate::rules::ActionKind;
+use crate::server::id_list;
+use crate::session::{Session, SessionResult};
+
+/// Result of a check-out attempt.
+#[derive(Debug, Clone)]
+pub struct CheckoutOutcome {
+    /// The checked-out subtree, or `None` if the ∀rows condition failed
+    /// (some object was already checked out).
+    pub tree: Option<ProductTree>,
+    pub stats: TrafficStats,
+    /// Round trips spent on the UPDATE phase (0 for function shipping).
+    pub update_round_trips: usize,
+}
+
+impl Session {
+    /// Check out the subtree rooted at `root`: retrieve it (per the
+    /// session's strategy), verify that no object in it is already checked
+    /// out (the paper's example-2 ∀rows condition), then flag every
+    /// retrieved object in separate UPDATE round trips.
+    pub fn check_out(&mut self, root: ObjectId) -> SessionResult<CheckoutOutcome> {
+        // Phase 1: retrieval (meters its own traffic, resets metering).
+        let expand = self.multi_level_expand(root)?;
+        let mut stats = expand.stats.clone();
+        let tree = expand.tree;
+
+        // Phase 2: the ∀rows condition. Under the recursive strategy a
+        // checked-out node inside the subtree would have emptied the result
+        // via the injected NOT EXISTS — here we also re-check client-side
+        // (covers the navigational strategies, which cannot evaluate tree
+        // conditions in their queries, §4.1).
+        let violated = self.checkout_forall_violated(&tree);
+        if violated {
+            return Ok(CheckoutOutcome { tree: None, stats, update_round_trips: 0 });
+        }
+
+        // Phase 3: separate UPDATE communications (§6).
+        let mut assy_ids: Vec<ObjectId> = Vec::new();
+        let mut comp_ids: Vec<ObjectId> = Vec::new();
+        for node in tree.nodes() {
+            match node.type_name.as_str() {
+                "assy" => assy_ids.push(node.obid),
+                "comp" => comp_ids.push(node.obid),
+                _ => {}
+            }
+        }
+        self.reset_metering();
+        let mut update_round_trips = 0;
+        for (table, ids) in [("assy", &assy_ids), ("comp", &comp_ids)] {
+            if ids.is_empty() {
+                continue;
+            }
+            let sql = format!(
+                "UPDATE {table} SET checkedout = TRUE WHERE obid IN ({})",
+                id_list(ids)
+            );
+            self.metered_update_public(&sql)?;
+            update_round_trips += 1;
+        }
+        stats.absorb(self.stats());
+
+        Ok(CheckoutOutcome { tree: Some(tree), stats, update_round_trips })
+    }
+
+    /// Function-shipping check-out (§6's remedy): ship ONE procedure call;
+    /// the server runs the (rule-modified) recursive query, verifies the
+    /// condition, and flips the flags locally. One round trip total.
+    pub fn check_out_function_shipping(
+        &mut self,
+        root: ObjectId,
+    ) -> SessionResult<CheckoutOutcome> {
+        self.reset_metering();
+        let mut q = recursive::mle_query(root);
+        {
+            let rules = self.rules().clone();
+            let user = self.config().user.clone();
+            let views = self.server().view_names();
+            let m = crate::query::modificator::Modificator::new(
+                &rules,
+                &user,
+                ActionKind::CheckOut,
+                &views,
+            );
+            m.modify_recursive(&mut q)?;
+        }
+        let sql = q.to_string();
+
+        let result = self.server_mut().checkout_procedure(root, &sql)?;
+        match result.rows {
+            None => {
+                // Condition failed: only a small refusal message comes back.
+                self.meter_round_trip(sql.len() + 32, 32);
+                Ok(CheckoutOutcome {
+                    tree: None,
+                    stats: self.stats().clone(),
+                    update_round_trips: 0,
+                })
+            }
+            Some(rows) => {
+                self.meter_round_trip(sql.len() + 32, rows.wire_size());
+                let mut tree = ProductTree::new();
+                let root_node = self.fetch_root_cached(root)?;
+                tree.insert(root_node);
+                for row in &rows.rows {
+                    let attrs = crate::client::row_attrs(&rows, row);
+                    let parent = attrs
+                        .get("parent")
+                        .and_then(|v| match v {
+                            pdm_sql::Value::Int(i) => Some(*i),
+                            _ => None,
+                        });
+                    let node = crate::session::node_from_attrs(attrs, parent);
+                    tree.insert(node);
+                }
+                Ok(CheckoutOutcome {
+                    tree: Some(tree),
+                    stats: self.stats().clone(),
+                    update_round_trips: 0,
+                })
+            }
+        }
+    }
+
+    /// Check a previously retrieved subtree back in (one UPDATE round trip
+    /// per affected table).
+    pub fn check_in(&mut self, tree: &ProductTree) -> SessionResult<usize> {
+        self.reset_metering();
+        let mut assy_ids = Vec::new();
+        let mut comp_ids = Vec::new();
+        for node in tree.nodes() {
+            match node.type_name.as_str() {
+                "assy" => assy_ids.push(node.obid),
+                "comp" => comp_ids.push(node.obid),
+                _ => {}
+            }
+        }
+        let mut n = 0;
+        for (table, ids) in [("assy", &assy_ids), ("comp", &comp_ids)] {
+            if ids.is_empty() {
+                continue;
+            }
+            let sql = format!(
+                "UPDATE {table} SET checkedout = FALSE WHERE obid IN ({})",
+                id_list(ids)
+            );
+            n += self.metered_update_public(&sql)?;
+        }
+        Ok(n)
+    }
+
+    /// Does the retrieved tree violate a relevant ∀rows check-out rule?
+    /// Evaluated client-side over the transferred attributes (the
+    /// homogenized result carries the `checkedout` flag); under the
+    /// recursive strategy the injected NOT EXISTS has already enforced this
+    /// at the server, so this re-check is a no-op there.
+    fn checkout_forall_violated(&mut self, tree: &ProductTree) -> bool {
+        let funcs = crate::functions::client_registry();
+        let forall_rules = self.rules().relevant_of_class(
+            &self.config().user,
+            ActionKind::CheckOut,
+            ConditionClass::ForAllRows,
+        );
+        for rule in forall_rules {
+            let Condition::ForAllRows { object_type, predicate } = &rule.condition else {
+                continue;
+            };
+            for node in tree.nodes() {
+                if let Some(t) = object_type {
+                    if &node.type_name != t {
+                        continue;
+                    }
+                }
+                if !predicate.eval(&node.attrs, &funcs) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+// Helper re-exports used by checkout (kept out of the public session API).
+impl Session {
+    pub(crate) fn metered_update_public(&mut self, sql: &str) -> SessionResult<usize> {
+        let out = self.server_mut().execute(sql)?;
+        self.meter_round_trip(sql.len(), 16);
+        match out {
+            pdm_sql::ExecOutcome::Dml(pdm_sql::DmlOutcome::Updated(n)) => Ok(n),
+            _ => Ok(0),
+        }
+    }
+
+    fn meter_round_trip(&mut self, request: usize, response: usize) {
+        self.channel_mut().round_trip(request, response);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Strategy;
+    use crate::rules::condition::{CmpOp, RowPredicate};
+    use crate::rules::Rule;
+    use crate::session::SessionConfig;
+    use pdm_net::LinkProfile;
+    use pdm_workload::{build_database, TreeSpec};
+
+    fn rules_with_checkout() -> crate::rules::table::RuleTable {
+        let mut t = crate::rules::table::RuleTable::new();
+        for table in ["link", "assy", "comp"] {
+            t.add(Rule::for_all_users(
+                ActionKind::Access,
+                table,
+                Condition::Row(RowPredicate::compare("strc_opt", CmpOp::Eq, "OPTA")),
+            ));
+        }
+        t.add(Rule::for_all_users(
+            ActionKind::CheckOut,
+            "assy",
+            Condition::ForAllRows {
+                object_type: None,
+                predicate: RowPredicate::compare("checkedout", CmpOp::Eq, false),
+            },
+        ));
+        t
+    }
+
+    fn session(strategy: Strategy) -> Session {
+        let spec = TreeSpec::new(2, 3, 1.0).with_node_size(256);
+        let (db, _) = build_database(&spec).unwrap();
+        Session::new(
+            db,
+            SessionConfig::new("scott", strategy, LinkProfile::wan_256()),
+            rules_with_checkout(),
+        )
+    }
+
+    #[test]
+    fn checkout_retrieves_flags_and_blocks_second_attempt() {
+        let mut s = session(Strategy::Recursive);
+        let out = s.check_out(1).unwrap();
+        let tree = out.tree.expect("first check-out succeeds");
+        assert_eq!(tree.len(), 1 + 3 + 9);
+        assert!(out.update_round_trips >= 1);
+
+        // second attempt must fail the ∀rows condition
+        let out2 = s.check_out(1).unwrap();
+        assert!(out2.tree.is_none());
+    }
+
+    #[test]
+    fn checkin_releases() {
+        let mut s = session(Strategy::Recursive);
+        let out = s.check_out(1).unwrap();
+        let tree = out.tree.unwrap();
+        let n = s.check_in(&tree).unwrap();
+        assert_eq!(n, tree.len());
+        // and a fresh check-out succeeds again
+        assert!(s.check_out(1).unwrap().tree.is_some());
+    }
+
+    #[test]
+    fn function_shipping_uses_single_round_trip() {
+        let mut s = session(Strategy::Recursive);
+        let out = s.check_out_function_shipping(1).unwrap();
+        assert!(out.tree.is_some());
+        assert_eq!(out.stats.queries, 1);
+        assert_eq!(out.update_round_trips, 0);
+
+        // classic check-out needs strictly more communications
+        let mut s2 = session(Strategy::Recursive);
+        let classic = s2.check_out(1).unwrap();
+        assert!(classic.stats.communications > out.stats.communications);
+    }
+
+    #[test]
+    fn function_shipping_refusal_is_cheap() {
+        let mut s = session(Strategy::Recursive);
+        s.check_out_function_shipping(1).unwrap();
+        let denied = s.check_out_function_shipping(1).unwrap();
+        assert!(denied.tree.is_none());
+        // refusal response is tiny
+        assert!(denied.stats.response_payload_bytes < 100);
+    }
+
+    #[test]
+    fn navigational_checkout_works_too() {
+        let mut s = session(Strategy::EarlyEval);
+        let out = s.check_out(1).unwrap();
+        assert!(out.tree.is_some());
+        assert!(out.stats.queries > 2); // per-node queries + checks + updates
+    }
+}

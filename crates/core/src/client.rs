@@ -1,0 +1,165 @@
+//! Client-side machinery: the strategy switch and late (post-transfer) rule
+//! evaluation.
+
+use std::collections::HashMap;
+
+use pdm_sql::functions::FunctionRegistry;
+use pdm_sql::{ResultSet, Row, Value};
+
+use crate::rules::classify::ConditionClass;
+use crate::rules::condition::Condition;
+use crate::rules::table::RuleTable;
+use crate::rules::{ActionKind, Rule};
+
+/// The three client strategies the paper compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Navigational access; rules evaluated at the client after transfer
+    /// (the unoptimized baseline of Table 2).
+    LateEval,
+    /// Navigational access; row conditions compiled into each query
+    /// (Approach 1, Table 3).
+    EarlyEval,
+    /// Tree retrievals compiled into one recursive query with rules
+    /// embedded (Approach 2, Table 4).
+    Recursive,
+}
+
+impl Strategy {
+    pub const ALL: [Strategy; 3] = [Strategy::LateEval, Strategy::EarlyEval, Strategy::Recursive];
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::LateEval => "late eval",
+            Strategy::EarlyEval => "early eval",
+            Strategy::Recursive => "recursion",
+        }
+    }
+
+    /// Does this strategy evaluate row conditions at the server?
+    pub fn early_rules(&self) -> bool {
+        !matches!(self, Strategy::LateEval)
+    }
+}
+
+/// Build an attribute map from one result row (column name → value).
+pub fn row_attrs(rs: &ResultSet, row: &Row) -> HashMap<String, Value> {
+    rs.schema
+        .columns()
+        .iter()
+        .zip(row.values())
+        .map(|(c, v)| (c.name.clone(), v.clone()))
+        .collect()
+}
+
+/// Per-object-type groups of relevant row-condition rules. Types with no
+/// relevant rules yield no group (absent rules mean unrestricted access,
+/// matching what early evaluation injects into SQL).
+pub fn permission_groups<'a>(
+    rules: &'a RuleTable,
+    user: &str,
+    action: ActionKind,
+    tables: &[&str],
+) -> Vec<Vec<&'a Rule>> {
+    tables
+        .iter()
+        .map(|t| rules.relevant_for_type(user, action, ConditionClass::Row, t))
+        .filter(|g| !g.is_empty())
+        .collect()
+}
+
+/// Late rule evaluation for one transferred row: within each type group the
+/// rule conditions are OR-ed (any permitting rule suffices), and all groups
+/// must permit — exactly the predicate early evaluation would have put in
+/// the WHERE clause (§4.1).
+pub fn permitted(
+    attrs: &HashMap<String, Value>,
+    groups: &[Vec<&Rule>],
+    funcs: &FunctionRegistry,
+) -> bool {
+    groups.iter().all(|group| {
+        group.iter().any(|rule| match &rule.condition {
+            Condition::Row(pred) => pred.eval(attrs, funcs),
+            // Tree conditions cannot be decided per row; they never appear
+            // in these groups (permission_groups filters to Row class).
+            _ => false,
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functions::client_registry;
+    use crate::rules::condition::{CmpOp, RowPredicate};
+    use crate::rules::UserPattern;
+
+    fn rules() -> RuleTable {
+        let mut t = RuleTable::new();
+        t.add(Rule::for_all_users(
+            ActionKind::Access,
+            "link",
+            Condition::Row(RowPredicate::compare("strc_opt", CmpOp::Eq, "OPTA")),
+        ));
+        t.add(Rule::new(
+            UserPattern::Named("scott".into()),
+            ActionKind::Access,
+            "assy",
+            Condition::Row(RowPredicate::compare("dec", CmpOp::Eq, "+")),
+        ));
+        t.add(Rule::new(
+            UserPattern::Named("scott".into()),
+            ActionKind::Access,
+            "assy",
+            Condition::Row(RowPredicate::compare("name", CmpOp::Eq, "special")),
+        ));
+        t
+    }
+
+    fn attrs(pairs: &[(&str, &str)]) -> HashMap<String, Value> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), Value::from(*v)))
+            .collect()
+    }
+
+    #[test]
+    fn groups_skip_ruleless_types() {
+        let r = rules();
+        let groups = permission_groups(&r, "scott", ActionKind::Expand, &["link", "assy", "comp"]);
+        assert_eq!(groups.len(), 2); // comp has no rules
+        let groups = permission_groups(&r, "tiger", ActionKind::Expand, &["link", "assy"]);
+        assert_eq!(groups.len(), 1); // assy rules are scott-only
+    }
+
+    #[test]
+    fn permitted_requires_all_groups() {
+        let r = rules();
+        let funcs = client_registry();
+        let groups = permission_groups(&r, "scott", ActionKind::Expand, &["link", "assy"]);
+        // visible link + decomposable assy → permitted
+        assert!(permitted(&attrs(&[("strc_opt", "OPTA"), ("dec", "+")]), &groups, &funcs));
+        // invisible link → denied even though assy rule passes
+        assert!(!permitted(&attrs(&[("strc_opt", "NONE"), ("dec", "+")]), &groups, &funcs));
+        // OR within the assy group: name = 'special' rescues dec = '-'
+        assert!(permitted(
+            &attrs(&[("strc_opt", "OPTA"), ("dec", "-"), ("name", "special")]),
+            &groups,
+            &funcs
+        ));
+    }
+
+    #[test]
+    fn no_groups_means_everything_permitted() {
+        let funcs = client_registry();
+        assert!(permitted(&attrs(&[]), &[], &funcs));
+    }
+
+    #[test]
+    fn strategy_labels_and_flags() {
+        assert_eq!(Strategy::LateEval.label(), "late eval");
+        assert!(!Strategy::LateEval.early_rules());
+        assert!(Strategy::EarlyEval.early_rules());
+        assert!(Strategy::Recursive.early_rules());
+    }
+}

@@ -1,0 +1,354 @@
+//! Multi-server PDM (the paper's §7 outlook): "multi-server environments in
+//! conjunction with distributed data management ... have to be taken into
+//! consideration".
+//!
+//! A federation spreads the product structure over several database sites;
+//! links live with their parent's site, so a cross-site edge is a **mount
+//! point** where any server-side traversal necessarily stops. The client
+//! keeps the placement directory and the mount metadata (realistic: PDM
+//! "distributed vault" catalogs are client/middleware metadata) and
+//! continues the expansion at the owning site.
+//!
+//! The interesting measured consequence: the recursive strategy degrades
+//! from 1 round trip to *one round trip per visited site* — still orders of
+//! magnitude below navigational access, but no longer constant. The
+//! `federation` bench binary quantifies this.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use pdm_net::{LinkProfile, MeteredChannel, TrafficStats};
+use pdm_sql::functions::FunctionRegistry;
+use pdm_sql::{Database, ResultSet, Value};
+
+use crate::client::{self, Strategy};
+use crate::product::{ObjectId, ProductTree};
+use crate::query::modificator::Modificator;
+use crate::query::{navigational, recursive};
+use crate::rules::table::RuleTable;
+use crate::rules::ActionKind;
+use crate::server::PdmServer;
+use crate::session::{node_from_attrs, SessionError, SessionResult};
+
+/// A cross-site edge as the client sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MountPoint {
+    pub parent: ObjectId,
+    pub child: ObjectId,
+    pub child_site: usize,
+    /// The connecting link carries the user's structure option.
+    pub visible: bool,
+}
+
+/// One database site of the federation.
+pub struct FederatedSite {
+    pub name: String,
+    server: PdmServer,
+    channel: MeteredChannel,
+    view_names: HashSet<String>,
+}
+
+impl FederatedSite {
+    pub fn stats(&self) -> &TrafficStats {
+        self.channel.stats()
+    }
+
+    pub fn elapsed(&self) -> f64 {
+        self.channel.elapsed()
+    }
+}
+
+/// Result of a federated expand.
+#[derive(Debug, Clone)]
+pub struct FederatedOutcome {
+    pub tree: ProductTree,
+    /// Traffic per site, in site order.
+    pub per_site: Vec<TrafficStats>,
+    /// Number of distinct sites the traversal touched.
+    pub sites_visited: usize,
+}
+
+impl FederatedOutcome {
+    /// Total response time of the (sequential) client: the sum of all
+    /// per-site delays.
+    pub fn response_time(&self) -> f64 {
+        self.per_site.iter().map(TrafficStats::response_time).sum()
+    }
+
+    pub fn total_queries(&self) -> usize {
+        self.per_site.iter().map(|s| s.queries).sum()
+    }
+}
+
+/// A PDM client connected to several database sites.
+pub struct Federation {
+    sites: Vec<FederatedSite>,
+    directory: HashMap<ObjectId, usize>,
+    mounts_by_parent: HashMap<ObjectId, Vec<MountPoint>>,
+    rules: RuleTable,
+    user: String,
+    strategy: Strategy,
+    funcs: FunctionRegistry,
+}
+
+impl Federation {
+    /// Assemble a federation. `databases` and `links` are parallel: one
+    /// populated database and one WAN profile per site. `directory` maps
+    /// every object to its site.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        databases: Vec<Database>,
+        links: Vec<LinkProfile>,
+        site_names: Vec<String>,
+        directory: HashMap<ObjectId, usize>,
+        mounts: Vec<MountPoint>,
+        user: impl Into<String>,
+        strategy: Strategy,
+        rules: RuleTable,
+    ) -> Self {
+        assert_eq!(databases.len(), links.len());
+        assert_eq!(databases.len(), site_names.len());
+        let sites = databases
+            .into_iter()
+            .zip(links)
+            .zip(site_names)
+            .map(|((db, link), name)| {
+                let server = PdmServer::new(db);
+                let view_names = server.view_names();
+                FederatedSite {
+                    name,
+                    server,
+                    channel: MeteredChannel::new(link),
+                    view_names,
+                }
+            })
+            .collect();
+        let mut mounts_by_parent: HashMap<ObjectId, Vec<MountPoint>> = HashMap::new();
+        for m in mounts {
+            mounts_by_parent.entry(m.parent).or_default().push(m);
+        }
+        Federation {
+            sites,
+            directory,
+            mounts_by_parent,
+            rules,
+            user: user.into(),
+            strategy,
+            funcs: crate::functions::client_registry(),
+        }
+    }
+
+    pub fn sites(&self) -> &[FederatedSite] {
+        &self.sites
+    }
+
+    pub fn set_strategy(&mut self, strategy: Strategy) {
+        self.strategy = strategy;
+    }
+
+    pub fn reset_metering(&mut self) {
+        for s in &mut self.sites {
+            s.channel.reset();
+        }
+    }
+
+    fn site_of(&self, obid: ObjectId) -> SessionResult<usize> {
+        self.directory
+            .get(&obid)
+            .copied()
+            .ok_or(SessionError::RootNotFound(obid))
+    }
+
+    fn metered_query(&mut self, site: usize, sql: &str) -> SessionResult<ResultSet> {
+        let rs = self.sites[site].server.query(sql)?;
+        self.sites[site].channel.round_trip(sql.len(), rs.wire_size());
+        Ok(rs)
+    }
+
+    /// Does the mount's connecting link pass the relation rules? Evaluated
+    /// client-side from the mount metadata — no site holds both ends.
+    fn mount_permitted(&self, mount: &MountPoint) -> bool {
+        let attrs: HashMap<String, Value> = [(
+            "strc_opt".to_string(),
+            Value::from(if mount.visible {
+                pdm_workload_user_option()
+            } else {
+                "NONE"
+            }),
+        )]
+        .into_iter()
+        .collect();
+        let groups = client::permission_groups(
+            &self.rules,
+            &self.user,
+            ActionKind::MultiLevelExpand,
+            &[crate::query::T_LINK],
+        );
+        client::permitted(&attrs, &groups, &self.funcs)
+    }
+
+    /// Federated multi-level expand of the subtree rooted at `root`.
+    pub fn multi_level_expand(&mut self, root: ObjectId) -> SessionResult<FederatedOutcome> {
+        self.reset_metering();
+        let root_site = self.site_of(root)?;
+
+        // Root is client-cached (footnote 4): fetch unmetered.
+        let root_node = {
+            let q = navigational::fetch_node_query(root);
+            let rs = self.sites[root_site].server.query(&q.to_string())?;
+            let row = rs.rows.first().ok_or(SessionError::RootNotFound(root))?;
+            node_from_attrs(client::row_attrs(&rs, row), None)
+        };
+        let mut tree = ProductTree::new();
+        tree.insert(root_node);
+
+        match self.strategy {
+            Strategy::Recursive => {
+                // One recursive query per visited partition.
+                let mut visited_sites: HashSet<usize> = HashSet::new();
+                // (subtree root, its site, parent to attach it to — None for
+                // the federation root which is already in the tree)
+                let mut queue: VecDeque<(ObjectId, usize, Option<ObjectId>)> = VecDeque::new();
+                queue.push_back((root, root_site, None));
+                while let Some((r, site, attach_to)) = queue.pop_front() {
+                    visited_sites.insert(site);
+                    let include_root = attach_to.is_some();
+                    let mut q = recursive::mle_query_with_root(r, include_root);
+                    let rules = self.rules.clone();
+                    let user = self.user.clone();
+                    let m = Modificator::new(
+                        &rules,
+                        &user,
+                        ActionKind::MultiLevelExpand,
+                        &self.sites[site].view_names,
+                    );
+                    m.modify_recursive(&mut q)?;
+                    let sql = q.to_string();
+                    let rs = self.metered_query(site, &sql)?;
+                    for row in &rs.rows {
+                        let attrs = client::row_attrs(&rs, row);
+                        let obid = match attrs.get("obid") {
+                            Some(Value::Int(i)) => *i,
+                            _ => continue,
+                        };
+                        let parent = if obid == r { attach_to } else { None };
+                        let node = node_from_attrs(attrs, parent);
+                        tree.insert(node);
+                    }
+                    // Continue at mounts whose parent made it into the tree.
+                    self.enqueue_mounts(r, &tree, &rs, &mut queue)?;
+                }
+                let per_site = self.sites.iter().map(|s| s.channel.stats().clone()).collect();
+                Ok(FederatedOutcome { tree, per_site, sites_visited: visited_sites.len() })
+            }
+            Strategy::LateEval | Strategy::EarlyEval => {
+                // Navigational: every expand query routed to the owning
+                // site; mount children fetched from theirs.
+                let mut visited_sites: HashSet<usize> = HashSet::new();
+                let mut queue: VecDeque<ObjectId> = VecDeque::new();
+                queue.push_back(root);
+                while let Some(parent) = queue.pop_front() {
+                    let site = self.site_of(parent)?;
+                    visited_sites.insert(site);
+                    let mut q = navigational::expand_query(parent);
+                    if self.strategy.early_rules() {
+                        let rules = self.rules.clone();
+                        let user = self.user.clone();
+                        Modificator::new(
+                            &rules,
+                            &user,
+                            ActionKind::MultiLevelExpand,
+                            &self.sites[site].view_names,
+                        )
+                        .modify_navigational(&mut q)?;
+                    }
+                    let sql = q.to_string();
+                    let rs = self.metered_query(site, &sql)?;
+                    let groups = client::permission_groups(
+                        &self.rules,
+                        &self.user,
+                        ActionKind::MultiLevelExpand,
+                        &[crate::query::T_LINK, crate::query::T_ASSY, crate::query::T_COMP],
+                    );
+                    for row in &rs.rows {
+                        let attrs = client::row_attrs(&rs, row);
+                        if !self.strategy.early_rules()
+                            && !client::permitted(&attrs, &groups, &self.funcs)
+                        {
+                            continue;
+                        }
+                        let node = node_from_attrs(attrs, Some(parent));
+                        queue.push_back(node.obid);
+                        tree.insert(node);
+                    }
+                    // Mount children: fetch their row from the remote site,
+                    // apply node rules client-side, continue expanding.
+                    if let Some(mounts) = self.mounts_by_parent.get(&parent).cloned() {
+                        for mount in mounts {
+                            if !self.mount_permitted(&mount) {
+                                continue;
+                            }
+                            let fq = navigational::fetch_node_query(mount.child);
+                            let rs = self.metered_query(mount.child_site, &fq.to_string())?;
+                            visited_sites.insert(mount.child_site);
+                            let Some(row) = rs.rows.first() else { continue };
+                            let attrs = client::row_attrs(&rs, row);
+                            let node_groups = client::permission_groups(
+                                &self.rules,
+                                &self.user,
+                                ActionKind::MultiLevelExpand,
+                                &[crate::query::T_ASSY, crate::query::T_COMP],
+                            );
+                            if !client::permitted(&attrs, &node_groups, &self.funcs) {
+                                continue;
+                            }
+                            let node = node_from_attrs(attrs, Some(parent));
+                            queue.push_back(node.obid);
+                            tree.insert(node);
+                        }
+                    }
+                }
+                let per_site = self.sites.iter().map(|s| s.channel.stats().clone()).collect();
+                Ok(FederatedOutcome { tree, per_site, sites_visited: visited_sites.len() })
+            }
+        }
+    }
+
+    /// After a partition's recursive result landed in `tree`, queue remote
+    /// subtrees for every permitted mount whose parent was retrieved —
+    /// including mounts owned by the traversal root itself, whose row may
+    /// not appear in the partition result.
+    fn enqueue_mounts(
+        &self,
+        traversal_root: ObjectId,
+        tree: &ProductTree,
+        partition_result: &ResultSet,
+        queue: &mut VecDeque<(ObjectId, usize, Option<ObjectId>)>,
+    ) -> SessionResult<()> {
+        let obid_idx = partition_result.schema.require("obid")?;
+        let mut parents: Vec<ObjectId> = vec![traversal_root];
+        for row in &partition_result.rows {
+            if let Value::Int(obid) = row.get(obid_idx) {
+                parents.push(*obid);
+            }
+        }
+        for parent in parents {
+            let Some(mounts) = self.mounts_by_parent.get(&parent) else { continue };
+            for mount in mounts {
+                if tree.contains(mount.parent)
+                    && self.mount_permitted(mount)
+                    && !tree.contains(mount.child)
+                    && !queue.iter().any(|(c, _, _)| *c == mount.child)
+                {
+                    queue.push_back((mount.child, mount.child_site, Some(mount.parent)));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The user's structure option literal (kept in sync with the workload
+/// generator's marking without a crate dependency).
+fn pdm_workload_user_option() -> &'static str {
+    "OPTA"
+}

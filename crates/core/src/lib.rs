@@ -1,0 +1,40 @@
+//! # pdm-core — the PDM system of the paper
+//!
+//! Implements the primary contribution of *"Tuning an SQL-Based PDM System
+//! in a Worldwide Client/Server Environment"* (ICDE 2001):
+//!
+//! * the **rule taxonomy** of §3 — structure options, effectivities, and
+//!   message access rules as (user, action, type, condition) 4-tuples, with
+//!   conditions classified per Figure 1 into row conditions and the three
+//!   tree-condition classes (∀rows, ∃structure, tree-aggregate);
+//! * **condition → SQL translation** (§4.1, §5.3), performed once at rule
+//!   definition time and stored in the client-side rule table (§5.5);
+//! * the **query modificator** (§5.5, steps A–D) that splices rule
+//!   predicates into navigational and recursive queries — including the
+//!   paper's caveat that queries hidden behind views cannot be modified;
+//! * three **client strategies** over a metered WAN: navigational access
+//!   with late (client-side) rule evaluation, navigational access with
+//!   early (in-query) evaluation — Approach 1 — and single recursive-query
+//!   retrieval — Approach 2;
+//! * **check-out/check-in** (§6): tree retrieval plus the separate UPDATE
+//!   round trip that recursive querying cannot absorb, and the
+//!   function-shipping (stored procedure) remedy the paper sketches.
+
+pub mod checkout;
+pub mod client;
+pub mod federation;
+pub mod functions;
+pub mod product;
+pub mod query;
+pub mod rules;
+pub mod server;
+pub mod session;
+
+pub use client::Strategy;
+pub use product::{ObjectId, ProductNode, ProductTree};
+pub use rules::condition::{AggFunc, CmpOp, Condition, RowPredicate};
+pub use rules::table::RuleTable;
+pub use rules::{ActionKind, Rule, UserPattern};
+pub use federation::{FederatedOutcome, Federation, MountPoint};
+pub use server::PdmServer;
+pub use session::{ExpandOutcome, QueryOutcome, Session, SessionConfig};

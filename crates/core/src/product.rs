@@ -1,0 +1,196 @@
+//! Client-side product structure: what a PDM user actually sees after an
+//! expand — the reassembled object tree (§1: structure information is
+//! "retrieved, interpreted, and reassembled" from the flat tables).
+
+use std::collections::{BTreeMap, HashMap};
+
+use pdm_sql::Value;
+
+/// Object identifier (the `obid` of the flattened schema).
+pub type ObjectId = i64;
+
+/// One node of the reassembled product structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProductNode {
+    pub obid: ObjectId,
+    /// Parent object, `None` for the root.
+    pub parent: Option<ObjectId>,
+    /// Type discriminator from the homogenized result ("assy" / "comp").
+    pub type_name: String,
+    pub name: String,
+    /// All attributes of the transferred row, for rule evaluation and
+    /// display.
+    pub attrs: HashMap<String, Value>,
+}
+
+impl ProductNode {
+    pub fn is_assembly(&self) -> bool {
+        self.type_name == "assy"
+    }
+
+    pub fn is_component(&self) -> bool {
+        self.type_name == "comp"
+    }
+}
+
+/// A reassembled product tree.
+#[derive(Debug, Clone, Default)]
+pub struct ProductTree {
+    root: Option<ObjectId>,
+    nodes: BTreeMap<ObjectId, ProductNode>,
+    children: HashMap<ObjectId, Vec<ObjectId>>,
+}
+
+impl ProductTree {
+    pub fn new() -> Self {
+        ProductTree::default()
+    }
+
+    /// Insert a node; the first node without a parent (or the first node
+    /// overall) becomes the root.
+    pub fn insert(&mut self, node: ProductNode) {
+        if let Some(p) = node.parent {
+            self.children.entry(p).or_default().push(node.obid);
+        }
+        if self.root.is_none() && node.parent.is_none() {
+            self.root = Some(node.obid);
+        }
+        self.nodes.insert(node.obid, node);
+    }
+
+    pub fn root(&self) -> Option<ObjectId> {
+        self.root
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    pub fn contains(&self, obid: ObjectId) -> bool {
+        self.nodes.contains_key(&obid)
+    }
+
+    pub fn node(&self, obid: ObjectId) -> Option<&ProductNode> {
+        self.nodes.get(&obid)
+    }
+
+    pub fn children(&self, obid: ObjectId) -> &[ObjectId] {
+        self.children.get(&obid).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All node ids in ascending obid order.
+    pub fn node_ids(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    pub fn nodes(&self) -> impl Iterator<Item = &ProductNode> {
+        self.nodes.values()
+    }
+
+    /// Number of nodes with the given type discriminator.
+    pub fn count_of_type(&self, type_name: &str) -> usize {
+        self.nodes.values().filter(|n| n.type_name == type_name).count()
+    }
+
+    /// Depth of the tree below the root (root alone = 0). Nodes whose
+    /// parents were not transferred are treated as depth-unknown and
+    /// skipped.
+    pub fn depth(&self) -> u32 {
+        let Some(root) = self.root else { return 0 };
+        let mut max = 0;
+        let mut stack = vec![(root, 0u32)];
+        while let Some((id, d)) = stack.pop() {
+            max = max.max(d);
+            for &c in self.children(id) {
+                stack.push((c, d + 1));
+            }
+        }
+        max
+    }
+
+    /// Nodes reachable from the root (sanity check: equals `len()` when the
+    /// transfer was complete and consistent).
+    pub fn reachable_from_root(&self) -> usize {
+        let Some(root) = self.root else { return 0 };
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if seen.insert(id) {
+                stack.extend(self.children(id).iter().copied());
+            }
+        }
+        seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(obid: ObjectId, parent: Option<ObjectId>, ty: &str) -> ProductNode {
+        ProductNode {
+            obid,
+            parent,
+            type_name: ty.to_string(),
+            name: format!("N{obid}"),
+            attrs: HashMap::new(),
+        }
+    }
+
+    fn sample() -> ProductTree {
+        // 1 -> {2, 3}, 2 -> {4 (comp)}
+        let mut t = ProductTree::new();
+        t.insert(node(1, None, "assy"));
+        t.insert(node(2, Some(1), "assy"));
+        t.insert(node(3, Some(1), "assy"));
+        t.insert(node(4, Some(2), "comp"));
+        t
+    }
+
+    #[test]
+    fn root_detection_and_children() {
+        let t = sample();
+        assert_eq!(t.root(), Some(1));
+        assert_eq!(t.children(1), &[2, 3]);
+        assert_eq!(t.children(2), &[4]);
+        assert!(t.children(4).is_empty());
+    }
+
+    #[test]
+    fn counts_and_depth() {
+        let t = sample();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.count_of_type("assy"), 3);
+        assert_eq!(t.count_of_type("comp"), 1);
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.reachable_from_root(), 4);
+    }
+
+    #[test]
+    fn node_kind_helpers() {
+        let t = sample();
+        assert!(t.node(1).unwrap().is_assembly());
+        assert!(t.node(4).unwrap().is_component());
+    }
+
+    #[test]
+    fn orphaned_subtree_not_reachable() {
+        let mut t = sample();
+        t.insert(node(10, Some(99), "comp")); // parent never transferred
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.reachable_from_root(), 4);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = ProductTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.root(), None);
+        assert_eq!(t.depth(), 0);
+        assert_eq!(t.reachable_from_root(), 0);
+    }
+}

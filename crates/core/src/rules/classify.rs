@@ -1,0 +1,72 @@
+//! Figure 1: the condition classification tree. The query modificator
+//! dispatches on these classes — each class is injected into a different
+//! part of a recursive query (§5.5 steps A–D).
+
+use super::condition::Condition;
+
+/// Leaf classes of Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConditionClass {
+    /// Involves only one object (typically evaluable in a plain WHERE).
+    Row,
+    /// Tree condition: all nodes must satisfy a row condition.
+    ForAllRows,
+    /// Tree condition: tested objects must have a related object.
+    ExistsStructure,
+    /// Tree condition: an aggregate over the tree is constrained.
+    TreeAggregate,
+}
+
+impl ConditionClass {
+    /// Tree conditions involve the whole object tree (the inner split of
+    /// Figure 1).
+    pub fn is_tree_condition(&self) -> bool {
+        !matches!(self, ConditionClass::Row)
+    }
+}
+
+/// Classify a condition per Figure 1.
+pub fn classify(condition: &Condition) -> ConditionClass {
+    match condition {
+        Condition::Row(_) => ConditionClass::Row,
+        Condition::ForAllRows { .. } => ConditionClass::ForAllRows,
+        Condition::ExistsStructure { .. } => ConditionClass::ExistsStructure,
+        Condition::TreeAggregate { .. } => ConditionClass::TreeAggregate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::condition::{AggFunc, CmpOp, Condition, RowPredicate};
+    use super::*;
+
+    #[test]
+    fn classification_matches_figure1() {
+        let row = Condition::Row(RowPredicate::compare("x", CmpOp::Eq, 1i64));
+        assert_eq!(classify(&row), ConditionClass::Row);
+        assert!(!classify(&row).is_tree_condition());
+
+        let forall = Condition::ForAllRows {
+            object_type: Some("assy".into()),
+            predicate: RowPredicate::compare("dec", CmpOp::Eq, "+"),
+        };
+        assert_eq!(classify(&forall), ConditionClass::ForAllRows);
+        assert!(classify(&forall).is_tree_condition());
+
+        let exists = Condition::ExistsStructure {
+            object_table: "comp".into(),
+            relation_table: "specified_by".into(),
+            related_table: "spec".into(),
+        };
+        assert_eq!(classify(&exists), ConditionClass::ExistsStructure);
+
+        let agg = Condition::TreeAggregate {
+            func: AggFunc::Count,
+            attr: None,
+            object_type: Some("assy".into()),
+            op: CmpOp::LtEq,
+            value: 10.0,
+        };
+        assert_eq!(classify(&agg), ConditionClass::TreeAggregate);
+    }
+}

@@ -1,0 +1,367 @@
+//! Rule conditions: the paper's §3.2 taxonomy as an AST, with client-side
+//! evaluation (needed by late rule evaluation, which filters after
+//! transfer).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use pdm_sql::Value;
+
+/// Comparison operators available in conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+}
+
+impl CmpOp {
+    pub fn eval(&self, ord: Option<std::cmp::Ordering>) -> Option<bool> {
+        use std::cmp::Ordering::*;
+        ord.map(|o| match self {
+            CmpOp::Eq => o == Equal,
+            CmpOp::NotEq => o != Equal,
+            CmpOp::Lt => o == Less,
+            CmpOp::LtEq => o != Greater,
+            CmpOp::Gt => o == Greater,
+            CmpOp::GtEq => o != Less,
+        })
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::NotEq => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::LtEq => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::GtEq => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A row condition: a boolean predicate over the attributes of one object
+/// (§3.2: "can be evaluated by the use of standard SQL predicates", falling
+/// back to stored functions when they are not sufficient).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RowPredicate {
+    /// `attr op constant` — e.g. `make_or_buy <> 'buy'`.
+    Compare {
+        attr: String,
+        op: CmpOp,
+        value: Value,
+    },
+    /// `attr op attr` — e.g. `eff_from <= eff_to`.
+    CompareAttrs {
+        left: String,
+        op: CmpOp,
+        right: String,
+    },
+    /// A stored function returning a boolean, applied to attributes and
+    /// constants — the paper's escape hatch for set/interval comparisons
+    /// and transient attributes (§3.2, §4.1).
+    StoredFn {
+        name: String,
+        /// Arguments: attribute references or constants, in call order.
+        args: Vec<FnArg>,
+    },
+    /// `attr [NOT] LIKE pattern` — SQL pattern matching on a text
+    /// attribute (`%` any sequence, `_` one character).
+    Like {
+        attr: String,
+        pattern: String,
+        negated: bool,
+    },
+    And(Box<RowPredicate>, Box<RowPredicate>),
+    Or(Box<RowPredicate>, Box<RowPredicate>),
+    Not(Box<RowPredicate>),
+}
+
+/// One argument to a stored-function predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FnArg {
+    Attr(String),
+    Const(Value),
+}
+
+impl RowPredicate {
+    pub fn compare(attr: impl Into<String>, op: CmpOp, value: impl Into<Value>) -> Self {
+        RowPredicate::Compare { attr: attr.into(), op, value: value.into() }
+    }
+
+    pub fn and(self, other: RowPredicate) -> Self {
+        RowPredicate::And(Box::new(self), Box::new(other))
+    }
+
+    pub fn or(self, other: RowPredicate) -> Self {
+        RowPredicate::Or(Box::new(self), Box::new(other))
+    }
+
+    pub fn negate(self) -> Self {
+        RowPredicate::Not(Box::new(self))
+    }
+
+    /// Client-side evaluation over an attribute map (late rule evaluation).
+    /// Missing attributes and NULL-involved comparisons evaluate to `false`
+    /// (the object is not permitted), mirroring SQL's WHERE semantics.
+    ///
+    /// `funcs` supplies stored-function implementations; the same functions
+    /// registered at the database server (see [`crate::functions`]) are used
+    /// here so both evaluation sites agree.
+    pub fn eval(
+        &self,
+        attrs: &HashMap<String, Value>,
+        funcs: &pdm_sql::functions::FunctionRegistry,
+    ) -> bool {
+        self.eval3(attrs, funcs) == Some(true)
+    }
+
+    fn eval3(
+        &self,
+        attrs: &HashMap<String, Value>,
+        funcs: &pdm_sql::functions::FunctionRegistry,
+    ) -> Option<bool> {
+        match self {
+            RowPredicate::Compare { attr, op, value } => {
+                let v = attrs.get(attr.as_str())?;
+                op.eval(v.sql_cmp(value))
+            }
+            RowPredicate::CompareAttrs { left, op, right } => {
+                let l = attrs.get(left.as_str())?;
+                let r = attrs.get(right.as_str())?;
+                op.eval(l.sql_cmp(r))
+            }
+            RowPredicate::StoredFn { name, args } => {
+                let mut values = Vec::with_capacity(args.len());
+                for a in args {
+                    values.push(match a {
+                        FnArg::Attr(attr) => attrs.get(attr.as_str())?.clone(),
+                        FnArg::Const(v) => v.clone(),
+                    });
+                }
+                match funcs.call(name, &values).ok()? {
+                    Value::Bool(b) => Some(b),
+                    Value::Null => None,
+                    _ => None,
+                }
+            }
+            RowPredicate::Like { attr, pattern, negated } => {
+                match attrs.get(attr.as_str())? {
+                    Value::Text(s) => {
+                        Some(crate::rules::like_match(s, pattern) != *negated)
+                    }
+                    Value::Null => None,
+                    _ => None,
+                }
+            }
+            RowPredicate::And(a, b) => match (a.eval3(attrs, funcs), b.eval3(attrs, funcs)) {
+                (Some(false), _) | (_, Some(false)) => Some(false),
+                (Some(true), Some(true)) => Some(true),
+                _ => None,
+            },
+            RowPredicate::Or(a, b) => match (a.eval3(attrs, funcs), b.eval3(attrs, funcs)) {
+                (Some(true), _) | (_, Some(true)) => Some(true),
+                (Some(false), Some(false)) => Some(false),
+                _ => None,
+            },
+            RowPredicate::Not(p) => p.eval3(attrs, funcs).map(|b| !b),
+        }
+    }
+
+    /// Attribute names this predicate reads.
+    pub fn attributes(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_attrs(&mut out);
+        out
+    }
+
+    fn collect_attrs<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            RowPredicate::Compare { attr, .. } => out.push(attr),
+            RowPredicate::CompareAttrs { left, right, .. } => {
+                out.push(left);
+                out.push(right);
+            }
+            RowPredicate::StoredFn { args, .. } => {
+                for a in args {
+                    if let FnArg::Attr(attr) = a {
+                        out.push(attr);
+                    }
+                }
+            }
+            RowPredicate::Like { attr, .. } => out.push(attr),
+            RowPredicate::And(a, b) | RowPredicate::Or(a, b) => {
+                a.collect_attrs(out);
+                b.collect_attrs(out);
+            }
+            RowPredicate::Not(p) => p.collect_attrs(out),
+        }
+    }
+}
+
+/// SQL aggregate functions usable in tree-aggregate conditions (§5.3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggFunc {
+    pub fn sql_name(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+}
+
+/// A rule condition (Figure 1): a row condition on a single object, or one
+/// of the three tree-condition classes over the whole object tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// Plain row condition on the rule's object type.
+    Row(RowPredicate),
+    /// ∀rows: every node in the tree (optionally restricted to one object
+    /// type) must satisfy the row condition, otherwise the result tree is
+    /// empty — the "all-or-nothing" principle (§5.3.1).
+    ForAllRows {
+        /// Restrict the check to nodes of this type (`assy`-style type
+        /// discriminator value); `None` checks every node.
+        object_type: Option<String>,
+        predicate: RowPredicate,
+    },
+    /// ∃structure: an object of type O is visible only if it is related,
+    /// via `relation_table(left → O.obid, right → U.obid)`, to at least one
+    /// object in `related_table` (§5.3.2).
+    ExistsStructure {
+        /// Table of the tested objects O (e.g. "comp").
+        object_table: String,
+        /// Relation table (e.g. "specified_by").
+        relation_table: String,
+        /// Related type U's table (e.g. "spec").
+        related_table: String,
+    },
+    /// Tree-aggregate: `agg(attr over tree) op value`, evaluated on the set
+    /// of accessible nodes (§5.3.3).
+    TreeAggregate {
+        func: AggFunc,
+        /// Attribute aggregated; `None` means `COUNT(*)`.
+        attr: Option<String>,
+        /// Restrict the aggregation to nodes of this type.
+        object_type: Option<String>,
+        op: CmpOp,
+        value: f64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm_sql::functions::FunctionRegistry;
+
+    fn attrs(pairs: &[(&str, Value)]) -> HashMap<String, Value> {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+    }
+
+    fn funcs() -> FunctionRegistry {
+        let mut reg = FunctionRegistry::with_builtins();
+        crate::functions::register_into(&mut reg);
+        reg
+    }
+
+    #[test]
+    fn compare_predicate_eval() {
+        let p = RowPredicate::compare("make_or_buy", CmpOp::NotEq, "buy");
+        assert!(p.eval(&attrs(&[("make_or_buy", Value::from("make"))]), &funcs()));
+        assert!(!p.eval(&attrs(&[("make_or_buy", Value::from("buy"))]), &funcs()));
+        // missing attribute → not permitted
+        assert!(!p.eval(&attrs(&[]), &funcs()));
+        // NULL attribute → unknown → not permitted
+        assert!(!p.eval(&attrs(&[("make_or_buy", Value::Null)]), &funcs()));
+    }
+
+    #[test]
+    fn and_or_not_combinators() {
+        let a = RowPredicate::compare("x", CmpOp::Gt, 1i64);
+        let b = RowPredicate::compare("y", CmpOp::Lt, 5i64);
+        let both = a.clone().and(b.clone());
+        let either = a.clone().or(b.clone());
+        let ctx = attrs(&[("x", Value::Int(2)), ("y", Value::Int(9))]);
+        assert!(!both.eval(&ctx, &funcs()));
+        assert!(either.eval(&ctx, &funcs()));
+        assert!(!a.negate().eval(&ctx, &funcs()));
+        let _ = b;
+    }
+
+    #[test]
+    fn compare_attrs() {
+        let p = RowPredicate::CompareAttrs {
+            left: "eff_from".into(),
+            op: CmpOp::LtEq,
+            right: "eff_to".into(),
+        };
+        assert!(p.eval(
+            &attrs(&[("eff_from", Value::Int(1)), ("eff_to", Value::Int(5))]),
+            &funcs()
+        ));
+    }
+
+    #[test]
+    fn stored_fn_interval_overlap() {
+        // §3.1 example 3 style: relation effectivity overlaps user selection.
+        let p = RowPredicate::StoredFn {
+            name: "overlaps_interval".into(),
+            args: vec![
+                FnArg::Attr("eff_from".into()),
+                FnArg::Attr("eff_to".into()),
+                FnArg::Const(Value::Int(4)),
+                FnArg::Const(Value::Int(6)),
+            ],
+        };
+        assert!(p.eval(
+            &attrs(&[("eff_from", Value::Int(1)), ("eff_to", Value::Int(10))]),
+            &funcs()
+        ));
+        assert!(!p.eval(
+            &attrs(&[("eff_from", Value::Int(1)), ("eff_to", Value::Int(3))]),
+            &funcs()
+        ));
+    }
+
+    #[test]
+    fn attributes_collected() {
+        let p = RowPredicate::compare("a", CmpOp::Eq, 1i64)
+            .and(RowPredicate::CompareAttrs {
+                left: "b".into(),
+                op: CmpOp::Lt,
+                right: "c".into(),
+            })
+            .or(RowPredicate::StoredFn {
+                name: "f".into(),
+                args: vec![FnArg::Attr("d".into()), FnArg::Const(Value::Int(0))],
+            });
+        let mut got = p.attributes();
+        got.sort_unstable();
+        assert_eq!(got, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn unknown_propagation_in_logic() {
+        // (NULL-compare OR true) must be true — unknown doesn't poison OR.
+        let p = RowPredicate::compare("missing", CmpOp::Eq, 1i64)
+            .or(RowPredicate::compare("x", CmpOp::Eq, 1i64));
+        assert!(p.eval(&attrs(&[("x", Value::Int(1))]), &funcs()));
+    }
+}

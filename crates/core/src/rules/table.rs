@@ -1,0 +1,152 @@
+//! The client-side rule table (§5.5): rules with their pre-translated SQL,
+//! queried by (user, action, object type) and by condition class — the
+//! lookups steps A–D of the query modificator perform.
+
+use super::classify::{classify, ConditionClass};
+use super::{ActionKind, Rule};
+
+/// Rule store kept at each client.
+#[derive(Debug, Clone, Default)]
+pub struct RuleTable {
+    rules: Vec<Rule>,
+}
+
+impl RuleTable {
+    pub fn new() -> Self {
+        RuleTable::default()
+    }
+
+    /// Add a rule (only authorized users create rules in the paper; the
+    /// authorization model itself is out of scope here as it is there).
+    pub fn add(&mut self, rule: Rule) {
+        self.rules.push(rule);
+    }
+
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Rule> {
+        self.rules.iter()
+    }
+
+    /// Rules relevant to (user, action): the footnote-9 notion of
+    /// relevance, with `Access` rules applying to every retrieving action.
+    pub fn relevant(&self, user: &str, action: ActionKind) -> Vec<&Rule> {
+        self.rules
+            .iter()
+            .filter(|r| r.user.matches(user) && action.implied_by(r.action))
+            .collect()
+    }
+
+    /// Relevant rules of one condition class (the per-step fetch of §5.5).
+    pub fn relevant_of_class(
+        &self,
+        user: &str,
+        action: ActionKind,
+        class: ConditionClass,
+    ) -> Vec<&Rule> {
+        self.relevant(user, action)
+            .into_iter()
+            .filter(|r| classify(&r.condition) == class)
+            .collect()
+    }
+
+    /// Relevant rules of one class restricted to an object type (step D
+    /// groups row conditions by type).
+    pub fn relevant_for_type(
+        &self,
+        user: &str,
+        action: ActionKind,
+        class: ConditionClass,
+        object_type: &str,
+    ) -> Vec<&Rule> {
+        let t = object_type.to_ascii_lowercase();
+        self.relevant_of_class(user, action, class)
+            .into_iter()
+            .filter(|r| r.object_type == t)
+            .collect()
+    }
+}
+
+impl FromIterator<Rule> for RuleTable {
+    fn from_iter<I: IntoIterator<Item = Rule>>(iter: I) -> Self {
+        RuleTable { rules: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::condition::{CmpOp, Condition, RowPredicate};
+    use super::super::UserPattern;
+    use super::*;
+
+    fn sample_table() -> RuleTable {
+        let mut t = RuleTable::new();
+        t.add(Rule::new(
+            UserPattern::Named("scott".into()),
+            ActionKind::MultiLevelExpand,
+            "assy",
+            Condition::Row(RowPredicate::compare("make_or_buy", CmpOp::NotEq, "buy")),
+        ));
+        t.add(Rule::for_all_users(
+            ActionKind::Access,
+            "link",
+            Condition::Row(RowPredicate::compare("strc_opt", CmpOp::Eq, "OPTA")),
+        ));
+        t.add(Rule::for_all_users(
+            ActionKind::CheckOut,
+            "assy",
+            Condition::ForAllRows {
+                object_type: None,
+                predicate: RowPredicate::compare("checkedout", CmpOp::Eq, false),
+            },
+        ));
+        t
+    }
+
+    #[test]
+    fn relevance_by_user_and_action() {
+        let t = sample_table();
+        // scott doing MLE: his own rule + the Access rule for everyone
+        assert_eq!(t.relevant("scott", ActionKind::MultiLevelExpand).len(), 2);
+        // tiger doing MLE: only the Access rule
+        assert_eq!(t.relevant("tiger", ActionKind::MultiLevelExpand).len(), 1);
+        // check-out picks up the ∀rows rule and the Access rule
+        assert_eq!(t.relevant("tiger", ActionKind::CheckOut).len(), 2);
+    }
+
+    #[test]
+    fn class_filtering() {
+        let t = sample_table();
+        let rows = t.relevant_of_class("scott", ActionKind::MultiLevelExpand, ConditionClass::Row);
+        assert_eq!(rows.len(), 2);
+        let forall =
+            t.relevant_of_class("scott", ActionKind::CheckOut, ConditionClass::ForAllRows);
+        assert_eq!(forall.len(), 1);
+    }
+
+    #[test]
+    fn type_filtering() {
+        let t = sample_table();
+        let on_link = t.relevant_for_type(
+            "scott",
+            ActionKind::MultiLevelExpand,
+            ConditionClass::Row,
+            "LINK",
+        );
+        assert_eq!(on_link.len(), 1);
+        assert_eq!(on_link[0].object_type, "link");
+    }
+
+    #[test]
+    fn from_iterator() {
+        let t: RuleTable = sample_table().rules.into_iter().collect();
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+}

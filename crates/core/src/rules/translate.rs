@@ -1,0 +1,303 @@
+//! Condition → SQL translation (§4.1 for row conditions, §5.3 for the three
+//! tree-condition classes).
+//!
+//! Translation happens once when a rule is defined (the paper stores the
+//! translated representation in the client-side rule table); the query
+//! modificator re-instantiates the tree-condition templates against the
+//! actual recursion CTE name at query-build time.
+
+use pdm_sql::ast::{
+    BinOp, Expr, Join, JoinKind, Query, Select, SelectItem, TableFactor, TableWithJoins,
+};
+use pdm_sql::Value;
+
+use super::condition::{AggFunc, CmpOp, Condition, FnArg, RowPredicate};
+
+/// Canonical CTE name used when rendering a tree condition at rule
+/// definition time (before the target query exists).
+pub const CANONICAL_CTE: &str = "rtbl";
+
+/// Column holding the type discriminator in homogenized results.
+pub const TYPE_COLUMN: &str = "type";
+
+impl From<CmpOp> for BinOp {
+    fn from(op: CmpOp) -> BinOp {
+        match op {
+            CmpOp::Eq => BinOp::Eq,
+            CmpOp::NotEq => BinOp::NotEq,
+            CmpOp::Lt => BinOp::Lt,
+            CmpOp::LtEq => BinOp::LtEq,
+            CmpOp::Gt => BinOp::Gt,
+            CmpOp::GtEq => BinOp::GtEq,
+        }
+    }
+}
+
+/// Translate a row predicate into an SQL expression with columns qualified
+/// by `qualifier` (the table or alias the predicate will be evaluated
+/// against). Stored functions become function calls compared to TRUE so
+/// they are valid WHERE predicates.
+pub fn row_predicate_expr(pred: &RowPredicate, qualifier: &str) -> Expr {
+    match pred {
+        RowPredicate::Compare { attr, op, value } => Expr::binary(
+            Expr::qcol(qualifier, attr.clone()),
+            (*op).into(),
+            Expr::Literal(value.clone()),
+        ),
+        RowPredicate::CompareAttrs { left, op, right } => Expr::binary(
+            Expr::qcol(qualifier, left.clone()),
+            (*op).into(),
+            Expr::qcol(qualifier, right.clone()),
+        ),
+        RowPredicate::StoredFn { name, args } => {
+            let args = args
+                .iter()
+                .map(|a| match a {
+                    FnArg::Attr(attr) => Expr::qcol(qualifier, attr.clone()),
+                    FnArg::Const(v) => Expr::Literal(v.clone()),
+                })
+                .collect();
+            Expr::binary(
+                Expr::Function { name: name.clone(), args, star: false },
+                BinOp::Eq,
+                Expr::Literal(Value::Bool(true)),
+            )
+        }
+        RowPredicate::Like { attr, pattern, negated } => Expr::Like {
+            expr: Box::new(Expr::qcol(qualifier, attr.clone())),
+            pattern: Box::new(Expr::Literal(Value::Text(pattern.clone()))),
+            negated: *negated,
+        },
+        RowPredicate::And(a, b) => Expr::and(
+            row_predicate_expr(a, qualifier),
+            row_predicate_expr(b, qualifier),
+        ),
+        RowPredicate::Or(a, b) => Expr::or(
+            row_predicate_expr(a, qualifier),
+            row_predicate_expr(b, qualifier),
+        ),
+        RowPredicate::Not(p) => Expr::Not(Box::new(row_predicate_expr(p, qualifier))),
+    }
+}
+
+/// §5.3.1: the all-or-nothing translation of a ∀rows condition —
+/// `NOT EXISTS (SELECT * FROM <cte> WHERE type = 'T' AND NOT pred)`.
+pub fn forall_rows_expr(cte: &str, object_type: Option<&str>, pred: &RowPredicate) -> Expr {
+    let mut inner = Select::new();
+    inner.projection.push(SelectItem::Wildcard);
+    inner.from.push(TableWithJoins::table(cte));
+    if let Some(t) = object_type {
+        inner.and_where(Expr::eq(Expr::col(TYPE_COLUMN), Expr::lit(t)));
+    }
+    inner.and_where(Expr::Not(Box::new(row_predicate_expr(pred, cte))));
+    Expr::Exists {
+        query: Box::new(Query::select(inner)),
+        negated: true,
+    }
+}
+
+/// §5.3.2: the ∃structure translation —
+/// `EXISTS (SELECT * FROM rel AS s JOIN U ON s.right = U.obid WHERE s.left
+/// = O.obid)`. `object_qualifier` is the binding of the tested object O in
+/// the SELECT block the predicate is injected into.
+pub fn exists_structure_expr(
+    object_qualifier: &str,
+    relation_table: &str,
+    related_table: &str,
+) -> Expr {
+    let mut inner = Select::new();
+    inner.projection.push(SelectItem::Wildcard);
+    let mut twj = TableWithJoins {
+        base: TableFactor::Table {
+            name: relation_table.to_string(),
+            alias: Some("s".to_string()),
+        },
+        joins: Vec::new(),
+    };
+    twj.joins.push(Join {
+        kind: JoinKind::Inner,
+        factor: TableFactor::Table { name: related_table.to_string(), alias: None },
+        on: Some(Expr::eq(
+            Expr::qcol("s", "right"),
+            Expr::qcol(related_table, "obid"),
+        )),
+    });
+    inner.from.push(twj);
+    inner.and_where(Expr::eq(
+        Expr::qcol("s", "left"),
+        Expr::qcol(object_qualifier, "obid"),
+    ));
+    Expr::Exists {
+        query: Box::new(Query::select(inner)),
+        negated: false,
+    }
+}
+
+/// §5.3.3: the tree-aggregate translation —
+/// `(SELECT AGG(attr) FROM <cte> [WHERE type = 'T']) op value`.
+pub fn tree_aggregate_expr(
+    cte: &str,
+    func: AggFunc,
+    attr: Option<&str>,
+    object_type: Option<&str>,
+    op: CmpOp,
+    value: f64,
+) -> Expr {
+    let mut inner = Select::new();
+    let agg = match attr {
+        None => Expr::Function {
+            name: func.sql_name().to_string(),
+            args: vec![],
+            star: true,
+        },
+        Some(a) => Expr::Function {
+            name: func.sql_name().to_string(),
+            args: vec![Expr::col(a)],
+            star: false,
+        },
+    };
+    inner.projection.push(SelectItem::expr(agg));
+    inner.from.push(TableWithJoins::table(cte));
+    if let Some(t) = object_type {
+        inner.and_where(Expr::eq(Expr::col(TYPE_COLUMN), Expr::lit(t)));
+    }
+    // Integral bounds render as integers ("<= 10", not "<= 10.0"), matching
+    // COUNT comparisons in the paper.
+    let bound = if value.fract() == 0.0 && value.abs() < i64::MAX as f64 {
+        Expr::lit(value as i64)
+    } else {
+        Expr::lit(value)
+    };
+    Expr::binary(
+        Expr::ScalarSubquery(Box::new(Query::select(inner))),
+        op.into(),
+        bound,
+    )
+}
+
+/// Translate a condition against the canonical CTE name, producing the SQL
+/// text stored in the rule table at definition time.
+pub fn condition_to_sql_text(condition: &Condition, object_type: &str) -> String {
+    condition_expr(condition, object_type, CANONICAL_CTE).to_string()
+}
+
+/// Translate a condition to an expression, with `qualifier` the binding of
+/// the rule's object type and `cte` the recursion table name.
+pub fn condition_expr(condition: &Condition, qualifier: &str, cte: &str) -> Expr {
+    match condition {
+        Condition::Row(pred) => row_predicate_expr(pred, qualifier),
+        Condition::ForAllRows { object_type, predicate } => {
+            forall_rows_expr(cte, object_type.as_deref(), predicate)
+        }
+        Condition::ExistsStructure { object_table, relation_table, related_table } => {
+            // At definition time the tested object is qualified by its own
+            // table name; the modificator re-qualifies when injecting.
+            let q = if qualifier.is_empty() { object_table } else { qualifier };
+            exists_structure_expr(q, relation_table, related_table)
+        }
+        Condition::TreeAggregate { func, attr, object_type, op, value } => {
+            tree_aggregate_expr(cte, *func, attr.as_deref(), object_type.as_deref(), *op, *value)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm_sql::parser::parse_expr;
+
+    #[test]
+    fn row_condition_like_paper_example_1() {
+        let pred = RowPredicate::compare("make_or_buy", CmpOp::NotEq, "buy");
+        let e = row_predicate_expr(&pred, "assembly");
+        assert_eq!(e.to_string(), "assembly.make_or_buy <> 'buy'");
+    }
+
+    #[test]
+    fn forall_rows_matches_paper_shape() {
+        // §5.3.1: all assemblies decomposable.
+        let pred = RowPredicate::compare("dec", CmpOp::Eq, "+");
+        let e = forall_rows_expr("rtbl", Some("assy"), &pred);
+        assert_eq!(
+            e.to_string(),
+            "NOT EXISTS (SELECT * FROM rtbl WHERE type = 'assy' AND NOT rtbl.dec = '+')"
+        );
+        // and it parses back
+        parse_expr(&e.to_string()).unwrap();
+    }
+
+    #[test]
+    fn exists_structure_matches_paper_shape() {
+        let e = exists_structure_expr("comp", "specified_by", "spec");
+        assert_eq!(
+            e.to_string(),
+            "EXISTS (SELECT * FROM specified_by AS s JOIN spec ON s.right = spec.obid \
+             WHERE s.left = comp.obid)"
+        );
+        parse_expr(&e.to_string()).unwrap();
+    }
+
+    #[test]
+    fn tree_aggregate_matches_paper_shape() {
+        let e = tree_aggregate_expr("rtbl", AggFunc::Count, None, Some("assy"), CmpOp::LtEq, 10.0);
+        assert_eq!(
+            e.to_string(),
+            "(SELECT COUNT(*) FROM rtbl WHERE type = 'assy') <= 10"
+        );
+        parse_expr(&e.to_string()).unwrap();
+
+        let e = tree_aggregate_expr(
+            "rtbl",
+            AggFunc::Avg,
+            Some("weight"),
+            None,
+            CmpOp::LtEq,
+            12.0,
+        );
+        assert_eq!(e.to_string(), "(SELECT AVG(weight) FROM rtbl) <= 12");
+    }
+
+    #[test]
+    fn stored_fn_predicate_renders_as_call() {
+        let pred = RowPredicate::StoredFn {
+            name: "set_overlaps".into(),
+            args: vec![
+                FnArg::Attr("strc_opt".into()),
+                FnArg::Const(Value::from("OPTA,OPTB")),
+            ],
+        };
+        let e = row_predicate_expr(&pred, "link");
+        assert_eq!(
+            e.to_string(),
+            "SET_OVERLAPS(link.strc_opt, 'OPTA,OPTB') = TRUE"
+        );
+        parse_expr(&e.to_string()).unwrap();
+    }
+
+    #[test]
+    fn nested_logic_renders_with_parens() {
+        let pred = RowPredicate::compare("a", CmpOp::Eq, 1i64)
+            .or(RowPredicate::compare("b", CmpOp::Eq, 2i64))
+            .and(RowPredicate::compare("c", CmpOp::Eq, 3i64).negate());
+        let e = row_predicate_expr(&pred, "t");
+        assert_eq!(
+            e.to_string(),
+            "(t.a = 1 OR t.b = 2) AND NOT t.c = 3"
+        );
+    }
+
+    #[test]
+    fn definition_time_text_uses_canonical_cte() {
+        let cond = Condition::TreeAggregate {
+            func: AggFunc::Count,
+            attr: None,
+            object_type: None,
+            op: CmpOp::LtEq,
+            value: 100.0,
+        };
+        assert_eq!(
+            condition_to_sql_text(&cond, "assy"),
+            "(SELECT COUNT(*) FROM rtbl) <= 100"
+        );
+    }
+}

@@ -1,0 +1,236 @@
+//! The database-server side: a `pdm_sql` database with the PDM stored
+//! functions installed, plus the server-resident check-out procedure the
+//! paper proposes for function shipping (§6: "application-specific
+//! functionality performing the desired user action has to be installed at
+//! the database server").
+
+use std::collections::HashSet;
+
+use pdm_sql::{Database, ExecOutcome, ResultSet, Result, Statement, Value};
+
+use crate::product::ObjectId;
+
+/// The PDM database server.
+#[derive(Debug)]
+pub struct PdmServer {
+    db: Database,
+}
+
+impl PdmServer {
+    /// Wrap a populated database, installing the PDM stored functions.
+    pub fn new(mut db: Database) -> Self {
+        crate::functions::register_pdm_functions(&mut db);
+        PdmServer { db }
+    }
+
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    pub fn database_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Execute a read query arriving from the client.
+    pub fn query(&self, sql: &str) -> Result<ResultSet> {
+        self.db.query(sql)
+    }
+
+    /// Execute any statement (the check-out UPDATE path).
+    pub fn execute(&mut self, sql: &str) -> Result<ExecOutcome> {
+        self.db.execute(sql)
+    }
+
+    /// Names of views defined at the server — schema knowledge the client's
+    /// query modificator consults for the §5.5 view caveat.
+    pub fn view_names(&self) -> HashSet<String> {
+        self.db
+            .catalog
+            .view_names()
+            .into_iter()
+            .map(str::to_string)
+            .collect()
+    }
+
+    /// Server-side check-out procedure (function shipping): retrieve the
+    /// subtree with an already-modified recursive query, verify no node is
+    /// checked out, flip the flags, and return the rows — all in ONE
+    /// client/server exchange.
+    ///
+    /// `modified_sql` is the recursive MLE query (with rule predicates
+    /// already spliced in) shipped as the procedure's argument.
+    pub fn checkout_procedure(
+        &mut self,
+        root: ObjectId,
+        modified_sql: &str,
+    ) -> Result<CheckoutProcedureResult> {
+        let rows = self.db.query(modified_sql)?;
+
+        // Collect retrieved object ids per node table.
+        let (assy_ids, comp_ids) = split_ids(&rows)?;
+
+        // ∀rows check: nothing may already be checked out (the paper's
+        // example 2 condition), root included.
+        let mut all_ids = assy_ids.clone();
+        all_ids.push(root);
+        let busy = self.any_checked_out("assy", &all_ids)?
+            || self.any_checked_out("comp", &comp_ids)?;
+        if busy {
+            return Ok(CheckoutProcedureResult { rows: None });
+        }
+
+        self.set_checked_out("assy", &all_ids, true)?;
+        self.set_checked_out("comp", &comp_ids, true)?;
+        Ok(CheckoutProcedureResult { rows: Some(rows) })
+    }
+
+    /// Server-side check-in: clear the flags for the given objects.
+    pub fn checkin_procedure(
+        &mut self,
+        assy_ids: &[ObjectId],
+        comp_ids: &[ObjectId],
+    ) -> Result<usize> {
+        let a = self.set_checked_out("assy", assy_ids, false)?;
+        let c = self.set_checked_out("comp", comp_ids, false)?;
+        Ok(a + c)
+    }
+
+    fn any_checked_out(&self, table: &str, ids: &[ObjectId]) -> Result<bool> {
+        if ids.is_empty() {
+            return Ok(false);
+        }
+        let list = id_list(ids);
+        let rs = self.db.query(&format!(
+            "SELECT COUNT(*) AS n FROM {table} WHERE checkedout = TRUE AND obid IN ({list})"
+        ))?;
+        Ok(rs.rows[0].get(0) != &Value::Int(0))
+    }
+
+    fn set_checked_out(&mut self, table: &str, ids: &[ObjectId], value: bool) -> Result<usize> {
+        if ids.is_empty() {
+            return Ok(0);
+        }
+        let list = id_list(ids);
+        let flag = if value { "TRUE" } else { "FALSE" };
+        match self.db.execute(&format!(
+            "UPDATE {table} SET checkedout = {flag} WHERE obid IN ({list})"
+        ))? {
+            ExecOutcome::Dml(pdm_sql::DmlOutcome::Updated(n)) => Ok(n),
+            other => panic!("UPDATE returned {other:?}"),
+        }
+    }
+
+    /// Parse and execute a statement AST directly (bypasses re-parsing when
+    /// the caller built the AST itself).
+    pub fn execute_ast(&mut self, stmt: &Statement) -> Result<ExecOutcome> {
+        self.db.execute_ast(stmt)
+    }
+}
+
+/// Result of the server-side check-out: `None` rows means the ∀rows
+/// condition failed (something was already checked out).
+#[derive(Debug, Clone)]
+pub struct CheckoutProcedureResult {
+    pub rows: Option<ResultSet>,
+}
+
+/// Split a homogenized result into assembly and component object ids.
+pub(crate) fn split_ids(rows: &ResultSet) -> Result<(Vec<ObjectId>, Vec<ObjectId>)> {
+    let type_idx = rows.schema.require("type")?;
+    let obid_idx = rows.schema.require("obid")?;
+    let mut assy = Vec::new();
+    let mut comp = Vec::new();
+    for row in &rows.rows {
+        let id = match row.get(obid_idx) {
+            Value::Int(i) => *i,
+            other => {
+                return Err(pdm_sql::Error::Eval(format!(
+                    "non-integer obid in result: {other}"
+                )))
+            }
+        };
+        match row.get(type_idx) {
+            Value::Text(t) if t == "assy" => assy.push(id),
+            Value::Text(t) if t == "comp" => comp.push(id),
+            _ => {}
+        }
+    }
+    Ok((assy, comp))
+}
+
+/// Render an IN-list of ids.
+pub(crate) fn id_list(ids: &[ObjectId]) -> String {
+    let mut s = String::with_capacity(ids.len() * 8);
+    for (i, id) in ids.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&id.to_string());
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::recursive;
+    use pdm_workload::{build_database, TreeSpec};
+
+    fn server() -> PdmServer {
+        let (db, _) = build_database(&TreeSpec::new(2, 2, 1.0).with_node_size(128)).unwrap();
+        PdmServer::new(db)
+    }
+
+    #[test]
+    fn query_and_views() {
+        let mut s = server();
+        assert!(s.view_names().is_empty());
+        s.execute("CREATE VIEW v AS SELECT obid FROM assy").unwrap();
+        assert!(s.view_names().contains("v"));
+        let rs = s.query("SELECT COUNT(*) AS n FROM assy").unwrap();
+        assert_eq!(rs.rows[0].get(0), &Value::Int(3));
+    }
+
+    #[test]
+    fn pdm_functions_installed() {
+        let s = server();
+        let rs = s
+            .query("SELECT SET_OVERLAPS('OPTA', 'OPTA,OPTB') AS o FROM assy WHERE obid = 1")
+            .unwrap();
+        assert_eq!(rs.rows[0].get(0), &Value::Bool(true));
+    }
+
+    #[test]
+    fn checkout_procedure_flips_flags_once() {
+        let mut s = server();
+        let sql = recursive::mle_query(1).to_string();
+        let result = s.checkout_procedure(1, &sql).unwrap();
+        let rows = result.rows.expect("first check-out succeeds");
+        assert_eq!(rows.len(), 2 + 4); // 2 child assys + 4 comps (root excluded)
+
+        // everything below (and including) the root is now flagged
+        let rs = s.query("SELECT COUNT(*) AS n FROM assy WHERE checkedout = TRUE").unwrap();
+        assert_eq!(rs.rows[0].get(0), &Value::Int(3));
+
+        // a second check-out must fail the ∀rows condition
+        let again = s.checkout_procedure(1, &sql).unwrap();
+        assert!(again.rows.is_none());
+    }
+
+    #[test]
+    fn checkin_procedure_clears_flags() {
+        let mut s = server();
+        let sql = recursive::mle_query(1).to_string();
+        s.checkout_procedure(1, &sql).unwrap();
+        let n = s.checkin_procedure(&[1, 2, 3], &[4, 5, 6, 7]).unwrap();
+        assert_eq!(n, 7);
+        let rs = s.query("SELECT COUNT(*) AS n FROM comp WHERE checkedout = TRUE").unwrap();
+        assert_eq!(rs.rows[0].get(0), &Value::Int(0));
+    }
+
+    #[test]
+    fn id_list_rendering() {
+        assert_eq!(id_list(&[1, 2, 3]), "1, 2, 3");
+        assert_eq!(id_list(&[]), "");
+    }
+}

@@ -1,0 +1,543 @@
+//! End-to-end sessions: a PDM client talking to the database server over a
+//! metered WAN. This is where the paper's three system variants become
+//! executable — every user action runs real SQL and every byte crosses the
+//! simulated link.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+
+use pdm_net::{LinkProfile, MeteredChannel, TrafficStats};
+use pdm_sql::functions::FunctionRegistry;
+use pdm_sql::{Database, ResultSet, Value};
+
+use crate::client::{self, Strategy};
+use crate::product::{ObjectId, ProductNode, ProductTree};
+use crate::query::modificator::{ModError, Modificator};
+use crate::query::{navigational, recursive};
+use crate::rules::table::RuleTable;
+use crate::rules::ActionKind;
+use crate::server::PdmServer;
+
+/// Errors surfaced by session actions.
+#[derive(Debug)]
+pub enum SessionError {
+    Sql(pdm_sql::Error),
+    Modification(ModError),
+    /// The requested root object does not exist.
+    RootNotFound(ObjectId),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Sql(e) => write!(f, "database error: {e}"),
+            SessionError::Modification(e) => write!(f, "query modification failed: {e}"),
+            SessionError::RootNotFound(id) => write!(f, "no object with obid {id}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<pdm_sql::Error> for SessionError {
+    fn from(e: pdm_sql::Error) -> Self {
+        SessionError::Sql(e)
+    }
+}
+
+impl From<ModError> for SessionError {
+    fn from(e: ModError) -> Self {
+        SessionError::Modification(e)
+    }
+}
+
+pub type SessionResult<T> = Result<T, SessionError>;
+
+/// Who is acting, how, and over which link.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    pub user: String,
+    pub strategy: Strategy,
+    pub link: LinkProfile,
+}
+
+impl SessionConfig {
+    pub fn new(user: impl Into<String>, strategy: Strategy, link: LinkProfile) -> Self {
+        SessionConfig { user: user.into(), strategy, link }
+    }
+}
+
+/// Result of a tree-retrieving action.
+#[derive(Debug, Clone)]
+pub struct ExpandOutcome {
+    pub tree: ProductTree,
+    /// Traffic of this action only.
+    pub stats: TrafficStats,
+}
+
+/// Result of the set-oriented Query action (no structure information).
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    pub nodes: Vec<ProductNode>,
+    pub stats: TrafficStats,
+}
+
+/// A PDM client session bound to a server and a WAN profile.
+pub struct Session {
+    server: PdmServer,
+    channel: MeteredChannel,
+    config: SessionConfig,
+    rules: RuleTable,
+    funcs: FunctionRegistry,
+    view_names: HashSet<String>,
+    /// Link table of the hierarchical view being navigated ("link" = the
+    /// physical product structure; alternative views are additional link
+    /// tables over the same objects, §1 footnote 1).
+    structure_table: String,
+}
+
+impl Session {
+    /// Open a session on a populated database.
+    pub fn new(db: Database, config: SessionConfig, rules: RuleTable) -> Self {
+        let server = PdmServer::new(db);
+        let view_names = server.view_names();
+        Session {
+            channel: MeteredChannel::new(config.link),
+            server,
+            config,
+            rules,
+            funcs: crate::functions::client_registry(),
+            view_names,
+            structure_table: crate::query::T_LINK.to_string(),
+        }
+    }
+
+    /// Navigate an alternative hierarchical view: expansions traverse the
+    /// given link table over the same objects. Relation rules apply per
+    /// table name, so a view can carry its own access rules.
+    pub fn set_structure_view(&mut self, link_table: impl Into<String>) {
+        self.structure_table = link_table.into().to_ascii_lowercase();
+    }
+
+    /// The link table currently navigated.
+    pub fn structure_view(&self) -> &str {
+        &self.structure_table
+    }
+
+    pub fn server(&self) -> &PdmServer {
+        &self.server
+    }
+
+    pub fn server_mut(&mut self) -> &mut PdmServer {
+        &mut self.server
+    }
+
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    pub fn rules(&self) -> &RuleTable {
+        &self.rules
+    }
+
+    pub fn set_strategy(&mut self, strategy: Strategy) {
+        self.config.strategy = strategy;
+    }
+
+    /// Re-point the session at a different WAN profile (fresh channel and
+    /// metering). Lets benches sweep network settings without rebuilding
+    /// the database.
+    pub fn set_link(&mut self, link: LinkProfile) {
+        self.config.link = link;
+        self.channel = MeteredChannel::new(link);
+    }
+
+    /// Accumulated traffic since the last reset.
+    pub fn stats(&self) -> &TrafficStats {
+        self.channel.stats()
+    }
+
+    /// Virtual seconds elapsed since the last reset.
+    pub fn elapsed(&self) -> f64 {
+        self.channel.elapsed()
+    }
+
+    /// Clear metering before a new measured action.
+    pub fn reset_metering(&mut self) {
+        self.channel.reset();
+    }
+
+    pub(crate) fn channel_mut(&mut self) -> &mut MeteredChannel {
+        &mut self.channel
+    }
+
+    /// Record a per-exchange timeline for subsequent actions (analysis of
+    /// where the seconds go; see [`pdm_net::Trace`]).
+    pub fn enable_trace(&mut self) {
+        self.channel.enable_trace();
+    }
+
+    /// The recorded timeline, if tracing was enabled.
+    pub fn trace(&self) -> Option<&pdm_net::Trace> {
+        self.channel.trace()
+    }
+
+    fn modificator(&self, action: ActionKind) -> Modificator<'_> {
+        Modificator::new(&self.rules, &self.config.user, action, &self.view_names)
+    }
+
+    /// Ship a query over the WAN and return its result (one metered round
+    /// trip: request = SQL text, response = result rows).
+    fn metered_query(&mut self, sql: &str) -> SessionResult<ResultSet> {
+        let rs = self.server.query(sql)?;
+        self.channel.round_trip(sql.len(), rs.wire_size());
+        Ok(rs)
+    }
+
+    /// Fetch the root object without metering: the paper's footnote 4 —
+    /// "the root object is considered to be already at the client".
+    pub fn fetch_root_cached(&mut self, root: ObjectId) -> SessionResult<ProductNode> {
+        let q = navigational::fetch_node_query(root);
+        let rs = self.server.query(&q.to_string())?;
+        let row = rs.rows.first().ok_or(SessionError::RootNotFound(root))?;
+        let attrs = client::row_attrs(&rs, row);
+        Ok(node_from_attrs(attrs, None))
+    }
+
+    // ---------------------------------------------------------------------
+    // Actions
+    // ---------------------------------------------------------------------
+
+    /// Single-level expand: the direct children of `parent`.
+    pub fn single_level_expand(&mut self, parent: ObjectId) -> SessionResult<ExpandOutcome> {
+        self.reset_metering();
+        let root_node = self.fetch_root_cached(parent)?;
+        let mut tree = ProductTree::new();
+        tree.insert(root_node);
+        self.expand_one_level(parent, &mut tree, ActionKind::Expand)?;
+        Ok(ExpandOutcome { tree, stats: self.channel.stats().clone() })
+    }
+
+    /// Multi-level expand of the subtree rooted at `root`, using the
+    /// session's strategy.
+    pub fn multi_level_expand(&mut self, root: ObjectId) -> SessionResult<ExpandOutcome> {
+        self.reset_metering();
+        let root_node = self.fetch_root_cached(root)?;
+        let mut tree = ProductTree::new();
+        tree.insert(root_node);
+
+        match self.config.strategy {
+            Strategy::LateEval | Strategy::EarlyEval => {
+                // Navigational: touch every visible node, including leaves
+                // (their childlessness must be discovered), one query each.
+                let mut queue: VecDeque<ObjectId> = VecDeque::new();
+                queue.push_back(root);
+                while let Some(parent) = queue.pop_front() {
+                    let children =
+                        self.expand_one_level(parent, &mut tree, ActionKind::MultiLevelExpand)?;
+                    queue.extend(children);
+                }
+            }
+            Strategy::Recursive => {
+                let mut q = recursive::mle_query_in(root, &self.structure_table, false);
+                self.modificator(ActionKind::MultiLevelExpand)
+                    .modify_recursive(&mut q)?;
+                let sql = q.to_string();
+                let rs = self.metered_query(&sql)?;
+                for row in &rs.rows {
+                    let attrs = client::row_attrs(&rs, row);
+                    let parent = attrs.get("parent").and_then(as_id);
+                    tree.insert(node_from_attrs(attrs, parent));
+                }
+            }
+        }
+        Ok(ExpandOutcome { tree, stats: self.channel.stats().clone() })
+    }
+
+    /// Level-batched multi-level expand: one query per tree *level*, using
+    /// an IN-list over the whole frontier — the data-shipping middle ground
+    /// between per-node navigation (one query per node) and recursion (one
+    /// query total). Round trips shrink from `1 + n_v` to `depth + 1`; the
+    /// request size grows with the frontier, exercising the §5.4 multi-
+    /// packet effect. Rules follow the session strategy: early strategies
+    /// inject them, late evaluation filters after transfer.
+    pub fn multi_level_expand_batched(&mut self, root: ObjectId) -> SessionResult<ExpandOutcome> {
+        self.reset_metering();
+        let root_node = self.fetch_root_cached(root)?;
+        let mut tree = ProductTree::new();
+        tree.insert(root_node);
+
+        let structure_table = self.structure_table.clone();
+        let rules = self.rules.clone();
+        let groups = client::permission_groups(
+            &rules,
+            &self.config.user,
+            ActionKind::MultiLevelExpand,
+            &[
+                structure_table.as_str(),
+                crate::query::T_ASSY,
+                crate::query::T_COMP,
+            ],
+        );
+
+        let mut frontier: Vec<ObjectId> = vec![root];
+        while !frontier.is_empty() {
+            let mut q = navigational::expand_many_query(&frontier, &structure_table);
+            if self.config.strategy.early_rules() {
+                self.modificator(ActionKind::MultiLevelExpand)
+                    .modify_navigational(&mut q)?;
+            }
+            let sql = q.to_string();
+            let rs = self.metered_query(&sql)?;
+            let mut next = Vec::with_capacity(rs.len());
+            for row in &rs.rows {
+                let attrs = client::row_attrs(&rs, row);
+                if !self.config.strategy.early_rules()
+                    && !client::permitted(&attrs, &groups, &self.funcs)
+                {
+                    continue;
+                }
+                let node = node_from_attrs(attrs, None);
+                next.push(node.obid);
+                tree.insert(node);
+            }
+            frontier = next;
+        }
+        Ok(ExpandOutcome { tree, stats: self.channel.stats().clone() })
+    }
+
+    /// The set-oriented Query action: all (visible) nodes of the product,
+    /// without structure information, in one query.
+    pub fn query_all(&mut self, root: ObjectId) -> SessionResult<QueryOutcome> {
+        self.reset_metering();
+        let mut q = navigational::query_all_query(root);
+        if self.config.strategy.early_rules() {
+            self.modificator(ActionKind::Query).modify_navigational(&mut q)?;
+        }
+        let sql = q.to_string();
+        let rs = self.metered_query(&sql)?;
+
+        let groups = client::permission_groups(
+            &self.rules,
+            &self.config.user,
+            ActionKind::Query,
+            &[crate::query::T_ASSY, crate::query::T_COMP],
+        );
+        let mut nodes = Vec::with_capacity(rs.len());
+        for row in &rs.rows {
+            let attrs = client::row_attrs(&rs, row);
+            if !self.config.strategy.early_rules()
+                && !client::permitted(&attrs, &groups, &self.funcs)
+            {
+                continue;
+            }
+            nodes.push(node_from_attrs(attrs, None));
+        }
+        Ok(QueryOutcome { nodes, stats: self.channel.stats().clone() })
+    }
+
+    /// Issue one expand query for `parent`, insert permitted children into
+    /// `tree`, and return their ids (the nodes the traversal recurses into).
+    fn expand_one_level(
+        &mut self,
+        parent: ObjectId,
+        tree: &mut ProductTree,
+        action: ActionKind,
+    ) -> SessionResult<Vec<ObjectId>> {
+        let mut q = navigational::expand_query_in(parent, &self.structure_table);
+        if self.config.strategy.early_rules() {
+            self.modificator(action).modify_navigational(&mut q)?;
+        }
+        let sql = q.to_string();
+        let rs = self.metered_query(&sql)?;
+
+        // Late evaluation filters after transfer: link rules plus node
+        // rules, evaluated on the transferred attributes.
+        let structure_table = self.structure_table.clone();
+        let groups = client::permission_groups(
+            &self.rules,
+            &self.config.user,
+            action,
+            &[
+                structure_table.as_str(),
+                crate::query::T_ASSY,
+                crate::query::T_COMP,
+            ],
+        );
+
+        let mut children = Vec::with_capacity(rs.len());
+        for row in &rs.rows {
+            let attrs = client::row_attrs(&rs, row);
+            if !self.config.strategy.early_rules()
+                && !client::permitted(&attrs, &groups, &self.funcs)
+            {
+                continue;
+            }
+            let node = node_from_attrs(attrs, Some(parent));
+            children.push(node.obid);
+            tree.insert(node);
+        }
+        Ok(children)
+    }
+}
+
+/// Interpret a homogenized result row as a product node.
+pub(crate) fn node_from_attrs(attrs: HashMap<String, Value>, parent: Option<ObjectId>) -> ProductNode {
+    let obid = attrs.get("obid").and_then(as_id).unwrap_or_default();
+    let type_name = match attrs.get("type") {
+        Some(Value::Text(t)) => t.clone(),
+        _ => String::new(),
+    };
+    let name = match attrs.get("name") {
+        Some(Value::Text(n)) => n.clone(),
+        _ => String::new(),
+    };
+    let parent = parent.or_else(|| attrs.get("parent").and_then(as_id));
+    ProductNode { obid, parent, type_name, name, attrs }
+}
+
+fn as_id(v: &Value) -> Option<ObjectId> {
+    match v {
+        Value::Int(i) => Some(*i),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::condition::{CmpOp, Condition, RowPredicate};
+    use crate::rules::Rule;
+    use pdm_workload::{build_database, TreeSpec};
+
+    /// Visibility rules: the simulated user sees only OPTA links/nodes.
+    pub(crate) fn visibility_rules() -> RuleTable {
+        let mut t = RuleTable::new();
+        for table in ["link", "assy", "comp"] {
+            t.add(Rule::for_all_users(
+                ActionKind::Access,
+                table,
+                Condition::Row(RowPredicate::compare("strc_opt", CmpOp::Eq, "OPTA")),
+            ));
+        }
+        t
+    }
+
+    fn session(strategy: Strategy, gamma: f64) -> Session {
+        let spec = TreeSpec::new(3, 5, gamma).with_node_size(256);
+        let (db, _) = build_database(&spec).unwrap();
+        Session::new(
+            db,
+            SessionConfig::new("scott", strategy, LinkProfile::wan_256()),
+            visibility_rules(),
+        )
+    }
+
+    #[test]
+    fn all_three_strategies_return_same_tree() {
+        // γβ = 3 exactly (deterministic visibility): all strategies must
+        // agree on the visible tree.
+        let mut late = session(Strategy::LateEval, 0.6);
+        let mut early = session(Strategy::EarlyEval, 0.6);
+        let mut rec = session(Strategy::Recursive, 0.6);
+
+        let t1 = late.multi_level_expand(1).unwrap();
+        let t2 = early.multi_level_expand(1).unwrap();
+        let t3 = rec.multi_level_expand(1).unwrap();
+
+        let ids = |o: &ExpandOutcome| o.tree.node_ids().collect::<Vec<_>>();
+        assert_eq!(ids(&t1), ids(&t2));
+        assert_eq!(ids(&t1), ids(&t3));
+        // visible: root + 3 + 9 + 27
+        assert_eq!(t1.tree.len(), 1 + 3 + 9 + 27);
+        assert_eq!(t1.tree.reachable_from_root(), t1.tree.len());
+    }
+
+    #[test]
+    fn query_counts_match_the_cost_model() {
+        // Navigational MLE touches root + every visible node: 1 + 39.
+        let mut late = session(Strategy::LateEval, 0.6);
+        let out = late.multi_level_expand(1).unwrap();
+        assert_eq!(out.stats.queries, 40);
+        assert_eq!(out.stats.communications, 80);
+
+        // Recursive MLE: exactly one query, two communications.
+        let mut rec = session(Strategy::Recursive, 0.6);
+        let out = rec.multi_level_expand(1).unwrap();
+        assert_eq!(out.stats.queries, 1);
+        assert_eq!(out.stats.communications, 2);
+    }
+
+    #[test]
+    fn early_eval_transfers_less_than_late() {
+        let mut late = session(Strategy::LateEval, 0.6);
+        let mut early = session(Strategy::EarlyEval, 0.6);
+        let l = late.multi_level_expand(1).unwrap();
+        let e = early.multi_level_expand(1).unwrap();
+        assert_eq!(l.tree.len(), e.tree.len());
+        assert!(
+            e.stats.response_payload_bytes < l.stats.response_payload_bytes,
+            "early {} vs late {}",
+            e.stats.response_payload_bytes,
+            l.stats.response_payload_bytes
+        );
+        // but the same number of queries — early evaluation alone does not
+        // reduce round trips (§4.2's conclusion)
+        assert_eq!(l.stats.queries, e.stats.queries);
+    }
+
+    #[test]
+    fn recursive_beats_navigational_response_time() {
+        let mut late = session(Strategy::LateEval, 0.6);
+        let mut rec = session(Strategy::Recursive, 0.6);
+        let l = late.multi_level_expand(1).unwrap();
+        let r = rec.multi_level_expand(1).unwrap();
+        let saving = 1.0 - r.stats.response_time() / l.stats.response_time();
+        assert!(saving > 0.9, "saving was {saving}");
+    }
+
+    #[test]
+    fn query_all_respects_visibility() {
+        let mut late = session(Strategy::LateEval, 0.6);
+        let mut early = session(Strategy::EarlyEval, 0.6);
+        let l = late.query_all(1).unwrap();
+        let e = early.query_all(1).unwrap();
+        // both see the 39 visible non-root nodes
+        assert_eq!(l.nodes.len(), 39);
+        assert_eq!(e.nodes.len(), 39);
+        // late shipped all 155 non-root nodes, early only 39
+        assert!(l.stats.response_payload_bytes > 3 * e.stats.response_payload_bytes);
+        // both were single queries
+        assert_eq!(l.stats.queries, 1);
+        assert_eq!(e.stats.queries, 1);
+    }
+
+    #[test]
+    fn single_level_expand_one_query() {
+        let mut s = session(Strategy::EarlyEval, 0.6);
+        let out = s.single_level_expand(1).unwrap();
+        assert_eq!(out.stats.queries, 1);
+        assert_eq!(out.tree.len(), 1 + 3); // root + visible children
+    }
+
+    #[test]
+    fn unknown_root_is_reported() {
+        let mut s = session(Strategy::Recursive, 1.0);
+        match s.multi_level_expand(999_999) {
+            Err(SessionError::RootNotFound(999_999)) => {}
+            other => panic!("expected RootNotFound, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gamma_one_everything_transferred_everywhere() {
+        let mut late = session(Strategy::LateEval, 1.0);
+        let mut rec = session(Strategy::Recursive, 1.0);
+        let l = late.multi_level_expand(1).unwrap();
+        let r = rec.multi_level_expand(1).unwrap();
+        assert_eq!(l.tree.len(), 1 + 5 + 25 + 125);
+        assert_eq!(r.tree.len(), l.tree.len());
+        // with γ=1 early==late volumes; recursive still wins on latency
+        assert!(r.stats.latency_time < l.stats.latency_time / 10.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests on the PDM layer. The central property is the one
+//! the whole paper rests on: **the three strategies are semantically
+//! equivalent** — late evaluation, early evaluation, and the recursive
+//! query return the same visible tree for any product structure, rule
+//! selectivity, and user — they only differ in traffic.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use pdm_core::rules::condition::{CmpOp, Condition, RowPredicate};
+use pdm_core::rules::{ActionKind, Rule};
+use pdm_core::{RuleTable, Session, SessionConfig, Strategy as ClientStrategy};
+use pdm_net::LinkProfile;
+use pdm_sql::Value;
+use pdm_workload::{build_database, TreeSpec, VisibilityMode};
+
+fn visibility_rules() -> RuleTable {
+    let mut t = RuleTable::new();
+    for table in ["link", "assy", "comp"] {
+        t.add(Rule::for_all_users(
+            ActionKind::Access,
+            table,
+            Condition::Row(RowPredicate::compare("strc_opt", CmpOp::Eq, "OPTA")),
+        ));
+    }
+    t
+}
+
+fn arb_spec() -> impl Strategy<Value = TreeSpec> {
+    (2u32..5, 2u32..5, 0.2f64..=1.0, 0u64..500, any::<bool>()).prop_map(
+        |(depth, branching, gamma, seed, random_vis)| {
+            let vis = if random_vis {
+                VisibilityMode::Random { seed }
+            } else {
+                VisibilityMode::Deterministic
+            };
+            TreeSpec::new(depth, branching, gamma)
+                .with_node_size(128)
+                .with_visibility(vis)
+                .with_attribute_seed(seed)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Strategy equivalence: identical trees under all three strategies,
+    /// with the traffic ordering the paper predicts.
+    #[test]
+    fn strategies_agree_and_traffic_orders(spec in arb_spec()) {
+        let mut trees = Vec::new();
+        let mut stats = Vec::new();
+        for strategy in ClientStrategy::ALL {
+            let (db, _) = build_database(&spec).unwrap();
+            let mut s = Session::new(
+                db,
+                SessionConfig::new("scott", strategy, LinkProfile::wan_256()),
+                visibility_rules(),
+            );
+            let out = s.multi_level_expand(1).unwrap();
+            trees.push(out.tree.node_ids().collect::<Vec<_>>());
+            stats.push(out.stats);
+        }
+        prop_assert_eq!(&trees[0], &trees[1], "late vs early tree mismatch");
+        prop_assert_eq!(&trees[0], &trees[2], "late vs recursive tree mismatch");
+
+        let (late, early, rec) = (&stats[0], &stats[1], &stats[2]);
+        // early never ships more payload, never uses more queries
+        prop_assert!(early.response_payload_bytes <= late.response_payload_bytes);
+        prop_assert_eq!(early.queries, late.queries);
+        // recursive is always exactly one query / two communications
+        prop_assert_eq!(rec.queries, 1);
+        prop_assert_eq!(rec.communications, 2);
+        // and never slower than navigational late evaluation
+        prop_assert!(rec.response_time() <= late.response_time() + 1e-9);
+    }
+
+    /// Client-side (late) and server-side (SQL) evaluation of a random row
+    /// predicate agree on every row — the property that makes late and
+    /// early evaluation interchangeable.
+    #[test]
+    fn predicate_eval_agrees_client_and_server(
+        rows in proptest::collection::vec((0i64..20, 0i64..20, any::<bool>()), 1..20),
+        bound_a in 0i64..20,
+        bound_b in 0i64..20,
+        flip in any::<bool>(),
+    ) {
+        // Table with three attributes.
+        let mut db = pdm_sql::Database::new();
+        db.execute("CREATE TABLE t (a INTEGER, b INTEGER, c BOOLEAN)").unwrap();
+        for (a, b, c) in &rows {
+            db.execute(&format!("INSERT INTO t VALUES ({a}, {b}, {c})")).unwrap();
+        }
+
+        // Random predicate: (a < A AND c = flip) OR b >= B
+        let pred = RowPredicate::compare("a", CmpOp::Lt, bound_a)
+            .and(RowPredicate::compare("c", CmpOp::Eq, flip))
+            .or(RowPredicate::compare("b", CmpOp::GtEq, bound_b));
+
+        // Server-side: translate to SQL.
+        let sql_pred = pdm_core::rules::translate::row_predicate_expr(&pred, "t");
+        let rs = db
+            .query(&format!("SELECT a, b, c FROM t WHERE {sql_pred}"))
+            .unwrap();
+        let server_count = rs.len();
+
+        // Client-side: evaluate on attribute maps.
+        let funcs = pdm_core::functions::client_registry();
+        let client_count = rows
+            .iter()
+            .filter(|(a, b, c)| {
+                let attrs: HashMap<String, Value> = [
+                    ("a".to_string(), Value::Int(*a)),
+                    ("b".to_string(), Value::Int(*b)),
+                    ("c".to_string(), Value::Bool(*c)),
+                ]
+                .into_iter()
+                .collect();
+                pred.eval(&attrs, &funcs)
+            })
+            .count();
+
+        prop_assert_eq!(server_count, client_count);
+    }
+
+    /// The recursive query produced by the modificator re-parses and returns
+    /// the same rows when executed twice (engine determinism through the
+    /// full rule pipeline).
+    #[test]
+    fn modified_query_is_deterministic(spec in arb_spec()) {
+        use pdm_core::query::{modificator::Modificator, recursive};
+        let (db, _) = build_database(&spec).unwrap();
+        let server = pdm_core::PdmServer::new(db);
+        let rules = visibility_rules();
+        let views = std::collections::HashSet::new();
+        let m = Modificator::new(&rules, "scott", ActionKind::MultiLevelExpand, &views);
+        let mut q = recursive::mle_query(1);
+        m.modify_recursive(&mut q).unwrap();
+        let sql = q.to_string();
+        let a = server.query(&sql).unwrap();
+        let b = server.query(&sql).unwrap();
+        prop_assert_eq!(a.len(), b.len());
+        // reparse gives the same AST
+        let reparsed = pdm_sql::parser::parse_query(&sql).unwrap();
+        prop_assert_eq!(q, reparsed);
+    }
+
+    /// Traffic accounting is self-consistent: elapsed time equals the stats'
+    /// response time, and volume ≥ payload.
+    #[test]
+    fn traffic_accounting_consistent(spec in arb_spec()) {
+        let (db, _) = build_database(&spec).unwrap();
+        let mut s = Session::new(
+            db,
+            SessionConfig::new("scott", ClientStrategy::EarlyEval, LinkProfile::wan_512()),
+            visibility_rules(),
+        );
+        let out = s.multi_level_expand(1).unwrap();
+        prop_assert!((s.elapsed() - out.stats.response_time()).abs() < 1e-9);
+        prop_assert!(out.stats.volume_bytes >= out.stats.response_payload_bytes as f64);
+        prop_assert_eq!(out.stats.communications, 2 * out.stats.queries);
+    }
+}

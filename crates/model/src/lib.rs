@@ -1,0 +1,32 @@
+//! # pdm-model — the paper's closed-form response-time model
+//!
+//! Implements Section 2 (equations (1)–(4)), Section 4.2 (early rule
+//! evaluation), and Section 5.4 (equations (5)–(6), recursive queries) of
+//! *"Tuning an SQL-Based PDM System in a Worldwide Client/Server
+//! Environment"*, plus generators for every table and figure of the paper's
+//! evaluation: Table 2 (late evaluation), Table 3 (early evaluation),
+//! Table 4 (recursive queries), and the bar-chart series of Figures 4 and 5.
+//!
+//! The model works over complete β-ary trees of depth δ where a branch is
+//! visible to the user with probability γ (so level *i* contributes
+//! `(γβ)^i` visible nodes). Calibration notes that pin down the paper's
+//! exact arithmetic (verified against Table 2 to the cent):
+//!
+//! * 1 kbit = 1024 bits, 1 kB = 1024 bytes;
+//! * the navigational multi-level expand issues `Σ_{i=0}^{δ} (γβ)^i`
+//!   queries — every *visible* node is touched once, including the root
+//!   (whose data is already at the client, footnote 4, but whose expansion
+//!   still costs a query) and the leaves (whose childlessness must be
+//!   discovered);
+//! * each response is charged a half-packet correction per request packet
+//!   (eq. (3)).
+
+pub mod response;
+pub mod scenario;
+pub mod tables;
+pub mod tree;
+
+pub use response::{batched_mle_response, Action, Breakdown, Strategy};
+pub use scenario::{PaperScenario, TreeScenario, NODE_SIZE_BYTES};
+pub use tables::{figure4, figure5, table2, table3, table4, FigureSeries, PaperTable};
+pub use tree::KaryTree;

@@ -1,0 +1,449 @@
+//! Response-time prediction: equations (1)–(6) of the paper.
+
+use pdm_net::LinkProfile;
+
+use crate::tree::KaryTree;
+
+/// The three user actions of the paper's evaluation (Table 2 header).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Set-oriented query retrieving all (visible) nodes of a tree without
+    /// structure information — a single SQL query.
+    Query,
+    /// Single-level expand: fetch the direct children of one node.
+    Expand,
+    /// Multi-level expand: recursively expand the entire structure.
+    MultiLevelExpand,
+}
+
+impl Action {
+    pub const ALL: [Action; 3] = [Action::Query, Action::Expand, Action::MultiLevelExpand];
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            Action::Query => "Query",
+            Action::Expand => "Exp",
+            Action::MultiLevelExpand => "MLE",
+        }
+    }
+}
+
+/// The three system variants compared in Figures 4 and 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Navigational access, rules evaluated at the client after transfer
+    /// (the baseline PDM behaviour, Table 2).
+    LateEval,
+    /// Navigational access with rule predicates compiled into each query's
+    /// WHERE clause (Approach 1, Table 3).
+    EarlyEval,
+    /// One recursive SQL query per tree retrieval, with early rule
+    /// evaluation embedded (Approach 2, Table 4). Non-tree actions (Query,
+    /// Expand) are already single queries and behave as under EarlyEval.
+    Recursive,
+}
+
+impl Strategy {
+    pub const ALL: [Strategy; 3] = [Strategy::LateEval, Strategy::EarlyEval, Strategy::Recursive];
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::LateEval => "late eval",
+            Strategy::EarlyEval => "early eval",
+            Strategy::Recursive => "recursion",
+        }
+    }
+}
+
+/// Predicted cost of one action: the paper's `q`, `c`, `n_t`, `vol`, and the
+/// two components of `T`. Counts are expectations and therefore fractional.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Breakdown {
+    /// Queries issued (`q`), or request packets (`q_r`) for the recursive
+    /// strategy.
+    pub queries: f64,
+    /// WAN communications (`c`).
+    pub communications: f64,
+    /// Nodes transmitted (`n_t`).
+    pub transmitted_nodes: f64,
+    /// Chargeable data volume in bytes (`vol`).
+    pub volume_bytes: f64,
+    /// `c · T_Lat`.
+    pub latency_time: f64,
+    /// `vol / dtr`.
+    pub transfer_time: f64,
+}
+
+impl Breakdown {
+    /// Total predicted response time `T` in seconds.
+    pub fn total(&self) -> f64 {
+        self.latency_time + self.transfer_time
+    }
+}
+
+/// Shape of a (possibly irregular) product tree as the cost model sees it:
+/// the four counts equations (1)–(6) actually consume. [`KaryTree::profile`]
+/// produces the idealized complete-tree instance; realized profiles from
+/// generated data let the model predict *exactly* what a simulation run
+/// should measure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeProfile {
+    /// Direct children of the root (shipped by a late-evaluated
+    /// single-level expand). β for a complete tree.
+    pub root_children: f64,
+    /// All nodes below the root.
+    pub total_nodes: f64,
+    /// Visible nodes below the root (n_v).
+    pub visible_nodes: f64,
+    /// Total children of every node a navigational MLE expands — the root
+    /// plus all visible nodes — i.e. the nodes shipped under late
+    /// evaluation. `β · Σ_{i=0}^{δ-1} (γβ)^i` for a complete tree.
+    pub expanded_children: f64,
+    /// Visible direct children of the root (γβ for a complete tree).
+    pub visible_level1: f64,
+}
+
+impl KaryTree {
+    /// The idealized profile of a complete β-ary tree (expected counts).
+    pub fn profile(&self) -> TreeProfile {
+        TreeProfile {
+            root_children: self.branching as f64,
+            total_nodes: self.total_nodes(),
+            visible_nodes: self.visible_nodes(),
+            expanded_children: self.mle_transmitted_late(),
+            visible_level1: self.visible_branching(),
+        }
+    }
+}
+
+/// Predict the response time of `action` under `strategy` over `tree`,
+/// given the link and the average node size (eq. (1)–(6)).
+///
+/// `query_bytes` is the on-the-wire size of the request; it only matters
+/// for the recursive strategy where a large generated query may span
+/// `q_r > 1` packets (§5.4). The paper's own tables assume `q_r = 1`; pass
+/// a value ≤ `link.packet_size` (e.g. 0) to reproduce them.
+pub fn response(
+    tree: &KaryTree,
+    action: Action,
+    strategy: Strategy,
+    link: &LinkProfile,
+    node_size: usize,
+    query_bytes: usize,
+) -> Breakdown {
+    response_from_profile(&tree.profile(), action, strategy, link, node_size, query_bytes)
+}
+
+/// Predict from an explicit tree profile (realized or idealized).
+pub fn response_from_profile(
+    p: &TreeProfile,
+    action: Action,
+    strategy: Strategy,
+    link: &LinkProfile,
+    node_size: usize,
+    query_bytes: usize,
+) -> Breakdown {
+    let size_p = link.packet_size as f64;
+
+    // (queries q, transmitted nodes n_t) per action/strategy.
+    let (q, n_t) = match (action, strategy) {
+        // A set-oriented query is always one SQL statement; late evaluation
+        // ships the entire tree, early/recursive ship visible nodes only.
+        (Action::Query, Strategy::LateEval) => (1.0, p.total_nodes),
+        (Action::Query, _) => (1.0, p.visible_nodes),
+
+        // Single-level expand: one query; late ships all β children, early
+        // ships the γβ visible ones.
+        (Action::Expand, Strategy::LateEval) => (1.0, p.root_children),
+        (Action::Expand, _) => (1.0, p.visible_level1),
+
+        // Navigational MLE touches every visible node (root and leaves
+        // included); late evaluation ships all children of each expanded
+        // node, early only the visible ones.
+        (Action::MultiLevelExpand, Strategy::LateEval) => {
+            (1.0 + p.visible_nodes, p.expanded_children)
+        }
+        (Action::MultiLevelExpand, Strategy::EarlyEval) => {
+            (1.0 + p.visible_nodes, p.visible_nodes)
+        }
+        // Recursive MLE: a single (possibly multi-packet) query returns
+        // exactly the visible nodes (eq. (5)–(6)).
+        (Action::MultiLevelExpand, Strategy::Recursive) => {
+            let q_r = link.packets_for(query_bytes) as f64;
+            (q_r, p.visible_nodes)
+        }
+    };
+
+    // For navigational strategies each query is one request packet; for the
+    // recursive strategy `q` already *is* the packet count q_r and there are
+    // only 2 communications.
+    let communications = match (action, strategy) {
+        (Action::MultiLevelExpand, Strategy::Recursive) => 2.0,
+        (Action::MultiLevelExpand, _) => 2.0 * q,
+        _ => 2.0,
+    };
+
+    // eq. (3)/(5): vol = q·size_p + n_t·size_n + q·size_p/2.
+    let volume_bytes = q * size_p + n_t * node_size as f64 + q * size_p / 2.0;
+
+    Breakdown {
+        queries: q,
+        communications,
+        transmitted_nodes: n_t,
+        volume_bytes,
+        latency_time: communications * link.latency,
+        transfer_time: link.transfer_time(volume_bytes),
+    }
+}
+
+/// Predict a *level-batched* navigational multi-level expand: one IN-list
+/// query per tree level (plus the final empty-frontier probe) instead of one
+/// query per node. Not a strategy the paper evaluates, but the natural
+/// SQL-92 alternative its Approach 2 should be judged against; requests grow
+/// with the frontier, so deep levels may need several packets (§5.4's q_r
+/// effect applies to requests here too).
+///
+/// `visible_per_level[i]` is the (realized or expected) number of visible
+/// nodes at level i+1; `id_bytes` the rendered size of one IN-list entry.
+pub fn batched_mle_response(
+    visible_per_level: &[f64],
+    early: bool,
+    branching: f64,
+    link: &LinkProfile,
+    node_size: usize,
+    base_request_bytes: usize,
+    id_bytes: usize,
+) -> Breakdown {
+    let size_p = link.packet_size as f64;
+    let mut request_packets = 0.0;
+    let mut transmitted = 0.0;
+    let mut communications = 0.0;
+
+    // Level 0's frontier is the root alone; the loop continues while the
+    // previous level had visible nodes, plus the final probe of the deepest
+    // visible frontier (which returns nothing).
+    let mut frontier = 1.0;
+    let mut level = 0usize;
+    while frontier > 0.0 {
+        let bytes = base_request_bytes as f64 + frontier * id_bytes as f64;
+        request_packets += (bytes / size_p).ceil().max(1.0);
+        communications += 2.0;
+        let visible_children = visible_per_level.get(level).copied().unwrap_or(0.0);
+        transmitted += if early {
+            visible_children
+        } else {
+            // late evaluation ships all children of the frontier
+            frontier * branching
+        };
+        frontier = visible_children;
+        level += 1;
+    }
+
+    let volume_bytes =
+        request_packets * size_p + transmitted * node_size as f64 + request_packets * size_p / 2.0;
+    Breakdown {
+        queries: communications / 2.0,
+        communications,
+        transmitted_nodes: transmitted,
+        volume_bytes,
+        latency_time: communications * link.latency,
+        transfer_time: link.transfer_time(volume_bytes),
+    }
+}
+
+/// Percentage saving of `optimized` relative to `baseline` total time
+/// (the "saving in %" rows of Tables 3 and 4).
+pub fn saving_percent(baseline: &Breakdown, optimized: &Breakdown) -> f64 {
+    100.0 * (baseline.total() - optimized.total()) / baseline.total()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NODE: usize = 512;
+
+    fn tree_a() -> KaryTree {
+        KaryTree::new(3, 9, 0.6)
+    }
+    fn tree_b() -> KaryTree {
+        KaryTree::new(9, 3, 0.6)
+    }
+    fn tree_c() -> KaryTree {
+        KaryTree::new(7, 5, 0.6)
+    }
+
+    fn check(b: &Breakdown, latency: f64, transfer: f64) {
+        assert!(
+            (b.latency_time - latency).abs() < 0.007,
+            "latency {} vs paper {latency}",
+            b.latency_time
+        );
+        assert!(
+            (b.transfer_time - transfer).abs() < 0.007,
+            "transfer {} vs paper {transfer}",
+            b.transfer_time
+        );
+    }
+
+    // ---- Table 2 (late evaluation) ----
+
+    #[test]
+    fn table2_wan256_row() {
+        let link = LinkProfile::wan_256();
+        check(&response(&tree_a(), Action::Query, Strategy::LateEval, &link, NODE, 0), 0.30, 12.98);
+        check(&response(&tree_a(), Action::Expand, Strategy::LateEval, &link, NODE, 0), 0.30, 0.33);
+        check(
+            &response(&tree_a(), Action::MultiLevelExpand, Strategy::LateEval, &link, NODE, 0),
+            57.91,
+            41.19,
+        );
+        check(&response(&tree_b(), Action::Query, Strategy::LateEval, &link, NODE, 0), 0.30, 461.48);
+        check(
+            &response(&tree_b(), Action::MultiLevelExpand, Strategy::LateEval, &link, NODE, 0),
+            133.52,
+            95.01,
+        );
+        check(&response(&tree_c(), Action::Query, Strategy::LateEval, &link, NODE, 0), 0.30, 1526.05);
+        check(
+            &response(&tree_c(), Action::MultiLevelExpand, Strategy::LateEval, &link, NODE, 0),
+            984.00,
+            700.39,
+        );
+    }
+
+    #[test]
+    fn table2_wan512_and_1024_rows() {
+        let link = LinkProfile::wan_512();
+        check(&response(&tree_a(), Action::Query, Strategy::LateEval, &link, NODE, 0), 0.30, 6.49);
+        check(
+            &response(&tree_c(), Action::MultiLevelExpand, Strategy::LateEval, &link, NODE, 0),
+            984.00,
+            350.20,
+        );
+        let link = LinkProfile::wan_1024();
+        check(&response(&tree_b(), Action::Query, Strategy::LateEval, &link, NODE, 0), 0.10, 115.37);
+        check(
+            &response(&tree_c(), Action::MultiLevelExpand, Strategy::LateEval, &link, NODE, 0),
+            328.00,
+            175.10,
+        );
+    }
+
+    // ---- Table 3 (early evaluation) ----
+
+    #[test]
+    fn table3_wan256_row() {
+        let link = LinkProfile::wan_256();
+        check(&response(&tree_a(), Action::Query, Strategy::EarlyEval, &link, NODE, 0), 0.30, 3.19);
+        check(&response(&tree_a(), Action::Expand, Strategy::EarlyEval, &link, NODE, 0), 0.30, 0.27);
+        check(
+            &response(&tree_a(), Action::MultiLevelExpand, Strategy::EarlyEval, &link, NODE, 0),
+            57.91,
+            39.19,
+        );
+        check(&response(&tree_b(), Action::Query, Strategy::EarlyEval, &link, NODE, 0), 0.30, 7.13);
+        check(
+            &response(&tree_c(), Action::MultiLevelExpand, Strategy::EarlyEval, &link, NODE, 0),
+            984.00,
+            666.23,
+        );
+    }
+
+    #[test]
+    fn table3_savings() {
+        let link = LinkProfile::wan_256();
+        let late = response(&tree_b(), Action::Query, Strategy::LateEval, &link, NODE, 0);
+        let early = response(&tree_b(), Action::Query, Strategy::EarlyEval, &link, NODE, 0);
+        let s = saving_percent(&late, &early);
+        assert!((s - 98.39).abs() < 0.02, "saving {s} vs paper 98.39");
+
+        let late = response(&tree_a(), Action::Expand, Strategy::LateEval, &link, NODE, 0);
+        let early = response(&tree_a(), Action::Expand, Strategy::EarlyEval, &link, NODE, 0);
+        let s = saving_percent(&late, &early);
+        assert!((s - 8.96).abs() < 0.02, "saving {s} vs paper 8.96");
+
+        // The paper's headline negative result: early evaluation alone saves
+        // only ~2% on multi-level expands.
+        let late = response(&tree_a(), Action::MultiLevelExpand, Strategy::LateEval, &link, NODE, 0);
+        let early =
+            response(&tree_a(), Action::MultiLevelExpand, Strategy::EarlyEval, &link, NODE, 0);
+        let s = saving_percent(&late, &early);
+        assert!((s - 2.02).abs() < 0.02, "saving {s} vs paper 2.02");
+    }
+
+    // ---- Table 4 (recursive queries) ----
+
+    #[test]
+    fn table4_recursive_mle() {
+        let link = LinkProfile::wan_256();
+        let r = response(&tree_a(), Action::MultiLevelExpand, Strategy::Recursive, &link, NODE, 0);
+        check(&r, 0.30, 3.19);
+        let late = response(&tree_a(), Action::MultiLevelExpand, Strategy::LateEval, &link, NODE, 0);
+        let s = saving_percent(&late, &r);
+        assert!((s - 96.48).abs() < 0.02, "saving {s} vs paper 96.48");
+
+        let r = response(&tree_c(), Action::MultiLevelExpand, Strategy::Recursive, &link, NODE, 0);
+        check(&r, 0.30, 51.42);
+        let late = response(&tree_c(), Action::MultiLevelExpand, Strategy::LateEval, &link, NODE, 0);
+        let s = saving_percent(&late, &r);
+        assert!((s - 96.93).abs() < 0.02, "saving {s} vs paper 96.93");
+
+        let link = LinkProfile::wan_512();
+        let r = response(&tree_b(), Action::MultiLevelExpand, Strategy::Recursive, &link, NODE, 0);
+        let late = response(&tree_b(), Action::MultiLevelExpand, Strategy::LateEval, &link, NODE, 0);
+        let s = saving_percent(&late, &r);
+        assert!((s - 97.87).abs() < 0.02, "saving {s} vs paper 97.87");
+    }
+
+    #[test]
+    fn recursive_query_larger_than_packet_costs_more_packets() {
+        let link = LinkProfile::wan_256();
+        let small = response(&tree_a(), Action::MultiLevelExpand, Strategy::Recursive, &link, NODE, 100);
+        let big = response(&tree_a(), Action::MultiLevelExpand, Strategy::Recursive, &link, NODE, 10_000);
+        assert_eq!(small.queries, 1.0);
+        assert_eq!(big.queries, 3.0);
+        assert!(big.volume_bytes > small.volume_bytes);
+        // but communications stay 2 — that's the whole point
+        assert_eq!(small.communications, 2.0);
+        assert_eq!(big.communications, 2.0);
+    }
+
+    #[test]
+    fn batched_mle_sits_between_navigational_and_recursive() {
+        let link = LinkProfile::wan_256();
+        let tree = tree_c(); // δ=7, β=5, γ=0.6 → γβ = 3
+        let per_level: Vec<f64> = (1..=7).map(|i| 3f64.powi(i)).collect();
+        let batched =
+            batched_mle_response(&per_level, true, 5.0, &link, NODE, 200, 7);
+        let nav = response(&tree, Action::MultiLevelExpand, Strategy::EarlyEval, &link, NODE, 0);
+        let rec = response(&tree, Action::MultiLevelExpand, Strategy::Recursive, &link, NODE, 0);
+        // 8 round trips (7 levels + final probe)
+        assert_eq!(batched.queries, 8.0);
+        assert!(rec.total() < batched.total());
+        assert!(batched.total() < nav.total());
+        // same payload as early navigational
+        assert!((batched.transmitted_nodes - nav.transmitted_nodes).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batched_requests_span_packets_on_wide_frontiers() {
+        let link = LinkProfile::wan_256();
+        // one huge level: 5000 visible nodes at level 1
+        let per_level = [5000.0];
+        let b = batched_mle_response(&per_level, true, 5000.0, &link, NODE, 200, 8);
+        // 2 queries (root expand + empty probe of the 5000 frontier)
+        assert_eq!(b.queries, 2.0);
+        // the second request carries 5000 ids ≈ 40 kB → about 10 packets
+        assert!(b.volume_bytes > 10.0 * 4096.0);
+    }
+
+    #[test]
+    fn latency_dominates_navigational_mle_but_not_recursive() {
+        let link = LinkProfile::wan_256();
+        let nav = response(&tree_b(), Action::MultiLevelExpand, Strategy::LateEval, &link, NODE, 0);
+        assert!(nav.latency_time > nav.transfer_time);
+        let rec = response(&tree_b(), Action::MultiLevelExpand, Strategy::Recursive, &link, NODE, 0);
+        assert!(rec.latency_time < rec.transfer_time);
+    }
+}

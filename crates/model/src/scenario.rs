@@ -1,0 +1,98 @@
+//! The paper's evaluation scenarios: three tree shapes × three network
+//! settings, γ = 0.6, 512-byte nodes, 4 kB packets.
+
+use pdm_net::LinkProfile;
+
+use crate::tree::KaryTree;
+
+/// Average node size used throughout the paper's tables (512 bytes).
+pub const NODE_SIZE_BYTES: usize = 512;
+
+/// A named tree shape (δ, β, γ).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeScenario {
+    pub depth: u32,
+    pub branching: u32,
+    pub gamma: f64,
+}
+
+impl TreeScenario {
+    pub fn new(depth: u32, branching: u32, gamma: f64) -> Self {
+        TreeScenario { depth, branching, gamma }
+    }
+
+    pub fn tree(&self) -> KaryTree {
+        KaryTree::new(self.depth, self.branching, self.gamma)
+    }
+
+    /// Header label in paper style, e.g. "δ=3, β=9, γ=0.6".
+    pub fn label(&self) -> String {
+        format!("δ={}, β={}, γ={}", self.depth, self.branching, self.gamma)
+    }
+}
+
+/// The complete evaluation grid of the paper.
+#[derive(Debug, Clone)]
+pub struct PaperScenario {
+    pub trees: Vec<TreeScenario>,
+    pub networks: Vec<LinkProfile>,
+    pub node_size: usize,
+}
+
+impl PaperScenario {
+    /// Tables 2–4: (δ=3,β=9), (δ=9,β=3), (δ=7,β=5) with γ=0.6, against
+    /// 256/512/1024 kbit/s links.
+    pub fn paper() -> Self {
+        PaperScenario {
+            trees: vec![
+                TreeScenario::new(3, 9, 0.6),
+                TreeScenario::new(9, 3, 0.6),
+                TreeScenario::new(7, 5, 0.6),
+            ],
+            networks: LinkProfile::paper_wans().to_vec(),
+            node_size: NODE_SIZE_BYTES,
+        }
+    }
+
+    /// Figure 4's single setting: δ=9, β=3, γ=0.6, T_Lat=150 ms,
+    /// dtr=512 kbit/s.
+    pub fn figure4() -> (TreeScenario, LinkProfile) {
+        (TreeScenario::new(9, 3, 0.6), LinkProfile::wan_512())
+    }
+
+    /// Figure 5's single setting: δ=7, β=5, γ=0.6, T_Lat=150 ms,
+    /// dtr=256 kbit/s.
+    pub fn figure5() -> (TreeScenario, LinkProfile) {
+        (TreeScenario::new(7, 5, 0.6), LinkProfile::wan_256())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_shape() {
+        let s = PaperScenario::paper();
+        assert_eq!(s.trees.len(), 3);
+        assert_eq!(s.networks.len(), 3);
+        assert_eq!(s.node_size, 512);
+        assert_eq!(s.trees[0].tree().total_nodes_exact(), 819);
+        assert_eq!(s.trees[2].tree().total_nodes_exact(), 97_655);
+    }
+
+    #[test]
+    fn figure_settings() {
+        let (t, l) = PaperScenario::figure4();
+        assert_eq!((t.depth, t.branching), (9, 3));
+        assert_eq!(l.dtr_kbit, 512.0);
+        let (t, l) = PaperScenario::figure5();
+        assert_eq!((t.depth, t.branching), (7, 5));
+        assert_eq!(l.dtr_kbit, 256.0);
+    }
+
+    #[test]
+    fn label_formats() {
+        assert_eq!(TreeScenario::new(3, 9, 0.6).label(), "δ=3, β=9, γ=0.6");
+    }
+}

@@ -1,0 +1,369 @@
+//! Generators for the paper's tables and figures, with paper-style text
+//! rendering. Each structure is plain data so the bench binaries can print
+//! it and the tests can assert against it.
+
+use std::fmt;
+
+use pdm_net::LinkProfile;
+
+use crate::response::{response, saving_percent, Action, Breakdown, Strategy};
+use crate::scenario::{PaperScenario, TreeScenario};
+
+/// One cell of a response-time table: the latency/transfer split the paper
+/// prints as stacked rows, plus the optional saving against late evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct TableCell {
+    pub scenario: TreeScenario,
+    pub action: Action,
+    pub breakdown: Breakdown,
+    /// Percentage saved vs. the late-evaluation baseline (Tables 3 and 4).
+    pub saving_pct: Option<f64>,
+}
+
+/// One network-setting block (three rows in the paper's layout).
+#[derive(Debug, Clone)]
+pub struct NetworkBlock {
+    pub link: LinkProfile,
+    pub cells: Vec<TableCell>,
+}
+
+/// A full paper table: title plus one block per network setting.
+#[derive(Debug, Clone)]
+pub struct PaperTable {
+    pub title: String,
+    pub actions: Vec<Action>,
+    pub scenarios: Vec<TreeScenario>,
+    pub blocks: Vec<NetworkBlock>,
+}
+
+impl PaperTable {
+    /// Find a cell by (dtr, scenario index, action).
+    pub fn cell(&self, dtr_kbit: f64, scenario_idx: usize, action: Action) -> Option<&TableCell> {
+        self.blocks
+            .iter()
+            .find(|b| (b.link.dtr_kbit - dtr_kbit).abs() < 1e-9)?
+            .cells
+            .iter()
+            .find(|c| {
+                c.action == action
+                    && c.scenario.depth == self.scenarios[scenario_idx].depth
+                    && c.scenario.branching == self.scenarios[scenario_idx].branching
+            })
+    }
+}
+
+fn build_table(title: &str, strategy: Strategy, actions: &[Action], with_savings: bool) -> PaperTable {
+    let grid = PaperScenario::paper();
+    let mut blocks = Vec::new();
+    for link in &grid.networks {
+        let mut cells = Vec::new();
+        for scenario in &grid.trees {
+            let tree = scenario.tree();
+            for &action in actions {
+                let breakdown = response(&tree, action, strategy, link, grid.node_size, 0);
+                let saving_pct = if with_savings {
+                    let base = response(&tree, action, Strategy::LateEval, link, grid.node_size, 0);
+                    Some(saving_percent(&base, &breakdown))
+                } else {
+                    None
+                };
+                cells.push(TableCell {
+                    scenario: *scenario,
+                    action,
+                    breakdown,
+                    saving_pct,
+                });
+            }
+        }
+        blocks.push(NetworkBlock { link: *link, cells });
+    }
+    PaperTable {
+        title: title.to_string(),
+        actions: actions.to_vec(),
+        scenarios: grid.trees.clone(),
+        blocks,
+    }
+}
+
+/// Table 2: response times under late (client-side) rule evaluation.
+pub fn table2() -> PaperTable {
+    build_table(
+        "Table 2. Response times for several scenarios in today's environments",
+        Strategy::LateEval,
+        &Action::ALL,
+        false,
+    )
+}
+
+/// Table 3: response times with early rule evaluation, plus savings.
+pub fn table3() -> PaperTable {
+    build_table(
+        "Table 3. Response times for several scenarios with early rule evaluation",
+        Strategy::EarlyEval,
+        &Action::ALL,
+        true,
+    )
+}
+
+/// Table 4: multi-level expands with recursive queries, plus savings.
+pub fn table4() -> PaperTable {
+    build_table(
+        "Table 4. Response times for multi-level expands with recursive queries",
+        Strategy::Recursive,
+        &[Action::MultiLevelExpand],
+        true,
+    )
+}
+
+impl fmt::Display for PaperTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        writeln!(
+            f,
+            "size_packet = 4kB, size_node = 512B; dtr in kbit/s, times in seconds"
+        )?;
+        // header
+        write!(f, "{:<24}", "")?;
+        for s in &self.scenarios {
+            for a in &self.actions {
+                write!(f, "{:>12}", format!("{} {}", s_label_short(s), a.label()))?;
+            }
+        }
+        writeln!(f)?;
+        for block in &self.blocks {
+            let head = format!(
+                "T_Lat={:.2} dtr={:.0}",
+                block.link.latency, block.link.dtr_kbit
+            );
+            // latency row
+            write!(f, "{:<24}", format!("{head}  latency"))?;
+            for c in &block.cells {
+                write!(f, "{:>12.2}", c.breakdown.latency_time)?;
+            }
+            writeln!(f)?;
+            // transfer row
+            write!(f, "{:<24}", "          transfer")?;
+            for c in &block.cells {
+                write!(f, "{:>12.2}", c.breakdown.transfer_time)?;
+            }
+            writeln!(f)?;
+            // total row
+            write!(f, "{:<24}", "          T = total")?;
+            for c in &block.cells {
+                write!(f, "{:>12.2}", c.breakdown.total())?;
+            }
+            writeln!(f)?;
+            // savings row
+            if block.cells.iter().any(|c| c.saving_pct.is_some()) {
+                write!(f, "{:<24}", "          saving in %")?;
+                for c in &block.cells {
+                    match c.saving_pct {
+                        Some(s) => write!(f, "{:>12.2}", s)?,
+                        None => write!(f, "{:>12}", "-")?,
+                    }
+                }
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn s_label_short(s: &TreeScenario) -> String {
+    format!("δ{}β{}", s.depth, s.branching)
+}
+
+/// One bar of a Figure 4/5 chart.
+#[derive(Debug, Clone, Copy)]
+pub struct FigureBar {
+    pub strategy: Strategy,
+    pub action: Action,
+    pub seconds: f64,
+}
+
+/// A figure: a titled series of bars grouped by strategy.
+#[derive(Debug, Clone)]
+pub struct FigureSeries {
+    pub title: String,
+    pub scenario: TreeScenario,
+    pub link: LinkProfile,
+    pub bars: Vec<FigureBar>,
+}
+
+impl FigureSeries {
+    pub fn value(&self, strategy: Strategy, action: Action) -> Option<f64> {
+        self.bars
+            .iter()
+            .find(|b| b.strategy == strategy && b.action == action)
+            .map(|b| b.seconds)
+    }
+}
+
+fn build_figure(title: &str, scenario: TreeScenario, link: LinkProfile) -> FigureSeries {
+    let tree = scenario.tree();
+    let mut bars = Vec::new();
+    for strategy in Strategy::ALL {
+        for action in Action::ALL {
+            let b = response(&tree, action, strategy, &link, crate::scenario::NODE_SIZE_BYTES, 0);
+            bars.push(FigureBar { strategy, action, seconds: b.total() });
+        }
+    }
+    FigureSeries { title: title.to_string(), scenario, link, bars }
+}
+
+/// Figure 4: δ=9, β=3, γ=0.6, T_Lat=150 ms, dtr=512 kbit/s.
+pub fn figure4() -> FigureSeries {
+    let (s, l) = PaperScenario::figure4();
+    build_figure(
+        "Figure 4. Response times for δ=9, β=3, γ=0.6, T_Lat=150ms, dtr=512kBit/s",
+        s,
+        l,
+    )
+}
+
+/// Figure 5: δ=7, β=5, γ=0.6, T_Lat=150 ms, dtr=256 kbit/s.
+pub fn figure5() -> FigureSeries {
+    let (s, l) = PaperScenario::figure5();
+    build_figure(
+        "Figure 5. Response times for δ=7, β=5, γ=0.6, T_Lat=150ms, dtr=256kBit/s",
+        s,
+        l,
+    )
+}
+
+impl fmt::Display for FigureSeries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        let max = self
+            .bars
+            .iter()
+            .map(|b| b.seconds)
+            .fold(f64::NEG_INFINITY, f64::max);
+        for strategy in Strategy::ALL {
+            writeln!(f, "  [{}]", strategy.label())?;
+            for action in Action::ALL {
+                if let Some(v) = self.value(strategy, action) {
+                    let width = ((v / max) * 50.0).round() as usize;
+                    writeln!(
+                        f,
+                        "    {:<6} {:>9.2}s |{}",
+                        action.label(),
+                        v,
+                        "#".repeat(width.max(if v > 0.0 { 1 } else { 0 }))
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_close(actual: f64, expected: f64) {
+        assert!(
+            (actual - expected).abs() < 0.02,
+            "{actual} vs paper {expected}"
+        );
+    }
+
+    #[test]
+    fn table2_totals_match_paper() {
+        let t = table2();
+        // (dtr, scenario index, action) → paper total
+        let expect = [
+            (256.0, 0, Action::Query, 13.28),
+            (256.0, 0, Action::Expand, 0.63),
+            (256.0, 0, Action::MultiLevelExpand, 99.10),
+            (256.0, 1, Action::Query, 461.78),
+            (256.0, 1, Action::Expand, 0.53),
+            (256.0, 1, Action::MultiLevelExpand, 228.53),
+            (256.0, 2, Action::Query, 1526.35),
+            (256.0, 2, Action::Expand, 0.57),
+            (256.0, 2, Action::MultiLevelExpand, 1684.39),
+            (512.0, 0, Action::Query, 6.79),
+            (512.0, 1, Action::MultiLevelExpand, 181.02),
+            (512.0, 2, Action::MultiLevelExpand, 1334.20),
+            (1024.0, 0, Action::MultiLevelExpand, 29.60),
+            (1024.0, 1, Action::Query, 115.47),
+            (1024.0, 2, Action::MultiLevelExpand, 503.10),
+        ];
+        for (dtr, s, a, total) in expect {
+            let cell = t.cell(dtr, s, a).expect("cell exists");
+            paper_close(cell.breakdown.total(), total);
+        }
+    }
+
+    #[test]
+    fn table3_totals_and_savings_match_paper() {
+        let t = table3();
+        let expect = [
+            (256.0, 0, Action::Query, 3.49, 73.74),
+            (256.0, 1, Action::Query, 7.43, 98.39),
+            (256.0, 2, Action::Query, 51.72, 96.61),
+            (256.0, 0, Action::MultiLevelExpand, 97.10, 2.02),
+            (512.0, 1, Action::Query, 3.86, 98.33),
+            (512.0, 2, Action::MultiLevelExpand, 1317.12, 1.28),
+            (1024.0, 0, Action::Query, 0.90, 73.19),
+            (1024.0, 2, Action::MultiLevelExpand, 494.56, 1.70),
+        ];
+        for (dtr, s, a, total, saving) in expect {
+            let cell = t.cell(dtr, s, a).expect("cell exists");
+            paper_close(cell.breakdown.total(), total);
+            paper_close(cell.saving_pct.unwrap(), saving);
+        }
+    }
+
+    #[test]
+    fn table4_totals_and_savings_match_paper() {
+        let t = table4();
+        let expect = [
+            (256.0, 0, 3.49, 96.48),
+            (256.0, 1, 7.43, 96.75),
+            (256.0, 2, 51.72, 96.93),
+            (512.0, 0, 1.89, 97.59),
+            (512.0, 1, 3.86, 97.87),
+            (512.0, 2, 26.01, 98.05),
+            (1024.0, 0, 0.90, 96.97),
+            (1024.0, 1, 1.88, 97.24),
+            (1024.0, 2, 12.96, 97.42),
+        ];
+        for (dtr, s, total, saving) in expect {
+            let cell = t.cell(dtr, s, Action::MultiLevelExpand).expect("cell");
+            paper_close(cell.breakdown.total(), total);
+            paper_close(cell.saving_pct.unwrap(), saving);
+        }
+    }
+
+    #[test]
+    fn figure4_series_shape() {
+        let f = figure4();
+        // Late-eval MLE ≈ 181 s, recursion MLE ≈ 3.86 s (the figure's story).
+        paper_close(f.value(Strategy::LateEval, Action::MultiLevelExpand).unwrap(), 181.02);
+        paper_close(f.value(Strategy::EarlyEval, Action::MultiLevelExpand).unwrap(), 178.71);
+        paper_close(f.value(Strategy::Recursive, Action::MultiLevelExpand).unwrap(), 3.86);
+        paper_close(f.value(Strategy::LateEval, Action::Query).unwrap(), 231.04);
+        paper_close(f.value(Strategy::EarlyEval, Action::Query).unwrap(), 3.86);
+    }
+
+    #[test]
+    fn figure5_series_shape() {
+        let f = figure5();
+        paper_close(f.value(Strategy::LateEval, Action::MultiLevelExpand).unwrap(), 1684.39);
+        paper_close(f.value(Strategy::EarlyEval, Action::MultiLevelExpand).unwrap(), 1650.23);
+        paper_close(f.value(Strategy::Recursive, Action::MultiLevelExpand).unwrap(), 51.72);
+        paper_close(f.value(Strategy::LateEval, Action::Query).unwrap(), 1526.35);
+    }
+
+    #[test]
+    fn tables_render_without_panicking() {
+        let text = table2().to_string();
+        assert!(text.contains("Table 2"));
+        let text = table3().to_string();
+        assert!(text.contains("saving"));
+        let text = figure4().to_string();
+        assert!(text.contains("recursion"));
+    }
+}

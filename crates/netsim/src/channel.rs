@@ -1,0 +1,193 @@
+//! The metered request/response channel between PDM client and database
+//! server. Every exchange advances the virtual clock and updates traffic
+//! counters exactly per the paper's cost formulas.
+
+use crate::clock::VirtualClock;
+use crate::link::LinkProfile;
+use crate::stats::TrafficStats;
+
+/// Cost breakdown of one request/response exchange.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundTrip {
+    /// Packets the request occupied.
+    pub request_packets: usize,
+    /// Chargeable bytes of the exchange.
+    pub volume_bytes: f64,
+    /// Latency share (2 · T_Lat).
+    pub latency_time: f64,
+    /// Serialization share (volume / dtr).
+    pub transfer_time: f64,
+}
+
+impl RoundTrip {
+    pub fn total_time(&self) -> f64 {
+        self.latency_time + self.transfer_time
+    }
+}
+
+/// A simulated client/server link that meters every exchange.
+///
+/// The charge for one round trip with a request of `r` bytes and a response
+/// payload of `p` bytes is (paper eq. (2)–(4), generalized to multi-packet
+/// requests as in eq. (5)):
+///
+/// ```text
+/// q_pkts = ⌈r / size_p⌉  (min 1)
+/// vol    = q_pkts·size_p + p + q_pkts·size_p/2     [half-full last packet]
+/// T      = 2·T_Lat + vol/dtr
+/// ```
+#[derive(Debug, Clone)]
+pub struct MeteredChannel {
+    link: LinkProfile,
+    clock: VirtualClock,
+    stats: TrafficStats,
+    trace: Option<crate::trace::Trace>,
+}
+
+impl MeteredChannel {
+    pub fn new(link: LinkProfile) -> Self {
+        MeteredChannel {
+            link,
+            clock: VirtualClock::new(),
+            stats: TrafficStats::new(),
+            trace: None,
+        }
+    }
+
+    /// Start recording a per-exchange timeline (see [`crate::trace::Trace`]).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(crate::trace::Trace::new());
+    }
+
+    /// The recorded timeline, if tracing is enabled.
+    pub fn trace(&self) -> Option<&crate::trace::Trace> {
+        self.trace.as_ref()
+    }
+
+    pub fn link(&self) -> &LinkProfile {
+        &self.link
+    }
+
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// Elapsed virtual time in seconds.
+    pub fn elapsed(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// Clear counters, clock, and any recorded trace before measuring a new
+    /// user action.
+    pub fn reset(&mut self) {
+        self.clock.reset();
+        self.stats = TrafficStats::new();
+        if let Some(trace) = &mut self.trace {
+            trace.clear();
+        }
+    }
+
+    /// Perform one metered request/response exchange.
+    pub fn round_trip(&mut self, request_bytes: usize, response_payload_bytes: usize) -> RoundTrip {
+        let request_packets = self.link.packets_for(request_bytes);
+        let request_volume = (request_packets * self.link.packet_size) as f64;
+        let correction = request_packets as f64 * self.link.packet_size as f64 / 2.0;
+        let volume = request_volume + response_payload_bytes as f64 + correction;
+
+        let latency_time = 2.0 * self.link.latency;
+        let transfer_time = self.link.transfer_time(volume);
+
+        self.stats.queries += 1;
+        self.stats.communications += 2;
+        self.stats.request_packets += request_packets;
+        self.stats.response_payload_bytes += response_payload_bytes;
+        self.stats.volume_bytes += volume;
+        self.stats.latency_time += latency_time;
+        self.stats.transfer_time += transfer_time;
+
+        let start = self.clock.now();
+        self.clock.advance(latency_time + transfer_time);
+
+        let cost = RoundTrip {
+            request_packets,
+            volume_bytes: volume,
+            latency_time,
+            transfer_time,
+        };
+        if let Some(trace) = &mut self.trace {
+            trace.record(crate::trace::TraceEntry {
+                start,
+                request_bytes,
+                response_bytes: response_payload_bytes,
+                cost,
+            });
+        }
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_packet_round_trip_costs_match_paper_formula() {
+        let mut ch = MeteredChannel::new(LinkProfile::wan_256());
+        // One navigational query (1 packet) returning 9 nodes of 512 B —
+        // the paper's single-level expand at β=9.
+        let rt = ch.round_trip(200, 9 * 512);
+        assert_eq!(rt.request_packets, 1);
+        // vol = 4096 + 4608 + 2048 = 10752 B → 0.328125 s at 256 kbit/s
+        assert!((rt.volume_bytes - 10752.0).abs() < 1e-9);
+        assert!((rt.transfer_time - 0.328125).abs() < 1e-9);
+        assert!((rt.latency_time - 0.30).abs() < 1e-12);
+        assert!((ch.elapsed() - rt.total_time()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_packet_request_charges_qr_packets() {
+        let mut ch = MeteredChannel::new(LinkProfile::wan_256());
+        // A 10 kB recursive query needs 3 packets.
+        let rt = ch.round_trip(10_000, 0);
+        assert_eq!(rt.request_packets, 3);
+        // vol = 3·4096 + 0 + 3·2048 = 18432
+        assert!((rt.volume_bytes - 18432.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_accumulate_across_round_trips() {
+        let mut ch = MeteredChannel::new(LinkProfile::wan_512());
+        for _ in 0..5 {
+            ch.round_trip(100, 512);
+        }
+        let s = ch.stats();
+        assert_eq!(s.queries, 5);
+        assert_eq!(s.communications, 10);
+        assert_eq!(s.request_packets, 5);
+        assert_eq!(s.response_payload_bytes, 5 * 512);
+        assert!((s.latency_time - 5.0 * 0.30).abs() < 1e-12);
+        assert!((ch.elapsed() - s.response_time()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut ch = MeteredChannel::new(LinkProfile::wan_512());
+        ch.round_trip(100, 100);
+        ch.reset();
+        assert_eq!(ch.elapsed(), 0.0);
+        assert_eq!(ch.stats().queries, 0);
+    }
+
+    #[test]
+    fn latency_dominates_small_navigational_queries_on_wan() {
+        // The paper's core observation: for chatty navigational access the
+        // per-query latency dwarfs the payload transfer.
+        let mut ch = MeteredChannel::new(LinkProfile::wan_256());
+        let rt = ch.round_trip(150, 512);
+        assert!(rt.latency_time > rt.transfer_time);
+    }
+}

@@ -1,0 +1,76 @@
+//! Virtual time. The simulator is single-threaded and deterministic: time
+//! only moves when a channel charges delay for a message exchange.
+
+/// A monotonically advancing virtual clock measured in seconds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VirtualClock {
+    now: f64,
+}
+
+impl VirtualClock {
+    pub fn new() -> Self {
+        VirtualClock { now: 0.0 }
+    }
+
+    /// Current virtual time in seconds since the simulation started.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Advance by `seconds` (must be non-negative; panics on NaN/negative —
+    /// a negative advance is always a bug in the caller's cost math).
+    pub fn advance(&mut self, seconds: f64) {
+        assert!(
+            seconds >= 0.0 && seconds.is_finite(),
+            "clock advance must be finite and non-negative, got {seconds}"
+        );
+        self.now += seconds;
+    }
+
+    /// Reset to zero (start of a new measured action).
+    pub fn reset(&mut self) {
+        self.now = 0.0;
+    }
+
+    /// Time elapsed since `mark` (an earlier `now()` reading).
+    pub fn since(&self, mark: f64) -> f64 {
+        self.now - mark
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_accumulates() {
+        let mut c = VirtualClock::new();
+        assert_eq!(c.now(), 0.0);
+        c.advance(0.15);
+        c.advance(1.5);
+        assert!((c.now() - 1.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn since_measures_deltas() {
+        let mut c = VirtualClock::new();
+        c.advance(2.0);
+        let mark = c.now();
+        c.advance(0.5);
+        assert!((c.since(mark) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_restarts() {
+        let mut c = VirtualClock::new();
+        c.advance(3.0);
+        c.reset();
+        assert_eq!(c.now(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_advance_panics() {
+        VirtualClock::new().advance(-1.0);
+    }
+}

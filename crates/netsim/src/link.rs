@@ -1,0 +1,104 @@
+//! Link parameterization: the paper's `dtr`, `T_Lat`, `size_p` triple.
+
+/// Physical characteristics of the client/server link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkProfile {
+    /// Data transfer rate in kbit/s (1 kbit = 1024 bits, matching the
+    /// paper's arithmetic).
+    pub dtr_kbit: f64,
+    /// One-way latency per communication, in seconds.
+    pub latency: f64,
+    /// Packet size in bytes (the paper uses 4 kB = 4096 B throughout).
+    pub packet_size: usize,
+}
+
+impl LinkProfile {
+    pub const PAPER_PACKET_SIZE: usize = 4096;
+
+    pub fn new(dtr_kbit: f64, latency: f64, packet_size: usize) -> Self {
+        assert!(dtr_kbit > 0.0, "dtr must be positive");
+        assert!(latency >= 0.0, "latency must be non-negative");
+        assert!(packet_size > 0, "packet size must be positive");
+        LinkProfile { dtr_kbit, latency, packet_size }
+    }
+
+    /// The paper's first WAN setting: 256 kbit/s, 150 ms latency.
+    pub fn wan_256() -> Self {
+        Self::new(256.0, 0.15, Self::PAPER_PACKET_SIZE)
+    }
+
+    /// The paper's second WAN setting: 512 kbit/s, 150 ms latency.
+    pub fn wan_512() -> Self {
+        Self::new(512.0, 0.15, Self::PAPER_PACKET_SIZE)
+    }
+
+    /// The paper's third WAN setting: 1024 kbit/s, 50 ms latency.
+    pub fn wan_1024() -> Self {
+        Self::new(1024.0, 0.05, Self::PAPER_PACKET_SIZE)
+    }
+
+    /// A typical switched LAN of the paper's era (100 Mbit/s, sub-ms
+    /// latency) — the environment where "acceptable response times can be
+    /// achieved" even navigationally (§1).
+    pub fn lan() -> Self {
+        Self::new(100.0 * 1024.0, 0.0005, Self::PAPER_PACKET_SIZE)
+    }
+
+    /// All three WAN settings of Tables 2–4, in paper order.
+    pub fn paper_wans() -> [LinkProfile; 3] {
+        [Self::wan_256(), Self::wan_512(), Self::wan_1024()]
+    }
+
+    /// Seconds to push `bytes` through the link (serialization delay).
+    pub fn transfer_time(&self, bytes: f64) -> f64 {
+        bytes * 8.0 / (self.dtr_kbit * 1024.0)
+    }
+
+    /// Packets needed for a message of `bytes` (minimum one — every message
+    /// occupies at least one packet).
+    pub fn packets_for(&self, bytes: usize) -> usize {
+        crate::packet::packet_count(bytes, self.packet_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_profiles() {
+        assert_eq!(LinkProfile::wan_256().dtr_kbit, 256.0);
+        assert_eq!(LinkProfile::wan_256().latency, 0.15);
+        assert_eq!(LinkProfile::wan_1024().latency, 0.05);
+        assert_eq!(LinkProfile::wan_512().packet_size, 4096);
+    }
+
+    #[test]
+    fn transfer_time_uses_1024_bit_kbits() {
+        // 256 kbit/s link: 262144 bits/s; 4096 bytes = 32768 bits → 0.125 s
+        let t = LinkProfile::wan_256().transfer_time(4096.0);
+        assert!((t - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table2_query_transfer_time_reproduced() {
+        // δ=3, β=9 Query under late evaluation: 819 nodes × 512 B payload
+        // plus 1.5 packets of request overhead = 12.98 s at 256 kbit/s.
+        let vol = 819.0 * 512.0 + 1.5 * 4096.0;
+        let t = LinkProfile::wan_256().transfer_time(vol);
+        assert!((t - 12.98).abs() < 0.005, "got {t}");
+    }
+
+    #[test]
+    fn lan_is_orders_of_magnitude_faster() {
+        let wan = LinkProfile::wan_256().transfer_time(1e6);
+        let lan = LinkProfile::lan().transfer_time(1e6);
+        assert!(wan / lan > 300.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dtr_rejected() {
+        LinkProfile::new(0.0, 0.1, 4096);
+    }
+}

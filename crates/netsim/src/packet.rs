@@ -1,0 +1,41 @@
+//! Packetization helpers.
+
+/// Number of packets a message of `bytes` occupies, minimum one. The paper
+/// assumes every query "can be transmitted by using only one message
+/// (packet)" for navigational access, while large recursive queries may need
+/// `q_r > 1` packets (§5.4).
+pub fn packet_count(bytes: usize, packet_size: usize) -> usize {
+    assert!(packet_size > 0);
+    if bytes == 0 {
+        1
+    } else {
+        bytes.div_ceil(packet_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimum_one_packet() {
+        assert_eq!(packet_count(0, 4096), 1);
+        assert_eq!(packet_count(1, 4096), 1);
+        assert_eq!(packet_count(4096, 4096), 1);
+    }
+
+    #[test]
+    fn rounds_up() {
+        assert_eq!(packet_count(4097, 4096), 2);
+        assert_eq!(packet_count(8192, 4096), 2);
+        assert_eq!(packet_count(8193, 4096), 3);
+    }
+
+    #[test]
+    fn exhaustive_boundary_sweep() {
+        for n in 1..=5usize {
+            assert_eq!(packet_count(n * 4096, 4096), n);
+            assert_eq!(packet_count(n * 4096 + 1, 4096), n + 1);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Traffic accounting: the observable quantities of Table 1 (`q`, `c`,
+//! `vol`, `T`) measured from actual message exchanges.
+
+use std::fmt;
+
+/// Accumulated traffic counters for a measured user action.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrafficStats {
+    /// Number of requests sent (the paper's `q`).
+    pub queries: usize,
+    /// Number of WAN communications — requests plus responses (`c`).
+    pub communications: usize,
+    /// Request packets sent (≥ `queries`; large recursive queries span
+    /// several packets).
+    pub request_packets: usize,
+    /// Raw response payload bytes (result rows on the wire).
+    pub response_payload_bytes: usize,
+    /// Chargeable data volume in bytes per the paper's eq. (3)/(5):
+    /// request packets at full packet size, response payload, plus the
+    /// half-filled-last-packet correction.
+    pub volume_bytes: f64,
+    /// Response-time share caused by latency (`c · T_Lat`).
+    pub latency_time: f64,
+    /// Response-time share caused by serialization (`vol / dtr`).
+    pub transfer_time: f64,
+}
+
+impl TrafficStats {
+    pub fn new() -> Self {
+        TrafficStats::default()
+    }
+
+    /// Total response time contribution (the paper's `T`).
+    pub fn response_time(&self) -> f64 {
+        self.latency_time + self.transfer_time
+    }
+
+    /// Fold another measurement into this one (e.g. per-query stats into a
+    /// per-action total).
+    pub fn absorb(&mut self, other: &TrafficStats) {
+        self.queries += other.queries;
+        self.communications += other.communications;
+        self.request_packets += other.request_packets;
+        self.response_payload_bytes += other.response_payload_bytes;
+        self.volume_bytes += other.volume_bytes;
+        self.latency_time += other.latency_time;
+        self.transfer_time += other.transfer_time;
+    }
+}
+
+impl fmt::Display for TrafficStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "q={} c={} vol={:.0}B T={:.2}s (latency {:.2}s + transfer {:.2}s)",
+            self.queries,
+            self.communications,
+            self.volume_bytes,
+            self.response_time(),
+            self.latency_time,
+            self.transfer_time
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_time_is_sum_of_parts() {
+        let s = TrafficStats {
+            latency_time: 0.3,
+            transfer_time: 12.98,
+            ..Default::default()
+        };
+        assert!((s.response_time() - 13.28).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_accumulates_all_fields() {
+        let mut a = TrafficStats {
+            queries: 1,
+            communications: 2,
+            request_packets: 1,
+            response_payload_bytes: 100,
+            volume_bytes: 4196.0,
+            latency_time: 0.3,
+            transfer_time: 0.1,
+        };
+        let b = a.clone();
+        a.absorb(&b);
+        assert_eq!(a.queries, 2);
+        assert_eq!(a.communications, 4);
+        assert_eq!(a.response_payload_bytes, 200);
+        assert!((a.volume_bytes - 8392.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = TrafficStats {
+            queries: 3,
+            communications: 6,
+            volume_bytes: 1000.0,
+            latency_time: 0.9,
+            transfer_time: 0.1,
+            ..Default::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("q=3"));
+        assert!(text.contains("c=6"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Exchange traces: an optional per-round-trip timeline the channel records,
+//! for post-hoc analysis (where did the seconds go?) and for the examples'
+//! reporting. Each entry is one request/response exchange with its start
+//! time and cost breakdown.
+
+use crate::channel::RoundTrip;
+
+/// One recorded exchange.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEntry {
+    /// Virtual time when the exchange started.
+    pub start: f64,
+    /// Request size in bytes (the SQL text / procedure call).
+    pub request_bytes: usize,
+    /// Response payload in bytes.
+    pub response_bytes: usize,
+    /// The computed cost of the exchange.
+    pub cost: RoundTrip,
+}
+
+impl TraceEntry {
+    /// Virtual time when the exchange completed.
+    pub fn end(&self) -> f64 {
+        self.start + self.cost.total_time()
+    }
+}
+
+/// A timeline of exchanges.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    pub fn record(&mut self, entry: TraceEntry) {
+        self.entries.push(entry);
+    }
+
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// The single most expensive exchange, if any.
+    pub fn slowest(&self) -> Option<&TraceEntry> {
+        self.entries
+            .iter()
+            .max_by(|a, b| a.cost.total_time().total_cmp(&b.cost.total_time()))
+    }
+
+    /// Total time across all exchanges.
+    pub fn total_time(&self) -> f64 {
+        self.entries.iter().map(|e| e.cost.total_time()).sum()
+    }
+
+    /// Share of total time spent on latency rather than transfer — the
+    /// paper's diagnostic quantity: chatty workloads score near 1.
+    pub fn latency_share(&self) -> f64 {
+        let total = self.total_time();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.entries.iter().map(|e| e.cost.latency_time).sum::<f64>() / total
+    }
+
+    /// Time percentile over exchange costs (p in 0..=100, nearest-rank).
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let mut costs: Vec<f64> = self.entries.iter().map(|e| e.cost.total_time()).collect();
+        costs.sort_by(f64::total_cmp);
+        let rank = ((p / 100.0) * costs.len() as f64).ceil().max(1.0) as usize - 1;
+        Some(costs[rank.min(costs.len() - 1)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::MeteredChannel;
+    use crate::link::LinkProfile;
+
+    fn traced_channel() -> (MeteredChannel, Trace) {
+        let mut ch = MeteredChannel::new(LinkProfile::wan_256());
+        let mut trace = Trace::new();
+        for (req, resp) in [(100usize, 512usize), (200, 4096), (150, 0)] {
+            let start = ch.elapsed();
+            let cost = ch.round_trip(req, resp);
+            trace.record(TraceEntry { start, request_bytes: req, response_bytes: resp, cost });
+        }
+        (ch, trace)
+    }
+
+    #[test]
+    fn trace_times_align_with_channel() {
+        let (ch, trace) = traced_channel();
+        assert_eq!(trace.len(), 3);
+        assert!((trace.total_time() - ch.elapsed()).abs() < 1e-12);
+        // entries are contiguous
+        assert!((trace.entries()[0].end() - trace.entries()[1].start).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slowest_is_the_big_response() {
+        let (_, trace) = traced_channel();
+        assert_eq!(trace.slowest().unwrap().response_bytes, 4096);
+    }
+
+    #[test]
+    fn latency_share_bounds() {
+        let (_, trace) = traced_channel();
+        let share = trace.latency_share();
+        assert!(share > 0.0 && share < 1.0);
+        assert_eq!(Trace::new().latency_share(), 0.0);
+    }
+
+    #[test]
+    fn percentiles() {
+        let (_, trace) = traced_channel();
+        let p50 = trace.percentile(50.0).unwrap();
+        let p100 = trace.percentile(100.0).unwrap();
+        assert!(p50 <= p100);
+        assert!(Trace::new().percentile(50.0).is_none());
+    }
+}

@@ -1,0 +1,171 @@
+//! Database catalog: tables, views, and the function registry.
+
+use std::collections::HashMap;
+
+use crate::ast::Query;
+use crate::error::{Error, Result};
+use crate::functions::FunctionRegistry;
+use crate::schema::Schema;
+use crate::storage::Table;
+
+/// A named view: its defining query, kept as both AST and original text.
+///
+/// The PDM query modificator needs views to reproduce the paper's §5.5
+/// caveat — a recursive query hidden behind a view cannot be modified because
+/// "the query structure is not visible to the query modificator".
+#[derive(Debug, Clone)]
+pub struct ViewDef {
+    pub name: String,
+    pub query: Query,
+    pub sql: String,
+}
+
+/// The catalog: every named object the executor can resolve.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    tables: HashMap<String, Table>,
+    views: HashMap<String, ViewDef>,
+    pub functions: FunctionRegistry,
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Catalog {
+            tables: HashMap::new(),
+            views: HashMap::new(),
+            functions: FunctionRegistry::with_builtins(),
+        }
+    }
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn create_table(&mut self, name: &str, schema: Schema) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        if self.tables.contains_key(&key) || self.views.contains_key(&key) {
+            return Err(Error::Catalog(format!("'{key}' already exists")));
+        }
+        self.tables.insert(key.clone(), Table::new(key, schema));
+        Ok(())
+    }
+
+    pub fn drop_table(&mut self, name: &str) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        self.tables
+            .remove(&key)
+            .map(|_| ())
+            .ok_or_else(|| Error::Catalog(format!("no table '{key}'")))
+    }
+
+    pub fn create_view(&mut self, name: &str, query: Query) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        if self.tables.contains_key(&key) || self.views.contains_key(&key) {
+            return Err(Error::Catalog(format!("'{key}' already exists")));
+        }
+        let sql = query.to_string();
+        self.views.insert(key.clone(), ViewDef { name: key, query, sql });
+        Ok(())
+    }
+
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        let key = name.to_ascii_lowercase();
+        self.tables
+            .get(&key)
+            .ok_or_else(|| Error::Bind(format!("unknown table '{key}'")))
+    }
+
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        let key = name.to_ascii_lowercase();
+        self.tables
+            .get_mut(&key)
+            .ok_or_else(|| Error::Bind(format!("unknown table '{key}'")))
+    }
+
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(&name.to_ascii_lowercase())
+    }
+
+    pub fn view(&self, name: &str) -> Option<&ViewDef> {
+        self.views.get(&name.to_ascii_lowercase())
+    }
+
+    pub fn has_view(&self, name: &str) -> bool {
+        self.views.contains_key(&name.to_ascii_lowercase())
+    }
+
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    pub fn view_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.views.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use crate::schema::Column;
+    use crate::value::DataType;
+
+    fn schema() -> Schema {
+        Schema::new(vec![Column::new("obid", DataType::Int)])
+    }
+
+    #[test]
+    fn create_and_lookup_case_insensitive() {
+        let mut c = Catalog::new();
+        c.create_table("Assy", schema()).unwrap();
+        assert!(c.has_table("ASSY"));
+        assert!(c.table("assy").is_ok());
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut c = Catalog::new();
+        c.create_table("t", schema()).unwrap();
+        assert!(matches!(c.create_table("T", schema()), Err(Error::Catalog(_))));
+    }
+
+    #[test]
+    fn view_name_conflicts_with_table() {
+        let mut c = Catalog::new();
+        c.create_table("t", schema()).unwrap();
+        let q = parse_query("SELECT * FROM t").unwrap();
+        assert!(c.create_view("t", q).is_err());
+    }
+
+    #[test]
+    fn view_keeps_sql_text() {
+        let mut c = Catalog::new();
+        c.create_table("t", schema()).unwrap();
+        let q = parse_query("SELECT obid FROM t").unwrap();
+        c.create_view("v", q).unwrap();
+        assert_eq!(c.view("V").unwrap().sql, "SELECT obid FROM t");
+    }
+
+    #[test]
+    fn drop_table() {
+        let mut c = Catalog::new();
+        c.create_table("t", schema()).unwrap();
+        c.drop_table("t").unwrap();
+        assert!(!c.has_table("t"));
+        assert!(c.drop_table("t").is_err());
+    }
+
+    #[test]
+    fn names_sorted() {
+        let mut c = Catalog::new();
+        c.create_table("b", schema()).unwrap();
+        c.create_table("a", schema()).unwrap();
+        assert_eq!(c.table_names(), vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type shared by every stage of the engine (lexing through execution).
+
+use std::fmt;
+
+/// Engine-wide error. Each variant names the stage that produced it so callers
+/// (and tests) can distinguish a syntax problem from a runtime one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Tokenizer rejected the input (bad character, unterminated string, ...).
+    Lex(String),
+    /// Parser rejected the token stream.
+    Parse(String),
+    /// Name resolution failed (unknown table/column/function) or a query is
+    /// structurally invalid (e.g. UNION arity mismatch).
+    Bind(String),
+    /// Schema violation on write (wrong arity, type mismatch, null in a
+    /// non-nullable column).
+    Schema(String),
+    /// Runtime evaluation failure (division by zero, bad cast, scalar
+    /// subquery returning more than one row, ...).
+    Eval(String),
+    /// Catalog-level conflict (duplicate table, missing table on DROP, ...).
+    Catalog(String),
+    /// A recursive query exceeded the configured iteration limit; almost
+    /// always a cycle in the data that UNION dedup could not close.
+    RecursionLimit(usize),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Lex(m) => write!(f, "lex error: {m}"),
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::Bind(m) => write!(f, "bind error: {m}"),
+            Error::Schema(m) => write!(f, "schema error: {m}"),
+            Error::Eval(m) => write!(f, "eval error: {m}"),
+            Error::Catalog(m) => write!(f, "catalog error: {m}"),
+            Error::RecursionLimit(n) => {
+                write!(f, "recursive query exceeded {n} iterations (data cycle?)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_stage_and_message() {
+        assert_eq!(Error::Lex("bad char".into()).to_string(), "lex error: bad char");
+        assert_eq!(Error::Parse("x".into()).to_string(), "parse error: x");
+        assert_eq!(Error::Bind("y".into()).to_string(), "bind error: y");
+        assert_eq!(Error::Schema("z".into()).to_string(), "schema error: z");
+        assert_eq!(Error::Eval("w".into()).to_string(), "eval error: w");
+        assert_eq!(Error::Catalog("c".into()).to_string(), "catalog error: c");
+    }
+
+    #[test]
+    fn recursion_limit_reports_bound() {
+        let e = Error::RecursionLimit(1000);
+        assert!(e.to_string().contains("1000"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::Parse("a".into()), Error::Parse("a".into()));
+        assert_ne!(Error::Parse("a".into()), Error::Bind("a".into()));
+    }
+}

@@ -1,0 +1,483 @@
+//! Scalar expression evaluation with SQL three-valued logic.
+//!
+//! Boolean "unknown" is represented as `Value::Null`; `WHERE` keeps a row
+//! only when the predicate evaluates to `Bool(true)`.
+
+use crate::ast::{BinOp, Expr};
+use crate::error::{Error, Result};
+use crate::exec::{subquery, Env, ExecContext};
+use crate::value::Value;
+
+/// Evaluate `expr` for the row described by `env`.
+pub fn eval_expr(ctx: &ExecContext<'_>, env: &Env<'_>, expr: &Expr) -> Result<Value> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Column { qualifier, name } => lookup_column(ctx, env, qualifier.as_deref(), name),
+        Expr::BinaryOp { left, op, right } => eval_binary(ctx, env, left, *op, right),
+        Expr::Not(e) => match eval_expr(ctx, env, e)? {
+            Value::Null => Ok(Value::Null),
+            Value::Bool(b) => Ok(Value::Bool(!b)),
+            other => Err(Error::Eval(format!("NOT applied to non-boolean {other}"))),
+        },
+        Expr::Negate(e) => match eval_expr(ctx, env, e)? {
+            Value::Null => Ok(Value::Null),
+            Value::Int(i) => Ok(Value::Int(-i)),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            other => Err(Error::Eval(format!("unary minus on non-number {other}"))),
+        },
+        Expr::IsNull { expr, negated } => {
+            let v = eval_expr(ctx, env, expr)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        Expr::InList { expr, list, negated } => {
+            let needle = eval_expr(ctx, env, expr)?;
+            let mut saw_null = needle.is_null();
+            let mut found = false;
+            for item in list {
+                let v = eval_expr(ctx, env, item)?;
+                match needle.sql_eq(&v) {
+                    Some(true) => {
+                        found = true;
+                        break;
+                    }
+                    Some(false) => {}
+                    None => saw_null = true,
+                }
+            }
+            Ok(three_valued_in(found, saw_null, *negated))
+        }
+        Expr::InSubquery { expr, query, negated } => {
+            let needle = eval_expr(ctx, env, expr)?;
+            let (found, saw_null) = subquery::eval_in_subquery(ctx, env, query, &needle)?;
+            Ok(three_valued_in(found, saw_null || needle.is_null(), *negated))
+        }
+        Expr::Exists { query, negated } => {
+            let exists = subquery::eval_exists(ctx, env, query)?;
+            Ok(Value::Bool(exists != *negated))
+        }
+        Expr::ScalarSubquery(query) => subquery::eval_scalar(ctx, env, query),
+        Expr::Between { expr, low, high, negated } => {
+            let v = eval_expr(ctx, env, expr)?;
+            let lo = eval_expr(ctx, env, low)?;
+            let hi = eval_expr(ctx, env, high)?;
+            let ge = v.sql_cmp(&lo).map(|o| o != std::cmp::Ordering::Less);
+            let le = v.sql_cmp(&hi).map(|o| o != std::cmp::Ordering::Greater);
+            let both = and3(ge, le);
+            Ok(match both {
+                Some(b) => Value::Bool(b != *negated),
+                None => Value::Null,
+            })
+        }
+        Expr::Like { expr, pattern, negated } => {
+            let v = eval_expr(ctx, env, expr)?;
+            let p = eval_expr(ctx, env, pattern)?;
+            match (&v, &p) {
+                (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                (Value::Text(s), Value::Text(pat)) => {
+                    Ok(Value::Bool(like_match(s, pat) != *negated))
+                }
+                (a, b) => Err(Error::Eval(format!(
+                    "LIKE expects text operands, got {a} LIKE {b}"
+                ))),
+            }
+        }
+        Expr::Function { name, args, star } => {
+            if crate::ast::is_aggregate_name(name) {
+                // In a grouped context the aggregate was precomputed and is
+                // looked up by its rendered form.
+                if let Some(aggs) = env.aggs {
+                    let key = expr.to_string();
+                    return aggs.get(&key).cloned().ok_or_else(|| {
+                        Error::Eval(format!("aggregate {key} not available in this context"))
+                    });
+                }
+                return Err(Error::Eval(format!(
+                    "aggregate {}() used outside GROUP BY context",
+                    name.to_uppercase()
+                )));
+            }
+            if *star {
+                return Err(Error::Eval(format!("{name}(*) is not a valid call")));
+            }
+            let mut values = Vec::with_capacity(args.len());
+            for a in args {
+                values.push(eval_expr(ctx, env, a)?);
+            }
+            ctx.catalog.functions.call(name, &values)
+        }
+        Expr::Cast { expr, dtype } => eval_expr(ctx, env, expr)?.cast(*dtype),
+        Expr::Case { branches, else_expr } => {
+            for (cond, result) in branches {
+                if eval_expr(ctx, env, cond)?.is_true() {
+                    return eval_expr(ctx, env, result);
+                }
+            }
+            match else_expr {
+                Some(e) => eval_expr(ctx, env, e),
+                None => Ok(Value::Null),
+            }
+        }
+    }
+}
+
+/// Resolve a column through the env chain; accesses that resolve in an outer
+/// scope flip the context's correlation flag (used by the subquery cache to
+/// decide whether a result may be reused across rows).
+fn lookup_column(
+    ctx: &ExecContext<'_>,
+    env: &Env<'_>,
+    qualifier: Option<&str>,
+    name: &str,
+) -> Result<Value> {
+    let mut scope = Some(env);
+    let mut depth = 0usize;
+    while let Some(e) = scope {
+        if let Some(idx) = e.bindings.resolve(qualifier, name)? {
+            if depth > 0 {
+                ctx.outer_access.set(true);
+            }
+            return Ok(e.row[idx].clone());
+        }
+        scope = e.outer;
+        depth += 1;
+    }
+    let full = match qualifier {
+        Some(q) => format!("{q}.{name}"),
+        None => name.to_string(),
+    };
+    Err(Error::Bind(format!("unknown column '{full}'")))
+}
+
+fn eval_binary(
+    ctx: &ExecContext<'_>,
+    env: &Env<'_>,
+    left: &Expr,
+    op: BinOp,
+    right: &Expr,
+) -> Result<Value> {
+    // AND/OR get short-circuit three-valued treatment.
+    if op == BinOp::And {
+        let l = to_bool3(eval_expr(ctx, env, left)?)?;
+        if l == Some(false) {
+            return Ok(Value::Bool(false));
+        }
+        let r = to_bool3(eval_expr(ctx, env, right)?)?;
+        return Ok(match and3(l, r) {
+            Some(b) => Value::Bool(b),
+            None => Value::Null,
+        });
+    }
+    if op == BinOp::Or {
+        let l = to_bool3(eval_expr(ctx, env, left)?)?;
+        if l == Some(true) {
+            return Ok(Value::Bool(true));
+        }
+        let r = to_bool3(eval_expr(ctx, env, right)?)?;
+        return Ok(match or3(l, r) {
+            Some(b) => Value::Bool(b),
+            None => Value::Null,
+        });
+    }
+
+    let l = eval_expr(ctx, env, left)?;
+    let r = eval_expr(ctx, env, right)?;
+
+    match op {
+        BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            let ord = l.sql_cmp(&r).ok_or_else(|| {
+                Error::Eval(format!("cannot compare {l} with {r} (type mismatch)"))
+            })?;
+            let b = match op {
+                BinOp::Eq => ord == std::cmp::Ordering::Equal,
+                BinOp::NotEq => ord != std::cmp::Ordering::Equal,
+                BinOp::Lt => ord == std::cmp::Ordering::Less,
+                BinOp::LtEq => ord != std::cmp::Ordering::Greater,
+                BinOp::Gt => ord == std::cmp::Ordering::Greater,
+                BinOp::GtEq => ord != std::cmp::Ordering::Less,
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(b))
+        }
+        BinOp::Plus | BinOp::Minus | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+            eval_arithmetic(op, &l, &r)
+        }
+        BinOp::Concat => match (&l, &r) {
+            (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+            (a, b) => Ok(Value::Text(format!("{}{}", text_of(a), text_of(b)))),
+        },
+        BinOp::And | BinOp::Or => unreachable!("handled above"),
+    }
+}
+
+/// SQL LIKE matching: `%` matches any sequence, `_` any single character.
+/// Case-sensitive, no escape character (the paper's queries don't need one).
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[char], p: &[char]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some('%') => {
+                // try matching %% greedily and with backtracking
+                (0..=s.len()).any(|k| rec(&s[k..], &p[1..]))
+            }
+            Some('_') => !s.is_empty() && rec(&s[1..], &p[1..]),
+            Some(c) => s.first() == Some(c) && rec(&s[1..], &p[1..]),
+        }
+    }
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    rec(&s, &p)
+}
+
+fn text_of(v: &Value) -> String {
+    match v {
+        Value::Text(s) => s.clone(),
+        other => other.to_string(),
+    }
+}
+
+fn eval_arithmetic(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => {
+            let a = *a;
+            let b = *b;
+            match op {
+                BinOp::Plus => Ok(Value::Int(a.wrapping_add(b))),
+                BinOp::Minus => Ok(Value::Int(a.wrapping_sub(b))),
+                BinOp::Mul => Ok(Value::Int(a.wrapping_mul(b))),
+                BinOp::Div => {
+                    if b == 0 {
+                        Err(Error::Eval("division by zero".into()))
+                    } else {
+                        Ok(Value::Int(a / b))
+                    }
+                }
+                BinOp::Mod => {
+                    if b == 0 {
+                        Err(Error::Eval("modulo by zero".into()))
+                    } else {
+                        Ok(Value::Int(a % b))
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+        _ => {
+            let a = num_of(l)?;
+            let b = num_of(r)?;
+            match op {
+                BinOp::Plus => Ok(Value::Float(a + b)),
+                BinOp::Minus => Ok(Value::Float(a - b)),
+                BinOp::Mul => Ok(Value::Float(a * b)),
+                BinOp::Div => {
+                    if b == 0.0 {
+                        Err(Error::Eval("division by zero".into()))
+                    } else {
+                        Ok(Value::Float(a / b))
+                    }
+                }
+                BinOp::Mod => Ok(Value::Float(a % b)),
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+fn num_of(v: &Value) -> Result<f64> {
+    match v {
+        Value::Int(i) => Ok(*i as f64),
+        Value::Float(f) => Ok(*f),
+        other => Err(Error::Eval(format!("expected a number, got {other}"))),
+    }
+}
+
+fn to_bool3(v: Value) -> Result<Option<bool>> {
+    match v {
+        Value::Bool(b) => Ok(Some(b)),
+        Value::Null => Ok(None),
+        other => Err(Error::Eval(format!("expected a boolean, got {other}"))),
+    }
+}
+
+fn and3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(false), _) | (_, Some(false)) => Some(false),
+        (Some(true), Some(true)) => Some(true),
+        _ => None,
+    }
+}
+
+fn or3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(true), _) | (_, Some(true)) => Some(true),
+        (Some(false), Some(false)) => Some(false),
+        _ => None,
+    }
+}
+
+/// Three-valued result of `[NOT] IN`: found → match; otherwise unknown if a
+/// NULL was involved.
+fn three_valued_in(found: bool, saw_null: bool, negated: bool) -> Value {
+    if found {
+        Value::Bool(!negated)
+    } else if saw_null {
+        Value::Null
+    } else {
+        Value::Bool(negated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::exec::{Bindings, ExecConfig, ExecStats};
+    use crate::parser::parse_expr;
+    use crate::schema::{Column, Schema};
+    use crate::value::DataType;
+    use std::cell::RefCell;
+
+    fn eval(sql: &str, cols: &[(&str, Value)]) -> Result<Value> {
+        let catalog = Catalog::new();
+        let config = ExecConfig::default();
+        let stats = RefCell::new(ExecStats::default());
+        let ctx = ExecContext::new(&catalog, &config, &stats);
+        let schema = Schema::new(
+            cols.iter()
+                .map(|(n, v)| {
+                    Column::new(*n, v.data_type().unwrap_or(DataType::Int))
+                })
+                .collect(),
+        );
+        let bindings = Bindings::single("t", schema);
+        let row: Vec<Value> = cols.iter().map(|(_, v)| v.clone()).collect();
+        let env = Env::new(&bindings, &row);
+        let e = parse_expr(sql)?;
+        eval_expr(&ctx, &env, &e)
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(eval("1 < 2", &[]).unwrap(), Value::Bool(true));
+        assert_eq!(eval("'a' <> 'b'", &[]).unwrap(), Value::Bool(true));
+        assert_eq!(eval("2 >= 2.0", &[]).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn null_comparison_is_unknown() {
+        assert_eq!(eval("NULL = 1", &[]).unwrap(), Value::Null);
+        assert_eq!(eval("NULL <> NULL", &[]).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn type_mismatch_comparison_errors() {
+        assert!(eval("'a' = 1", &[]).is_err());
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        assert_eq!(eval("FALSE AND NULL", &[]).unwrap(), Value::Bool(false));
+        assert_eq!(eval("TRUE AND NULL", &[]).unwrap(), Value::Null);
+        assert_eq!(eval("TRUE OR NULL", &[]).unwrap(), Value::Bool(true));
+        assert_eq!(eval("FALSE OR NULL", &[]).unwrap(), Value::Null);
+        assert_eq!(eval("NOT NULL", &[]).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn short_circuit_avoids_rhs_errors() {
+        // RHS would be a type error, but LHS decides.
+        assert_eq!(eval("FALSE AND ('a' = 1)", &[]).unwrap(), Value::Bool(false));
+        assert_eq!(eval("TRUE OR ('a' = 1)", &[]).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(eval("1 + 2 * 3", &[]).unwrap(), Value::Int(7));
+        assert_eq!(eval("7 / 2", &[]).unwrap(), Value::Int(3));
+        assert_eq!(eval("7.0 / 2", &[]).unwrap(), Value::Float(3.5));
+        assert_eq!(eval("7 % 4", &[]).unwrap(), Value::Int(3));
+        assert!(eval("1 / 0", &[]).is_err());
+        assert_eq!(eval("1 + NULL", &[]).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn concat() {
+        assert_eq!(
+            eval("'a' || 'b' || 1", &[]).unwrap(),
+            Value::Text("ab1".into())
+        );
+        assert_eq!(eval("'a' || NULL", &[]).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn in_list_three_valued() {
+        assert_eq!(eval("2 IN (1, 2)", &[]).unwrap(), Value::Bool(true));
+        assert_eq!(eval("3 IN (1, 2)", &[]).unwrap(), Value::Bool(false));
+        assert_eq!(eval("3 IN (1, NULL)", &[]).unwrap(), Value::Null);
+        assert_eq!(eval("3 NOT IN (1, NULL)", &[]).unwrap(), Value::Null);
+        assert_eq!(eval("1 NOT IN (1, NULL)", &[]).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn between_and_is_null() {
+        assert_eq!(eval("5 BETWEEN 1 AND 10", &[]).unwrap(), Value::Bool(true));
+        assert_eq!(eval("5 NOT BETWEEN 1 AND 4", &[]).unwrap(), Value::Bool(true));
+        assert_eq!(eval("NULL BETWEEN 1 AND 4", &[]).unwrap(), Value::Null);
+        assert_eq!(eval("NULL IS NULL", &[]).unwrap(), Value::Bool(true));
+        assert_eq!(eval("1 IS NOT NULL", &[]).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn column_lookup() {
+        let cols = [("make_or_buy", Value::Text("make".into()))];
+        assert_eq!(
+            eval("make_or_buy <> 'buy'", &cols).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval("t.make_or_buy = 'make'", &cols).unwrap(),
+            Value::Bool(true)
+        );
+        assert!(eval("nosuch", &cols).is_err());
+    }
+
+    #[test]
+    fn case_expression() {
+        assert_eq!(
+            eval("CASE WHEN 1 = 1 THEN 'yes' ELSE 'no' END", &[]).unwrap(),
+            Value::Text("yes".into())
+        );
+        assert_eq!(
+            eval("CASE WHEN 1 = 2 THEN 'yes' END", &[]).unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn cast_in_expression() {
+        assert_eq!(
+            eval("CAST ('12' AS integer) + 1", &[]).unwrap(),
+            Value::Int(13)
+        );
+    }
+
+    #[test]
+    fn functions_via_registry() {
+        assert_eq!(eval("ABS(-3)", &[]).unwrap(), Value::Int(3));
+        assert_eq!(
+            eval("COALESCE(NULL, 'x')", &[]).unwrap(),
+            Value::Text("x".into())
+        );
+    }
+
+    #[test]
+    fn aggregate_outside_group_context_errors() {
+        let err = eval("COUNT(*)", &[]).unwrap_err();
+        assert!(err.to_string().contains("GROUP BY"));
+    }
+}

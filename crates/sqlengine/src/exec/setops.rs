@@ -1,0 +1,131 @@
+//! UNION / UNION ALL / INTERSECT / EXCEPT over materialized result sets.
+//!
+//! Column names and types come from the left operand (standard behaviour);
+//! operands must agree in arity. Dedup uses the engine's total value
+//! equality (NULL == NULL, INT and FLOAT compare numerically).
+
+use std::collections::HashSet;
+
+use crate::ast::SetOp;
+use crate::error::{Error, Result};
+use crate::row::{ResultSet, Row};
+
+/// Apply a set operation.
+pub fn apply(op: SetOp, all: bool, left: ResultSet, right: ResultSet) -> Result<ResultSet> {
+    if left.schema.len() != right.schema.len() {
+        return Err(Error::Bind(format!(
+            "set operation arity mismatch: {} vs {} columns",
+            left.schema.len(),
+            right.schema.len()
+        )));
+    }
+    let schema = left.schema.clone();
+    let rows = match (op, all) {
+        (SetOp::Union, true) => {
+            let mut rows = left.rows;
+            rows.extend(right.rows);
+            rows
+        }
+        (SetOp::Union, false) => {
+            let mut seen: HashSet<Row> = HashSet::new();
+            let mut rows = Vec::new();
+            for r in left.rows.into_iter().chain(right.rows) {
+                if seen.insert(r.clone()) {
+                    rows.push(r);
+                }
+            }
+            rows
+        }
+        (SetOp::Intersect, _) => {
+            let right_set: HashSet<Row> = right.rows.into_iter().collect();
+            let mut seen: HashSet<Row> = HashSet::new();
+            left.rows
+                .into_iter()
+                .filter(|r| right_set.contains(r) && seen.insert(r.clone()))
+                .collect()
+        }
+        (SetOp::Except, _) => {
+            let right_set: HashSet<Row> = right.rows.into_iter().collect();
+            let mut seen: HashSet<Row> = HashSet::new();
+            left.rows
+                .into_iter()
+                .filter(|r| !right_set.contains(r) && seen.insert(r.clone()))
+                .collect()
+        }
+    };
+    Ok(ResultSet::new(schema, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, Schema};
+    use crate::value::{DataType, Value};
+
+    fn rs(vals: &[i64]) -> ResultSet {
+        ResultSet::new(
+            Schema::new(vec![Column::new("x", DataType::Int)]),
+            vals.iter().map(|&v| Row(vec![Value::Int(v)])).collect(),
+        )
+    }
+
+    fn xs(r: &ResultSet) -> Vec<i64> {
+        r.rows
+            .iter()
+            .map(|row| match row.get(0) {
+                Value::Int(i) => *i,
+                _ => panic!(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn union_dedups_preserving_first_occurrence() {
+        let out = apply(SetOp::Union, false, rs(&[1, 2, 2]), rs(&[2, 3])).unwrap();
+        assert_eq!(xs(&out), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn union_all_keeps_duplicates() {
+        let out = apply(SetOp::Union, true, rs(&[1, 2]), rs(&[2, 3])).unwrap();
+        assert_eq!(xs(&out), vec![1, 2, 2, 3]);
+    }
+
+    #[test]
+    fn intersect() {
+        let out = apply(SetOp::Intersect, false, rs(&[1, 2, 2, 3]), rs(&[2, 3, 4])).unwrap();
+        assert_eq!(xs(&out), vec![2, 3]);
+    }
+
+    #[test]
+    fn except() {
+        let out = apply(SetOp::Except, false, rs(&[1, 2, 2, 3]), rs(&[2])).unwrap();
+        assert_eq!(xs(&out), vec![1, 3]);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let two = ResultSet::new(
+            Schema::new(vec![
+                Column::new("a", DataType::Int),
+                Column::new("b", DataType::Int),
+            ]),
+            vec![],
+        );
+        assert!(apply(SetOp::Union, false, rs(&[1]), two).is_err());
+    }
+
+    #[test]
+    fn union_treats_nulls_as_duplicates() {
+        let l = ResultSet::new(
+            Schema::new(vec![Column::new("x", DataType::Int)]),
+            vec![Row(vec![Value::Null]), Row(vec![Value::Null])],
+        );
+        let r = ResultSet::new(
+            Schema::new(vec![Column::new("x", DataType::Int)]),
+            vec![Row(vec![Value::Null])],
+        );
+        let out = apply(SetOp::Union, false, l, r).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,369 @@
+//! SQL tokenizer.
+//!
+//! Identifiers are folded to lowercase (standard SQL unquoted-identifier
+//! behaviour); `"quoted"` identifiers preserve case. String literals use
+//! single quotes with `''` as the escape for a quote.
+
+use crate::error::{Error, Result};
+
+/// A lexical token. Keywords are recognized by the parser from `Ident`
+/// spellings, so the lexer stays keyword-agnostic except for literals.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Unquoted identifier or keyword, lowercased.
+    Ident(String),
+    /// `"Quoted"` identifier, case preserved.
+    QuotedIdent(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// String literal (quotes stripped, escapes resolved).
+    Str(String),
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Semicolon,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    /// `||` string concatenation.
+    Concat,
+}
+
+impl Token {
+    /// True if this is the identifier/keyword `kw` (case-insensitive match
+    /// already handled by lexer lowering).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s == kw)
+    }
+}
+
+/// Tokenize `input` into a vector of tokens.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token::Percent);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '|' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'|' {
+                    tokens.push(Token::Concat);
+                    i += 2;
+                } else {
+                    return Err(Error::Lex("single '|' is not an operator".into()));
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::LtEq);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    return Err(Error::Lex("'!' must be followed by '='".into()));
+                }
+            }
+            '\'' => {
+                let (s, next) = lex_string(input, i)?;
+                tokens.push(Token::Str(s));
+                i = next;
+            }
+            '"' => {
+                let (s, next) = lex_quoted_ident(input, i)?;
+                tokens.push(Token::QuotedIdent(s));
+                i = next;
+            }
+            c if c.is_ascii_digit() => {
+                let (tok, next) = lex_number(input, i)?;
+                tokens.push(tok);
+                i = next;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(input[start..i].to_ascii_lowercase()));
+            }
+            other => {
+                return Err(Error::Lex(format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// Lex a single-quoted string literal starting at `start` (the quote).
+/// Returns the string content and the index just past the closing quote.
+fn lex_string(input: &str, start: usize) -> Result<(String, usize)> {
+    let bytes = input.as_bytes();
+    let mut out = String::new();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        if bytes[i] == b'\'' {
+            if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                out.push('\'');
+                i += 2;
+            } else {
+                return Ok((out, i + 1));
+            }
+        } else {
+            // advance over a full UTF-8 code point
+            let ch_len = utf8_len(bytes[i]);
+            out.push_str(&input[i..i + ch_len]);
+            i += ch_len;
+        }
+    }
+    Err(Error::Lex("unterminated string literal".into()))
+}
+
+/// Lex a double-quoted identifier starting at `start` (the quote).
+fn lex_quoted_ident(input: &str, start: usize) -> Result<(String, usize)> {
+    let bytes = input.as_bytes();
+    let mut i = start + 1;
+    let from = i;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            return Ok((input[from..i].to_string(), i + 1));
+        }
+        i += utf8_len(bytes[i]);
+    }
+    Err(Error::Lex("unterminated quoted identifier".into()))
+}
+
+/// Lex an integer or float literal.
+fn lex_number(input: &str, start: usize) -> Result<(Token, usize)> {
+    let bytes = input.as_bytes();
+    let mut i = start;
+    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+        i += 1;
+    }
+    let mut is_float = false;
+    if i + 1 < bytes.len() && bytes[i] == b'.' && (bytes[i + 1] as char).is_ascii_digit() {
+        is_float = true;
+        i += 1;
+        while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+            i += 1;
+        }
+    }
+    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+        let mut j = i + 1;
+        if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+            j += 1;
+        }
+        if j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+            is_float = true;
+            i = j;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+        }
+    }
+    let text = &input[start..i];
+    if is_float {
+        text.parse::<f64>()
+            .map(|f| (Token::Float(f), i))
+            .map_err(|_| Error::Lex(format!("bad float literal '{text}'")))
+    } else {
+        text.parse::<i64>()
+            .map(|n| (Token::Int(n), i))
+            .map_err(|_| Error::Lex(format!("integer literal '{text}' out of range")))
+    }
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_and_idents_lowercased() {
+        let toks = tokenize("SELECT Name FROM Assy").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("select".into()),
+                Token::Ident("name".into()),
+                Token::Ident("from".into()),
+                Token::Ident("assy".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        let toks = tokenize("a <> b != c <= d >= e < f > g = h || i").unwrap();
+        let ops: Vec<&Token> = toks
+            .iter()
+            .filter(|t| !matches!(t, Token::Ident(_)))
+            .collect();
+        assert_eq!(
+            ops,
+            vec![
+                &Token::NotEq,
+                &Token::NotEq,
+                &Token::LtEq,
+                &Token::GtEq,
+                &Token::Lt,
+                &Token::Gt,
+                &Token::Eq,
+                &Token::Concat
+            ]
+        );
+    }
+
+    #[test]
+    fn string_literal_with_escape() {
+        let toks = tokenize("'it''s a part'").unwrap();
+        assert_eq!(toks, vec![Token::Str("it's a part".into())]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(matches!(tokenize("'oops"), Err(Error::Lex(_))));
+    }
+
+    #[test]
+    fn quoted_identifier_preserves_case() {
+        let toks = tokenize("SELECT \"EFF_FROM\" FROM t").unwrap();
+        assert!(toks.contains(&Token::QuotedIdent("EFF_FROM".into())));
+    }
+
+    #[test]
+    fn numbers_int_and_float() {
+        let toks = tokenize("42 3.5 1e3 2.5e-2").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Int(42),
+                Token::Float(3.5),
+                Token::Float(1000.0),
+                Token::Float(0.025)
+            ]
+        );
+    }
+
+    #[test]
+    fn dot_separates_qualified_names() {
+        let toks = tokenize("assy.obid").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("assy".into()),
+                Token::Dot,
+                Token::Ident("obid".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn line_comments_skipped() {
+        let toks = tokenize("select -- everything\n1").unwrap();
+        assert_eq!(toks, vec![Token::Ident("select".into()), Token::Int(1)]);
+    }
+
+    #[test]
+    fn bad_char_reports_lex_error() {
+        assert!(matches!(tokenize("select #"), Err(Error::Lex(_))));
+        assert!(matches!(tokenize("a ! b"), Err(Error::Lex(_))));
+        assert!(matches!(tokenize("a | b"), Err(Error::Lex(_))));
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        let toks = tokenize("'Müller'").unwrap();
+        assert_eq!(toks, vec![Token::Str("Müller".into())]);
+    }
+}

@@ -1,0 +1,1057 @@
+//! Recursive-descent parser for the supported SQL subset.
+//!
+//! Covers everything the paper's queries need: `WITH RECURSIVE`, `UNION
+//! [ALL]`, joins with `ON`, `EXISTS` / `NOT EXISTS` / `IN` subqueries, scalar
+//! subqueries, aggregates, `CAST`, `CASE`, `ORDER BY`, plus the DML/DDL used
+//! by the PDM server (INSERT / UPDATE / DELETE / CREATE TABLE / CREATE VIEW /
+//! CREATE INDEX / DROP TABLE).
+
+use crate::ast::*;
+use crate::error::{Error, Result};
+use crate::lexer::{tokenize, Token};
+use crate::value::{DataType, Value};
+
+/// Keywords that terminate an expression or cannot serve as implicit aliases.
+const RESERVED: &[&str] = &[
+    "select", "distinct", "from", "where", "group", "having", "order", "limit", "union",
+    "intersect", "except", "join", "left", "inner", "on", "as", "and", "or", "not", "in",
+    "exists", "between", "is", "null", "true", "false", "cast", "case", "when", "then", "else",
+    "end", "set", "values", "desc", "asc", "by", "with", "recursive", "insert", "into", "like",
+    "update", "delete", "create", "table", "view", "index", "drop",
+];
+
+/// Parse a single SQL statement (a trailing semicolon is allowed).
+pub fn parse_statement(sql: &str) -> Result<Statement> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.parse_statement()?;
+    p.eat_symbol(&Token::Semicolon);
+    if !p.at_end() {
+        return Err(Error::Parse(format!(
+            "unexpected trailing input at token {:?}",
+            p.peek()
+        )));
+    }
+    Ok(stmt)
+}
+
+/// Parse a query (SELECT / WITH ...), rejecting DML/DDL.
+pub fn parse_query(sql: &str) -> Result<Query> {
+    match parse_statement(sql)? {
+        Statement::Query(q) => Ok(q),
+        other => Err(Error::Parse(format!("expected a query, got {other}"))),
+    }
+}
+
+/// Parse a standalone scalar/boolean expression (used by tests and the rule
+/// translator round-trip checks).
+pub fn parse_expr(sql: &str) -> Result<Expr> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.parse_expr()?;
+    if !p.at_end() {
+        return Err(Error::Parse("trailing input after expression".into()));
+    }
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<&Token> {
+        self.tokens.get(self.pos + offset)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(t) if t.is_kw(kw))
+    }
+
+    /// Consume keyword `kw` if present; report whether it was.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(Error::Parse(format!(
+                "expected keyword {} but found {:?}",
+                kw.to_uppercase(),
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat_symbol(&mut self, tok: &Token) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, tok: &Token) -> Result<()> {
+        if self.eat_symbol(tok) {
+            Ok(())
+        } else {
+            Err(Error::Parse(format!(
+                "expected {tok:?} but found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    /// Any identifier (quoted or not); errors otherwise.
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.advance() {
+            Some(Token::Ident(s)) => Ok(s),
+            Some(Token::QuotedIdent(s)) => Ok(s.to_ascii_lowercase()),
+            other => Err(Error::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    // -- statements ---------------------------------------------------------
+
+    fn parse_statement(&mut self) -> Result<Statement> {
+        if self.peek_kw("select") || self.peek_kw("with") || self.peek() == Some(&Token::LParen) {
+            return Ok(Statement::Query(self.parse_query()?));
+        }
+        if self.eat_kw("insert") {
+            return self.parse_insert();
+        }
+        if self.eat_kw("update") {
+            return self.parse_update();
+        }
+        if self.eat_kw("delete") {
+            return self.parse_delete();
+        }
+        if self.eat_kw("create") {
+            return self.parse_create();
+        }
+        if self.eat_kw("drop") {
+            self.expect_kw("table")?;
+            let name = self.expect_ident()?;
+            return Ok(Statement::DropTable { name });
+        }
+        Err(Error::Parse(format!(
+            "unrecognized statement start: {:?}",
+            self.peek()
+        )))
+    }
+
+    fn parse_insert(&mut self) -> Result<Statement> {
+        self.expect_kw("into")?;
+        let table = self.expect_ident()?;
+        let columns = if self.peek() == Some(&Token::LParen) {
+            self.expect_symbol(&Token::LParen)?;
+            let mut cols = vec![self.expect_ident()?];
+            while self.eat_symbol(&Token::Comma) {
+                cols.push(self.expect_ident()?);
+            }
+            self.expect_symbol(&Token::RParen)?;
+            Some(cols)
+        } else {
+            None
+        };
+        self.expect_kw("values")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_symbol(&Token::LParen)?;
+            let mut row = vec![self.parse_expr()?];
+            while self.eat_symbol(&Token::Comma) {
+                row.push(self.parse_expr()?);
+            }
+            self.expect_symbol(&Token::RParen)?;
+            rows.push(row);
+            if !self.eat_symbol(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert { table, columns, rows })
+    }
+
+    fn parse_update(&mut self) -> Result<Statement> {
+        let table = self.expect_ident()?;
+        self.expect_kw("set")?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.expect_ident()?;
+            self.expect_symbol(&Token::Eq)?;
+            let e = self.parse_expr()?;
+            assignments.push((col, e));
+            if !self.eat_symbol(&Token::Comma) {
+                break;
+            }
+        }
+        let predicate = if self.eat_kw("where") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update { table, assignments, predicate })
+    }
+
+    fn parse_delete(&mut self) -> Result<Statement> {
+        self.expect_kw("from")?;
+        let table = self.expect_ident()?;
+        let predicate = if self.eat_kw("where") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete { table, predicate })
+    }
+
+    fn parse_create(&mut self) -> Result<Statement> {
+        if self.eat_kw("table") {
+            let name = self.expect_ident()?;
+            self.expect_symbol(&Token::LParen)?;
+            let mut columns = Vec::new();
+            loop {
+                let col_name = self.expect_ident()?;
+                let dtype = self.parse_data_type()?;
+                let mut nullable = true;
+                if self.eat_kw("not") {
+                    self.expect_kw("null")?;
+                    nullable = false;
+                }
+                columns.push(ColumnDef { name: col_name, dtype, nullable });
+                if !self.eat_symbol(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(&Token::RParen)?;
+            Ok(Statement::CreateTable { name, columns })
+        } else if self.eat_kw("view") {
+            let name = self.expect_ident()?;
+            self.expect_kw("as")?;
+            let query = self.parse_query()?;
+            Ok(Statement::CreateView { name, query })
+        } else if self.eat_kw("index") {
+            self.expect_kw("on")?;
+            let table = self.expect_ident()?;
+            self.expect_symbol(&Token::LParen)?;
+            let column = self.expect_ident()?;
+            self.expect_symbol(&Token::RParen)?;
+            Ok(Statement::CreateIndex { table, column })
+        } else {
+            Err(Error::Parse("expected TABLE, VIEW, or INDEX after CREATE".into()))
+        }
+    }
+
+    fn parse_data_type(&mut self) -> Result<DataType> {
+        let name = self.expect_ident()?;
+        let dt = match name.as_str() {
+            "int" | "integer" | "bigint" | "smallint" => DataType::Int,
+            "double" | "float" | "real" | "decimal" | "numeric" => DataType::Float,
+            "varchar" | "char" | "text" | "string" => DataType::Text,
+            "boolean" | "bool" => DataType::Bool,
+            other => return Err(Error::Parse(format!("unknown data type '{other}'"))),
+        };
+        // swallow optional length like VARCHAR(40)
+        if self.eat_symbol(&Token::LParen) {
+            while !self.eat_symbol(&Token::RParen) {
+                if self.advance().is_none() {
+                    return Err(Error::Parse("unterminated type parameter list".into()));
+                }
+            }
+        }
+        Ok(dt)
+    }
+
+    // -- queries ------------------------------------------------------------
+
+    fn parse_query(&mut self) -> Result<Query> {
+        let with = if self.eat_kw("with") {
+            let recursive = self.eat_kw("recursive");
+            let mut ctes = Vec::new();
+            loop {
+                let name = self.expect_ident()?;
+                let mut columns = Vec::new();
+                if self.eat_symbol(&Token::LParen) {
+                    columns.push(self.expect_ident()?);
+                    while self.eat_symbol(&Token::Comma) {
+                        columns.push(self.expect_ident()?);
+                    }
+                    self.expect_symbol(&Token::RParen)?;
+                }
+                self.expect_kw("as")?;
+                self.expect_symbol(&Token::LParen)?;
+                let query = self.parse_query()?;
+                self.expect_symbol(&Token::RParen)?;
+                ctes.push(Cte { name, columns, query });
+                if !self.eat_symbol(&Token::Comma) {
+                    break;
+                }
+            }
+            Some(With { recursive, ctes })
+        } else {
+            None
+        };
+
+        let body = self.parse_set_expr()?;
+
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let expr = self.parse_expr()?;
+                let desc = if self.eat_kw("desc") {
+                    true
+                } else {
+                    self.eat_kw("asc");
+                    false
+                };
+                order_by.push(OrderItem { expr, desc });
+                if !self.eat_symbol(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let limit = if self.eat_kw("limit") {
+            match self.advance() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as u64),
+                other => return Err(Error::Parse(format!("expected LIMIT count, got {other:?}"))),
+            }
+        } else {
+            None
+        };
+
+        Ok(Query { with, body, order_by, limit })
+    }
+
+    /// Set expressions are left-associative:
+    /// `a UNION b UNION c` == `(a UNION b) UNION c`.
+    fn parse_set_expr(&mut self) -> Result<SetExpr> {
+        let mut left = self.parse_set_term()?;
+        loop {
+            let op = if self.peek_kw("union") {
+                SetOp::Union
+            } else if self.peek_kw("intersect") {
+                SetOp::Intersect
+            } else if self.peek_kw("except") {
+                SetOp::Except
+            } else {
+                break;
+            };
+            self.pos += 1;
+            let all = self.eat_kw("all");
+            let right = self.parse_set_term()?;
+            left = SetExpr::SetOp {
+                op,
+                all,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_set_term(&mut self) -> Result<SetExpr> {
+        if self.peek() == Some(&Token::LParen) {
+            // Parenthesized query body: (SELECT ... UNION ...)
+            let checkpoint = self.pos;
+            self.pos += 1;
+            if self.peek_kw("select") || self.peek_kw("with") || self.peek() == Some(&Token::LParen)
+            {
+                let inner = self.parse_query()?;
+                self.expect_symbol(&Token::RParen)?;
+                if inner.with.is_none() && inner.order_by.is_empty() && inner.limit.is_none() {
+                    return Ok(inner.body);
+                }
+                // Keep full query semantics by wrapping as derived table.
+                let mut sel = Select::new();
+                sel.projection.push(SelectItem::Wildcard);
+                sel.from.push(TableWithJoins {
+                    base: TableFactor::Derived {
+                        subquery: Box::new(inner),
+                        alias: "__q".into(),
+                    },
+                    joins: Vec::new(),
+                });
+                return Ok(SetExpr::Select(Box::new(sel)));
+            }
+            self.pos = checkpoint;
+        }
+        self.expect_kw("select")?;
+        Ok(SetExpr::Select(Box::new(self.parse_select_after_kw()?)))
+    }
+
+    /// Parse the remainder of a SELECT after the SELECT keyword itself.
+    fn parse_select_after_kw(&mut self) -> Result<Select> {
+        let mut sel = Select::new();
+        sel.distinct = self.eat_kw("distinct");
+        if sel.distinct {
+            self.eat_kw("all");
+        }
+
+        // projection list
+        loop {
+            if self.eat_symbol(&Token::Star) {
+                sel.projection.push(SelectItem::Wildcard);
+            } else if let (Some(Token::Ident(q)), Some(Token::Dot), Some(Token::Star)) =
+                (self.peek(), self.peek_at(1), self.peek_at(2))
+            {
+                let q = q.clone();
+                self.pos += 3;
+                sel.projection.push(SelectItem::QualifiedWildcard(q));
+            } else {
+                let expr = self.parse_expr()?;
+                let alias = self.parse_optional_alias()?;
+                sel.projection.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat_symbol(&Token::Comma) {
+                break;
+            }
+        }
+
+        if self.eat_kw("from") {
+            loop {
+                sel.from.push(self.parse_table_with_joins()?);
+                if !self.eat_symbol(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+
+        if self.eat_kw("where") {
+            sel.where_clause = Some(self.parse_expr()?);
+        }
+
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                sel.group_by.push(self.parse_expr()?);
+                if !self.eat_symbol(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+
+        if self.eat_kw("having") {
+            sel.having = Some(self.parse_expr()?);
+        }
+
+        Ok(sel)
+    }
+
+    fn parse_optional_alias(&mut self) -> Result<Option<String>> {
+        if self.eat_kw("as") {
+            return Ok(Some(self.expect_ident()?));
+        }
+        match self.peek() {
+            Some(Token::Ident(s)) if !RESERVED.contains(&s.as_str()) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(Some(s))
+            }
+            Some(Token::QuotedIdent(s)) => {
+                let s = s.to_ascii_lowercase();
+                self.pos += 1;
+                Ok(Some(s))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    fn parse_table_with_joins(&mut self) -> Result<TableWithJoins> {
+        let base = self.parse_table_factor()?;
+        let mut joins = Vec::new();
+        loop {
+            let kind = if self.peek_kw("join") || self.peek_kw("inner") {
+                self.eat_kw("inner");
+                self.expect_kw("join")?;
+                JoinKind::Inner
+            } else if self.peek_kw("left") {
+                self.pos += 1;
+                self.eat_kw("outer");
+                self.expect_kw("join")?;
+                JoinKind::Left
+            } else {
+                break;
+            };
+            let factor = self.parse_table_factor()?;
+            let on = if self.eat_kw("on") {
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
+            joins.push(Join { kind, factor, on });
+        }
+        Ok(TableWithJoins { base, joins })
+    }
+
+    fn parse_table_factor(&mut self) -> Result<TableFactor> {
+        if self.eat_symbol(&Token::LParen) {
+            let subquery = self.parse_query()?;
+            self.expect_symbol(&Token::RParen)?;
+            let alias = self
+                .parse_optional_alias()?
+                .ok_or_else(|| Error::Parse("derived table requires an alias".into()))?;
+            return Ok(TableFactor::Derived {
+                subquery: Box::new(subquery),
+                alias,
+            });
+        }
+        let name = self.expect_ident()?;
+        let alias = self.parse_optional_alias()?;
+        Ok(TableFactor::Table { name, alias })
+    }
+
+    // -- expressions --------------------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while self.eat_kw("or") {
+            let right = self.parse_and()?;
+            left = Expr::binary(left, BinOp::Or, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_not()?;
+        while self.eat_kw("and") {
+            let right = self.parse_not()?;
+            left = Expr::binary(left, BinOp::And, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if self.eat_kw("not") {
+            let inner = self.parse_not()?;
+            Ok(Expr::Not(Box::new(inner)))
+        } else {
+            self.parse_comparison()
+        }
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr> {
+        let left = self.parse_additive()?;
+
+        // IS [NOT] NULL
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+        }
+
+        // [NOT] IN / [NOT] BETWEEN / [NOT] LIKE
+        let negated = if self.peek_kw("not")
+            && matches!(self.peek_at(1), Some(t) if t.is_kw("in") || t.is_kw("between") || t.is_kw("like"))
+        {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+
+        if self.eat_kw("in") {
+            self.expect_symbol(&Token::LParen)?;
+            if self.peek_kw("select") || self.peek_kw("with") {
+                let query = self.parse_query()?;
+                self.expect_symbol(&Token::RParen)?;
+                return Ok(Expr::InSubquery {
+                    expr: Box::new(left),
+                    query: Box::new(query),
+                    negated,
+                });
+            }
+            let mut list = vec![self.parse_expr()?];
+            while self.eat_symbol(&Token::Comma) {
+                list.push(self.parse_expr()?);
+            }
+            self.expect_symbol(&Token::RParen)?;
+            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+        }
+
+        if self.eat_kw("between") {
+            let low = self.parse_additive()?;
+            self.expect_kw("and")?;
+            let high = self.parse_additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+
+        if self.eat_kw("like") {
+            let pattern = self.parse_additive()?;
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern: Box::new(pattern),
+                negated,
+            });
+        }
+
+        if negated {
+            return Err(Error::Parse("expected IN, BETWEEN, or LIKE after NOT".into()));
+        }
+
+        let op = match self.peek() {
+            Some(Token::Eq) => BinOp::Eq,
+            Some(Token::NotEq) => BinOp::NotEq,
+            Some(Token::Lt) => BinOp::Lt,
+            Some(Token::LtEq) => BinOp::LtEq,
+            Some(Token::Gt) => BinOp::Gt,
+            Some(Token::GtEq) => BinOp::GtEq,
+            _ => return Ok(left),
+        };
+        self.pos += 1;
+        let right = self.parse_additive()?;
+        Ok(Expr::binary(left, op, right))
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Plus,
+                Some(Token::Minus) => BinOp::Minus,
+                Some(Token::Concat) => BinOp::Concat,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_multiplicative()?;
+            left = Expr::binary(left, op, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                Some(Token::Percent) => BinOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_unary()?;
+            left = Expr::binary(left, op, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if self.eat_symbol(&Token::Minus) {
+            let inner = self.parse_unary()?;
+            // fold negation of numeric literals
+            return Ok(match inner {
+                Expr::Literal(Value::Int(i)) => Expr::Literal(Value::Int(-i)),
+                Expr::Literal(Value::Float(x)) => Expr::Literal(Value::Float(-x)),
+                other => Expr::Negate(Box::new(other)),
+            });
+        }
+        self.eat_symbol(&Token::Plus);
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.peek().cloned() {
+            Some(Token::Int(n)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Int(n)))
+            }
+            Some(Token::Float(x)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Float(x)))
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Text(s)))
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                if self.peek_kw("select") || self.peek_kw("with") {
+                    let q = self.parse_query()?;
+                    self.expect_symbol(&Token::RParen)?;
+                    Ok(Expr::ScalarSubquery(Box::new(q)))
+                } else {
+                    let e = self.parse_expr()?;
+                    self.expect_symbol(&Token::RParen)?;
+                    Ok(e)
+                }
+            }
+            Some(Token::Ident(word)) => match word.as_str() {
+                "null" => {
+                    self.pos += 1;
+                    Ok(Expr::Literal(Value::Null))
+                }
+                "true" => {
+                    self.pos += 1;
+                    Ok(Expr::Literal(Value::Bool(true)))
+                }
+                "false" => {
+                    self.pos += 1;
+                    Ok(Expr::Literal(Value::Bool(false)))
+                }
+                "exists" => {
+                    self.pos += 1;
+                    self.expect_symbol(&Token::LParen)?;
+                    let q = self.parse_query()?;
+                    self.expect_symbol(&Token::RParen)?;
+                    Ok(Expr::Exists { query: Box::new(q), negated: false })
+                }
+                "cast" => {
+                    self.pos += 1;
+                    self.expect_symbol(&Token::LParen)?;
+                    let e = self.parse_expr()?;
+                    self.expect_kw("as")?;
+                    let dtype = self.parse_data_type()?;
+                    self.expect_symbol(&Token::RParen)?;
+                    Ok(Expr::Cast { expr: Box::new(e), dtype })
+                }
+                "case" => {
+                    self.pos += 1;
+                    let mut branches = Vec::new();
+                    while self.eat_kw("when") {
+                        let cond = self.parse_expr()?;
+                        self.expect_kw("then")?;
+                        let result = self.parse_expr()?;
+                        branches.push((cond, result));
+                    }
+                    if branches.is_empty() {
+                        return Err(Error::Parse("CASE requires at least one WHEN".into()));
+                    }
+                    let else_expr = if self.eat_kw("else") {
+                        Some(Box::new(self.parse_expr()?))
+                    } else {
+                        None
+                    };
+                    self.expect_kw("end")?;
+                    Ok(Expr::Case { branches, else_expr })
+                }
+                _ => self.parse_ident_expr(),
+            },
+            Some(Token::QuotedIdent(_)) => self.parse_ident_expr(),
+            other => Err(Error::Parse(format!("unexpected token {other:?}"))),
+        }
+    }
+
+    /// Identifier-led expression: function call, qualified column, or bare
+    /// column.
+    fn parse_ident_expr(&mut self) -> Result<Expr> {
+        let first = self.expect_ident()?;
+        // function call?
+        if self.peek() == Some(&Token::LParen) {
+            self.pos += 1;
+            if self.eat_symbol(&Token::Star) {
+                self.expect_symbol(&Token::RParen)?;
+                return Ok(Expr::Function { name: first, args: vec![], star: true });
+            }
+            // COUNT(DISTINCT x) is normalized to COUNT(x) — the engine's
+            // UNION-heavy workloads never produce duplicates we care about,
+            // and accepting the syntax keeps paper-style queries parseable.
+            self.eat_kw("distinct");
+            let mut args = Vec::new();
+            if self.peek() != Some(&Token::RParen) {
+                args.push(self.parse_expr()?);
+                while self.eat_symbol(&Token::Comma) {
+                    args.push(self.parse_expr()?);
+                }
+            }
+            self.expect_symbol(&Token::RParen)?;
+            return Ok(Expr::Function { name: first, args, star: false });
+        }
+        // qualified column?
+        if self.peek() == Some(&Token::Dot) {
+            self.pos += 1;
+            let name = self.expect_ident()?;
+            return Ok(Expr::Column { qualifier: Some(first), name });
+        }
+        Ok(Expr::Column { qualifier: None, name: first })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_select() {
+        let q = parse_query("SELECT name FROM assy WHERE assy.obid = 1").unwrap();
+        let SetExpr::Select(sel) = &q.body else { panic!() };
+        assert_eq!(sel.projection.len(), 1);
+        assert_eq!(sel.from_table_names(), vec!["assy"]);
+        assert!(sel.where_clause.is_some());
+    }
+
+    #[test]
+    fn select_star_and_qualified_star() {
+        let q = parse_query("SELECT *, a.* FROM a").unwrap();
+        let SetExpr::Select(sel) = &q.body else { panic!() };
+        assert!(matches!(sel.projection[0], SelectItem::Wildcard));
+        assert!(matches!(&sel.projection[1], SelectItem::QualifiedWildcard(q) if q == "a"));
+    }
+
+    #[test]
+    fn joins_with_on() {
+        let q = parse_query(
+            "SELECT assy.name FROM rtbl JOIN link ON rtbl.obid=link.left \
+             JOIN assy ON link.right=assy.obid",
+        )
+        .unwrap();
+        let SetExpr::Select(sel) = &q.body else { panic!() };
+        assert_eq!(sel.from.len(), 1);
+        assert_eq!(sel.from[0].joins.len(), 2);
+        assert_eq!(sel.from_table_names(), vec!["rtbl", "link", "assy"]);
+    }
+
+    #[test]
+    fn left_join() {
+        let q = parse_query("SELECT * FROM a LEFT JOIN b ON a.x = b.y").unwrap();
+        let SetExpr::Select(sel) = &q.body else { panic!() };
+        assert_eq!(sel.from[0].joins[0].kind, JoinKind::Left);
+    }
+
+    #[test]
+    fn with_recursive_full_paper_query_parses() {
+        // Verbatim (modulo whitespace) from Section 5.2 of the paper.
+        let sql = r#"
+            WITH RECURSIVE rtbl (type, obid, name, dec) AS
+            (SELECT type, obid, name, dec
+               FROM assy
+              WHERE assy.obid = 1
+             UNION
+             SELECT assy.type, assy.obid, assy.name, assy.dec
+               FROM rtbl JOIN link ON rtbl.obid=link.left
+                         JOIN assy ON link.right=assy.obid
+             UNION
+             SELECT comp.type, comp.obid, comp.name, ''
+               FROM rtbl JOIN link ON rtbl.obid=link.left
+                         JOIN comp ON link.right=comp.obid
+            )
+            SELECT type, obid, name, dec AS "DEC",
+                   cast (NULL AS integer) AS "LEFT",
+                   cast (NULL AS integer) AS "RIGHT",
+                   cast (NULL AS integer) AS "EFF_FROM",
+                   cast (NULL AS integer) AS "EFF_TO"
+              FROM rtbl
+            UNION
+            SELECT type, obid, '' AS "NAME", '' AS "DEC",
+                   left, right, eff_from, eff_to
+              FROM link
+             WHERE (left IN (SELECT obid FROM rtbl)
+               AND right IN (SELECT obid FROM rtbl))
+            ORDER BY 1,2
+        "#;
+        let q = parse_query(sql).unwrap();
+        let with = q.with.as_ref().unwrap();
+        assert!(with.recursive);
+        assert_eq!(with.ctes.len(), 1);
+        assert_eq!(with.ctes[0].name, "rtbl");
+        assert_eq!(with.ctes[0].columns, vec!["type", "obid", "name", "dec"]);
+        // CTE body is a two-deep UNION chain = 3 terms
+        assert_eq!(
+            with.ctes[0].query.body.flatten_setop(SetOp::Union).len(),
+            3
+        );
+        assert_eq!(q.order_by.len(), 2);
+    }
+
+    #[test]
+    fn not_exists_subquery() {
+        let e = parse_expr(
+            "NOT EXISTS (SELECT * FROM rtbl WHERE (type='assy' AND dec!='+'))",
+        )
+        .unwrap();
+        let Expr::Not(inner) = e else { panic!("expected NOT") };
+        assert!(matches!(*inner, Expr::Exists { negated: false, .. }));
+    }
+
+    #[test]
+    fn scalar_subquery_comparison() {
+        let e = parse_expr("(SELECT COUNT(*) FROM rtbl WHERE type='assy') <= 10").unwrap();
+        let Expr::BinaryOp { left, op, .. } = e else { panic!() };
+        assert_eq!(op, BinOp::LtEq);
+        assert!(matches!(*left, Expr::ScalarSubquery(_)));
+    }
+
+    #[test]
+    fn in_list_and_in_subquery() {
+        let e = parse_expr("x IN (1, 2, 3)").unwrap();
+        assert!(matches!(e, Expr::InList { negated: false, .. }));
+        let e = parse_expr("x NOT IN (SELECT y FROM t)").unwrap();
+        assert!(matches!(e, Expr::InSubquery { negated: true, .. }));
+    }
+
+    #[test]
+    fn between() {
+        let e = parse_expr("eff BETWEEN 1 AND 10").unwrap();
+        assert!(matches!(e, Expr::Between { negated: false, .. }));
+        let e = parse_expr("eff NOT BETWEEN 1 AND 10").unwrap();
+        assert!(matches!(e, Expr::Between { negated: true, .. }));
+    }
+
+    #[test]
+    fn precedence_or_and() {
+        let e = parse_expr("a = 1 OR b = 2 AND c = 3").unwrap();
+        // AND binds tighter: a=1 OR (b=2 AND c=3)
+        let Expr::BinaryOp { op, right, .. } = e else { panic!() };
+        assert_eq!(op, BinOp::Or);
+        assert!(matches!(*right, Expr::BinaryOp { op: BinOp::And, .. }));
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        let Expr::BinaryOp { op, right, .. } = e else { panic!() };
+        assert_eq!(op, BinOp::Plus);
+        assert!(matches!(*right, Expr::BinaryOp { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn negative_literals_folded() {
+        assert_eq!(parse_expr("-5").unwrap(), Expr::Literal(Value::Int(-5)));
+        assert_eq!(
+            parse_expr("-2.5").unwrap(),
+            Expr::Literal(Value::Float(-2.5))
+        );
+    }
+
+    #[test]
+    fn aliases_with_and_without_as() {
+        let q = parse_query("SELECT a AS x, b y FROM t AS u").unwrap();
+        let SetExpr::Select(sel) = &q.body else { panic!() };
+        let SelectItem::Expr { alias, .. } = &sel.projection[0] else { panic!() };
+        assert_eq!(alias.as_deref(), Some("x"));
+        let SelectItem::Expr { alias, .. } = &sel.projection[1] else { panic!() };
+        assert_eq!(alias.as_deref(), Some("y"));
+        let TableFactor::Table { alias, .. } = &sel.from[0].base else { panic!() };
+        assert_eq!(alias.as_deref(), Some("u"));
+    }
+
+    #[test]
+    fn reserved_word_not_taken_as_alias() {
+        let q = parse_query("SELECT a FROM t WHERE a = 1").unwrap();
+        let SetExpr::Select(sel) = &q.body else { panic!() };
+        // WHERE must not have been swallowed as an alias of `t`
+        assert!(sel.where_clause.is_some());
+    }
+
+    #[test]
+    fn insert_update_delete_parse() {
+        assert!(matches!(
+            parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap(),
+            Statement::Insert { .. }
+        ));
+        assert!(matches!(
+            parse_statement("UPDATE t SET a = 1 WHERE b = 2").unwrap(),
+            Statement::Update { .. }
+        ));
+        assert!(matches!(
+            parse_statement("DELETE FROM t WHERE a = 1").unwrap(),
+            Statement::Delete { .. }
+        ));
+    }
+
+    #[test]
+    fn create_table_and_view_and_index() {
+        let st = parse_statement(
+            "CREATE TABLE assy (type VARCHAR(8) NOT NULL, obid INTEGER NOT NULL, name VARCHAR, dec VARCHAR)",
+        )
+        .unwrap();
+        let Statement::CreateTable { name, columns } = st else { panic!() };
+        assert_eq!(name, "assy");
+        assert_eq!(columns.len(), 4);
+        assert!(!columns[0].nullable);
+        assert!(columns[2].nullable);
+
+        assert!(matches!(
+            parse_statement("CREATE VIEW v AS SELECT * FROM t").unwrap(),
+            Statement::CreateView { .. }
+        ));
+        assert!(matches!(
+            parse_statement("CREATE INDEX ON link (left)").unwrap(),
+            Statement::CreateIndex { .. }
+        ));
+    }
+
+    #[test]
+    fn case_expression() {
+        let e = parse_expr("CASE WHEN a = 1 THEN 'one' ELSE 'other' END").unwrap();
+        let Expr::Case { branches, else_expr } = e else { panic!() };
+        assert_eq!(branches.len(), 1);
+        assert!(else_expr.is_some());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_query("SELECT 1 garbage junk +").is_err());
+        assert!(parse_statement("SELECT 1; SELECT 2").is_err());
+    }
+
+    #[test]
+    fn union_all_vs_union() {
+        let q = parse_query("SELECT 1 UNION ALL SELECT 2 UNION SELECT 3").unwrap();
+        let SetExpr::SetOp { all, left, .. } = &q.body else { panic!() };
+        assert!(!all);
+        assert!(matches!(**left, SetExpr::SetOp { all: true, .. }));
+    }
+
+    #[test]
+    fn rendered_sql_round_trips() {
+        let sources = [
+            "SELECT a, b FROM t WHERE a = 1 AND (b = 2 OR c = 3)",
+            "SELECT COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2",
+            "SELECT * FROM a JOIN b ON a.x = b.y WHERE EXISTS (SELECT * FROM c WHERE c.z = a.x)",
+            "SELECT CAST (NULL AS integer) AS \"LEFT\" FROM t ORDER BY 1 DESC",
+            "SELECT x FROM t WHERE x BETWEEN 1 AND 10 OR x IS NOT NULL",
+        ];
+        for src in sources {
+            let q1 = parse_query(src).unwrap();
+            let rendered = q1.to_string();
+            let q2 = parse_query(&rendered)
+                .unwrap_or_else(|e| panic!("re-parse of '{rendered}' failed: {e}"));
+            assert_eq!(q1, q2, "round-trip mismatch for {src}");
+        }
+    }
+
+    #[test]
+    fn limit_clause() {
+        let q = parse_query("SELECT * FROM t LIMIT 5").unwrap();
+        assert_eq!(q.limit, Some(5));
+    }
+
+    #[test]
+    fn derived_table_requires_alias() {
+        assert!(parse_query("SELECT * FROM (SELECT 1)").is_err());
+        assert!(parse_query("SELECT * FROM (SELECT 1) AS d").is_ok());
+    }
+}

@@ -1,0 +1,315 @@
+//! In-memory table storage with optional hash indexes.
+//!
+//! Navigational PDM access issues one `WHERE link.left = <id>` query per tree
+//! node; without an index each would scan the whole link table, turning a
+//! 100k-node expand into O(n²) work. Hash indexes keep the *local* cost
+//! negligible, which matches the paper's premise that transmission — not
+//! server execution — dominates response time.
+
+use std::collections::HashMap;
+
+use crate::error::{Error, Result};
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// One base table: schema, rows, and hash indexes (column position →
+/// value → row ids).
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub name: String,
+    pub schema: Schema,
+    rows: Vec<Row>,
+    indexes: HashMap<usize, HashMap<Value, Vec<usize>>>,
+}
+
+impl Table {
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Table {
+            name: name.into().to_ascii_lowercase(),
+            schema,
+            rows: Vec::new(),
+            indexes: HashMap::new(),
+        }
+    }
+
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Validate a row against the schema (arity, types with implicit INT→
+    /// FLOAT widening, NOT NULL) and append it.
+    pub fn insert(&mut self, row: Row) -> Result<()> {
+        if row.len() != self.schema.len() {
+            return Err(Error::Schema(format!(
+                "table '{}' expects {} values, got {}",
+                self.name,
+                self.schema.len(),
+                row.len()
+            )));
+        }
+        let mut coerced = Vec::with_capacity(row.len());
+        for (value, col) in row.0.into_iter().zip(self.schema.columns()) {
+            if value.is_null() && !col.nullable {
+                return Err(Error::Schema(format!(
+                    "column '{}.{}' is NOT NULL",
+                    self.name, col.name
+                )));
+            }
+            coerced.push(value.coerce_for_column(col.dtype).map_err(|_| {
+                Error::Schema(format!(
+                    "value {value} does not fit column '{}.{}' ({})",
+                    self.name, col.name, col.dtype
+                ))
+            })?);
+        }
+        let row_id = self.rows.len();
+        for (&col_idx, index) in self.indexes.iter_mut() {
+            index
+                .entry(coerced[col_idx].clone())
+                .or_default()
+                .push(row_id);
+        }
+        self.rows.push(Row(coerced));
+        Ok(())
+    }
+
+    /// Build (or rebuild) a hash index on the named column.
+    pub fn create_index(&mut self, column: &str) -> Result<()> {
+        let idx = self.schema.require(column)?;
+        let mut map: HashMap<Value, Vec<usize>> = HashMap::new();
+        for (row_id, row) in self.rows.iter().enumerate() {
+            map.entry(row.get(idx).clone()).or_default().push(row_id);
+        }
+        self.indexes.insert(idx, map);
+        Ok(())
+    }
+
+    /// True if the column (by position) has a hash index.
+    pub fn has_index(&self, col_idx: usize) -> bool {
+        self.indexes.contains_key(&col_idx)
+    }
+
+    /// Row ids matching `value` via the index on `col_idx`, if indexed.
+    pub fn index_lookup(&self, col_idx: usize, value: &Value) -> Option<&[usize]> {
+        self.indexes
+            .get(&col_idx)
+            .map(|m| m.get(value).map(Vec::as_slice).unwrap_or(&[]))
+    }
+
+    pub fn row(&self, id: usize) -> &Row {
+        &self.rows[id]
+    }
+
+    /// Replace the value set of selected rows; rebuilds affected indexes.
+    /// `updates` maps column position → new value, applied to every row id in
+    /// `row_ids`.
+    pub fn update_rows(
+        &mut self,
+        row_ids: &[usize],
+        updates: &[(usize, Value)],
+    ) -> Result<usize> {
+        for &(col_idx, ref value) in updates {
+            let col = self.schema.column(col_idx);
+            if value.is_null() && !col.nullable {
+                return Err(Error::Schema(format!(
+                    "column '{}.{}' is NOT NULL",
+                    self.name, col.name
+                )));
+            }
+        }
+        for &rid in row_ids {
+            for (col_idx, value) in updates {
+                let col = self.schema.column(*col_idx);
+                self.rows[rid].0[*col_idx] = value.coerce_for_column(col.dtype)?;
+            }
+        }
+        // Any touched column's index is stale; rebuild them.
+        let touched: Vec<usize> = updates
+            .iter()
+            .map(|(c, _)| *c)
+            .filter(|c| self.indexes.contains_key(c))
+            .collect();
+        for col_idx in touched {
+            let mut map: HashMap<Value, Vec<usize>> = HashMap::new();
+            for (row_id, row) in self.rows.iter().enumerate() {
+                map.entry(row.get(col_idx).clone()).or_default().push(row_id);
+            }
+            self.indexes.insert(col_idx, map);
+        }
+        Ok(row_ids.len())
+    }
+
+    /// Apply per-row updates (`row id` → list of `(column, value)`), then
+    /// rebuild the affected indexes once. Used by UPDATE, whose assignment
+    /// expressions may evaluate differently per row (`SET x = x + 1`).
+    pub fn apply_updates(
+        &mut self,
+        updates: &[(usize, Vec<(usize, Value)>)],
+    ) -> Result<usize> {
+        let mut touched: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        for (rid, cols) in updates {
+            for (col_idx, value) in cols {
+                let col = self.schema.column(*col_idx);
+                if value.is_null() && !col.nullable {
+                    return Err(Error::Schema(format!(
+                        "column '{}.{}' is NOT NULL",
+                        self.name, col.name
+                    )));
+                }
+                self.rows[*rid].0[*col_idx] = value.coerce_for_column(col.dtype)?;
+                touched.insert(*col_idx);
+            }
+        }
+        let indexed: Vec<usize> = touched
+            .into_iter()
+            .filter(|c| self.indexes.contains_key(c))
+            .collect();
+        for col_idx in indexed {
+            let mut map: HashMap<Value, Vec<usize>> = HashMap::new();
+            for (row_id, row) in self.rows.iter().enumerate() {
+                map.entry(row.get(col_idx).clone()).or_default().push(row_id);
+            }
+            self.indexes.insert(col_idx, map);
+        }
+        Ok(updates.len())
+    }
+
+    /// Remove the given rows (ids into the current ordering); rebuilds all
+    /// indexes.
+    pub fn delete_rows(&mut self, row_ids: &[usize]) -> usize {
+        if row_ids.is_empty() {
+            return 0;
+        }
+        let doomed: std::collections::HashSet<usize> = row_ids.iter().copied().collect();
+        let before = self.rows.len();
+        let mut kept = Vec::with_capacity(before - doomed.len());
+        for (i, row) in self.rows.drain(..).enumerate() {
+            if !doomed.contains(&i) {
+                kept.push(row);
+            }
+        }
+        self.rows = kept;
+        let indexed: Vec<usize> = self.indexes.keys().copied().collect();
+        for col_idx in indexed {
+            let mut map: HashMap<Value, Vec<usize>> = HashMap::new();
+            for (row_id, row) in self.rows.iter().enumerate() {
+                map.entry(row.get(col_idx).clone()).or_default().push(row_id);
+            }
+            self.indexes.insert(col_idx, map);
+        }
+        before - self.rows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::DataType;
+
+    fn table() -> Table {
+        let mut t = Table::new(
+            "Link",
+            Schema::new(vec![
+                Column::new("obid", DataType::Int).not_null(),
+                Column::new("left", DataType::Int),
+                Column::new("right", DataType::Int),
+            ]),
+        );
+        for (obid, l, r) in [(1001, 1, 2), (1002, 1, 3), (1003, 2, 4), (1004, 2, 5)] {
+            t.insert(Row::new(vec![
+                Value::Int(obid),
+                Value::Int(l),
+                Value::Int(r),
+            ]))
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn name_is_lowercased() {
+        assert_eq!(table().name, "link");
+    }
+
+    #[test]
+    fn insert_checks_arity() {
+        let mut t = table();
+        let err = t.insert(Row::new(vec![Value::Int(1)])).unwrap_err();
+        assert!(matches!(err, Error::Schema(_)));
+    }
+
+    #[test]
+    fn insert_checks_not_null() {
+        let mut t = table();
+        let err = t
+            .insert(Row::new(vec![Value::Null, Value::Int(1), Value::Int(2)]))
+            .unwrap_err();
+        assert!(err.to_string().contains("NOT NULL"));
+    }
+
+    #[test]
+    fn insert_rejects_type_mismatch() {
+        let mut t = table();
+        let err = t
+            .insert(Row::new(vec![
+                Value::Text("x".into()),
+                Value::Int(1),
+                Value::Int(2),
+            ]))
+            .unwrap_err();
+        assert!(matches!(err, Error::Schema(_)));
+    }
+
+    #[test]
+    fn index_lookup_finds_matching_rows() {
+        let mut t = table();
+        t.create_index("left").unwrap();
+        let left_idx = t.schema.index_of("left").unwrap();
+        assert!(t.has_index(left_idx));
+        let hits = t.index_lookup(left_idx, &Value::Int(1)).unwrap();
+        assert_eq!(hits.len(), 2);
+        let hits = t.index_lookup(left_idx, &Value::Int(99)).unwrap();
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn index_maintained_on_insert() {
+        let mut t = table();
+        t.create_index("left").unwrap();
+        t.insert(Row::new(vec![Value::Int(1005), Value::Int(1), Value::Int(6)]))
+            .unwrap();
+        let left_idx = t.schema.index_of("left").unwrap();
+        assert_eq!(t.index_lookup(left_idx, &Value::Int(1)).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn update_rebuilds_index() {
+        let mut t = table();
+        t.create_index("left").unwrap();
+        let left_idx = t.schema.index_of("left").unwrap();
+        t.update_rows(&[0], &[(left_idx, Value::Int(7))]).unwrap();
+        assert_eq!(t.index_lookup(left_idx, &Value::Int(1)).unwrap().len(), 1);
+        assert_eq!(t.index_lookup(left_idx, &Value::Int(7)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn delete_compacts_and_reindexes() {
+        let mut t = table();
+        t.create_index("left").unwrap();
+        let removed = t.delete_rows(&[0, 2]);
+        assert_eq!(removed, 2);
+        assert_eq!(t.len(), 2);
+        let left_idx = t.schema.index_of("left").unwrap();
+        assert_eq!(t.index_lookup(left_idx, &Value::Int(2)).unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,313 @@
+//! Property-based tests on the engine's core invariants: value ordering
+//! laws, parser round-trips, set-operation algebra, and recursive-CTE
+//! reachability against an independent Rust-side traversal.
+
+use proptest::prelude::*;
+
+use pdm_sql::ast::{BinOp, Expr};
+use pdm_sql::parser::{parse_expr, parse_query};
+use pdm_sql::{Database, Value};
+
+// ---------------------------------------------------------------------------
+// Value ordering laws
+// ---------------------------------------------------------------------------
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i32>().prop_map(|i| Value::Int(i as i64)),
+        (-1e9f64..1e9f64).prop_map(Value::Float),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(Value::Text),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn total_cmp_is_reflexive_and_antisymmetric(a in arb_value(), b in arb_value()) {
+        use std::cmp::Ordering;
+        prop_assert_eq!(a.total_cmp(&a), Ordering::Equal);
+        prop_assert_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse());
+    }
+
+    #[test]
+    fn total_cmp_is_transitive(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering::*;
+        let mut v = [a, b, c];
+        v.sort_by(|x, y| x.total_cmp(y));
+        // sorted order must be internally consistent
+        prop_assert_ne!(v[0].total_cmp(&v[1]), Greater);
+        prop_assert_ne!(v[1].total_cmp(&v[2]), Greater);
+        prop_assert_ne!(v[0].total_cmp(&v[2]), Greater);
+    }
+
+    #[test]
+    fn dedup_eq_implies_equal_hash(a in arb_value(), b in arb_value()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        if a.dedup_eq(&b) {
+            let mut ha = DefaultHasher::new();
+            a.hash(&mut ha);
+            let mut hb = DefaultHasher::new();
+            b.hash(&mut hb);
+            prop_assert_eq!(ha.finish(), hb.finish());
+        }
+    }
+
+    #[test]
+    fn sql_eq_agrees_with_dedup_eq_for_non_null(a in arb_value(), b in arb_value()) {
+        // wherever SQL equality is defined, it matches the dedup relation
+        if let Some(eq) = a.sql_eq(&b) {
+            prop_assert_eq!(eq, a.dedup_eq(&b));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser round-trips over generated expressions
+// ---------------------------------------------------------------------------
+
+fn arb_literal() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        any::<i32>().prop_map(|i| Expr::Literal(Value::Int(i as i64))),
+        "[a-z]{0,6}".prop_map(|s| Expr::Literal(Value::Text(s))),
+        any::<bool>().prop_map(|b| Expr::Literal(Value::Bool(b))),
+        Just(Expr::Literal(Value::Null)),
+    ]
+}
+
+fn arb_column() -> impl Strategy<Value = Expr> {
+    ("[a-z][a-z0-9_]{0,5}", proptest::option::of("[a-z][a-z0-9_]{0,5}")).prop_map(
+        |(name, qualifier)| Expr::Column { qualifier, name },
+    )
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![arb_literal(), arb_column()];
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), arb_binop()).prop_map(|(l, r, op)| {
+                Expr::BinaryOp { left: Box::new(l), op, right: Box::new(r) }
+            }),
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), any::<bool>())
+                .prop_map(|(e, n)| Expr::IsNull { expr: Box::new(e), negated: n }),
+            (inner.clone(), proptest::collection::vec(inner.clone(), 1..3), any::<bool>())
+                .prop_map(|(e, list, n)| Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated: n
+                }),
+        ]
+    })
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Eq),
+        Just(BinOp::NotEq),
+        Just(BinOp::Lt),
+        Just(BinOp::LtEq),
+        Just(BinOp::Gt),
+        Just(BinOp::GtEq),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::Plus),
+        Just(BinOp::Minus),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Concat),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Rendering an AST to SQL and re-parsing must reproduce the AST — the
+    /// property the query modificator's whole workflow relies on.
+    #[test]
+    fn expr_round_trips_through_parser(e in arb_expr()) {
+        let sql = e.to_string();
+        let reparsed = parse_expr(&sql)
+            .unwrap_or_else(|err| panic!("'{sql}' failed to parse: {err}"));
+        prop_assert_eq!(e, reparsed, "round-trip mismatch for {}", sql);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Set-operation algebra on materialized tables
+// ---------------------------------------------------------------------------
+
+fn db_with_sets(a: &[i64], b: &[i64]) -> Database {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE a (x INTEGER)").unwrap();
+    db.execute("CREATE TABLE b (x INTEGER)").unwrap();
+    for v in a {
+        db.execute(&format!("INSERT INTO a VALUES ({v})")).unwrap();
+    }
+    for v in b {
+        db.execute(&format!("INSERT INTO b VALUES ({v})")).unwrap();
+    }
+    db
+}
+
+fn ints(db: &Database, sql: &str) -> Vec<i64> {
+    let mut out: Vec<i64> = db
+        .query(sql)
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| match r.get(0) {
+            Value::Int(i) => *i,
+            other => panic!("unexpected {other}"),
+        })
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn union_is_commutative_and_dedups(
+        a in proptest::collection::vec(-20i64..20, 0..12),
+        b in proptest::collection::vec(-20i64..20, 0..12),
+    ) {
+        let db = db_with_sets(&a, &b);
+        let ab = ints(&db, "SELECT x FROM a UNION SELECT x FROM b");
+        let ba = ints(&db, "SELECT x FROM b UNION SELECT x FROM a");
+        prop_assert_eq!(&ab, &ba);
+        // dedup: no adjacent duplicates after sort
+        prop_assert!(ab.windows(2).all(|w| w[0] != w[1]));
+        // reference semantics
+        let mut expected: Vec<i64> = a.iter().chain(&b).copied().collect();
+        expected.sort_unstable();
+        expected.dedup();
+        prop_assert_eq!(ab, expected);
+    }
+
+    #[test]
+    fn intersect_and_except_reference_semantics(
+        a in proptest::collection::vec(-10i64..10, 0..12),
+        b in proptest::collection::vec(-10i64..10, 0..12),
+    ) {
+        use std::collections::BTreeSet;
+        let db = db_with_sets(&a, &b);
+        let sa: BTreeSet<i64> = a.iter().copied().collect();
+        let sb: BTreeSet<i64> = b.iter().copied().collect();
+
+        let inter = ints(&db, "SELECT x FROM a INTERSECT SELECT x FROM b");
+        prop_assert_eq!(inter, sa.intersection(&sb).copied().collect::<Vec<_>>());
+
+        let diff = ints(&db, "SELECT x FROM a EXCEPT SELECT x FROM b");
+        prop_assert_eq!(diff, sa.difference(&sb).copied().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn union_all_preserves_cardinality(
+        a in proptest::collection::vec(-5i64..5, 0..10),
+        b in proptest::collection::vec(-5i64..5, 0..10),
+    ) {
+        let db = db_with_sets(&a, &b);
+        let rs = db.query("SELECT x FROM a UNION ALL SELECT x FROM b").unwrap();
+        prop_assert_eq!(rs.len(), a.len() + b.len());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recursive CTE reachability vs independent traversal
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Build a random directed graph of `n` nodes, compute reachability from
+    /// node 0 with WITH RECURSIVE, and compare against a Rust BFS.
+    #[test]
+    fn recursive_cte_computes_reachability(
+        n in 2usize..14,
+        edges in proptest::collection::vec((0usize..14, 0usize..14), 0..40),
+    ) {
+        let edges: Vec<(usize, usize)> =
+            edges.into_iter().filter(|(a, b)| *a < n && *b < n).collect();
+
+        let mut db = Database::new();
+        db.execute("CREATE TABLE e (src INTEGER, dst INTEGER)").unwrap();
+        for (a, b) in &edges {
+            db.execute(&format!("INSERT INTO e VALUES ({a}, {b})")).unwrap();
+        }
+
+        let rs = db.query(
+            "WITH RECURSIVE r (node) AS (\
+               SELECT 0 \
+               UNION SELECT e.dst FROM r JOIN e ON r.node = e.src) \
+             SELECT node FROM r ORDER BY 1",
+        ).unwrap();
+        let via_sql: Vec<i64> = rs
+            .rows
+            .iter()
+            .map(|row| match row.get(0) {
+                Value::Int(i) => *i,
+                other => panic!("unexpected {other}"),
+            })
+            .collect();
+
+        // Independent BFS.
+        let mut adj = vec![Vec::new(); n];
+        for (a, b) in &edges {
+            adj[*a].push(*b);
+        }
+        let mut seen = vec![false; n];
+        seen[0] = true;
+        let mut stack = vec![0usize];
+        while let Some(u) = stack.pop() {
+            for &v in &adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        let expected: Vec<i64> =
+            (0..n).filter(|&i| seen[i]).map(|i| i as i64).collect();
+
+        prop_assert_eq!(via_sql, expected);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Query-level sanity on arbitrary predicates
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// WHERE filtering never invents rows: |σ(T)| ≤ |T|, and appending the
+    /// same predicate twice (AND p AND p) changes nothing.
+    #[test]
+    fn where_is_contractive_and_idempotent(
+        vals in proptest::collection::vec(-50i64..50, 0..20),
+        bound in -50i64..50,
+    ) {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (x INTEGER)").unwrap();
+        for v in &vals {
+            db.execute(&format!("INSERT INTO t VALUES ({v})")).unwrap();
+        }
+        let once = db.query(&format!("SELECT x FROM t WHERE x < {bound}")).unwrap();
+        let twice = db
+            .query(&format!("SELECT x FROM t WHERE x < {bound} AND x < {bound}"))
+            .unwrap();
+        prop_assert!(once.len() <= vals.len());
+        prop_assert_eq!(once.rows, twice.rows);
+    }
+}
+
+// Sanity that the generated-query test above also accepts a handcrafted
+// query (guards against the generator hiding a broken parser).
+#[test]
+fn parse_query_smoke() {
+    parse_query("SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1 ORDER BY 2 DESC")
+        .unwrap();
+}

@@ -1,0 +1,394 @@
+//! Tree generation: breadth-first construction of the Figure-2 schema rows.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::spec::{TreeSpec, VisibilityMode};
+use crate::{OTHER_OPTION, USER_OPTION};
+
+/// Whether a node is an inner assembly or a leaf component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    Assembly,
+    Component,
+}
+
+/// One product object (assembly or component).
+#[derive(Debug, Clone)]
+pub struct GeneratedNode {
+    pub kind: NodeKind,
+    pub obid: i64,
+    pub name: String,
+    /// Level below the root (0 = root).
+    pub level: u32,
+    /// `'+'` decomposable / `'-'` not (assemblies only).
+    pub decomposable: bool,
+    /// `'make'` vs `'buy'` (assemblies only, §3.1 example 1).
+    pub make: bool,
+    /// Component has at least one specification document.
+    pub specified: bool,
+    /// Visible from the root: the node's incoming link and every ancestor
+    /// link carry the user's structure option. Stored on the node row so
+    /// early rule evaluation can express the paper's branch visibility γ as
+    /// a plain row condition (`strc_opt = 'OPTA'`).
+    pub visible: bool,
+}
+
+/// One parent→child link with its rule attributes.
+#[derive(Debug, Clone)]
+pub struct GeneratedLink {
+    pub obid: i64,
+    pub left: i64,
+    pub right: i64,
+    pub eff_from: i64,
+    pub eff_to: i64,
+    /// Structure option controlling visibility for the simulated user.
+    pub visible: bool,
+}
+
+/// A fully generated product structure plus bookkeeping the tests and the
+/// session layer use (expected visible counts, payload sizes).
+#[derive(Debug, Clone)]
+pub struct ProductData {
+    pub spec: TreeSpec,
+    pub nodes: Vec<GeneratedNode>,
+    pub links: Vec<GeneratedLink>,
+    /// obids of specification documents, parallel to `specified_by`.
+    pub spec_ids: Vec<i64>,
+    /// (component obid, spec obid) pairs.
+    pub specified_by: Vec<(i64, i64)>,
+    /// Realized number of *visible* nodes per level 1..=δ, counting a node
+    /// as visible when its link and all ancestor links are visible.
+    pub visible_per_level: Vec<u64>,
+    /// Realized total nodes per level 1..=δ.
+    pub total_per_level: Vec<u64>,
+    /// Direct children of the root.
+    pub root_children: u64,
+    /// Total children of every node a navigational MLE expands (the root
+    /// plus all visible nodes) — what late evaluation ships.
+    pub expanded_children: u64,
+}
+
+impl ProductData {
+    /// Realized visible node count below the root (the measured n_v).
+    pub fn visible_nodes(&self) -> u64 {
+        self.visible_per_level.iter().sum()
+    }
+
+    pub fn total_nodes(&self) -> u64 {
+        self.total_per_level.iter().sum()
+    }
+
+    /// The root object's obid (always 1).
+    pub fn root_obid(&self) -> i64 {
+        1
+    }
+}
+
+/// Visibility decision source shared across link generation.
+enum VisibilityGen {
+    Random(Box<StdRng>, f64),
+    /// Bresenham accumulator: emit `true` whenever the running fraction
+    /// crosses an integer boundary.
+    Deterministic { acc: f64, gamma: f64 },
+}
+
+impl VisibilityGen {
+    fn new(spec: &TreeSpec) -> Self {
+        match spec.visibility {
+            VisibilityMode::Random { seed } => {
+                VisibilityGen::Random(Box::new(StdRng::seed_from_u64(seed)), spec.gamma)
+            }
+            VisibilityMode::Deterministic => VisibilityGen::Deterministic {
+                acc: 0.0,
+                gamma: spec.gamma,
+            },
+        }
+    }
+
+    /// Visibility of the next link. `parent_visible` gates the
+    /// deterministic accumulator: links under invisible parents never
+    /// contribute visible nodes, so letting them consume accumulator tokens
+    /// would bias realized per-level counts below `(γβ)^i`. Random mode
+    /// stays independent per link (unbiased in expectation either way).
+    fn next(&mut self, parent_visible: bool) -> bool {
+        match self {
+            VisibilityGen::Random(rng, gamma) => rng.random::<f64>() < *gamma,
+            VisibilityGen::Deterministic { acc, gamma } => {
+                if !parent_visible {
+                    return false;
+                }
+                *acc += *gamma;
+                if *acc >= 1.0 - 1e-9 {
+                    *acc -= 1.0;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+/// Generate the product structure described by `spec`.
+///
+/// Object ids: root = 1, assemblies numbered breadth-first, components after
+/// all assemblies, links after all objects, specs after links — disjoint id
+/// ranges like the paper's example (1.., 101.., 1001..).
+pub fn generate(spec: &TreeSpec) -> ProductData {
+    let assy_count = spec.assembly_count() as i64;
+    let comp_base = assy_count; // components start at assy_count + 1
+    let link_base = assy_count + spec.component_count() as i64;
+    let spec_base = link_base + spec.link_count() as i64;
+
+    let mut attr_rng = StdRng::seed_from_u64(spec.attribute_seed);
+    let mut vis = VisibilityGen::new(spec);
+
+    let mut nodes = Vec::with_capacity((assy_count + spec.component_count() as i64) as usize);
+    let mut links = Vec::with_capacity(spec.link_count() as usize);
+    let mut spec_ids = Vec::new();
+    let mut specified_by = Vec::new();
+
+    // Root assembly.
+    nodes.push(GeneratedNode {
+        kind: NodeKind::Assembly,
+        obid: 1,
+        name: "N00000001".to_string(),
+        level: 0,
+        decomposable: attr_rng.random::<f64>() < spec.decomposable_fraction,
+        make: attr_rng.random::<f64>() < spec.make_fraction,
+        specified: false,
+        visible: true,
+    });
+
+    let mut next_assy: i64 = 2;
+    let mut next_comp: i64 = comp_base + 1;
+    let mut next_link: i64 = link_base + 1;
+    let mut next_spec: i64 = spec_base + 1;
+
+    // frontier of (obid, visible-from-root) for the current level
+    let mut frontier: Vec<(i64, bool)> = vec![(1, true)];
+    let mut visible_per_level = Vec::with_capacity(spec.depth as usize);
+    let mut total_per_level = Vec::with_capacity(spec.depth as usize);
+    let mut root_children = 0u64;
+    let mut expanded_children = 0u64;
+
+    for level in 1..=spec.depth {
+        let leaf_level = level == spec.depth;
+        let mut next_frontier = Vec::with_capacity(frontier.len() * spec.branching as usize);
+        let mut visible_here = 0u64;
+        let mut total_here = 0u64;
+
+        for &(parent, parent_visible) in &frontier {
+            if parent_visible {
+                expanded_children += spec.branching as u64;
+            }
+            if parent == 1 {
+                root_children = spec.branching as u64;
+            }
+            for _ in 0..spec.branching {
+                let (obid, kind) = if leaf_level {
+                    let id = next_comp;
+                    next_comp += 1;
+                    (id, NodeKind::Component)
+                } else {
+                    let id = next_assy;
+                    next_assy += 1;
+                    (id, NodeKind::Assembly)
+                };
+
+                let specified = kind == NodeKind::Component
+                    && attr_rng.random::<f64>() < spec.specified_fraction;
+                let link_visible = vis.next(parent_visible);
+                let node_visible = parent_visible && link_visible;
+                nodes.push(GeneratedNode {
+                    kind,
+                    obid,
+                    name: format!("N{obid:08}"),
+                    level,
+                    decomposable: kind == NodeKind::Assembly
+                        && attr_rng.random::<f64>() < spec.decomposable_fraction,
+                    make: kind == NodeKind::Assembly
+                        && attr_rng.random::<f64>() < spec.make_fraction,
+                    specified,
+                    visible: node_visible,
+                });
+
+                if specified {
+                    let sid = next_spec;
+                    next_spec += 1;
+                    spec_ids.push(sid);
+                    specified_by.push((obid, sid));
+                }
+
+                let expired =
+                    attr_rng.random::<f64>() < spec.expired_effectivity_fraction;
+                // The user selects effectivity unit 5; expired links end
+                // before it.
+                let (eff_from, eff_to) = if expired { (1, 3) } else { (1, 10) };
+                links.push(GeneratedLink {
+                    obid: next_link,
+                    left: parent,
+                    right: obid,
+                    eff_from,
+                    eff_to,
+                    visible: link_visible,
+                });
+                next_link += 1;
+
+                total_here += 1;
+                if node_visible {
+                    visible_here += 1;
+                }
+                if !leaf_level {
+                    next_frontier.push((obid, node_visible));
+                }
+            }
+        }
+        visible_per_level.push(visible_here);
+        total_per_level.push(total_here);
+        frontier = next_frontier;
+    }
+
+    ProductData {
+        spec: spec.clone(),
+        nodes,
+        links,
+        spec_ids,
+        specified_by,
+        visible_per_level,
+        total_per_level,
+        root_children,
+        expanded_children,
+    }
+}
+
+impl GeneratedLink {
+    /// The structure option stored on this link.
+    pub fn strc_opt(&self) -> &'static str {
+        if self.visible {
+            USER_OPTION
+        } else {
+            OTHER_OPTION
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_spec() {
+        let spec = TreeSpec::new(3, 3, 1.0);
+        let data = generate(&spec);
+        assert_eq!(
+            data.nodes.len() as u64,
+            spec.assembly_count() + spec.component_count()
+        );
+        assert_eq!(data.links.len() as u64, spec.link_count());
+        assert_eq!(data.total_nodes(), 3 + 9 + 27);
+    }
+
+    #[test]
+    fn gamma_one_everything_visible() {
+        let data = generate(&TreeSpec::new(4, 2, 1.0));
+        assert_eq!(data.visible_nodes(), data.total_nodes());
+        assert!(data.links.iter().all(|l| l.visible));
+    }
+
+    #[test]
+    fn deterministic_visibility_matches_model_when_gamma_beta_integral() {
+        // β=5, γ=0.6 → γβ=3 exactly: visible per level must be 3^i.
+        let data = generate(&TreeSpec::new(4, 5, 0.6));
+        assert_eq!(data.visible_per_level, vec![3, 9, 27, 81]);
+    }
+
+    #[test]
+    fn random_visibility_close_to_expectation() {
+        let spec = TreeSpec::new(6, 3, 0.6).with_visibility(VisibilityMode::Random { seed: 1 });
+        let data = generate(&spec);
+        let expected: f64 = (1..=6).map(|i| 1.8f64.powi(i)).sum();
+        let got = data.visible_nodes() as f64;
+        assert!(
+            (got - expected).abs() / expected < 0.35,
+            "sampled {got} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn random_visibility_is_seed_deterministic() {
+        let spec = TreeSpec::new(4, 3, 0.5).with_visibility(VisibilityMode::Random { seed: 9 });
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(a.visible_per_level, b.visible_per_level);
+        let spec2 = spec.clone().with_visibility(VisibilityMode::Random { seed: 10 });
+        let c = generate(&spec2);
+        // different seed almost surely differs somewhere
+        assert!(
+            a.links.iter().zip(&c.links).any(|(x, y)| x.visible != y.visible)
+        );
+    }
+
+    #[test]
+    fn id_ranges_are_disjoint() {
+        let spec = TreeSpec::new(2, 3, 1.0);
+        let data = generate(&spec);
+        let max_assy = data
+            .nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Assembly)
+            .map(|n| n.obid)
+            .max()
+            .unwrap();
+        let min_comp = data
+            .nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Component)
+            .map(|n| n.obid)
+            .min()
+            .unwrap();
+        let min_link = data.links.iter().map(|l| l.obid).min().unwrap();
+        assert!(max_assy < min_comp);
+        assert!(min_link > data.nodes.iter().map(|n| n.obid).max().unwrap());
+        if let Some(min_spec) = data.spec_ids.iter().min() {
+            assert!(*min_spec > data.links.iter().map(|l| l.obid).max().unwrap());
+        }
+    }
+
+    #[test]
+    fn leaves_are_components_inner_are_assemblies() {
+        let data = generate(&TreeSpec::new(3, 2, 1.0));
+        for n in &data.nodes {
+            if n.level == 3 {
+                assert_eq!(n.kind, NodeKind::Component);
+            } else {
+                assert_eq!(n.kind, NodeKind::Assembly);
+            }
+        }
+    }
+
+    #[test]
+    fn specified_fraction_zero_yields_no_specs() {
+        let data = generate(&TreeSpec::new(2, 3, 1.0).with_specified_fraction(0.0));
+        assert!(data.spec_ids.is_empty());
+        assert!(data.specified_by.is_empty());
+    }
+
+    #[test]
+    fn expired_effectivities_marked() {
+        let data = generate(&TreeSpec::new(2, 3, 1.0).with_expired_effectivity_fraction(1.0));
+        assert!(data.links.iter().all(|l| l.eff_to < 5));
+    }
+
+    #[test]
+    fn links_form_a_tree() {
+        let data = generate(&TreeSpec::new(3, 3, 1.0));
+        // every non-root node appears exactly once as a link target
+        let mut targets: Vec<i64> = data.links.iter().map(|l| l.right).collect();
+        targets.sort_unstable();
+        targets.dedup();
+        assert_eq!(targets.len(), data.links.len());
+        assert_eq!(targets.len() as u64, data.total_nodes());
+    }
+}

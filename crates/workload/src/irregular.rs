@@ -1,0 +1,319 @@
+//! Irregular product structures: real bills of material are not complete
+//! β-ary trees — branching varies per assembly and subtrees bottom out at
+//! different depths. This generator produces such structures with the same
+//! [`ProductData`] bookkeeping as the regular one, so the profile-based cost
+//! model (eq. (1)–(6) over realized counts) applies unchanged.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::generator::{GeneratedLink, GeneratedNode, NodeKind, ProductData};
+use crate::spec::{TreeSpec, VisibilityMode};
+
+/// Description of an irregular product structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrregularSpec {
+    /// Hard depth bound; subtrees may bottom out earlier.
+    pub max_depth: u32,
+    /// Children per assembly are drawn uniformly from this inclusive range.
+    pub branching: (u32, u32),
+    /// Probability that a non-root node at depth < max_depth is a leaf
+    /// component anyway (early bottom-out).
+    pub leaf_probability: f64,
+    /// Per-branch visibility probability γ.
+    pub gamma: f64,
+    /// Target wire size of one transferred node row.
+    pub node_size: usize,
+    /// Fraction of components carrying a specification document.
+    pub specified_fraction: f64,
+    pub seed: u64,
+}
+
+impl IrregularSpec {
+    pub fn new(max_depth: u32, branching: (u32, u32), gamma: f64, seed: u64) -> Self {
+        assert!(max_depth >= 1);
+        assert!(branching.0 >= 1 && branching.0 <= branching.1);
+        assert!((0.0..=1.0).contains(&gamma));
+        IrregularSpec {
+            max_depth,
+            branching,
+            leaf_probability: 0.2,
+            gamma,
+            node_size: 512,
+            specified_fraction: 1.0,
+            seed,
+        }
+    }
+
+    pub fn with_leaf_probability(mut self, p: f64) -> Self {
+        self.leaf_probability = p;
+        self
+    }
+
+    pub fn with_node_size(mut self, bytes: usize) -> Self {
+        self.node_size = bytes;
+        self
+    }
+}
+
+/// Generate an irregular structure. Ids follow the regular generator's
+/// convention of disjoint ranges (assemblies, then components, then links,
+/// then specs), assigned breadth-first.
+pub fn generate_irregular(spec: &IrregularSpec) -> ProductData {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+
+    // First pass: decide the shape (children per assembly) breadth-first so
+    // id ranges can be laid out deterministically afterwards.
+    struct ShapeNode {
+        level: u32,
+        kind: NodeKind,
+        children: Vec<usize>, // indexes into `shape`
+        parent: Option<usize>,
+        visible: bool,
+        link_visible: bool,
+    }
+    let mut shape: Vec<ShapeNode> = vec![ShapeNode {
+        level: 0,
+        kind: NodeKind::Assembly,
+        children: Vec::new(),
+        parent: None,
+        visible: true,
+        link_visible: true,
+    }];
+    let mut frontier = vec![0usize];
+    for level in 1..=spec.max_depth {
+        let mut next = Vec::new();
+        for &pi in &frontier {
+            if shape[pi].kind != NodeKind::Assembly {
+                continue;
+            }
+            let k = rng.random_range(spec.branching.0..=spec.branching.1);
+            for _ in 0..k {
+                let leaf = level == spec.max_depth
+                    || rng.random::<f64>() < spec.leaf_probability;
+                let link_visible = rng.random::<f64>() < spec.gamma;
+                let visible = shape[pi].visible && link_visible;
+                let idx = shape.len();
+                shape.push(ShapeNode {
+                    level,
+                    kind: if leaf { NodeKind::Component } else { NodeKind::Assembly },
+                    children: Vec::new(),
+                    parent: Some(pi),
+                    visible,
+                    link_visible,
+                });
+                shape[pi].children.push(idx);
+                next.push(idx);
+            }
+        }
+        frontier = next;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    // Assemblies that ended up with no children become components (a real
+    // BOM has no empty assemblies).
+    for (i, node) in shape.iter_mut().enumerate() {
+        if node.kind == NodeKind::Assembly && node.children.is_empty() && i != 0 {
+            node.kind = NodeKind::Component;
+        }
+    }
+
+    // Assign ids: assemblies first, then components, then links/specs.
+    let assy_total = shape.iter().filter(|n| n.kind == NodeKind::Assembly).count() as i64;
+    let comp_total = shape.len() as i64 - assy_total;
+    let mut next_assy: i64 = 1;
+    let mut next_comp: i64 = assy_total + 1;
+    let link_base = assy_total + comp_total;
+    let spec_base = link_base + (shape.len() as i64 - 1);
+
+    let mut obids = vec![0i64; shape.len()];
+    for (i, node) in shape.iter().enumerate() {
+        obids[i] = match node.kind {
+            NodeKind::Assembly => {
+                let id = next_assy;
+                next_assy += 1;
+                id
+            }
+            NodeKind::Component => {
+                let id = next_comp;
+                next_comp += 1;
+                id
+            }
+        };
+    }
+
+    // Materialize nodes, links, specs, and the realized profile counters.
+    let max_level = shape.iter().map(|n| n.level).max().unwrap_or(0) as usize;
+    let mut visible_per_level = vec![0u64; max_level];
+    let mut total_per_level = vec![0u64; max_level];
+    let mut nodes = Vec::with_capacity(shape.len());
+    let mut links = Vec::with_capacity(shape.len() - 1);
+    let mut spec_ids = Vec::new();
+    let mut specified_by = Vec::new();
+    let mut next_link = link_base + 1;
+    let mut next_spec = spec_base + 1;
+    let mut expanded_children = 0u64;
+
+    for (i, node) in shape.iter().enumerate() {
+        let specified = node.kind == NodeKind::Component
+            && rng.random::<f64>() < spec.specified_fraction;
+        nodes.push(GeneratedNode {
+            kind: node.kind,
+            obid: obids[i],
+            name: format!("N{:08}", obids[i]),
+            level: node.level,
+            decomposable: node.kind == NodeKind::Assembly,
+            make: node.kind == NodeKind::Assembly,
+            specified,
+            visible: node.visible,
+        });
+        if specified {
+            spec_ids.push(next_spec);
+            specified_by.push((obids[i], next_spec));
+            next_spec += 1;
+        }
+        if let Some(pi) = node.parent {
+            links.push(GeneratedLink {
+                obid: next_link,
+                left: obids[pi],
+                right: obids[i],
+                eff_from: 1,
+                eff_to: 10,
+                visible: node.link_visible,
+            });
+            next_link += 1;
+            total_per_level[node.level as usize - 1] += 1;
+            if node.visible {
+                visible_per_level[node.level as usize - 1] += 1;
+            }
+        }
+        if node.visible {
+            expanded_children += node.children.len() as u64;
+        }
+    }
+
+    // A representative TreeSpec so populate() knows the node size; counts
+    // come from the realized arrays, not from this spec.
+    let nominal = TreeSpec::new(
+        spec.max_depth,
+        spec.branching.1.max(1),
+        spec.gamma,
+    )
+    .with_node_size(spec.node_size)
+    .with_visibility(VisibilityMode::Random { seed: spec.seed });
+
+    ProductData {
+        root_children: shape[0].children.len() as u64,
+        expanded_children,
+        spec: nominal,
+        nodes,
+        links,
+        spec_ids,
+        specified_by,
+        visible_per_level,
+        total_per_level,
+    }
+}
+
+/// Generate and load an irregular structure in one step.
+pub fn build_irregular_database(
+    spec: &IrregularSpec,
+) -> pdm_sql::Result<(pdm_sql::Database, ProductData)> {
+    let data = generate_irregular(spec);
+    let mut db = pdm_sql::Database::new();
+    crate::populate::populate(&mut db, &data)?;
+    Ok((db, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_a_rooted_tree() {
+        let spec = IrregularSpec::new(4, (2, 5), 0.7, 42);
+        let data = generate_irregular(&spec);
+        assert!(data.nodes.len() > 1);
+        assert_eq!(data.links.len(), data.nodes.len() - 1);
+        // every non-root node has exactly one incoming link
+        let mut targets: Vec<i64> = data.links.iter().map(|l| l.right).collect();
+        targets.sort_unstable();
+        targets.dedup();
+        assert_eq!(targets.len(), data.links.len());
+    }
+
+    #[test]
+    fn leaves_are_components_and_assemblies_have_children() {
+        let spec = IrregularSpec::new(3, (1, 4), 1.0, 7);
+        let data = generate_irregular(&spec);
+        let mut child_count: std::collections::HashMap<i64, usize> =
+            std::collections::HashMap::new();
+        for l in &data.links {
+            *child_count.entry(l.left).or_insert(0) += 1;
+        }
+        for n in &data.nodes {
+            match n.kind {
+                NodeKind::Assembly => {
+                    assert!(child_count.get(&n.obid).copied().unwrap_or(0) > 0)
+                }
+                NodeKind::Component => {
+                    assert_eq!(child_count.get(&n.obid), None)
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn branching_respects_range() {
+        let spec = IrregularSpec::new(3, (2, 3), 1.0, 5);
+        let data = generate_irregular(&spec);
+        let mut child_count: std::collections::HashMap<i64, usize> =
+            std::collections::HashMap::new();
+        for l in &data.links {
+            *child_count.entry(l.left).or_insert(0) += 1;
+        }
+        for (_, &c) in child_count.iter() {
+            assert!((2..=3).contains(&c), "branching {c} out of range");
+        }
+    }
+
+    #[test]
+    fn visibility_counters_consistent() {
+        let spec = IrregularSpec::new(4, (2, 4), 0.6, 99);
+        let data = generate_irregular(&spec);
+        let flagged = data.nodes.iter().filter(|n| n.visible && n.level > 0).count() as u64;
+        assert_eq!(flagged, data.visible_nodes());
+        // expanded_children = links whose parent is visible
+        let visible: std::collections::HashSet<i64> = data
+            .nodes
+            .iter()
+            .filter(|n| n.visible)
+            .map(|n| n.obid)
+            .collect();
+        let expected = data.links.iter().filter(|l| visible.contains(&l.left)).count() as u64;
+        assert_eq!(data.expanded_children, expected);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = IrregularSpec::new(4, (1, 5), 0.5, 1234);
+        let a = generate_irregular(&spec);
+        let b = generate_irregular(&spec);
+        assert_eq!(a.nodes.len(), b.nodes.len());
+        assert_eq!(a.visible_per_level, b.visible_per_level);
+        let other = generate_irregular(&IrregularSpec::new(4, (1, 5), 0.5, 1235));
+        assert!(a.nodes.len() != other.nodes.len() || a.visible_per_level != other.visible_per_level);
+    }
+
+    #[test]
+    fn loads_into_database() {
+        let spec = IrregularSpec::new(3, (2, 3), 0.8, 11).with_node_size(128);
+        let (db, data) = build_irregular_database(&spec).unwrap();
+        let rs = db.query("SELECT COUNT(*) FROM link").unwrap();
+        assert_eq!(
+            rs.rows[0].get(0),
+            &pdm_sql::Value::Int(data.links.len() as i64)
+        );
+    }
+}

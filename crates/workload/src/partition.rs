@@ -1,0 +1,220 @@
+//! Distributed data management (the paper's §7 outlook): partition a
+//! product structure across several database sites.
+//!
+//! Placement is by level-1 subtree: the root lives on site 0 and each of its
+//! child subtrees is assigned round-robin; descendants inherit their
+//! subtree's site. Links are stored with their *parent's* site, so a link
+//! whose child lives elsewhere becomes a **mount point** — the local
+//! recursive traversal naturally stops there (the child's node row is not
+//! joinable locally) and the client must continue at the owning site.
+
+use std::collections::HashMap;
+
+use pdm_sql::Database;
+
+use crate::generator::ProductData;
+use crate::populate::populate;
+
+/// A cross-site edge: the parent's site stores the link, the child's data
+/// lives on another site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mount {
+    pub parent: i64,
+    pub child: i64,
+    pub parent_site: usize,
+    pub child_site: usize,
+    /// The connecting link's visibility (structure option) — the client
+    /// applies relation rules to mounts itself, since no single site can.
+    pub visible: bool,
+}
+
+/// Placement directory plus mount list for a partitioned product.
+#[derive(Debug, Clone)]
+pub struct PartitionInfo {
+    /// Node obid → site index.
+    pub site_of: HashMap<i64, usize>,
+    pub mounts: Vec<Mount>,
+    pub n_sites: usize,
+}
+
+impl PartitionInfo {
+    pub fn site_of(&self, obid: i64) -> Option<usize> {
+        self.site_of.get(&obid).copied()
+    }
+}
+
+/// Split `data` across `n_sites` databases. Returns one populated database
+/// per site plus the placement directory.
+pub fn partition(
+    data: &ProductData,
+    n_sites: usize,
+) -> pdm_sql::Result<(Vec<Database>, PartitionInfo)> {
+    assert!(n_sites >= 1, "need at least one site");
+
+    // Assign sites: root → 0, level-1 subtrees round-robin, inherited below.
+    let children_of: HashMap<i64, Vec<i64>> = {
+        let mut m: HashMap<i64, Vec<i64>> = HashMap::new();
+        for l in &data.links {
+            m.entry(l.left).or_default().push(l.right);
+        }
+        m
+    };
+    let root = data.root_obid();
+    let mut site_of: HashMap<i64, usize> = HashMap::new();
+    site_of.insert(root, 0);
+    if let Some(top) = children_of.get(&root) {
+        for (i, &child) in top.iter().enumerate() {
+            let site = i % n_sites;
+            // assign the whole subtree
+            let mut stack = vec![child];
+            while let Some(n) = stack.pop() {
+                site_of.insert(n, site);
+                if let Some(cs) = children_of.get(&n) {
+                    stack.extend(cs.iter().copied());
+                }
+            }
+        }
+    }
+
+    // Mounts: links whose endpoints live on different sites.
+    let mut mounts = Vec::new();
+    for l in &data.links {
+        let ps = site_of[&l.left];
+        let cs = site_of[&l.right];
+        if ps != cs {
+            mounts.push(Mount {
+                parent: l.left,
+                child: l.right,
+                parent_site: ps,
+                child_site: cs,
+                visible: l.visible,
+            });
+        }
+    }
+
+    // Per-site slices: nodes of the site, links stored with the parent,
+    // specs with their component.
+    let mut databases = Vec::with_capacity(n_sites);
+    for site in 0..n_sites {
+        let spec_site: HashMap<i64, usize> = data
+            .specified_by
+            .iter()
+            .map(|&(comp, spec)| (spec, site_of[&comp]))
+            .collect();
+        let slice = ProductData {
+            spec: data.spec.clone(),
+            nodes: data
+                .nodes
+                .iter()
+                .filter(|n| site_of[&n.obid] == site)
+                .cloned()
+                .collect(),
+            links: data
+                .links
+                .iter()
+                .filter(|l| site_of[&l.left] == site)
+                .cloned()
+                .collect(),
+            spec_ids: data
+                .spec_ids
+                .iter()
+                .filter(|s| spec_site[s] == site)
+                .copied()
+                .collect(),
+            specified_by: data
+                .specified_by
+                .iter()
+                .filter(|(c, _)| site_of[c] == site)
+                .copied()
+                .collect(),
+            // Per-site level bookkeeping is not meaningful; zeroed.
+            visible_per_level: Vec::new(),
+            total_per_level: Vec::new(),
+            root_children: 0,
+            expanded_children: 0,
+        };
+        let mut db = Database::new();
+        populate(&mut db, &slice)?;
+        databases.push(db);
+    }
+
+    Ok((databases, PartitionInfo { site_of, mounts, n_sites }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate;
+    use crate::spec::TreeSpec;
+    use pdm_sql::Value;
+
+    fn count(db: &Database, sql: &str) -> i64 {
+        match db.query(sql).unwrap().rows[0].get(0) {
+            Value::Int(i) => *i,
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn sites_cover_all_nodes_exactly_once() {
+        let data = generate(&TreeSpec::new(3, 3, 1.0).with_node_size(128));
+        let (dbs, info) = partition(&data, 3).unwrap();
+        assert_eq!(info.n_sites, 3);
+        let total: i64 = dbs
+            .iter()
+            .map(|db| {
+                count(db, "SELECT COUNT(*) FROM assy") + count(db, "SELECT COUNT(*) FROM comp")
+            })
+            .sum();
+        assert_eq!(total as usize, data.nodes.len());
+        assert_eq!(info.site_of.len(), data.nodes.len());
+    }
+
+    #[test]
+    fn links_stored_with_parent_site() {
+        let data = generate(&TreeSpec::new(3, 3, 1.0).with_node_size(128));
+        let (dbs, _) = partition(&data, 2).unwrap();
+        let total: i64 = dbs.iter().map(|db| count(db, "SELECT COUNT(*) FROM link")).sum();
+        assert_eq!(total as usize, data.links.len());
+    }
+
+    #[test]
+    fn mounts_are_exactly_the_cross_site_links() {
+        let data = generate(&TreeSpec::new(3, 3, 1.0).with_node_size(128));
+        let (_, info) = partition(&data, 3).unwrap();
+        // root (site 0) has 3 children on sites 0,1,2 → 2 mounts at level 1;
+        // deeper links never cross (subtrees are assigned wholesale).
+        assert_eq!(info.mounts.len(), 2);
+        for m in &info.mounts {
+            assert_eq!(m.parent, 1);
+            assert_eq!(m.parent_site, 0);
+            assert_ne!(m.child_site, 0);
+        }
+    }
+
+    #[test]
+    fn single_site_partition_is_trivial() {
+        let data = generate(&TreeSpec::new(2, 4, 1.0).with_node_size(128));
+        let (dbs, info) = partition(&data, 1).unwrap();
+        assert_eq!(dbs.len(), 1);
+        assert!(info.mounts.is_empty());
+        assert_eq!(
+            count(&dbs[0], "SELECT COUNT(*) FROM link") as usize,
+            data.links.len()
+        );
+    }
+
+    #[test]
+    fn specs_follow_their_component() {
+        let data = generate(&TreeSpec::new(2, 3, 1.0).with_node_size(128));
+        let (dbs, info) = partition(&data, 2).unwrap();
+        for (comp, spec) in &data.specified_by {
+            let site = info.site_of[comp];
+            let found = count(
+                &dbs[site],
+                &format!("SELECT COUNT(*) FROM specified_by WHERE left = {comp} AND right = {spec}"),
+            );
+            assert_eq!(found, 1);
+        }
+    }
+}

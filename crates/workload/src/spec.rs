@@ -1,0 +1,150 @@
+//! Workload specification: tree shape, visibility, attribute distributions.
+
+/// How branch visibility (the paper's γ) is realized on generated links.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VisibilityMode {
+    /// Each link is independently visible with probability γ (seeded RNG).
+    /// Matches the model in expectation; sampled counts carry noise.
+    Random { seed: u64 },
+    /// A Bresenham accumulator makes exactly ⌊kγ⌋/⌈kγ⌉ of every run of
+    /// children visible, so realized per-level counts track `(γβ)^i` as
+    /// closely as integer counts allow. When γβ is an integer (e.g. β=5,
+    /// γ=0.6) realized counts equal the model exactly — the configuration
+    /// the cross-validation tests use.
+    Deterministic,
+}
+
+/// Full description of a synthetic product structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeSpec {
+    /// Depth δ: levels 1..=δ below the root. Leaves (level δ) become
+    /// components, inner levels assemblies.
+    pub depth: u32,
+    /// Branching factor β.
+    pub branching: u32,
+    /// Branch visibility probability γ.
+    pub gamma: f64,
+    pub visibility: VisibilityMode,
+    /// Target on-the-wire size of one transferred node row (the paper's
+    /// 512-byte average); payload columns are padded to reach it.
+    pub node_size: usize,
+    /// Fraction of assemblies flagged decomposable (`dec = '+'`); the
+    /// ∀rows workloads lower this below 1.
+    pub decomposable_fraction: f64,
+    /// Fraction of assemblies with `make_or_buy = 'make'` (§3.1 example 1).
+    pub make_fraction: f64,
+    /// Fraction of components that have a specification document
+    /// (∃structure workloads lower this below 1).
+    pub specified_fraction: f64,
+    /// Fraction of links whose effectivity range excludes the user's
+    /// selected unit (effectivity workloads raise this above 0).
+    pub expired_effectivity_fraction: f64,
+    /// Seed for attribute randomness (independent of visibility).
+    pub attribute_seed: u64,
+}
+
+impl TreeSpec {
+    /// A spec with the paper's defaults: 512-byte nodes, deterministic
+    /// visibility, all rule attributes permissive.
+    pub fn new(depth: u32, branching: u32, gamma: f64) -> Self {
+        assert!(depth >= 1 && branching >= 1);
+        assert!((0.0..=1.0).contains(&gamma));
+        TreeSpec {
+            depth,
+            branching,
+            gamma,
+            visibility: VisibilityMode::Deterministic,
+            node_size: 512,
+            decomposable_fraction: 1.0,
+            make_fraction: 1.0,
+            specified_fraction: 1.0,
+            expired_effectivity_fraction: 0.0,
+            attribute_seed: 42,
+        }
+    }
+
+    pub fn with_visibility(mut self, mode: VisibilityMode) -> Self {
+        self.visibility = mode;
+        self
+    }
+
+    pub fn with_node_size(mut self, bytes: usize) -> Self {
+        self.node_size = bytes;
+        self
+    }
+
+    pub fn with_decomposable_fraction(mut self, f: f64) -> Self {
+        self.decomposable_fraction = f;
+        self
+    }
+
+    pub fn with_make_fraction(mut self, f: f64) -> Self {
+        self.make_fraction = f;
+        self
+    }
+
+    pub fn with_specified_fraction(mut self, f: f64) -> Self {
+        self.specified_fraction = f;
+        self
+    }
+
+    pub fn with_expired_effectivity_fraction(mut self, f: f64) -> Self {
+        self.expired_effectivity_fraction = f;
+        self
+    }
+
+    pub fn with_attribute_seed(mut self, seed: u64) -> Self {
+        self.attribute_seed = seed;
+        self
+    }
+
+    /// Number of assemblies (levels 0..δ-1): Σ β^i.
+    pub fn assembly_count(&self) -> u64 {
+        (0..self.depth).map(|i| (self.branching as u64).pow(i)).sum()
+    }
+
+    /// Number of components (level δ): β^δ.
+    pub fn component_count(&self) -> u64 {
+        (self.branching as u64).pow(self.depth)
+    }
+
+    /// Number of links: one per non-root node.
+    pub fn link_count(&self) -> u64 {
+        self.assembly_count() - 1 + self.component_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_for_paper_scenarios() {
+        let s = TreeSpec::new(3, 9, 0.6);
+        assert_eq!(s.assembly_count(), 1 + 9 + 81);
+        assert_eq!(s.component_count(), 729);
+        assert_eq!(s.link_count(), 9 + 81 + 729);
+
+        let s = TreeSpec::new(7, 5, 0.6);
+        assert_eq!(s.assembly_count() - 1 + s.component_count(), 97_655);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let s = TreeSpec::new(3, 3, 0.5)
+            .with_node_size(256)
+            .with_decomposable_fraction(0.8)
+            .with_specified_fraction(0.4)
+            .with_visibility(VisibilityMode::Random { seed: 7 });
+        assert_eq!(s.node_size, 256);
+        assert_eq!(s.decomposable_fraction, 0.8);
+        assert_eq!(s.specified_fraction, 0.4);
+        assert_eq!(s.visibility, VisibilityMode::Random { seed: 7 });
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_gamma_rejected() {
+        TreeSpec::new(3, 3, -0.1);
+    }
+}

@@ -1,0 +1,77 @@
+//! Quickstart: build a product structure, expand it over a simulated
+//! intercontinental WAN with all three strategies, and compare.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use pdm_repro::core::rules::condition::{CmpOp, Condition, RowPredicate};
+use pdm_repro::core::rules::{ActionKind, Rule};
+use pdm_repro::core::{RuleTable, Session, SessionConfig, Strategy};
+use pdm_repro::net::LinkProfile;
+use pdm_repro::workload::{build_database, TreeSpec};
+
+fn main() {
+    // A product structure: depth 4, five children per assembly, 60% of the
+    // branches visible to our user (structure options), 512-byte objects.
+    let spec = TreeSpec::new(4, 5, 0.6).with_node_size(512);
+    println!(
+        "product: {} assemblies, {} components, {} links",
+        spec.assembly_count(),
+        spec.component_count(),
+        spec.link_count()
+    );
+
+    // Access rules: the user only sees objects/relations carrying their
+    // structure option (the paper's §3.1 example 3).
+    let mut rules = RuleTable::new();
+    for table in ["link", "assy", "comp"] {
+        rules.add(Rule::for_all_users(
+            ActionKind::Access,
+            table,
+            Condition::Row(RowPredicate::compare("strc_opt", CmpOp::Eq, "OPTA")),
+        ));
+    }
+
+    // The Germany↔Brazil link of the paper: 256 kbit/s, 150 ms latency.
+    let link = LinkProfile::wan_256();
+
+    println!(
+        "\n{:<12}{:>8}{:>8}{:>12}{:>12}{:>10}",
+        "strategy", "queries", "comms", "volume MB", "latency s", "total s"
+    );
+    for strategy in Strategy::ALL {
+        let (db, _) = build_database(&spec).expect("workload builds");
+        let mut session = Session::new(
+            db,
+            SessionConfig::new("scott", strategy, link),
+            rules.clone(),
+        );
+        let out = session.multi_level_expand(1).expect("expand succeeds");
+        let s = &out.stats;
+        println!(
+            "{:<12}{:>8}{:>8}{:>12.2}{:>12.2}{:>10.2}",
+            strategy.label(),
+            s.queries,
+            s.communications,
+            s.volume_bytes / (1024.0 * 1024.0),
+            s.latency_time,
+            s.response_time()
+        );
+        if strategy == Strategy::Recursive {
+            println!(
+                "\nretrieved tree: {} nodes ({} assemblies, {} components), depth {}",
+                out.tree.len(),
+                out.tree.count_of_type("assy"),
+                out.tree.count_of_type("comp"),
+                out.tree.depth()
+            );
+        }
+    }
+
+    println!(
+        "\nThe recursive strategy turns hundreds of per-node round trips into\n\
+         one query — the paper's >95% response-time saving on multi-level\n\
+         expands (Table 4)."
+    );
+}

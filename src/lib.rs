@@ -1,0 +1,42 @@
+//! # pdm-repro — façade crate
+//!
+//! Reproduction of *"Tuning an SQL-Based PDM System in a Worldwide
+//! Client/Server Environment"* (E. Müller, P. Dadam, J. Enderle, M. Feltes —
+//! ICDE 2001). This crate re-exports the workspace's public surface so
+//! examples, integration tests, and downstream users have a single import
+//! point. See `README.md` for a tour and `DESIGN.md` for the system map.
+//!
+//! ```
+//! use pdm_repro::core::rules::condition::{CmpOp, Condition, RowPredicate};
+//! use pdm_repro::core::rules::{ActionKind, Rule};
+//! use pdm_repro::core::{RuleTable, Session, SessionConfig, Strategy};
+//! use pdm_repro::net::LinkProfile;
+//! use pdm_repro::workload::{build_database, TreeSpec};
+//!
+//! // A small product structure, 60% of branches visible to this user.
+//! let (db, _) = build_database(&TreeSpec::new(3, 5, 0.6).with_node_size(512)).unwrap();
+//! let mut rules = RuleTable::new();
+//! for table in ["link", "assy", "comp"] {
+//!     rules.add(Rule::for_all_users(
+//!         ActionKind::Access,
+//!         table,
+//!         Condition::Row(RowPredicate::compare("strc_opt", CmpOp::Eq, "OPTA")),
+//!     ));
+//! }
+//!
+//! // One recursive query replaces 40 navigational round trips.
+//! let mut session = Session::new(
+//!     db,
+//!     SessionConfig::new("scott", Strategy::Recursive, LinkProfile::wan_256()),
+//!     rules,
+//! );
+//! let out = session.multi_level_expand(1).unwrap();
+//! assert_eq!(out.stats.queries, 1);
+//! assert_eq!(out.tree.len(), 1 + 3 + 9 + 27); // root + visible nodes (γβ = 3)
+//! ```
+
+pub use pdm_core as core;
+pub use pdm_model as model;
+pub use pdm_net as net;
+pub use pdm_sql as sql;
+pub use pdm_workload as workload;

@@ -1,0 +1,145 @@
+//! Irregular product structures end-to-end: real bills of material are not
+//! complete β-ary trees, so this suite checks that (a) the three strategies
+//! still agree on arbitrary-shaped structures and (b) the profile-based
+//! cost model predicts the measured traffic *exactly* from the realized
+//! counts — the model generalizes beyond the paper's complete-tree algebra.
+
+use pdm_bench::{realized_profile, to_model_strategy, visibility_rules, SimAction};
+use pdm_core::{Session, SessionConfig, Strategy};
+use pdm_model::response::response_from_profile;
+use pdm_net::LinkProfile;
+use pdm_workload::{build_irregular_database, IrregularSpec};
+
+fn session(spec: &IrregularSpec, strategy: Strategy) -> (Session, pdm_workload::ProductData) {
+    let (db, data) = build_irregular_database(spec).unwrap();
+    (
+        Session::new(
+            db,
+            SessionConfig::new("scott", strategy, LinkProfile::wan_256()),
+            visibility_rules(),
+        ),
+        data,
+    )
+}
+
+#[test]
+fn strategies_agree_on_irregular_structures() {
+    for seed in [1u64, 7, 42, 99] {
+        let spec = IrregularSpec::new(4, (1, 5), 0.7, seed).with_node_size(256);
+        let mut ids = Vec::new();
+        for strategy in Strategy::ALL {
+            let (mut s, _) = session(&spec, strategy);
+            let out = s.multi_level_expand(1).unwrap();
+            ids.push(out.tree.node_ids().collect::<Vec<_>>());
+        }
+        assert_eq!(ids[0], ids[1], "late vs early (seed {seed})");
+        assert_eq!(ids[0], ids[2], "late vs recursive (seed {seed})");
+    }
+}
+
+#[test]
+fn profile_model_predicts_irregular_mle_exactly() {
+    for seed in [3u64, 17, 2024] {
+        let spec = IrregularSpec::new(5, (2, 4), 0.6, seed).with_node_size(512);
+        for (strategy, model_strategy) in [
+            (Strategy::LateEval, pdm_model::Strategy::LateEval),
+            (Strategy::EarlyEval, pdm_model::Strategy::EarlyEval),
+            (Strategy::Recursive, pdm_model::Strategy::Recursive),
+        ] {
+            let (mut s, data) = session(&spec, strategy);
+            let out = s.multi_level_expand(1).unwrap();
+            let profile = realized_profile(&data);
+            let predicted = response_from_profile(
+                &profile,
+                pdm_model::Action::MultiLevelExpand,
+                model_strategy,
+                &LinkProfile::wan_256(),
+                512,
+                0,
+            );
+            assert_eq!(
+                out.stats.queries as f64, predicted.queries,
+                "queries, seed {seed}, {strategy:?}"
+            );
+            let measured_nodes = out.stats.response_payload_bytes as f64 / 512.0;
+            assert!(
+                (measured_nodes - predicted.transmitted_nodes).abs() < 1e-9,
+                "n_t seed {seed} {strategy:?}: measured {measured_nodes} vs {}",
+                predicted.transmitted_nodes
+            );
+            let t = out.stats.response_time();
+            assert!(
+                (t - predicted.total()).abs() / predicted.total() < 0.01,
+                "T seed {seed} {strategy:?}: {t} vs {}",
+                predicted.total()
+            );
+        }
+    }
+}
+
+#[test]
+fn recursion_handles_varying_depth_branches() {
+    // Heavy early bottom-out: many single-component branches next to deep
+    // ones — the recursive query must still return exactly the visible set.
+    let spec = IrregularSpec::new(6, (1, 6), 0.8, 5)
+        .with_leaf_probability(0.5)
+        .with_node_size(128);
+    let (mut s, data) = session(&spec, Strategy::Recursive);
+    let out = s.multi_level_expand(1).unwrap();
+    assert_eq!(out.tree.len() as u64, 1 + data.visible_nodes());
+    assert_eq!(out.stats.queries, 1);
+    // tree reassembly is complete: every transferred node reachable
+    assert_eq!(out.tree.reachable_from_root(), out.tree.len());
+}
+
+#[test]
+fn expand_action_ships_realized_root_children() {
+    let spec = IrregularSpec::new(3, (2, 6), 1.0, 77).with_node_size(512);
+    let (mut s, data) = session(&spec, Strategy::LateEval);
+    let out = s.single_level_expand(1).unwrap();
+    let shipped = out.stats.response_payload_bytes as f64 / 512.0;
+    assert_eq!(shipped as u64, data.root_children);
+}
+
+#[test]
+fn exists_structure_rule_on_irregular_tree() {
+    use pdm_core::rules::condition::Condition;
+    use pdm_core::rules::{ActionKind, Rule};
+    let spec = IrregularSpec::new(4, (2, 3), 1.0, 13).with_node_size(128);
+    let mut spec = spec;
+    spec.specified_fraction = 0.5;
+    let (db, data) = build_irregular_database(&spec).unwrap();
+    let mut rules = visibility_rules();
+    rules.add(Rule::for_all_users(
+        ActionKind::MultiLevelExpand,
+        "comp",
+        Condition::ExistsStructure {
+            object_table: "comp".into(),
+            relation_table: "specified_by".into(),
+            related_table: "spec".into(),
+        },
+    ));
+    let mut s = Session::new(
+        db,
+        SessionConfig::new("scott", Strategy::Recursive, LinkProfile::wan_512()),
+        rules,
+    );
+    let out = s.multi_level_expand(1).unwrap();
+    let specified: std::collections::HashSet<i64> =
+        data.specified_by.iter().map(|(c, _)| *c).collect();
+    for n in out.tree.nodes().filter(|n| n.is_component()) {
+        assert!(specified.contains(&n.obid));
+    }
+}
+
+#[test]
+fn sim_action_harness_covers_irregular() {
+    // Smoke the shared bench harness mapping on an irregular session too.
+    let spec = IrregularSpec::new(3, (2, 3), 0.9, 21).with_node_size(128);
+    let (mut s, _) = session(&spec, Strategy::EarlyEval);
+    for action in SimAction::ALL {
+        let stats = pdm_bench::run_action(&mut s, action);
+        assert!(stats.queries >= 1);
+        let _ = to_model_strategy(Strategy::EarlyEval);
+    }
+}

@@ -1,0 +1,122 @@
+//! Parallel hierarchical views over the same objects (§1 footnote 1): a
+//! functional decomposition stored as a second link table. The same PDM
+//! machinery — navigational and recursive, early and late — must work
+//! through either view, and each view can carry its own access rules.
+
+use pdm_core::rules::condition::{CmpOp, Condition, RowPredicate};
+use pdm_core::rules::{ActionKind, Rule};
+use pdm_core::{RuleTable, Session, SessionConfig, Strategy};
+use pdm_net::LinkProfile;
+use pdm_workload::views::{generate_view_links, install_view};
+use pdm_workload::{build_database, TreeSpec};
+
+fn rules_for(tables: &[&str]) -> RuleTable {
+    let mut t = RuleTable::new();
+    for table in tables {
+        t.add(Rule::for_all_users(
+            ActionKind::Access,
+            *table,
+            Condition::Row(RowPredicate::compare("strc_opt", CmpOp::Eq, "OPTA")),
+        ));
+    }
+    t
+}
+
+fn session_with_view(gamma_physical: f64, gamma_functional: f64) -> (Session, usize) {
+    let spec = TreeSpec::new(3, 3, gamma_physical).with_node_size(128);
+    let (mut db, data) = build_database(&spec).unwrap();
+    let vlinks = generate_view_links(&data, gamma_functional, 77);
+    install_view(&mut db, "flink", &vlinks).unwrap();
+    let visible_functional = vlinks.iter().filter(|l| l.visible).count();
+    let s = Session::new(
+        db,
+        SessionConfig::new("scott", Strategy::Recursive, LinkProfile::wan_512()),
+        rules_for(&["link", "flink"]),
+    );
+    (s, visible_functional)
+}
+
+#[test]
+fn same_objects_different_hierarchies() {
+    let (mut s, _) = session_with_view(1.0, 1.0);
+
+    let physical = s.multi_level_expand(1).unwrap().tree;
+    s.set_structure_view("flink");
+    let functional = s.multi_level_expand(1).unwrap().tree;
+
+    // Both views cover the full object universe (γ=1 everywhere)...
+    let mut p: Vec<i64> = physical.node_ids().collect();
+    let mut f: Vec<i64> = functional.node_ids().collect();
+    p.sort_unstable();
+    f.sort_unstable();
+    assert_eq!(p, f, "same objects in both views");
+
+    // ...but the hierarchies differ.
+    let differs = physical.node_ids().any(|id| {
+        physical.node(id).unwrap().parent != functional.node(id).unwrap().parent
+    });
+    assert!(differs, "views should arrange objects differently");
+}
+
+#[test]
+fn all_strategies_agree_within_a_view() {
+    let spec = TreeSpec::new(3, 3, 1.0).with_node_size(128);
+    let (mut db, data) = build_database(&spec).unwrap();
+    let vlinks = generate_view_links(&data, 0.7, 123);
+    install_view(&mut db, "flink", &vlinks).unwrap();
+
+    let mut ids_per_strategy = Vec::new();
+    for strategy in Strategy::ALL {
+        let spec2 = TreeSpec::new(3, 3, 1.0).with_node_size(128);
+        let (mut db2, data2) = build_database(&spec2).unwrap();
+        let vlinks2 = generate_view_links(&data2, 0.7, 123);
+        install_view(&mut db2, "flink", &vlinks2).unwrap();
+        let mut s = Session::new(
+            db2,
+            SessionConfig::new("scott", strategy, LinkProfile::wan_512()),
+            rules_for(&["link", "flink"]),
+        );
+        s.set_structure_view("flink");
+        let out = s.multi_level_expand(1).unwrap();
+        let mut ids: Vec<i64> = out.tree.node_ids().collect();
+        ids.sort_unstable();
+        ids_per_strategy.push(ids);
+    }
+    assert_eq!(ids_per_strategy[0], ids_per_strategy[1]);
+    assert_eq!(ids_per_strategy[0], ids_per_strategy[2]);
+    let _ = (db, data, vlinks);
+}
+
+#[test]
+fn view_rules_are_independent() {
+    // The user may see everything physically but only OPTA branches
+    // functionally — rules attach to the view's table name.
+    let (mut s, _) = session_with_view(1.0, 0.5);
+
+    let physical = s.multi_level_expand(1).unwrap().tree;
+    assert_eq!(physical.len(), 1 + 3 + 9 + 27);
+
+    s.set_structure_view("flink");
+    let functional = s.multi_level_expand(1).unwrap().tree;
+    assert!(functional.len() < physical.len());
+}
+
+#[test]
+fn functional_view_recursion_is_single_query() {
+    let (mut s, _) = session_with_view(1.0, 1.0);
+    s.set_structure_view("flink");
+    let out = s.multi_level_expand(1).unwrap();
+    assert_eq!(out.stats.queries, 1);
+    assert_eq!(out.tree.reachable_from_root(), out.tree.len());
+}
+
+#[test]
+fn single_level_expand_through_view() {
+    let (mut s, _) = session_with_view(1.0, 1.0);
+    s.set_structure_view("flink");
+    s.set_strategy(Strategy::EarlyEval);
+    let out = s.single_level_expand(1).unwrap();
+    assert_eq!(out.stats.queries, 1);
+    // children in the functional view are whatever the reattachment chose
+    assert!(!out.tree.is_empty());
+}
