@@ -39,8 +39,7 @@ fn main() {
         let shipped_stats = out2.stats.clone();
         assert_eq!(out2.tree.map(|t| t.len()), Some(nodes));
 
-        let saving = 100.0
-            * (classic_stats.response_time() - shipped_stats.response_time())
+        let saving = 100.0 * (classic_stats.response_time() - shipped_stats.response_time())
             / classic_stats.response_time();
         println!(
             "{:<10}{:>8}{:>14}{:>12.2}{:>14}{:>12.2}{:>9.1}%",

@@ -18,7 +18,14 @@ fn main() {
         let spec = TreeSpec::new(depth, branching, 0.6).with_node_size(512);
         let visible = 3u64.pow(depth + 1) / 2; // γβ = 3
 
-        let mut s = make_session(depth, branching, 0.6, 512, Strategy::LateEval, LinkProfile::wan_256());
+        let mut s = make_session(
+            depth,
+            branching,
+            0.6,
+            512,
+            Strategy::LateEval,
+            LinkProfile::wan_256(),
+        );
         let nav = s.multi_level_expand(1).expect("expand").stats;
 
         let (db, _) = build_database(&spec).expect("build");
@@ -29,10 +36,21 @@ fn main() {
         );
         let batched = s.multi_level_expand_batched(1).expect("expand").stats;
 
-        let mut s = make_session(depth, branching, 0.6, 512, Strategy::Recursive, LinkProfile::wan_256());
+        let mut s = make_session(
+            depth,
+            branching,
+            0.6,
+            512,
+            Strategy::Recursive,
+            LinkProfile::wan_256(),
+        );
         let rec = s.multi_level_expand(1).expect("expand").stats;
 
-        for (name, st) in [("per-node", &nav), ("batched", &batched), ("recursive", &rec)] {
+        for (name, st) in [
+            ("per-node", &nav),
+            ("batched", &batched),
+            ("recursive", &rec),
+        ] {
             println!(
                 "{:<12}{:>10}{:>14}{:>12}{:>14.2}{:>12.2}",
                 format!("δ{depth}β{branching}"),

@@ -42,9 +42,30 @@ fn header() {
 }
 
 fn row(tree: &KaryTree, link: LinkProfile) {
-    let late = response(tree, Action::MultiLevelExpand, Strategy::LateEval, &link, 512, 0);
-    let early = response(tree, Action::MultiLevelExpand, Strategy::EarlyEval, &link, 512, 0);
-    let rec = response(tree, Action::MultiLevelExpand, Strategy::Recursive, &link, 512, 0);
+    let late = response(
+        tree,
+        Action::MultiLevelExpand,
+        Strategy::LateEval,
+        &link,
+        512,
+        0,
+    );
+    let early = response(
+        tree,
+        Action::MultiLevelExpand,
+        Strategy::EarlyEval,
+        &link,
+        512,
+        0,
+    );
+    let rec = response(
+        tree,
+        Action::MultiLevelExpand,
+        Strategy::Recursive,
+        &link,
+        512,
+        0,
+    );
     println!(
         "{:>12.0}{:>12.2}{:>12.2}{:>12.3}{:>13.2}%",
         link.dtr_kbit,

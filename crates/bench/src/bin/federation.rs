@@ -23,7 +23,16 @@ fn build(spec: &TreeSpec, n_sites: usize, strategy: Strategy) -> Federation {
         .collect();
     let links = vec![LinkProfile::wan_256(); n_sites];
     let names = (0..n_sites).map(|i| format!("site{i}")).collect();
-    Federation::new(dbs, links, names, info.site_of.clone(), mounts, "scott", strategy, visibility_rules())
+    Federation::new(
+        dbs,
+        links,
+        names,
+        info.site_of.clone(),
+        mounts,
+        "scott",
+        strategy,
+        visibility_rules(),
+    )
 }
 
 fn main() {

@@ -19,9 +19,30 @@ fn main() {
     for g10 in 1..=10 {
         let gamma = g10 as f64 / 10.0;
         let tree = KaryTree::new(7, 5, gamma);
-        let late = response(&tree, Action::MultiLevelExpand, Strategy::LateEval, &link, 512, 0);
-        let early = response(&tree, Action::MultiLevelExpand, Strategy::EarlyEval, &link, 512, 0);
-        let rec = response(&tree, Action::MultiLevelExpand, Strategy::Recursive, &link, 512, 0);
+        let late = response(
+            &tree,
+            Action::MultiLevelExpand,
+            Strategy::LateEval,
+            &link,
+            512,
+            0,
+        );
+        let early = response(
+            &tree,
+            Action::MultiLevelExpand,
+            Strategy::EarlyEval,
+            &link,
+            512,
+            0,
+        );
+        let rec = response(
+            &tree,
+            Action::MultiLevelExpand,
+            Strategy::Recursive,
+            &link,
+            512,
+            0,
+        );
         println!(
             "{:>6.1}{:>14.2}{:>14.2}{:>14.2}{:>15.2}%{:>15.2}%",
             gamma,

@@ -19,7 +19,14 @@ fn main() {
         "query bytes", "q_r", "MLE rec T", "vs 1-packet Δ%"
     );
     let link = LinkProfile::wan_256();
-    let base = response(&tree, Action::MultiLevelExpand, Strategy::Recursive, &link, 512, 0);
+    let base = response(
+        &tree,
+        Action::MultiLevelExpand,
+        Strategy::Recursive,
+        &link,
+        512,
+        0,
+    );
     for query_bytes in [512usize, 2_048, 4_096, 8_192, 16_384, 65_536] {
         let r = response(
             &tree,
@@ -46,8 +53,22 @@ fn main() {
     );
     for packet in [512usize, 1_024, 2_048, 4_096, 8_192] {
         let link = LinkProfile::new(256.0, 0.15, packet);
-        let rec = response(&tree, Action::MultiLevelExpand, Strategy::Recursive, &link, 512, 6_000);
-        let late = response(&tree, Action::MultiLevelExpand, Strategy::LateEval, &link, 512, 0);
+        let rec = response(
+            &tree,
+            Action::MultiLevelExpand,
+            Strategy::Recursive,
+            &link,
+            512,
+            6_000,
+        );
+        let late = response(
+            &tree,
+            Action::MultiLevelExpand,
+            Strategy::LateEval,
+            &link,
+            512,
+            0,
+        );
         println!(
             "{:>14}{:>8.0}{:>14.2}{:>14.2}",
             packet,

@@ -17,6 +17,9 @@ fn main() {
             PaperSim::small()
         };
         println!();
-        println!("{}", grid.render(Strategy::LateEval, &SimAction::ALL, false));
+        println!(
+            "{}",
+            grid.render(Strategy::LateEval, &SimAction::ALL, false)
+        );
     }
 }

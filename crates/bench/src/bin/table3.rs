@@ -14,6 +14,9 @@ fn main() {
             PaperSim::small()
         };
         println!();
-        println!("{}", grid.render(Strategy::EarlyEval, &SimAction::ALL, true));
+        println!(
+            "{}",
+            grid.render(Strategy::EarlyEval, &SimAction::ALL, true)
+        );
     }
 }

@@ -18,9 +18,15 @@ fn main() {
     };
 
     println!("== late evaluation (Table 2 regime) ==");
-    println!("{}", grid.render(Strategy::LateEval, &SimAction::ALL, false));
+    println!(
+        "{}",
+        grid.render(Strategy::LateEval, &SimAction::ALL, false)
+    );
     println!("== early rule evaluation (Table 3 regime) ==");
-    println!("{}", grid.render(Strategy::EarlyEval, &SimAction::ALL, true));
+    println!(
+        "{}",
+        grid.render(Strategy::EarlyEval, &SimAction::ALL, true)
+    );
     println!("== recursive queries (Table 4 regime) ==");
     println!(
         "{}",

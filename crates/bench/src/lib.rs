@@ -17,8 +17,11 @@ pub enum SimAction {
 }
 
 impl SimAction {
-    pub const ALL: [SimAction; 3] =
-        [SimAction::Query, SimAction::Expand, SimAction::MultiLevelExpand];
+    pub const ALL: [SimAction; 3] = [
+        SimAction::Query,
+        SimAction::Expand,
+        SimAction::MultiLevelExpand,
+    ];
 
     pub fn label(&self) -> &'static str {
         match self {
@@ -73,7 +76,11 @@ pub fn make_session(
         .with_node_size(node_size)
         .with_visibility(VisibilityMode::Deterministic);
     let (db, _) = build_database(&spec).unwrap();
-    Session::new(db, SessionConfig::new("scott", strategy, link), visibility_rules())
+    Session::new(
+        db,
+        SessionConfig::new("scott", strategy, link),
+        visibility_rules(),
+    )
 }
 
 /// Run one action and return its traffic stats.

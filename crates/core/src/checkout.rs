@@ -46,7 +46,11 @@ impl Session {
         // conditions in their queries, §4.1).
         let violated = self.checkout_forall_violated(&tree);
         if violated {
-            return Ok(CheckoutOutcome { tree: None, stats, update_round_trips: 0 });
+            return Ok(CheckoutOutcome {
+                tree: None,
+                stats,
+                update_round_trips: 0,
+            });
         }
 
         // Phase 3: separate UPDATE communications (§6).
@@ -74,12 +78,22 @@ impl Session {
         }
         stats.absorb(self.stats());
 
-        Ok(CheckoutOutcome { tree: Some(tree), stats, update_round_trips })
+        Ok(CheckoutOutcome {
+            tree: Some(tree),
+            stats,
+            update_round_trips,
+        })
     }
 
     /// Function-shipping check-out (§6's remedy): ship ONE procedure call;
     /// the server runs the (rule-modified) recursive query, verifies the
     /// condition, and flips the flags locally. One round trip total.
+    ///
+    /// The call carries an idempotency token, which makes it failure-atomic
+    /// on a faulty link: if the confirmation is lost *after* the server
+    /// flipped the flags, the retry replays the same token and the server
+    /// returns the recorded outcome instead of refusing its own check-out —
+    /// the flags are never left half-flipped behind the client's back.
     pub fn check_out_function_shipping(
         &mut self,
         root: ObjectId,
@@ -99,31 +113,58 @@ impl Session {
             m.modify_recursive(&mut q)?;
         }
         let sql = q.to_string();
+        let token = self.next_checkout_token();
+        let request_bytes = sql.len() + 32; // procedure-call framing
 
-        let result = self.server_mut().checkout_procedure(root, &sql)?;
-        match result.rows {
-            None => {
-                // Condition failed: only a small refusal message comes back.
-                self.meter_round_trip(sql.len() + 32, 32);
-                Ok(CheckoutOutcome {
-                    tree: None,
-                    stats: self.stats().clone(),
-                    update_round_trips: 0,
-                })
+        let result = if self.channel_mut().fault_plan().is_none() {
+            let result = self
+                .server_mut()
+                .checkout_procedure_idempotent(root, &sql, token)?;
+            let response = procedure_response_size(&result);
+            self.meter_round_trip(request_bytes, response);
+            result
+        } else {
+            let mut attempt = 1u32;
+            loop {
+                self.check_deadline(attempt)?;
+                let failure = match self.channel_mut().try_send_request(request_bytes) {
+                    Ok(pending) => {
+                        let result = self
+                            .server_mut()
+                            .checkout_procedure_idempotent(root, &sql, token)?;
+                        let response = procedure_response_size(&result);
+                        match self.channel_mut().try_receive_response(pending, response) {
+                            Ok(_) => break result,
+                            // The confirmation was lost after the server
+                            // committed: replaying the SAME token returns
+                            // the recorded outcome without re-flipping.
+                            Err(e) => e,
+                        }
+                    }
+                    // Request never reached the server — nothing happened.
+                    Err(e) => e,
+                };
+                self.back_off_or_fail(attempt, failure)?;
+                attempt += 1;
             }
+        };
+
+        match result.rows {
+            None => Ok(CheckoutOutcome {
+                tree: None,
+                stats: self.stats().clone(),
+                update_round_trips: 0,
+            }),
             Some(rows) => {
-                self.meter_round_trip(sql.len() + 32, rows.wire_size());
                 let mut tree = ProductTree::new();
                 let root_node = self.fetch_root_cached(root)?;
                 tree.insert(root_node);
                 for row in &rows.rows {
                     let attrs = crate::client::row_attrs(&rows, row);
-                    let parent = attrs
-                        .get("parent")
-                        .and_then(|v| match v {
-                            pdm_sql::Value::Int(i) => Some(*i),
-                            _ => None,
-                        });
+                    let parent = attrs.get("parent").and_then(|v| match v {
+                        pdm_sql::Value::Int(i) => Some(*i),
+                        _ => None,
+                    });
                     let node = crate::session::node_from_attrs(attrs, parent);
                     tree.insert(node);
                 }
@@ -176,7 +217,11 @@ impl Session {
             ConditionClass::ForAllRows,
         );
         for rule in forall_rules {
-            let Condition::ForAllRows { object_type, predicate } = &rule.condition else {
+            let Condition::ForAllRows {
+                object_type,
+                predicate,
+            } = &rule.condition
+            else {
                 continue;
             };
             for node in tree.nodes() {
@@ -194,14 +239,41 @@ impl Session {
     }
 }
 
+/// Wire size of a procedure result: real rows, or a small refusal message.
+fn procedure_response_size(result: &crate::server::CheckoutProcedureResult) -> usize {
+    match &result.rows {
+        None => 32,
+        Some(rows) => rows.wire_size(),
+    }
+}
+
 // Helper re-exports used by checkout (kept out of the public session API).
 impl Session {
+    /// One metered UPDATE exchange. The check-out/check-in flag updates are
+    /// idempotent (`SET checkedout = <const>` over a fixed id set), so on a
+    /// faulty link every failure mode — including a lost confirmation after
+    /// the server applied the update — is safe to replay.
     pub(crate) fn metered_update_public(&mut self, sql: &str) -> SessionResult<usize> {
-        let out = self.server_mut().execute(sql)?;
-        self.meter_round_trip(sql.len(), 16);
-        match out {
-            pdm_sql::ExecOutcome::Dml(pdm_sql::DmlOutcome::Updated(n)) => Ok(n),
-            _ => Ok(0),
+        if self.channel_mut().fault_plan().is_none() {
+            let out = self.server_mut().execute(sql)?;
+            self.meter_round_trip(sql.len(), 16);
+            return Ok(updated_rows(out));
+        }
+        let mut attempt = 1u32;
+        loop {
+            self.check_deadline(attempt)?;
+            let failure = match self.channel_mut().try_send_request(sql.len()) {
+                Ok(pending) => {
+                    let out = self.server_mut().execute(sql)?;
+                    match self.channel_mut().try_receive_response(pending, 16) {
+                        Ok(_) => return Ok(updated_rows(out)),
+                        Err(e) => e,
+                    }
+                }
+                Err(e) => e,
+            };
+            self.back_off_or_fail(attempt, failure)?;
+            attempt += 1;
         }
     }
 
@@ -210,13 +282,20 @@ impl Session {
     }
 }
 
+fn updated_rows(out: pdm_sql::ExecOutcome) -> usize {
+    match out {
+        pdm_sql::ExecOutcome::Dml(pdm_sql::DmlOutcome::Updated(n)) => n,
+        _ => 0,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Strategy;
     use crate::rules::condition::{CmpOp, RowPredicate};
     use crate::rules::Rule;
     use crate::session::SessionConfig;
+    use crate::Strategy;
     use pdm_net::LinkProfile;
     use pdm_workload::{build_database, TreeSpec};
 

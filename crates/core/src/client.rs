@@ -138,9 +138,17 @@ mod tests {
         let funcs = client_registry();
         let groups = permission_groups(&r, "scott", ActionKind::Expand, &["link", "assy"]);
         // visible link + decomposable assy → permitted
-        assert!(permitted(&attrs(&[("strc_opt", "OPTA"), ("dec", "+")]), &groups, &funcs));
+        assert!(permitted(
+            &attrs(&[("strc_opt", "OPTA"), ("dec", "+")]),
+            &groups,
+            &funcs
+        ));
         // invisible link → denied even though assy rule passes
-        assert!(!permitted(&attrs(&[("strc_opt", "NONE"), ("dec", "+")]), &groups, &funcs));
+        assert!(!permitted(
+            &attrs(&[("strc_opt", "NONE"), ("dec", "+")]),
+            &groups,
+            &funcs
+        ));
         // OR within the assy group: name = 'special' rescues dec = '-'
         assert!(permitted(
             &attrs(&[("strc_opt", "OPTA"), ("dec", "-"), ("name", "special")]),

@@ -14,9 +14,9 @@
 //! magnitude below navigational access, but no longer constant. The
 //! `federation` bench binary quantifies this.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 
-use pdm_net::{LinkProfile, MeteredChannel, TrafficStats};
+use pdm_net::{FaultPlan, LinkError, LinkProfile, MeteredChannel, TrafficStats};
 use pdm_sql::functions::FunctionRegistry;
 use pdm_sql::{Database, ResultSet, Value};
 
@@ -24,6 +24,7 @@ use crate::client::{self, Strategy};
 use crate::product::{ObjectId, ProductTree};
 use crate::query::modificator::Modificator;
 use crate::query::{navigational, recursive};
+use crate::resilience::RetryPolicy;
 use crate::rules::table::RuleTable;
 use crate::rules::ActionKind;
 use crate::server::PdmServer;
@@ -65,6 +66,12 @@ pub struct FederatedOutcome {
     pub per_site: Vec<TrafficStats>,
     /// Number of distinct sites the traversal touched.
     pub sites_visited: usize,
+    /// `true` when at least one site could not be reached and its subtrees
+    /// are missing from `tree` — the result is explicitly partial, never
+    /// silently truncated.
+    pub partial: bool,
+    /// Names of the sites that stayed unreachable after retries.
+    pub unreachable_sites: Vec<String>,
 }
 
 impl FederatedOutcome {
@@ -88,6 +95,7 @@ pub struct Federation {
     user: String,
     strategy: Strategy,
     funcs: FunctionRegistry,
+    retry: RetryPolicy,
 }
 
 impl Federation {
@@ -134,11 +142,26 @@ impl Federation {
             user: user.into(),
             strategy,
             funcs: crate::functions::client_registry(),
+            retry: RetryPolicy::none(),
         }
     }
 
     pub fn sites(&self) -> &[FederatedSite] {
         &self.sites
+    }
+
+    /// Install a fault plan on one site's link. Like
+    /// [`crate::Session::set_fault_plan`], a first install upgrades a
+    /// no-retry policy to [`RetryPolicy::default_wan`].
+    pub fn set_site_fault_plan(&mut self, site: usize, plan: FaultPlan) {
+        self.sites[site].channel.set_fault_plan(plan);
+        if self.retry == RetryPolicy::none() {
+            self.retry = RetryPolicy::default_wan();
+        }
+    }
+
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
     }
 
     pub fn set_strategy(&mut self, strategy: Strategy) {
@@ -158,10 +181,58 @@ impl Federation {
             .ok_or(SessionError::RootNotFound(obid))
     }
 
+    /// One metered query against a site, resilient when that site has a
+    /// fault plan installed (expand queries are idempotent reads — safe to
+    /// replay on any failure, including a lost response).
     fn metered_query(&mut self, site: usize, sql: &str) -> SessionResult<ResultSet> {
-        let rs = self.sites[site].server.query(sql)?;
-        self.sites[site].channel.round_trip(sql.len(), rs.wire_size());
-        Ok(rs)
+        if self.sites[site].channel.fault_plan().is_none() {
+            let rs = self.sites[site].server.query(sql)?;
+            self.sites[site]
+                .channel
+                .round_trip(sql.len(), rs.wire_size());
+            return Ok(rs);
+        }
+        let mut attempt = 1u32;
+        loop {
+            {
+                let ch = &self.sites[site].channel;
+                if ch.elapsed() >= self.retry.deadline {
+                    return Err(SessionError::Timeout {
+                        attempts: attempt.saturating_sub(1),
+                        elapsed: ch.elapsed(),
+                    });
+                }
+            }
+            let failure = match self.sites[site].channel.try_send_request(sql.len()) {
+                Ok(pending) => {
+                    let rs = self.sites[site].server.query(sql)?;
+                    match self.sites[site]
+                        .channel
+                        .try_receive_response(pending, rs.wire_size())
+                    {
+                        Ok(_) => return Ok(rs),
+                        Err(e) => e,
+                    }
+                }
+                Err(e) => e,
+            };
+            let ch = &mut self.sites[site].channel;
+            if attempt >= self.retry.max_attempts {
+                return Err(SessionError::from_link(failure, attempt, ch.elapsed()));
+            }
+            let mut wait = self.retry.backoff(attempt, ch.exchanges_attempted());
+            if let LinkError::Outage { until, .. } = failure {
+                wait = wait.max(until - ch.elapsed());
+            }
+            if ch.elapsed() + wait > self.retry.deadline {
+                return Err(SessionError::Timeout {
+                    attempts: attempt,
+                    elapsed: ch.elapsed(),
+                });
+            }
+            ch.wait(wait);
+            attempt += 1;
+        }
     }
 
     /// Does the mount's connecting link pass the relation rules? Evaluated
@@ -187,9 +258,16 @@ impl Federation {
     }
 
     /// Federated multi-level expand of the subtree rooted at `root`.
+    ///
+    /// On faulty links, a site that stays unreachable after retries is
+    /// skipped: its subtrees are missing from the result, which comes back
+    /// explicitly marked `partial` with the site names listed — degraded
+    /// but honest service instead of failing the whole action. Failing the
+    /// *root's* site still fails the action (there is nothing to return).
     pub fn multi_level_expand(&mut self, root: ObjectId) -> SessionResult<FederatedOutcome> {
         self.reset_metering();
         let root_site = self.site_of(root)?;
+        let mut unreachable: BTreeSet<usize> = BTreeSet::new();
 
         // Root is client-cached (footnote 4): fetch unmetered.
         let root_node = {
@@ -210,6 +288,9 @@ impl Federation {
                 let mut queue: VecDeque<(ObjectId, usize, Option<ObjectId>)> = VecDeque::new();
                 queue.push_back((root, root_site, None));
                 while let Some((r, site, attach_to)) = queue.pop_front() {
+                    if unreachable.contains(&site) {
+                        continue;
+                    }
                     visited_sites.insert(site);
                     let include_root = attach_to.is_some();
                     let mut q = recursive::mle_query_with_root(r, include_root);
@@ -223,7 +304,14 @@ impl Federation {
                     );
                     m.modify_recursive(&mut q)?;
                     let sql = q.to_string();
-                    let rs = self.metered_query(site, &sql)?;
+                    let rs = match self.metered_query(site, &sql) {
+                        Ok(rs) => rs,
+                        Err(e) if e.is_link_failure() && site != root_site => {
+                            unreachable.insert(site);
+                            continue;
+                        }
+                        Err(e) => return Err(e),
+                    };
                     for row in &rs.rows {
                         let attrs = client::row_attrs(&rs, row);
                         let obid = match attrs.get("obid") {
@@ -237,8 +325,7 @@ impl Federation {
                     // Continue at mounts whose parent made it into the tree.
                     self.enqueue_mounts(r, &tree, &rs, &mut queue)?;
                 }
-                let per_site = self.sites.iter().map(|s| s.channel.stats().clone()).collect();
-                Ok(FederatedOutcome { tree, per_site, sites_visited: visited_sites.len() })
+                Ok(self.outcome(tree, visited_sites.len(), &unreachable))
             }
             Strategy::LateEval | Strategy::EarlyEval => {
                 // Navigational: every expand query routed to the owning
@@ -248,6 +335,9 @@ impl Federation {
                 queue.push_back(root);
                 while let Some(parent) = queue.pop_front() {
                     let site = self.site_of(parent)?;
+                    if unreachable.contains(&site) {
+                        continue;
+                    }
                     visited_sites.insert(site);
                     let mut q = navigational::expand_query(parent);
                     if self.strategy.early_rules() {
@@ -262,12 +352,23 @@ impl Federation {
                         .modify_navigational(&mut q)?;
                     }
                     let sql = q.to_string();
-                    let rs = self.metered_query(site, &sql)?;
+                    let rs = match self.metered_query(site, &sql) {
+                        Ok(rs) => rs,
+                        Err(e) if e.is_link_failure() && site != root_site => {
+                            unreachable.insert(site);
+                            continue;
+                        }
+                        Err(e) => return Err(e),
+                    };
                     let groups = client::permission_groups(
                         &self.rules,
                         &self.user,
                         ActionKind::MultiLevelExpand,
-                        &[crate::query::T_LINK, crate::query::T_ASSY, crate::query::T_COMP],
+                        &[
+                            crate::query::T_LINK,
+                            crate::query::T_ASSY,
+                            crate::query::T_COMP,
+                        ],
                     );
                     for row in &rs.rows {
                         let attrs = client::row_attrs(&rs, row);
@@ -284,11 +385,20 @@ impl Federation {
                     // apply node rules client-side, continue expanding.
                     if let Some(mounts) = self.mounts_by_parent.get(&parent).cloned() {
                         for mount in mounts {
-                            if !self.mount_permitted(&mount) {
+                            if !self.mount_permitted(&mount)
+                                || unreachable.contains(&mount.child_site)
+                            {
                                 continue;
                             }
                             let fq = navigational::fetch_node_query(mount.child);
-                            let rs = self.metered_query(mount.child_site, &fq.to_string())?;
+                            let rs = match self.metered_query(mount.child_site, &fq.to_string()) {
+                                Ok(rs) => rs,
+                                Err(e) if e.is_link_failure() => {
+                                    unreachable.insert(mount.child_site);
+                                    continue;
+                                }
+                                Err(e) => return Err(e),
+                            };
                             visited_sites.insert(mount.child_site);
                             let Some(row) = rs.rows.first() else { continue };
                             let attrs = client::row_attrs(&rs, row);
@@ -307,9 +417,31 @@ impl Federation {
                         }
                     }
                 }
-                let per_site = self.sites.iter().map(|s| s.channel.stats().clone()).collect();
-                Ok(FederatedOutcome { tree, per_site, sites_visited: visited_sites.len() })
+                Ok(self.outcome(tree, visited_sites.len(), &unreachable))
             }
+        }
+    }
+
+    fn outcome(
+        &self,
+        tree: ProductTree,
+        sites_visited: usize,
+        unreachable: &BTreeSet<usize>,
+    ) -> FederatedOutcome {
+        let per_site = self
+            .sites
+            .iter()
+            .map(|s| s.channel.stats().clone())
+            .collect();
+        FederatedOutcome {
+            tree,
+            per_site,
+            sites_visited,
+            partial: !unreachable.is_empty(),
+            unreachable_sites: unreachable
+                .iter()
+                .map(|&i| self.sites[i].name.clone())
+                .collect(),
         }
     }
 
@@ -332,7 +464,9 @@ impl Federation {
             }
         }
         for parent in parents {
-            let Some(mounts) = self.mounts_by_parent.get(&parent) else { continue };
+            let Some(mounts) = self.mounts_by_parent.get(&parent) else {
+                continue;
+            };
             for mount in mounts {
                 if tree.contains(mount.parent)
                     && self.mount_permitted(mount)

@@ -39,8 +39,11 @@ pub fn register_into(reg: &mut FunctionRegistry) {
         }
         match (&args[0], &args[1]) {
             (Value::Text(a), Value::Text(b)) => {
-                let left: std::collections::HashSet<&str> =
-                    a.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+                let left: std::collections::HashSet<&str> = a
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .collect();
                 let found = b
                     .split(',')
                     .map(str::trim)
@@ -59,9 +62,7 @@ pub fn register_into(reg: &mut FunctionRegistry) {
             return Err(Error::Eval("effective_name() expects 2 arguments".into()));
         }
         match (&args[0], &args[1]) {
-            (Value::Text(name), Value::Int(obid)) => {
-                Ok(Value::Text(format!("{name}#{obid}")))
-            }
+            (Value::Text(name), Value::Int(obid)) => Ok(Value::Text(format!("{name}#{obid}"))),
             _ => Ok(Value::Null),
         }
     });
@@ -120,7 +121,8 @@ mod tests {
     fn set_overlap_cases() {
         let r = reg();
         let call = |a: &str, b: &str| {
-            r.call("set_overlaps", &[Value::from(a), Value::from(b)]).unwrap()
+            r.call("set_overlaps", &[Value::from(a), Value::from(b)])
+                .unwrap()
         };
         assert_eq!(call("OPTA,OPTB", "OPTB,OPTC"), Value::Bool(true));
         assert_eq!(call("OPTA", "OPTB"), Value::Bool(false));
@@ -142,7 +144,8 @@ mod tests {
     fn registered_at_server_usable_in_sql() {
         let mut db = Database::new();
         register_pdm_functions(&mut db);
-        db.execute("CREATE TABLE l (eff_from INTEGER, eff_to INTEGER)").unwrap();
+        db.execute("CREATE TABLE l (eff_from INTEGER, eff_to INTEGER)")
+            .unwrap();
         db.execute("INSERT INTO l VALUES (1, 3), (4, 10)").unwrap();
         let rs = db
             .query("SELECT COUNT(*) AS n FROM l WHERE OVERLAPS_INTERVAL(eff_from, eff_to, 5, 6) = TRUE")

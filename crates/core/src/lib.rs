@@ -18,7 +18,11 @@
 //!   retrieval — Approach 2;
 //! * **check-out/check-in** (§6): tree retrieval plus the separate UPDATE
 //!   round trip that recursive querying cannot absorb, and the
-//!   function-shipping (stored procedure) remedy the paper sketches.
+//!   function-shipping (stored procedure) remedy the paper sketches;
+//! * a **resilience layer** for faulty WANs: retry with deterministic
+//!   backoff, failure-atomic check-out via idempotency tokens, circuit-
+//!   breaker degradation from the recursive strategy to level-batched
+//!   navigation, and partial federated results over unreachable sites.
 
 pub mod checkout;
 pub mod client;
@@ -26,15 +30,17 @@ pub mod federation;
 pub mod functions;
 pub mod product;
 pub mod query;
+pub mod resilience;
 pub mod rules;
 pub mod server;
 pub mod session;
 
 pub use client::Strategy;
+pub use federation::{FederatedOutcome, Federation, MountPoint};
 pub use product::{ObjectId, ProductNode, ProductTree};
+pub use resilience::{DegradationController, RetryPolicy};
 pub use rules::condition::{AggFunc, CmpOp, Condition, RowPredicate};
 pub use rules::table::RuleTable;
 pub use rules::{ActionKind, Rule, UserPattern};
-pub use federation::{FederatedOutcome, Federation, MountPoint};
 pub use server::PdmServer;
-pub use session::{ExpandOutcome, QueryOutcome, Session, SessionConfig};
+pub use session::{ExpandOutcome, QueryOutcome, Session, SessionConfig, SessionError};

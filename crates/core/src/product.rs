@@ -93,7 +93,10 @@ impl ProductTree {
 
     /// Number of nodes with the given type discriminator.
     pub fn count_of_type(&self, type_name: &str) -> usize {
-        self.nodes.values().filter(|n| n.type_name == type_name).count()
+        self.nodes
+            .values()
+            .filter(|n| n.type_name == type_name)
+            .count()
     }
 
     /// Depth of the tree below the root (root alone = 0). Nodes whose

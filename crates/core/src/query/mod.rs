@@ -21,8 +21,17 @@ pub const CTE_NAME: &str = "rtbl";
 
 /// Column names of the homogenized result type, in order.
 pub const RESULT_COLUMNS: [&str; 11] = [
-    "type", "obid", "name", "dec", "parent", "link_id", "eff_from", "eff_to", "strc_opt",
-    "checkedout", "payload",
+    "type",
+    "obid",
+    "name",
+    "dec",
+    "parent",
+    "link_id",
+    "eff_from",
+    "eff_to",
+    "strc_opt",
+    "checkedout",
+    "payload",
 ];
 
 /// Table names of the flattened Figure-2 schema.
@@ -91,15 +100,23 @@ mod tests {
 
     #[test]
     fn projections_have_result_arity() {
-        assert_eq!(linked_node_projection_in(T_ASSY, T_LINK).len(), RESULT_COLUMNS.len());
-        assert_eq!(linked_node_projection_in(T_COMP, T_LINK).len(), RESULT_COLUMNS.len());
+        assert_eq!(
+            linked_node_projection_in(T_ASSY, T_LINK).len(),
+            RESULT_COLUMNS.len()
+        );
+        assert_eq!(
+            linked_node_projection_in(T_COMP, T_LINK).len(),
+            RESULT_COLUMNS.len()
+        );
         assert_eq!(bare_node_projection(T_ASSY).len(), RESULT_COLUMNS.len());
     }
 
     #[test]
     fn component_dec_is_empty_string() {
         let items = linked_node_projection_in(T_COMP, T_LINK);
-        let SelectItem::Expr { expr, alias } = &items[3] else { panic!() };
+        let SelectItem::Expr { expr, alias } = &items[3] else {
+            panic!()
+        };
         assert_eq!(alias.as_deref(), Some("dec"));
         assert_eq!(expr, &Expr::lit(""));
     }

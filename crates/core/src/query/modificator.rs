@@ -87,7 +87,12 @@ impl<'a> Modificator<'a> {
         action: ActionKind,
         view_names: &'a HashSet<String>,
     ) -> Self {
-        Modificator { rules, user, action, view_names }
+        Modificator {
+            rules,
+            user,
+            action,
+            view_names,
+        }
     }
 
     /// §4.1: modify a navigational (non-recursive) query — row conditions
@@ -387,7 +392,9 @@ mod tests {
         assert_eq!(report.row_injections, 5);
 
         let sql = q.to_string();
-        assert!(sql.contains("NOT EXISTS (SELECT * FROM rtbl WHERE type = 'assy' AND NOT rtbl.dec = '+')"));
+        assert!(sql.contains(
+            "NOT EXISTS (SELECT * FROM rtbl WHERE type = 'assy' AND NOT rtbl.dec = '+')"
+        ));
         assert!(sql.contains("(SELECT COUNT(*) FROM rtbl WHERE type = 'assy') <= 10000"));
         assert!(sql.contains("EXISTS (SELECT * FROM specified_by AS s"));
         parse_query(&sql).unwrap();
@@ -421,7 +428,10 @@ mod tests {
         let views = HashSet::new();
         let m = Modificator::new(&rules, "scott", ActionKind::MultiLevelExpand, &views);
         let mut q = navigational::expand_query(1);
-        assert_eq!(m.modify_recursive(&mut q).unwrap_err(), ModError::NoRecursiveCte);
+        assert_eq!(
+            m.modify_recursive(&mut q).unwrap_err(),
+            ModError::NoRecursiveCte
+        );
     }
 
     #[test]

@@ -16,7 +16,10 @@ fn expand_select(node_table: &str, link_table: &str, parent: ObjectId) -> Select
     let mut twj = TableWithJoins::table(link_table);
     twj.joins.push(Join {
         kind: JoinKind::Inner,
-        factor: TableFactor::Table { name: node_table.to_string(), alias: None },
+        factor: TableFactor::Table {
+            name: node_table.to_string(),
+            alias: None,
+        },
         on: Some(Expr::eq(
             Expr::qcol(link_table, "right"),
             Expr::qcol(node_table, "obid"),

@@ -17,7 +17,10 @@ fn recursive_term(node_table: &str, link_table: &str) -> Select {
     let mut twj = TableWithJoins::table(CTE_NAME);
     twj.joins.push(Join {
         kind: JoinKind::Inner,
-        factor: TableFactor::Table { name: link_table.to_string(), alias: None },
+        factor: TableFactor::Table {
+            name: link_table.to_string(),
+            alias: None,
+        },
         on: Some(Expr::eq(
             Expr::qcol(CTE_NAME, "obid"),
             Expr::qcol(link_table, "left"),
@@ -25,7 +28,10 @@ fn recursive_term(node_table: &str, link_table: &str) -> Select {
     });
     twj.joins.push(Join {
         kind: JoinKind::Inner,
-        factor: TableFactor::Table { name: node_table.to_string(), alias: None },
+        factor: TableFactor::Table {
+            name: node_table.to_string(),
+            alias: None,
+        },
         on: Some(Expr::eq(
             Expr::qcol(link_table, "right"),
             Expr::qcol(node_table, "obid"),
@@ -82,9 +88,13 @@ pub fn mle_query_in(root: ObjectId, link_table: &str, include_root: bool) -> Que
                 op: SetOp::Union,
                 all: false,
                 left: Box::new(SetExpr::Select(Box::new(seed_term(root)))),
-                right: Box::new(SetExpr::Select(Box::new(recursive_term(T_ASSY, link_table)))),
+                right: Box::new(SetExpr::Select(Box::new(recursive_term(
+                    T_ASSY, link_table,
+                )))),
             }),
-            right: Box::new(SetExpr::Select(Box::new(recursive_term(T_COMP, link_table)))),
+            right: Box::new(SetExpr::Select(Box::new(recursive_term(
+                T_COMP, link_table,
+            )))),
         },
         order_by: Vec::new(),
         limit: None,
@@ -109,7 +119,10 @@ pub fn mle_query_in(root: ObjectId, link_table: &str, include_root: bool) -> Que
             recursive: true,
             ctes: vec![Cte {
                 name: CTE_NAME.to_string(),
-                columns: super::RESULT_COLUMNS.iter().map(|c| c.to_string()).collect(),
+                columns: super::RESULT_COLUMNS
+                    .iter()
+                    .map(|c| c.to_string())
+                    .collect(),
                 query: cte_body,
             }],
         }),
@@ -141,7 +154,10 @@ mod tests {
         let q = mle_query(1);
         let with = q.with.as_ref().unwrap();
         assert!(with.recursive);
-        assert_eq!(with.ctes[0].columns.len(), super::super::RESULT_COLUMNS.len());
+        assert_eq!(
+            with.ctes[0].columns.len(),
+            super::super::RESULT_COLUMNS.len()
+        );
     }
 
     #[test]

@@ -1,0 +1,230 @@
+//! Client-side resilience: retry with capped exponential backoff and
+//! deterministic jitter, plus a circuit breaker that degrades the recursive
+//! strategy to level-batched navigation when the single big query keeps
+//! dying on a faulty link.
+//!
+//! The paper tunes for a *reliable* WAN; a worldwide deployment also has to
+//! survive an unreliable one. The policy objects here are deliberately pure
+//! data + arithmetic on the virtual clock — no wall time, no global RNG —
+//! so every simulated failure scenario replays exactly.
+
+use pdm_prng::splitmix64;
+
+/// Retry budget for one metered exchange: how many attempts, how long to
+/// back off between them, and a per-action deadline on the virtual clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in virtual seconds; doubles per
+    /// retry (capped exponential).
+    pub base_backoff: f64,
+    /// Backoff cap in virtual seconds.
+    pub max_backoff: f64,
+    /// Seed of the deterministic jitter stream.
+    pub jitter_seed: u64,
+    /// Per-action deadline on the virtual clock, in seconds; an attempt
+    /// whose backoff would cross it fails instead. `f64::INFINITY` = none.
+    pub deadline: f64,
+}
+
+impl RetryPolicy {
+    /// No retries: first failure is final. The default for sessions without
+    /// an installed fault plan.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: 0.0,
+            max_backoff: 0.0,
+            jitter_seed: 0,
+            deadline: f64::INFINITY,
+        }
+    }
+
+    /// A sensible WAN default: 4 attempts, 1 s → 2 s → 4 s backoff (±50%
+    /// jitter), no deadline.
+    pub fn default_wan() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: 1.0,
+            max_backoff: 30.0,
+            jitter_seed: 0x9E3779B97F4A7C15,
+            deadline: f64::INFINITY,
+        }
+    }
+
+    pub fn with_max_attempts(mut self, n: u32) -> Self {
+        assert!(n >= 1);
+        self.max_attempts = n;
+        self
+    }
+
+    pub fn with_deadline(mut self, seconds: f64) -> Self {
+        assert!(seconds > 0.0);
+        self.deadline = seconds;
+        self
+    }
+
+    pub fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// Backoff before retry `retry` (1-based), salted so concurrent
+    /// exchanges draw different jitter. Equal-jitter scheme: half the
+    /// capped exponential is guaranteed, half is jittered.
+    pub fn backoff(&self, retry: u32, salt: u64) -> f64 {
+        if self.base_backoff <= 0.0 {
+            return 0.0;
+        }
+        let exp = self.base_backoff * 2f64.powi(retry.saturating_sub(1).min(62) as i32);
+        let capped = exp.min(self.max_backoff);
+        let bits = splitmix64(self.jitter_seed ^ splitmix64(salt.wrapping_add(retry as u64)));
+        let unit = (bits >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        capped * (0.5 + 0.5 * unit)
+    }
+}
+
+/// Circuit breaker for strategy degradation: after `failure_threshold`
+/// consecutive recursive-query failures the breaker trips and the session
+/// falls back to level-batched navigational expansion; after `cooldown`
+/// degraded actions it half-opens and lets one recursive probe through.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationController {
+    failure_threshold: u32,
+    cooldown: u32,
+    consecutive_failures: u32,
+    tripped: bool,
+    skipped: u32,
+}
+
+impl Default for DegradationController {
+    fn default() -> Self {
+        DegradationController::new(2, 8)
+    }
+}
+
+impl DegradationController {
+    pub fn new(failure_threshold: u32, cooldown: u32) -> Self {
+        assert!(failure_threshold >= 1);
+        DegradationController {
+            failure_threshold,
+            cooldown,
+            consecutive_failures: 0,
+            tripped: false,
+            skipped: 0,
+        }
+    }
+
+    /// Whether the breaker is currently open (degraded mode).
+    pub fn is_open(&self) -> bool {
+        self.tripped
+    }
+
+    /// Consecutive failures observed so far.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+
+    /// Decide whether the next action should skip the fragile path.
+    /// Mutates the half-open bookkeeping: while tripped, every `cooldown`
+    /// calls one probe is allowed through (returns `false`).
+    pub fn should_degrade(&mut self) -> bool {
+        if !self.tripped {
+            return false;
+        }
+        if self.skipped >= self.cooldown {
+            self.skipped = 0; // half-open: allow one probe
+            false
+        } else {
+            self.skipped += 1;
+            true
+        }
+    }
+
+    /// The fragile path completed: close the breaker.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.tripped = false;
+        self.skipped = 0;
+    }
+
+    /// The fragile path failed (after its own retries).
+    pub fn record_failure(&mut self) {
+        self.consecutive_failures += 1;
+        if self.consecutive_failures >= self.failure_threshold {
+            self.tripped = true;
+            self.skipped = 0;
+        }
+    }
+
+    /// Manually close the breaker.
+    pub fn reset(&mut self) {
+        self.record_success();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy::default_wan();
+        let b1 = p.backoff(1, 0);
+        let b5 = p.backoff(5, 0);
+        let b20 = p.backoff(20, 0);
+        // equal-jitter keeps every draw within [cap/2, cap]
+        assert!((0.5..=1.0).contains(&b1), "b1 = {b1}");
+        assert!((8.0..=16.0).contains(&b5), "b5 = {b5}");
+        assert!((15.0..=30.0).contains(&b20), "b20 = {b20}");
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_salted() {
+        let p = RetryPolicy::default_wan();
+        assert_eq!(p.backoff(2, 7), p.backoff(2, 7));
+        assert_ne!(p.backoff(2, 7), p.backoff(2, 8));
+        assert_ne!(p.backoff(2, 7), p.clone().with_jitter_seed(1).backoff(2, 7));
+    }
+
+    #[test]
+    fn none_policy_never_backs_off() {
+        let p = RetryPolicy::none();
+        assert_eq!(p.max_attempts, 1);
+        assert_eq!(p.backoff(1, 0), 0.0);
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_half_opens() {
+        let mut b = DegradationController::new(2, 3);
+        assert!(!b.should_degrade());
+        b.record_failure();
+        assert!(!b.is_open());
+        b.record_failure();
+        assert!(b.is_open());
+        // degraded for `cooldown` actions…
+        assert!(b.should_degrade());
+        assert!(b.should_degrade());
+        assert!(b.should_degrade());
+        // …then one probe is allowed through
+        assert!(!b.should_degrade());
+        // a successful probe closes the breaker
+        b.record_success();
+        assert!(!b.is_open());
+        assert!(!b.should_degrade());
+    }
+
+    #[test]
+    fn success_resets_failure_streak() {
+        let mut b = DegradationController::new(3, 1);
+        b.record_failure();
+        b.record_failure();
+        b.record_success();
+        b.record_failure();
+        b.record_failure();
+        assert!(!b.is_open());
+        b.record_failure();
+        assert!(b.is_open());
+    }
+}

@@ -92,7 +92,11 @@ pub enum FnArg {
 
 impl RowPredicate {
     pub fn compare(attr: impl Into<String>, op: CmpOp, value: impl Into<Value>) -> Self {
-        RowPredicate::Compare { attr: attr.into(), op, value: value.into() }
+        RowPredicate::Compare {
+            attr: attr.into(),
+            op,
+            value: value.into(),
+        }
     }
 
     pub fn and(self, other: RowPredicate) -> Self {
@@ -151,15 +155,15 @@ impl RowPredicate {
                     _ => None,
                 }
             }
-            RowPredicate::Like { attr, pattern, negated } => {
-                match attrs.get(attr.as_str())? {
-                    Value::Text(s) => {
-                        Some(crate::rules::like_match(s, pattern) != *negated)
-                    }
-                    Value::Null => None,
-                    _ => None,
-                }
-            }
+            RowPredicate::Like {
+                attr,
+                pattern,
+                negated,
+            } => match attrs.get(attr.as_str())? {
+                Value::Text(s) => Some(crate::rules::like_match(s, pattern) != *negated),
+                Value::Null => None,
+                _ => None,
+            },
             RowPredicate::And(a, b) => match (a.eval3(attrs, funcs), b.eval3(attrs, funcs)) {
                 (Some(false), _) | (_, Some(false)) => Some(false),
                 (Some(true), Some(true)) => Some(true),
@@ -272,7 +276,10 @@ mod tests {
     use pdm_sql::functions::FunctionRegistry;
 
     fn attrs(pairs: &[(&str, Value)]) -> HashMap<String, Value> {
-        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
     }
 
     fn funcs() -> FunctionRegistry {
@@ -360,8 +367,11 @@ mod tests {
     #[test]
     fn unknown_propagation_in_logic() {
         // (NULL-compare OR true) must be true — unknown doesn't poison OR.
-        let p = RowPredicate::compare("missing", CmpOp::Eq, 1i64)
-            .or(RowPredicate::compare("x", CmpOp::Eq, 1i64));
+        let p = RowPredicate::compare("missing", CmpOp::Eq, 1i64).or(RowPredicate::compare(
+            "x",
+            CmpOp::Eq,
+            1i64,
+        ));
         assert!(p.eval(&attrs(&[("x", Value::Int(1))]), &funcs()));
     }
 }

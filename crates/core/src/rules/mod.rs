@@ -84,9 +84,14 @@ impl Rule {
         condition: Condition,
     ) -> Self {
         let object_type = object_type.into().to_ascii_lowercase();
-        let translated_sql =
-            translate::condition_to_sql_text(&condition, &object_type);
-        Rule { user, action, object_type, condition, translated_sql }
+        let translated_sql = translate::condition_to_sql_text(&condition, &object_type);
+        Rule {
+            user,
+            action,
+            object_type,
+            condition,
+            translated_sql,
+        }
     }
 
     /// Convenience: a rule for every user.

@@ -75,7 +75,9 @@ impl RuleTable {
 
 impl FromIterator<Rule> for RuleTable {
     fn from_iter<I: IntoIterator<Item = Rule>>(iter: I) -> Self {
-        RuleTable { rules: iter.into_iter().collect() }
+        RuleTable {
+            rules: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -125,8 +127,7 @@ mod tests {
         let t = sample_table();
         let rows = t.relevant_of_class("scott", ActionKind::MultiLevelExpand, ConditionClass::Row);
         assert_eq!(rows.len(), 2);
-        let forall =
-            t.relevant_of_class("scott", ActionKind::CheckOut, ConditionClass::ForAllRows);
+        let forall = t.relevant_of_class("scott", ActionKind::CheckOut, ConditionClass::ForAllRows);
         assert_eq!(forall.len(), 1);
     }
 

@@ -58,12 +58,20 @@ pub fn row_predicate_expr(pred: &RowPredicate, qualifier: &str) -> Expr {
                 })
                 .collect();
             Expr::binary(
-                Expr::Function { name: name.clone(), args, star: false },
+                Expr::Function {
+                    name: name.clone(),
+                    args,
+                    star: false,
+                },
                 BinOp::Eq,
                 Expr::Literal(Value::Bool(true)),
             )
         }
-        RowPredicate::Like { attr, pattern, negated } => Expr::Like {
+        RowPredicate::Like {
+            attr,
+            pattern,
+            negated,
+        } => Expr::Like {
             expr: Box::new(Expr::qcol(qualifier, attr.clone())),
             pattern: Box::new(Expr::Literal(Value::Text(pattern.clone()))),
             negated: *negated,
@@ -116,7 +124,10 @@ pub fn exists_structure_expr(
     };
     twj.joins.push(Join {
         kind: JoinKind::Inner,
-        factor: TableFactor::Table { name: related_table.to_string(), alias: None },
+        factor: TableFactor::Table {
+            name: related_table.to_string(),
+            alias: None,
+        },
         on: Some(Expr::eq(
             Expr::qcol("s", "right"),
             Expr::qcol(related_table, "obid"),
@@ -186,18 +197,38 @@ pub fn condition_to_sql_text(condition: &Condition, object_type: &str) -> String
 pub fn condition_expr(condition: &Condition, qualifier: &str, cte: &str) -> Expr {
     match condition {
         Condition::Row(pred) => row_predicate_expr(pred, qualifier),
-        Condition::ForAllRows { object_type, predicate } => {
-            forall_rows_expr(cte, object_type.as_deref(), predicate)
-        }
-        Condition::ExistsStructure { object_table, relation_table, related_table } => {
+        Condition::ForAllRows {
+            object_type,
+            predicate,
+        } => forall_rows_expr(cte, object_type.as_deref(), predicate),
+        Condition::ExistsStructure {
+            object_table,
+            relation_table,
+            related_table,
+        } => {
             // At definition time the tested object is qualified by its own
             // table name; the modificator re-qualifies when injecting.
-            let q = if qualifier.is_empty() { object_table } else { qualifier };
+            let q = if qualifier.is_empty() {
+                object_table
+            } else {
+                qualifier
+            };
             exists_structure_expr(q, relation_table, related_table)
         }
-        Condition::TreeAggregate { func, attr, object_type, op, value } => {
-            tree_aggregate_expr(cte, *func, attr.as_deref(), object_type.as_deref(), *op, *value)
-        }
+        Condition::TreeAggregate {
+            func,
+            attr,
+            object_type,
+            op,
+            value,
+        } => tree_aggregate_expr(
+            cte,
+            *func,
+            attr.as_deref(),
+            object_type.as_deref(),
+            *op,
+            *value,
+        ),
     }
 }
 
@@ -239,7 +270,14 @@ mod tests {
 
     #[test]
     fn tree_aggregate_matches_paper_shape() {
-        let e = tree_aggregate_expr("rtbl", AggFunc::Count, None, Some("assy"), CmpOp::LtEq, 10.0);
+        let e = tree_aggregate_expr(
+            "rtbl",
+            AggFunc::Count,
+            None,
+            Some("assy"),
+            CmpOp::LtEq,
+            10.0,
+        );
         assert_eq!(
             e.to_string(),
             "(SELECT COUNT(*) FROM rtbl WHERE type = 'assy') <= 10"
@@ -280,10 +318,7 @@ mod tests {
             .or(RowPredicate::compare("b", CmpOp::Eq, 2i64))
             .and(RowPredicate::compare("c", CmpOp::Eq, 3i64).negate());
         let e = row_predicate_expr(&pred, "t");
-        assert_eq!(
-            e.to_string(),
-            "(t.a = 1 OR t.b = 2) AND NOT t.c = 3"
-        );
+        assert_eq!(e.to_string(), "(t.a = 1 OR t.b = 2) AND NOT t.c = 3");
     }
 
     #[test]

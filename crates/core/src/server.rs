@@ -4,9 +4,9 @@
 //! functionality performing the desired user action has to be installed at
 //! the database server").
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
-use pdm_sql::{Database, ExecOutcome, ResultSet, Result, Statement, Value};
+use pdm_sql::{Database, ExecOutcome, Result, ResultSet, Statement, Value};
 
 use crate::product::ObjectId;
 
@@ -14,13 +14,20 @@ use crate::product::ObjectId;
 #[derive(Debug)]
 pub struct PdmServer {
     db: Database,
+    /// Completed check-outs by idempotency token: a client replaying a
+    /// check-out whose confirmation was lost gets the recorded outcome back
+    /// instead of a spurious "already checked out" refusal.
+    checkout_log: HashMap<u64, CheckoutProcedureResult>,
 }
 
 impl PdmServer {
     /// Wrap a populated database, installing the PDM stored functions.
     pub fn new(mut db: Database) -> Self {
         crate::functions::register_pdm_functions(&mut db);
-        PdmServer { db }
+        PdmServer {
+            db,
+            checkout_log: HashMap::new(),
+        }
     }
 
     pub fn database(&self) -> &Database {
@@ -73,8 +80,8 @@ impl PdmServer {
         // example 2 condition), root included.
         let mut all_ids = assy_ids.clone();
         all_ids.push(root);
-        let busy = self.any_checked_out("assy", &all_ids)?
-            || self.any_checked_out("comp", &comp_ids)?;
+        let busy =
+            self.any_checked_out("assy", &all_ids)? || self.any_checked_out("comp", &comp_ids)?;
         if busy {
             return Ok(CheckoutProcedureResult { rows: None });
         }
@@ -82,6 +89,33 @@ impl PdmServer {
         self.set_checked_out("assy", &all_ids, true)?;
         self.set_checked_out("comp", &comp_ids, true)?;
         Ok(CheckoutProcedureResult { rows: Some(rows) })
+    }
+
+    /// Failure-atomic check-out: like [`PdmServer::checkout_procedure`],
+    /// but keyed by a client-chosen idempotency `token`. The outcome is
+    /// recorded *before* the confirmation leaves the server, so a retry
+    /// with the same token — after a lost response — returns the original
+    /// outcome without flipping any flag twice or refusing its own
+    /// check-out as "already checked out". Flags are never left in a state
+    /// the client cannot learn about by replaying.
+    pub fn checkout_procedure_idempotent(
+        &mut self,
+        root: ObjectId,
+        modified_sql: &str,
+        token: u64,
+    ) -> Result<CheckoutProcedureResult> {
+        if let Some(done) = self.checkout_log.get(&token) {
+            return Ok(done.clone());
+        }
+        let result = self.checkout_procedure(root, modified_sql)?;
+        self.checkout_log.insert(token, result.clone());
+        Ok(result)
+    }
+
+    /// Whether a check-out with this idempotency token has already
+    /// completed (test/diagnostic hook).
+    pub fn checkout_recorded(&self, token: u64) -> bool {
+        self.checkout_log.contains_key(&token)
     }
 
     /// Server-side check-in: clear the flags for the given objects.
@@ -103,7 +137,11 @@ impl PdmServer {
         let rs = self.db.query(&format!(
             "SELECT COUNT(*) AS n FROM {table} WHERE checkedout = TRUE AND obid IN ({list})"
         ))?;
-        Ok(rs.rows[0].get(0) != &Value::Int(0))
+        let row = rs
+            .rows
+            .first()
+            .ok_or_else(|| pdm_sql::Error::Eval("COUNT(*) returned no row".into()))?;
+        Ok(row.get(0) != &Value::Int(0))
     }
 
     fn set_checked_out(&mut self, table: &str, ids: &[ObjectId], value: bool) -> Result<usize> {
@@ -116,7 +154,9 @@ impl PdmServer {
             "UPDATE {table} SET checkedout = {flag} WHERE obid IN ({list})"
         ))? {
             ExecOutcome::Dml(pdm_sql::DmlOutcome::Updated(n)) => Ok(n),
-            other => panic!("UPDATE returned {other:?}"),
+            other => Err(pdm_sql::Error::Eval(format!(
+                "UPDATE returned unexpected outcome {other:?}"
+            ))),
         }
     }
 
@@ -209,7 +249,9 @@ mod tests {
         assert_eq!(rows.len(), 2 + 4); // 2 child assys + 4 comps (root excluded)
 
         // everything below (and including) the root is now flagged
-        let rs = s.query("SELECT COUNT(*) AS n FROM assy WHERE checkedout = TRUE").unwrap();
+        let rs = s
+            .query("SELECT COUNT(*) AS n FROM assy WHERE checkedout = TRUE")
+            .unwrap();
         assert_eq!(rs.rows[0].get(0), &Value::Int(3));
 
         // a second check-out must fail the ∀rows condition
@@ -224,8 +266,26 @@ mod tests {
         s.checkout_procedure(1, &sql).unwrap();
         let n = s.checkin_procedure(&[1, 2, 3], &[4, 5, 6, 7]).unwrap();
         assert_eq!(n, 7);
-        let rs = s.query("SELECT COUNT(*) AS n FROM comp WHERE checkedout = TRUE").unwrap();
+        let rs = s
+            .query("SELECT COUNT(*) AS n FROM comp WHERE checkedout = TRUE")
+            .unwrap();
         assert_eq!(rs.rows[0].get(0), &Value::Int(0));
+    }
+
+    #[test]
+    fn idempotent_checkout_replays_original_outcome() {
+        let mut s = server();
+        let sql = recursive::mle_query(1).to_string();
+        let first = s.checkout_procedure_idempotent(1, &sql, 42).unwrap();
+        assert!(first.rows.is_some());
+        assert!(s.checkout_recorded(42));
+        // replaying the same token returns the original success instead of
+        // refusing its own check-out
+        let replay = s.checkout_procedure_idempotent(1, &sql, 42).unwrap();
+        assert!(replay.rows.is_some());
+        // a genuinely new check-out still fails the ∀rows condition
+        let other = s.checkout_procedure_idempotent(1, &sql, 43).unwrap();
+        assert!(other.rows.is_none());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 
-use pdm_net::{LinkProfile, MeteredChannel, TrafficStats};
+use pdm_net::{FaultPlan, LinkError, LinkProfile, MeteredChannel, TrafficStats};
 use pdm_sql::functions::FunctionRegistry;
 use pdm_sql::{Database, ResultSet, Value};
 
@@ -14,6 +14,7 @@ use crate::client::{self, Strategy};
 use crate::product::{ObjectId, ProductNode, ProductTree};
 use crate::query::modificator::{ModError, Modificator};
 use crate::query::{navigational, recursive};
+use crate::resilience::{DegradationController, RetryPolicy};
 use crate::rules::table::RuleTable;
 use crate::rules::ActionKind;
 use crate::server::PdmServer;
@@ -25,6 +26,17 @@ pub enum SessionError {
     Modification(ModError),
     /// The requested root object does not exist.
     RootNotFound(ObjectId),
+    /// The retry budget or deadline ran out without completing the
+    /// exchange. `elapsed` is the virtual clock when the session gave up.
+    Timeout {
+        attempts: u32,
+        elapsed: f64,
+    },
+    /// The link is in a scheduled outage window lasting (at least) until
+    /// the given virtual time, and the retry budget ran out first.
+    LinkDown {
+        until: f64,
+    },
 }
 
 impl fmt::Display for SessionError {
@@ -33,11 +45,40 @@ impl fmt::Display for SessionError {
             SessionError::Sql(e) => write!(f, "database error: {e}"),
             SessionError::Modification(e) => write!(f, "query modification failed: {e}"),
             SessionError::RootNotFound(id) => write!(f, "no object with obid {id}"),
+            SessionError::Timeout { attempts, elapsed } => {
+                write!(
+                    f,
+                    "gave up after {attempts} attempts ({elapsed:.2}s elapsed)"
+                )
+            }
+            SessionError::LinkDown { until } => {
+                write!(f, "link down until t={until:.2}s")
+            }
         }
     }
 }
 
 impl std::error::Error for SessionError {}
+
+impl SessionError {
+    /// Classify a final link failure: outages map to [`SessionError::LinkDown`],
+    /// everything else to [`SessionError::Timeout`].
+    pub(crate) fn from_link(last: LinkError, attempts: u32, elapsed: f64) -> Self {
+        match last {
+            LinkError::Outage { until, .. } => SessionError::LinkDown { until },
+            _ => SessionError::Timeout { attempts, elapsed },
+        }
+    }
+
+    /// Whether this error came from the link (retryable territory) rather
+    /// than from SQL processing or a bad request.
+    pub fn is_link_failure(&self) -> bool {
+        matches!(
+            self,
+            SessionError::Timeout { .. } | SessionError::LinkDown { .. }
+        )
+    }
+}
 
 impl From<pdm_sql::Error> for SessionError {
     fn from(e: pdm_sql::Error) -> Self {
@@ -63,7 +104,11 @@ pub struct SessionConfig {
 
 impl SessionConfig {
     pub fn new(user: impl Into<String>, strategy: Strategy, link: LinkProfile) -> Self {
-        SessionConfig { user: user.into(), strategy, link }
+        SessionConfig {
+            user: user.into(),
+            strategy,
+            link,
+        }
     }
 }
 
@@ -73,6 +118,10 @@ pub struct ExpandOutcome {
     pub tree: ProductTree,
     /// Traffic of this action only.
     pub stats: TrafficStats,
+    /// Whether the action was served by the degraded (level-batched
+    /// navigational) path instead of the configured strategy — see
+    /// [`DegradationController`].
+    pub degraded: bool,
 }
 
 /// Result of the set-oriented Query action (no structure information).
@@ -94,6 +143,13 @@ pub struct Session {
     /// physical product structure; alternative views are additional link
     /// tables over the same objects, §1 footnote 1).
     structure_table: String,
+    /// The installed fault plan, kept so [`Session::set_link`] can re-apply
+    /// it to the rebuilt channel.
+    fault_plan: Option<FaultPlan>,
+    retry: RetryPolicy,
+    degradation: DegradationController,
+    /// Monotonic source of check-out idempotency tokens.
+    next_checkout_token: u64,
 }
 
 impl Session {
@@ -109,7 +165,54 @@ impl Session {
             funcs: crate::functions::client_registry(),
             view_names,
             structure_table: crate::query::T_LINK.to_string(),
+            fault_plan: None,
+            retry: RetryPolicy::none(),
+            degradation: DegradationController::default(),
+            next_checkout_token: 1,
         }
+    }
+
+    /// A fresh idempotency token for a check-out attempt (unique within the
+    /// session; retries of the same action reuse the token they drew).
+    pub(crate) fn next_checkout_token(&mut self) -> u64 {
+        let t = self.next_checkout_token;
+        self.next_checkout_token += 1;
+        t
+    }
+
+    /// Install a fault plan on the link. Queries switch to the fallible
+    /// exchange path with retries; a freshly installed plan also upgrades a
+    /// no-retry policy to [`RetryPolicy::default_wan`] (override afterwards
+    /// with [`Session::set_retry_policy`] if needed). A
+    /// [`FaultPlan::none()`] plan reproduces the reliable numbers exactly.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.channel.set_fault_plan(plan.clone());
+        self.fault_plan = Some(plan);
+        if self.retry == RetryPolicy::none() {
+            self.retry = RetryPolicy::default_wan();
+        }
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// The circuit breaker guarding the recursive strategy.
+    pub fn degradation(&self) -> &DegradationController {
+        &self.degradation
+    }
+
+    pub fn degradation_mut(&mut self) -> &mut DegradationController {
+        &mut self.degradation
     }
 
     /// Navigate an alternative hierarchical view: expansions traverse the
@@ -150,6 +253,9 @@ impl Session {
     pub fn set_link(&mut self, link: LinkProfile) {
         self.config.link = link;
         self.channel = MeteredChannel::new(link);
+        if let Some(plan) = &self.fault_plan {
+            self.channel.set_fault_plan(plan.clone());
+        }
     }
 
     /// Accumulated traffic since the last reset.
@@ -188,10 +294,80 @@ impl Session {
 
     /// Ship a query over the WAN and return its result (one metered round
     /// trip: request = SQL text, response = result rows).
+    ///
+    /// With no fault plan installed this is the reliable path the paper
+    /// models. With one installed, the exchange becomes fallible and is
+    /// retried per [`RetryPolicy`]: queries are idempotent reads, so any
+    /// failure — even a lost response, after which the server *did* run the
+    /// query — is safe to replay.
     fn metered_query(&mut self, sql: &str) -> SessionResult<ResultSet> {
-        let rs = self.server.query(sql)?;
-        self.channel.round_trip(sql.len(), rs.wire_size());
-        Ok(rs)
+        if self.channel.fault_plan().is_none() {
+            let rs = self.server.query(sql)?;
+            self.channel.round_trip(sql.len(), rs.wire_size());
+            return Ok(rs);
+        }
+        let mut attempt = 1u32;
+        loop {
+            self.check_deadline(attempt)?;
+            let failure = match self.channel.try_send_request(sql.len()) {
+                Ok(pending) => {
+                    let rs = self.server.query(sql)?;
+                    match self.channel.try_receive_response(pending, rs.wire_size()) {
+                        Ok(_) => return Ok(rs),
+                        Err(e) => e,
+                    }
+                }
+                Err(e) => e,
+            };
+            self.back_off_or_fail(attempt, failure)?;
+            attempt += 1;
+        }
+    }
+
+    /// The action's deadline is a hard gate on *starting* attempts: once the
+    /// virtual clock (reset at action start) has crossed it, no further
+    /// timeout budget may be burned — important when a fallback path runs
+    /// after the primary path already ate the whole deadline.
+    pub(crate) fn check_deadline(&mut self, attempt: u32) -> SessionResult<()> {
+        if self.channel.elapsed() >= self.retry.deadline {
+            return Err(SessionError::Timeout {
+                attempts: attempt.saturating_sub(1),
+                elapsed: self.channel.elapsed(),
+            });
+        }
+        Ok(())
+    }
+
+    /// After a failed attempt: either burn the backoff on the virtual clock
+    /// and let the caller retry, or give up with a classified error. Shared
+    /// by the query and check-out retry loops.
+    pub(crate) fn back_off_or_fail(
+        &mut self,
+        attempt: u32,
+        failure: LinkError,
+    ) -> SessionResult<()> {
+        if attempt >= self.retry.max_attempts {
+            return Err(SessionError::from_link(
+                failure,
+                attempt,
+                self.channel.elapsed(),
+            ));
+        }
+        let mut wait = self
+            .retry
+            .backoff(attempt, self.channel.exchanges_attempted());
+        if let LinkError::Outage { until, .. } = failure {
+            // no point probing again before the scheduled window ends
+            wait = wait.max(until - self.channel.elapsed());
+        }
+        if self.channel.elapsed() + wait > self.retry.deadline {
+            return Err(SessionError::Timeout {
+                attempts: attempt,
+                elapsed: self.channel.elapsed(),
+            });
+        }
+        self.channel.wait(wait);
+        Ok(())
     }
 
     /// Fetch the root object without metering: the paper's footnote 4 —
@@ -215,16 +391,28 @@ impl Session {
         let mut tree = ProductTree::new();
         tree.insert(root_node);
         self.expand_one_level(parent, &mut tree, ActionKind::Expand)?;
-        Ok(ExpandOutcome { tree, stats: self.channel.stats().clone() })
+        Ok(ExpandOutcome {
+            tree,
+            stats: self.channel.stats().clone(),
+            degraded: false,
+        })
     }
 
     /// Multi-level expand of the subtree rooted at `root`, using the
     /// session's strategy.
+    ///
+    /// On a faulty link the recursive strategy is guarded by the
+    /// [`DegradationController`]: when the single big recursive query keeps
+    /// failing (it is the most exposed exchange — one timeout loses the
+    /// whole action), the session degrades to the level-batched
+    /// navigational expansion, whose smaller per-level exchanges ride out
+    /// loss with cheap retries. The outcome is flagged `degraded`.
     pub fn multi_level_expand(&mut self, root: ObjectId) -> SessionResult<ExpandOutcome> {
         self.reset_metering();
         let root_node = self.fetch_root_cached(root)?;
         let mut tree = ProductTree::new();
         tree.insert(root_node);
+        let mut degraded = false;
 
         match self.config.strategy {
             Strategy::LateEval | Strategy::EarlyEval => {
@@ -239,19 +427,49 @@ impl Session {
                 }
             }
             Strategy::Recursive => {
-                let mut q = recursive::mle_query_in(root, &self.structure_table, false);
-                self.modificator(ActionKind::MultiLevelExpand)
-                    .modify_recursive(&mut q)?;
-                let sql = q.to_string();
-                let rs = self.metered_query(&sql)?;
-                for row in &rs.rows {
-                    let attrs = client::row_attrs(&rs, row);
-                    let parent = attrs.get("parent").and_then(as_id);
-                    tree.insert(node_from_attrs(attrs, parent));
+                if self.degradation.should_degrade() {
+                    self.batched_levels(root, &mut tree)?;
+                    degraded = true;
+                } else {
+                    match self.recursive_expand_into(root, &mut tree) {
+                        Ok(()) => self.degradation.record_success(),
+                        Err(e) if e.is_link_failure() => {
+                            // The failed attempts' wait time stays on the
+                            // meter; serve this action degraded.
+                            self.degradation.record_failure();
+                            self.batched_levels(root, &mut tree)?;
+                            degraded = true;
+                        }
+                        Err(e) => return Err(e),
+                    }
                 }
             }
         }
-        Ok(ExpandOutcome { tree, stats: self.channel.stats().clone() })
+        Ok(ExpandOutcome {
+            tree,
+            stats: self.channel.stats().clone(),
+            degraded,
+        })
+    }
+
+    /// The recursive strategy's single big query, inserting all visible
+    /// descendants of `root` into `tree`.
+    fn recursive_expand_into(
+        &mut self,
+        root: ObjectId,
+        tree: &mut ProductTree,
+    ) -> SessionResult<()> {
+        let mut q = recursive::mle_query_in(root, &self.structure_table, false);
+        self.modificator(ActionKind::MultiLevelExpand)
+            .modify_recursive(&mut q)?;
+        let sql = q.to_string();
+        let rs = self.metered_query(&sql)?;
+        for row in &rs.rows {
+            let attrs = client::row_attrs(&rs, row);
+            let parent = attrs.get("parent").and_then(as_id);
+            tree.insert(node_from_attrs(attrs, parent));
+        }
+        Ok(())
     }
 
     /// Level-batched multi-level expand: one query per tree *level*, using
@@ -266,7 +484,18 @@ impl Session {
         let root_node = self.fetch_root_cached(root)?;
         let mut tree = ProductTree::new();
         tree.insert(root_node);
+        self.batched_levels(root, &mut tree)?;
+        Ok(ExpandOutcome {
+            tree,
+            stats: self.channel.stats().clone(),
+            degraded: false,
+        })
+    }
 
+    /// The level-batched frontier loop shared by
+    /// [`Session::multi_level_expand_batched`] and the degraded recursive
+    /// path: one IN-list query per tree level.
+    fn batched_levels(&mut self, root: ObjectId, tree: &mut ProductTree) -> SessionResult<()> {
         let structure_table = self.structure_table.clone();
         let rules = self.rules.clone();
         let groups = client::permission_groups(
@@ -303,7 +532,7 @@ impl Session {
             }
             frontier = next;
         }
-        Ok(ExpandOutcome { tree, stats: self.channel.stats().clone() })
+        Ok(())
     }
 
     /// The set-oriented Query action: all (visible) nodes of the product,
@@ -312,7 +541,8 @@ impl Session {
         self.reset_metering();
         let mut q = navigational::query_all_query(root);
         if self.config.strategy.early_rules() {
-            self.modificator(ActionKind::Query).modify_navigational(&mut q)?;
+            self.modificator(ActionKind::Query)
+                .modify_navigational(&mut q)?;
         }
         let sql = q.to_string();
         let rs = self.metered_query(&sql)?;
@@ -333,7 +563,10 @@ impl Session {
             }
             nodes.push(node_from_attrs(attrs, None));
         }
-        Ok(QueryOutcome { nodes, stats: self.channel.stats().clone() })
+        Ok(QueryOutcome {
+            nodes,
+            stats: self.channel.stats().clone(),
+        })
     }
 
     /// Issue one expand query for `parent`, insert permitted children into
@@ -382,7 +615,10 @@ impl Session {
 }
 
 /// Interpret a homogenized result row as a product node.
-pub(crate) fn node_from_attrs(attrs: HashMap<String, Value>, parent: Option<ObjectId>) -> ProductNode {
+pub(crate) fn node_from_attrs(
+    attrs: HashMap<String, Value>,
+    parent: Option<ObjectId>,
+) -> ProductNode {
     let obid = attrs.get("obid").and_then(as_id).unwrap_or_default();
     let type_name = match attrs.get("type") {
         Some(Value::Text(t)) => t.clone(),
@@ -393,7 +629,13 @@ pub(crate) fn node_from_attrs(attrs: HashMap<String, Value>, parent: Option<Obje
         _ => String::new(),
     };
     let parent = parent.or_else(|| attrs.get("parent").and_then(as_id));
-    ProductNode { obid, parent, type_name, name, attrs }
+    ProductNode {
+        obid,
+        parent,
+        type_name,
+        name,
+        attrs,
+    }
 }
 
 fn as_id(v: &Value) -> Option<ObjectId> {

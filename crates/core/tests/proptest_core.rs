@@ -3,8 +3,12 @@
 //! equivalent** — late evaluation, early evaluation, and the recursive
 //! query return the same visible tree for any product structure, rule
 //! selectivity, and user — they only differ in traffic.
+//!
+//! Uses the in-repo `pdm_prng::check` harness (explicit generator loops)
+//! instead of proptest, which the offline build cannot fetch.
 
-use proptest::prelude::*;
+use pdm_prng::check::cases;
+use pdm_prng::Prng;
 use std::collections::HashMap;
 
 use pdm_core::rules::condition::{CmpOp, Condition, RowPredicate};
@@ -26,29 +30,28 @@ fn visibility_rules() -> RuleTable {
     t
 }
 
-fn arb_spec() -> impl Strategy<Value = TreeSpec> {
-    (2u32..5, 2u32..5, 0.2f64..=1.0, 0u64..500, any::<bool>()).prop_map(
-        |(depth, branching, gamma, seed, random_vis)| {
-            let vis = if random_vis {
-                VisibilityMode::Random { seed }
-            } else {
-                VisibilityMode::Deterministic
-            };
-            TreeSpec::new(depth, branching, gamma)
-                .with_node_size(128)
-                .with_visibility(vis)
-                .with_attribute_seed(seed)
-        },
-    )
+fn arb_spec(rng: &mut Prng) -> TreeSpec {
+    let depth = rng.u32_inclusive(2, 4);
+    let branching = rng.u32_inclusive(2, 4);
+    let gamma = rng.f64_range(0.2, 1.0);
+    let seed = rng.u64_inclusive(0, 499);
+    let vis = if rng.bool() {
+        VisibilityMode::Random { seed }
+    } else {
+        VisibilityMode::Deterministic
+    };
+    TreeSpec::new(depth, branching, gamma)
+        .with_node_size(128)
+        .with_visibility(vis)
+        .with_attribute_seed(seed)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Strategy equivalence: identical trees under all three strategies,
-    /// with the traffic ordering the paper predicts.
-    #[test]
-    fn strategies_agree_and_traffic_orders(spec in arb_spec()) {
+/// Strategy equivalence: identical trees under all three strategies,
+/// with the traffic ordering the paper predicts.
+#[test]
+fn strategies_agree_and_traffic_orders() {
+    cases("strategies_agree_and_traffic_orders", 32, 0x21, |rng| {
+        let spec = arb_spec(rng);
         let mut trees = Vec::new();
         let mut stats = Vec::new();
         for strategy in ClientStrategy::ALL {
@@ -62,35 +65,48 @@ proptest! {
             trees.push(out.tree.node_ids().collect::<Vec<_>>());
             stats.push(out.stats);
         }
-        prop_assert_eq!(&trees[0], &trees[1], "late vs early tree mismatch");
-        prop_assert_eq!(&trees[0], &trees[2], "late vs recursive tree mismatch");
+        assert_eq!(&trees[0], &trees[1], "late vs early tree mismatch");
+        assert_eq!(&trees[0], &trees[2], "late vs recursive tree mismatch");
 
         let (late, early, rec) = (&stats[0], &stats[1], &stats[2]);
         // early never ships more payload, never uses more queries
-        prop_assert!(early.response_payload_bytes <= late.response_payload_bytes);
-        prop_assert_eq!(early.queries, late.queries);
+        assert!(early.response_payload_bytes <= late.response_payload_bytes);
+        assert_eq!(early.queries, late.queries);
         // recursive is always exactly one query / two communications
-        prop_assert_eq!(rec.queries, 1);
-        prop_assert_eq!(rec.communications, 2);
+        assert_eq!(rec.queries, 1);
+        assert_eq!(rec.communications, 2);
         // and never slower than navigational late evaluation
-        prop_assert!(rec.response_time() <= late.response_time() + 1e-9);
-    }
+        assert!(rec.response_time() <= late.response_time() + 1e-9);
+    });
+}
 
-    /// Client-side (late) and server-side (SQL) evaluation of a random row
-    /// predicate agree on every row — the property that makes late and
-    /// early evaluation interchangeable.
-    #[test]
-    fn predicate_eval_agrees_client_and_server(
-        rows in proptest::collection::vec((0i64..20, 0i64..20, any::<bool>()), 1..20),
-        bound_a in 0i64..20,
-        bound_b in 0i64..20,
-        flip in any::<bool>(),
-    ) {
+/// Client-side (late) and server-side (SQL) evaluation of a random row
+/// predicate agree on every row — the property that makes late and
+/// early evaluation interchangeable.
+#[test]
+fn predicate_eval_agrees_client_and_server() {
+    cases("predicate_eval_agrees_client_and_server", 32, 0x22, |rng| {
+        let n = rng.usize_inclusive(1, 19);
+        let rows: Vec<(i64, i64, bool)> = (0..n)
+            .map(|_| {
+                (
+                    rng.i64_inclusive(0, 19),
+                    rng.i64_inclusive(0, 19),
+                    rng.bool(),
+                )
+            })
+            .collect();
+        let bound_a = rng.i64_inclusive(0, 19);
+        let bound_b = rng.i64_inclusive(0, 19);
+        let flip = rng.bool();
+
         // Table with three attributes.
         let mut db = pdm_sql::Database::new();
-        db.execute("CREATE TABLE t (a INTEGER, b INTEGER, c BOOLEAN)").unwrap();
+        db.execute("CREATE TABLE t (a INTEGER, b INTEGER, c BOOLEAN)")
+            .unwrap();
         for (a, b, c) in &rows {
-            db.execute(&format!("INSERT INTO t VALUES ({a}, {b}, {c})")).unwrap();
+            db.execute(&format!("INSERT INTO t VALUES ({a}, {b}, {c})"))
+                .unwrap();
         }
 
         // Random predicate: (a < A AND c = flip) OR b >= B
@@ -121,15 +137,18 @@ proptest! {
             })
             .count();
 
-        prop_assert_eq!(server_count, client_count);
-    }
+        assert_eq!(server_count, client_count);
+    });
+}
 
-    /// The recursive query produced by the modificator re-parses and returns
-    /// the same rows when executed twice (engine determinism through the
-    /// full rule pipeline).
-    #[test]
-    fn modified_query_is_deterministic(spec in arb_spec()) {
+/// The recursive query produced by the modificator re-parses and returns
+/// the same rows when executed twice (engine determinism through the
+/// full rule pipeline).
+#[test]
+fn modified_query_is_deterministic() {
+    cases("modified_query_is_deterministic", 32, 0x23, |rng| {
         use pdm_core::query::{modificator::Modificator, recursive};
+        let spec = arb_spec(rng);
         let (db, _) = build_database(&spec).unwrap();
         let server = pdm_core::PdmServer::new(db);
         let rules = visibility_rules();
@@ -140,16 +159,19 @@ proptest! {
         let sql = q.to_string();
         let a = server.query(&sql).unwrap();
         let b = server.query(&sql).unwrap();
-        prop_assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), b.len());
         // reparse gives the same AST
         let reparsed = pdm_sql::parser::parse_query(&sql).unwrap();
-        prop_assert_eq!(q, reparsed);
-    }
+        assert_eq!(q, reparsed);
+    });
+}
 
-    /// Traffic accounting is self-consistent: elapsed time equals the stats'
-    /// response time, and volume ≥ payload.
-    #[test]
-    fn traffic_accounting_consistent(spec in arb_spec()) {
+/// Traffic accounting is self-consistent: elapsed time equals the stats'
+/// response time, and volume ≥ payload.
+#[test]
+fn traffic_accounting_consistent() {
+    cases("traffic_accounting_consistent", 32, 0x24, |rng| {
+        let spec = arb_spec(rng);
         let (db, _) = build_database(&spec).unwrap();
         let mut s = Session::new(
             db,
@@ -157,8 +179,8 @@ proptest! {
             visibility_rules(),
         );
         let out = s.multi_level_expand(1).unwrap();
-        prop_assert!((s.elapsed() - out.stats.response_time()).abs() < 1e-9);
-        prop_assert!(out.stats.volume_bytes >= out.stats.response_payload_bytes as f64);
-        prop_assert_eq!(out.stats.communications, 2 * out.stats.queries);
-    }
+        assert!((s.elapsed() - out.stats.response_time()).abs() < 1e-9);
+        assert!(out.stats.volume_bytes >= out.stats.response_payload_bytes as f64);
+        assert_eq!(out.stats.communications, 2 * out.stats.queries);
+    });
 }

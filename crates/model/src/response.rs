@@ -131,7 +131,14 @@ pub fn response(
     node_size: usize,
     query_bytes: usize,
 ) -> Breakdown {
-    response_from_profile(&tree.profile(), action, strategy, link, node_size, query_bytes)
+    response_from_profile(
+        &tree.profile(),
+        action,
+        strategy,
+        link,
+        node_size,
+        query_bytes,
+    )
 }
 
 /// Predict from an explicit tree profile (realized or idealized).
@@ -163,9 +170,7 @@ pub fn response_from_profile(
         (Action::MultiLevelExpand, Strategy::LateEval) => {
             (1.0 + p.visible_nodes, p.expanded_children)
         }
-        (Action::MultiLevelExpand, Strategy::EarlyEval) => {
-            (1.0 + p.visible_nodes, p.visible_nodes)
-        }
+        (Action::MultiLevelExpand, Strategy::EarlyEval) => (1.0 + p.visible_nodes, p.visible_nodes),
         // Recursive MLE: a single (possibly multi-packet) query returns
         // exactly the visible nodes (eq. (5)–(6)).
         (Action::MultiLevelExpand, Strategy::Recursive) => {
@@ -291,22 +296,66 @@ mod tests {
     #[test]
     fn table2_wan256_row() {
         let link = LinkProfile::wan_256();
-        check(&response(&tree_a(), Action::Query, Strategy::LateEval, &link, NODE, 0), 0.30, 12.98);
-        check(&response(&tree_a(), Action::Expand, Strategy::LateEval, &link, NODE, 0), 0.30, 0.33);
         check(
-            &response(&tree_a(), Action::MultiLevelExpand, Strategy::LateEval, &link, NODE, 0),
+            &response(&tree_a(), Action::Query, Strategy::LateEval, &link, NODE, 0),
+            0.30,
+            12.98,
+        );
+        check(
+            &response(
+                &tree_a(),
+                Action::Expand,
+                Strategy::LateEval,
+                &link,
+                NODE,
+                0,
+            ),
+            0.30,
+            0.33,
+        );
+        check(
+            &response(
+                &tree_a(),
+                Action::MultiLevelExpand,
+                Strategy::LateEval,
+                &link,
+                NODE,
+                0,
+            ),
             57.91,
             41.19,
         );
-        check(&response(&tree_b(), Action::Query, Strategy::LateEval, &link, NODE, 0), 0.30, 461.48);
         check(
-            &response(&tree_b(), Action::MultiLevelExpand, Strategy::LateEval, &link, NODE, 0),
+            &response(&tree_b(), Action::Query, Strategy::LateEval, &link, NODE, 0),
+            0.30,
+            461.48,
+        );
+        check(
+            &response(
+                &tree_b(),
+                Action::MultiLevelExpand,
+                Strategy::LateEval,
+                &link,
+                NODE,
+                0,
+            ),
             133.52,
             95.01,
         );
-        check(&response(&tree_c(), Action::Query, Strategy::LateEval, &link, NODE, 0), 0.30, 1526.05);
         check(
-            &response(&tree_c(), Action::MultiLevelExpand, Strategy::LateEval, &link, NODE, 0),
+            &response(&tree_c(), Action::Query, Strategy::LateEval, &link, NODE, 0),
+            0.30,
+            1526.05,
+        );
+        check(
+            &response(
+                &tree_c(),
+                Action::MultiLevelExpand,
+                Strategy::LateEval,
+                &link,
+                NODE,
+                0,
+            ),
             984.00,
             700.39,
         );
@@ -315,16 +364,38 @@ mod tests {
     #[test]
     fn table2_wan512_and_1024_rows() {
         let link = LinkProfile::wan_512();
-        check(&response(&tree_a(), Action::Query, Strategy::LateEval, &link, NODE, 0), 0.30, 6.49);
         check(
-            &response(&tree_c(), Action::MultiLevelExpand, Strategy::LateEval, &link, NODE, 0),
+            &response(&tree_a(), Action::Query, Strategy::LateEval, &link, NODE, 0),
+            0.30,
+            6.49,
+        );
+        check(
+            &response(
+                &tree_c(),
+                Action::MultiLevelExpand,
+                Strategy::LateEval,
+                &link,
+                NODE,
+                0,
+            ),
             984.00,
             350.20,
         );
         let link = LinkProfile::wan_1024();
-        check(&response(&tree_b(), Action::Query, Strategy::LateEval, &link, NODE, 0), 0.10, 115.37);
         check(
-            &response(&tree_c(), Action::MultiLevelExpand, Strategy::LateEval, &link, NODE, 0),
+            &response(&tree_b(), Action::Query, Strategy::LateEval, &link, NODE, 0),
+            0.10,
+            115.37,
+        );
+        check(
+            &response(
+                &tree_c(),
+                Action::MultiLevelExpand,
+                Strategy::LateEval,
+                &link,
+                NODE,
+                0,
+            ),
             328.00,
             175.10,
         );
@@ -335,16 +406,63 @@ mod tests {
     #[test]
     fn table3_wan256_row() {
         let link = LinkProfile::wan_256();
-        check(&response(&tree_a(), Action::Query, Strategy::EarlyEval, &link, NODE, 0), 0.30, 3.19);
-        check(&response(&tree_a(), Action::Expand, Strategy::EarlyEval, &link, NODE, 0), 0.30, 0.27);
         check(
-            &response(&tree_a(), Action::MultiLevelExpand, Strategy::EarlyEval, &link, NODE, 0),
+            &response(
+                &tree_a(),
+                Action::Query,
+                Strategy::EarlyEval,
+                &link,
+                NODE,
+                0,
+            ),
+            0.30,
+            3.19,
+        );
+        check(
+            &response(
+                &tree_a(),
+                Action::Expand,
+                Strategy::EarlyEval,
+                &link,
+                NODE,
+                0,
+            ),
+            0.30,
+            0.27,
+        );
+        check(
+            &response(
+                &tree_a(),
+                Action::MultiLevelExpand,
+                Strategy::EarlyEval,
+                &link,
+                NODE,
+                0,
+            ),
             57.91,
             39.19,
         );
-        check(&response(&tree_b(), Action::Query, Strategy::EarlyEval, &link, NODE, 0), 0.30, 7.13);
         check(
-            &response(&tree_c(), Action::MultiLevelExpand, Strategy::EarlyEval, &link, NODE, 0),
+            &response(
+                &tree_b(),
+                Action::Query,
+                Strategy::EarlyEval,
+                &link,
+                NODE,
+                0,
+            ),
+            0.30,
+            7.13,
+        );
+        check(
+            &response(
+                &tree_c(),
+                Action::MultiLevelExpand,
+                Strategy::EarlyEval,
+                &link,
+                NODE,
+                0,
+            ),
             984.00,
             666.23,
         );
@@ -354,20 +472,54 @@ mod tests {
     fn table3_savings() {
         let link = LinkProfile::wan_256();
         let late = response(&tree_b(), Action::Query, Strategy::LateEval, &link, NODE, 0);
-        let early = response(&tree_b(), Action::Query, Strategy::EarlyEval, &link, NODE, 0);
+        let early = response(
+            &tree_b(),
+            Action::Query,
+            Strategy::EarlyEval,
+            &link,
+            NODE,
+            0,
+        );
         let s = saving_percent(&late, &early);
         assert!((s - 98.39).abs() < 0.02, "saving {s} vs paper 98.39");
 
-        let late = response(&tree_a(), Action::Expand, Strategy::LateEval, &link, NODE, 0);
-        let early = response(&tree_a(), Action::Expand, Strategy::EarlyEval, &link, NODE, 0);
+        let late = response(
+            &tree_a(),
+            Action::Expand,
+            Strategy::LateEval,
+            &link,
+            NODE,
+            0,
+        );
+        let early = response(
+            &tree_a(),
+            Action::Expand,
+            Strategy::EarlyEval,
+            &link,
+            NODE,
+            0,
+        );
         let s = saving_percent(&late, &early);
         assert!((s - 8.96).abs() < 0.02, "saving {s} vs paper 8.96");
 
         // The paper's headline negative result: early evaluation alone saves
         // only ~2% on multi-level expands.
-        let late = response(&tree_a(), Action::MultiLevelExpand, Strategy::LateEval, &link, NODE, 0);
-        let early =
-            response(&tree_a(), Action::MultiLevelExpand, Strategy::EarlyEval, &link, NODE, 0);
+        let late = response(
+            &tree_a(),
+            Action::MultiLevelExpand,
+            Strategy::LateEval,
+            &link,
+            NODE,
+            0,
+        );
+        let early = response(
+            &tree_a(),
+            Action::MultiLevelExpand,
+            Strategy::EarlyEval,
+            &link,
+            NODE,
+            0,
+        );
         let s = saving_percent(&late, &early);
         assert!((s - 2.02).abs() < 0.02, "saving {s} vs paper 2.02");
     }
@@ -377,21 +529,63 @@ mod tests {
     #[test]
     fn table4_recursive_mle() {
         let link = LinkProfile::wan_256();
-        let r = response(&tree_a(), Action::MultiLevelExpand, Strategy::Recursive, &link, NODE, 0);
+        let r = response(
+            &tree_a(),
+            Action::MultiLevelExpand,
+            Strategy::Recursive,
+            &link,
+            NODE,
+            0,
+        );
         check(&r, 0.30, 3.19);
-        let late = response(&tree_a(), Action::MultiLevelExpand, Strategy::LateEval, &link, NODE, 0);
+        let late = response(
+            &tree_a(),
+            Action::MultiLevelExpand,
+            Strategy::LateEval,
+            &link,
+            NODE,
+            0,
+        );
         let s = saving_percent(&late, &r);
         assert!((s - 96.48).abs() < 0.02, "saving {s} vs paper 96.48");
 
-        let r = response(&tree_c(), Action::MultiLevelExpand, Strategy::Recursive, &link, NODE, 0);
+        let r = response(
+            &tree_c(),
+            Action::MultiLevelExpand,
+            Strategy::Recursive,
+            &link,
+            NODE,
+            0,
+        );
         check(&r, 0.30, 51.42);
-        let late = response(&tree_c(), Action::MultiLevelExpand, Strategy::LateEval, &link, NODE, 0);
+        let late = response(
+            &tree_c(),
+            Action::MultiLevelExpand,
+            Strategy::LateEval,
+            &link,
+            NODE,
+            0,
+        );
         let s = saving_percent(&late, &r);
         assert!((s - 96.93).abs() < 0.02, "saving {s} vs paper 96.93");
 
         let link = LinkProfile::wan_512();
-        let r = response(&tree_b(), Action::MultiLevelExpand, Strategy::Recursive, &link, NODE, 0);
-        let late = response(&tree_b(), Action::MultiLevelExpand, Strategy::LateEval, &link, NODE, 0);
+        let r = response(
+            &tree_b(),
+            Action::MultiLevelExpand,
+            Strategy::Recursive,
+            &link,
+            NODE,
+            0,
+        );
+        let late = response(
+            &tree_b(),
+            Action::MultiLevelExpand,
+            Strategy::LateEval,
+            &link,
+            NODE,
+            0,
+        );
         let s = saving_percent(&late, &r);
         assert!((s - 97.87).abs() < 0.02, "saving {s} vs paper 97.87");
     }
@@ -399,8 +593,22 @@ mod tests {
     #[test]
     fn recursive_query_larger_than_packet_costs_more_packets() {
         let link = LinkProfile::wan_256();
-        let small = response(&tree_a(), Action::MultiLevelExpand, Strategy::Recursive, &link, NODE, 100);
-        let big = response(&tree_a(), Action::MultiLevelExpand, Strategy::Recursive, &link, NODE, 10_000);
+        let small = response(
+            &tree_a(),
+            Action::MultiLevelExpand,
+            Strategy::Recursive,
+            &link,
+            NODE,
+            100,
+        );
+        let big = response(
+            &tree_a(),
+            Action::MultiLevelExpand,
+            Strategy::Recursive,
+            &link,
+            NODE,
+            10_000,
+        );
         assert_eq!(small.queries, 1.0);
         assert_eq!(big.queries, 3.0);
         assert!(big.volume_bytes > small.volume_bytes);
@@ -414,10 +622,23 @@ mod tests {
         let link = LinkProfile::wan_256();
         let tree = tree_c(); // δ=7, β=5, γ=0.6 → γβ = 3
         let per_level: Vec<f64> = (1..=7).map(|i| 3f64.powi(i)).collect();
-        let batched =
-            batched_mle_response(&per_level, true, 5.0, &link, NODE, 200, 7);
-        let nav = response(&tree, Action::MultiLevelExpand, Strategy::EarlyEval, &link, NODE, 0);
-        let rec = response(&tree, Action::MultiLevelExpand, Strategy::Recursive, &link, NODE, 0);
+        let batched = batched_mle_response(&per_level, true, 5.0, &link, NODE, 200, 7);
+        let nav = response(
+            &tree,
+            Action::MultiLevelExpand,
+            Strategy::EarlyEval,
+            &link,
+            NODE,
+            0,
+        );
+        let rec = response(
+            &tree,
+            Action::MultiLevelExpand,
+            Strategy::Recursive,
+            &link,
+            NODE,
+            0,
+        );
         // 8 round trips (7 levels + final probe)
         assert_eq!(batched.queries, 8.0);
         assert!(rec.total() < batched.total());
@@ -441,9 +662,23 @@ mod tests {
     #[test]
     fn latency_dominates_navigational_mle_but_not_recursive() {
         let link = LinkProfile::wan_256();
-        let nav = response(&tree_b(), Action::MultiLevelExpand, Strategy::LateEval, &link, NODE, 0);
+        let nav = response(
+            &tree_b(),
+            Action::MultiLevelExpand,
+            Strategy::LateEval,
+            &link,
+            NODE,
+            0,
+        );
         assert!(nav.latency_time > nav.transfer_time);
-        let rec = response(&tree_b(), Action::MultiLevelExpand, Strategy::Recursive, &link, NODE, 0);
+        let rec = response(
+            &tree_b(),
+            Action::MultiLevelExpand,
+            Strategy::Recursive,
+            &link,
+            NODE,
+            0,
+        );
         assert!(rec.latency_time < rec.transfer_time);
     }
 }

@@ -18,7 +18,11 @@ pub struct TreeScenario {
 
 impl TreeScenario {
     pub fn new(depth: u32, branching: u32, gamma: f64) -> Self {
-        TreeScenario { depth, branching, gamma }
+        TreeScenario {
+            depth,
+            branching,
+            gamma,
+        }
     }
 
     pub fn tree(&self) -> KaryTree {

@@ -52,7 +52,12 @@ impl PaperTable {
     }
 }
 
-fn build_table(title: &str, strategy: Strategy, actions: &[Action], with_savings: bool) -> PaperTable {
+fn build_table(
+    title: &str,
+    strategy: Strategy,
+    actions: &[Action],
+    with_savings: bool,
+) -> PaperTable {
     let grid = PaperScenario::paper();
     let mut blocks = Vec::new();
     for link in &grid.networks {
@@ -204,11 +209,27 @@ fn build_figure(title: &str, scenario: TreeScenario, link: LinkProfile) -> Figur
     let mut bars = Vec::new();
     for strategy in Strategy::ALL {
         for action in Action::ALL {
-            let b = response(&tree, action, strategy, &link, crate::scenario::NODE_SIZE_BYTES, 0);
-            bars.push(FigureBar { strategy, action, seconds: b.total() });
+            let b = response(
+                &tree,
+                action,
+                strategy,
+                &link,
+                crate::scenario::NODE_SIZE_BYTES,
+                0,
+            );
+            bars.push(FigureBar {
+                strategy,
+                action,
+                seconds: b.total(),
+            });
         }
     }
-    FigureSeries { title: title.to_string(), scenario, link, bars }
+    FigureSeries {
+        title: title.to_string(),
+        scenario,
+        link,
+        bars,
+    }
 }
 
 /// Figure 4: δ=9, β=3, γ=0.6, T_Lat=150 ms, dtr=512 kbit/s.
@@ -341,9 +362,21 @@ mod tests {
     fn figure4_series_shape() {
         let f = figure4();
         // Late-eval MLE ≈ 181 s, recursion MLE ≈ 3.86 s (the figure's story).
-        paper_close(f.value(Strategy::LateEval, Action::MultiLevelExpand).unwrap(), 181.02);
-        paper_close(f.value(Strategy::EarlyEval, Action::MultiLevelExpand).unwrap(), 178.71);
-        paper_close(f.value(Strategy::Recursive, Action::MultiLevelExpand).unwrap(), 3.86);
+        paper_close(
+            f.value(Strategy::LateEval, Action::MultiLevelExpand)
+                .unwrap(),
+            181.02,
+        );
+        paper_close(
+            f.value(Strategy::EarlyEval, Action::MultiLevelExpand)
+                .unwrap(),
+            178.71,
+        );
+        paper_close(
+            f.value(Strategy::Recursive, Action::MultiLevelExpand)
+                .unwrap(),
+            3.86,
+        );
         paper_close(f.value(Strategy::LateEval, Action::Query).unwrap(), 231.04);
         paper_close(f.value(Strategy::EarlyEval, Action::Query).unwrap(), 3.86);
     }
@@ -351,9 +384,21 @@ mod tests {
     #[test]
     fn figure5_series_shape() {
         let f = figure5();
-        paper_close(f.value(Strategy::LateEval, Action::MultiLevelExpand).unwrap(), 1684.39);
-        paper_close(f.value(Strategy::EarlyEval, Action::MultiLevelExpand).unwrap(), 1650.23);
-        paper_close(f.value(Strategy::Recursive, Action::MultiLevelExpand).unwrap(), 51.72);
+        paper_close(
+            f.value(Strategy::LateEval, Action::MultiLevelExpand)
+                .unwrap(),
+            1684.39,
+        );
+        paper_close(
+            f.value(Strategy::EarlyEval, Action::MultiLevelExpand)
+                .unwrap(),
+            1650.23,
+        );
+        paper_close(
+            f.value(Strategy::Recursive, Action::MultiLevelExpand)
+                .unwrap(),
+            51.72,
+        );
         paper_close(f.value(Strategy::LateEval, Action::Query).unwrap(), 1526.35);
     }
 

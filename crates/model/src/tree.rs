@@ -20,7 +20,11 @@ impl KaryTree {
         assert!(depth >= 1, "tree depth must be at least 1");
         assert!(branching >= 1, "branching factor must be at least 1");
         assert!((0.0..=1.0).contains(&gamma), "gamma must be in [0, 1]");
-        KaryTree { depth, branching, gamma }
+        KaryTree {
+            depth,
+            branching,
+            gamma,
+        }
     }
 
     /// Σ_{i=a}^{b} r^i — geometric series over levels, stable for r = 1.

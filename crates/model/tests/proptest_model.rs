@@ -1,121 +1,172 @@
 //! Property-based tests on the response-time model: monotonicity, bounds,
 //! and the structural identities equations (1)–(6) must satisfy.
+//!
+//! Uses the in-repo `pdm_prng::check` harness (explicit generator loops)
+//! instead of proptest, which the offline build cannot fetch.
 
-use proptest::prelude::*;
+use pdm_prng::check::cases;
+use pdm_prng::Prng;
 
 use pdm_model::response::{response, saving_percent};
 use pdm_model::{Action, KaryTree, Strategy as Variant};
 use pdm_net::LinkProfile;
 
-fn arb_tree() -> impl Strategy<Value = KaryTree> {
-    (1u32..8, 2u32..8, 0.05f64..=1.0).prop_map(|(d, b, g)| KaryTree::new(d, b, g))
+fn arb_tree(rng: &mut Prng) -> KaryTree {
+    let d = rng.u32_inclusive(1, 7);
+    let b = rng.u32_inclusive(2, 7);
+    let g = rng.f64_range(0.05, 1.0);
+    KaryTree::new(d, b, g)
 }
 
-fn arb_link() -> impl Strategy<Value = LinkProfile> {
-    (16f64..20_000.0, 0.0005f64..0.5).prop_map(|(dtr, lat)| LinkProfile::new(dtr, lat, 4096))
+fn arb_link(rng: &mut Prng) -> LinkProfile {
+    let dtr = rng.f64_range(16.0, 20_000.0);
+    let lat = rng.f64_range(0.0005, 0.5);
+    LinkProfile::new(dtr, lat, 4096)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Faster links never increase predicted time; higher latency never
-    /// decreases it.
-    #[test]
-    fn monotone_in_link_parameters(tree in arb_tree(), link in arb_link()) {
+/// Faster links never increase predicted time; higher latency never
+/// decreases it.
+#[test]
+fn monotone_in_link_parameters() {
+    cases("monotone_in_link_parameters", 256, 0x11, |rng| {
+        let tree = arb_tree(rng);
+        let link = arb_link(rng);
         for action in Action::ALL {
             for strategy in Variant::ALL {
                 let base = response(&tree, action, strategy, &link, 512, 0);
                 let faster = LinkProfile::new(link.dtr_kbit * 2.0, link.latency, link.packet_size);
                 let quicker = response(&tree, action, strategy, &faster, 512, 0);
-                prop_assert!(quicker.total() <= base.total() + 1e-9);
+                assert!(quicker.total() <= base.total() + 1e-9);
 
                 let laggier = LinkProfile::new(link.dtr_kbit, link.latency * 2.0, link.packet_size);
                 let slower = response(&tree, action, strategy, &laggier, 512, 0);
-                prop_assert!(slower.total() >= base.total() - 1e-9);
+                assert!(slower.total() >= base.total() - 1e-9);
             }
         }
-    }
+    });
+}
 
-    /// Early evaluation never ships more nodes than late; recursive MLE
-    /// never uses more communications than navigational.
-    #[test]
-    fn optimizations_never_hurt(tree in arb_tree(), link in arb_link()) {
+/// Early evaluation never ships more nodes than late; recursive MLE
+/// never uses more communications than navigational.
+#[test]
+fn optimizations_never_hurt() {
+    cases("optimizations_never_hurt", 256, 0x12, |rng| {
+        let tree = arb_tree(rng);
+        let link = arb_link(rng);
         for action in Action::ALL {
             let late = response(&tree, action, Variant::LateEval, &link, 512, 0);
             let early = response(&tree, action, Variant::EarlyEval, &link, 512, 0);
-            prop_assert!(early.transmitted_nodes <= late.transmitted_nodes + 1e-9);
-            prop_assert!(early.total() <= late.total() + 1e-9);
+            assert!(early.transmitted_nodes <= late.transmitted_nodes + 1e-9);
+            assert!(early.total() <= late.total() + 1e-9);
 
             let rec = response(&tree, action, Variant::Recursive, &link, 512, 0);
-            prop_assert!(rec.communications <= late.communications + 1e-9);
-            prop_assert!(rec.total() <= late.total() + 1e-9);
+            assert!(rec.communications <= late.communications + 1e-9);
+            assert!(rec.total() <= late.total() + 1e-9);
         }
-    }
+    });
+}
 
-    /// The volume identity of eq. (3)/(5): vol = 1.5·q·size_p + n_t·size_n.
-    #[test]
-    fn volume_identity(tree in arb_tree(), link in arb_link()) {
+/// The volume identity of eq. (3)/(5): vol = 1.5·q·size_p + n_t·size_n.
+#[test]
+fn volume_identity() {
+    cases("volume_identity", 256, 0x13, |rng| {
+        let tree = arb_tree(rng);
+        let link = arb_link(rng);
         for action in Action::ALL {
             for strategy in Variant::ALL {
                 let b = response(&tree, action, strategy, &link, 512, 0);
-                let expected = 1.5 * b.queries * link.packet_size as f64
-                    + b.transmitted_nodes * 512.0;
-                prop_assert!((b.volume_bytes - expected).abs() < 1e-6);
+                let expected =
+                    1.5 * b.queries * link.packet_size as f64 + b.transmitted_nodes * 512.0;
+                assert!((b.volume_bytes - expected).abs() < 1e-6);
                 // and eq. (4)/(6)
-                prop_assert!((b.latency_time - b.communications * link.latency).abs() < 1e-9);
-                prop_assert!(
-                    (b.transfer_time - link.transfer_time(b.volume_bytes)).abs() < 1e-9
-                );
+                assert!((b.latency_time - b.communications * link.latency).abs() < 1e-9);
+                assert!((b.transfer_time - link.transfer_time(b.volume_bytes)).abs() < 1e-9);
             }
         }
-    }
+    });
+}
 
-    /// Savings are bounded by 100% and recursive-vs-late MLE saving is
-    /// positive whenever the tree has at least one visible node.
-    #[test]
-    fn savings_bounds(tree in arb_tree(), link in arb_link()) {
-        let late = response(&tree, Action::MultiLevelExpand, Variant::LateEval, &link, 512, 0);
-        let rec = response(&tree, Action::MultiLevelExpand, Variant::Recursive, &link, 512, 0);
+/// Savings are bounded by 100% and recursive-vs-late MLE saving is
+/// positive whenever the tree has at least one visible node.
+#[test]
+fn savings_bounds() {
+    cases("savings_bounds", 256, 0x14, |rng| {
+        let tree = arb_tree(rng);
+        let link = arb_link(rng);
+        let late = response(
+            &tree,
+            Action::MultiLevelExpand,
+            Variant::LateEval,
+            &link,
+            512,
+            0,
+        );
+        let rec = response(
+            &tree,
+            Action::MultiLevelExpand,
+            Variant::Recursive,
+            &link,
+            512,
+            0,
+        );
         let s = saving_percent(&late, &rec);
-        prop_assert!(s <= 100.0);
+        assert!(s <= 100.0);
         if tree.visible_nodes() >= 1.0 {
-            prop_assert!(s > 0.0, "saving {s} for tree {tree:?}");
+            assert!(s > 0.0, "saving {s} for tree {tree:?}");
         }
-    }
+    });
+}
 
-    /// Profile-based prediction agrees with the direct formulation.
-    #[test]
-    fn profile_roundtrip(tree in arb_tree(), link in arb_link()) {
+/// Profile-based prediction agrees with the direct formulation.
+#[test]
+fn profile_roundtrip() {
+    cases("profile_roundtrip", 256, 0x15, |rng| {
+        let tree = arb_tree(rng);
+        let link = arb_link(rng);
         let p = tree.profile();
         for action in Action::ALL {
             for strategy in Variant::ALL {
                 let direct = response(&tree, action, strategy, &link, 512, 0);
-                let via = pdm_model::response::response_from_profile(
-                    &p, action, strategy, &link, 512, 0,
-                );
-                prop_assert!((direct.total() - via.total()).abs() < 1e-9);
-                prop_assert!((direct.queries - via.queries).abs() < 1e-9);
+                let via =
+                    pdm_model::response::response_from_profile(&p, action, strategy, &link, 512, 0);
+                assert!((direct.total() - via.total()).abs() < 1e-9);
+                assert!((direct.queries - via.queries).abs() < 1e-9);
             }
         }
-    }
+    });
+}
 
-    /// Tree-count identities: n_v ≤ n_total; MLE late traffic ≥ early.
-    #[test]
-    fn tree_count_identities(tree in arb_tree()) {
-        prop_assert!(tree.visible_nodes() <= tree.total_nodes() + 1e-9);
-        prop_assert!(tree.mle_transmitted_early() <= tree.mle_transmitted_late() + 1e-9);
+/// Tree-count identities: n_v ≤ n_total; MLE late traffic ≥ early.
+#[test]
+fn tree_count_identities() {
+    cases("tree_count_identities", 256, 0x16, |rng| {
+        let tree = arb_tree(rng);
+        assert!(tree.visible_nodes() <= tree.total_nodes() + 1e-9);
+        assert!(tree.mle_transmitted_early() <= tree.mle_transmitted_late() + 1e-9);
         // q_mle = 1 + n_v
-        prop_assert!((tree.mle_queries() - 1.0 - tree.visible_nodes()).abs() < 1e-6);
+        assert!((tree.mle_queries() - 1.0 - tree.visible_nodes()).abs() < 1e-6);
         // γ = 1 ⇒ everything visible
         let full = KaryTree::new(tree.depth, tree.branching, 1.0);
-        prop_assert!((full.visible_nodes() - full.total_nodes()).abs() < 1e-6);
-    }
+        assert!((full.visible_nodes() - full.total_nodes()).abs() < 1e-6);
+    });
+}
 
-    /// Bigger requests never reduce recursive-query cost, and communications
-    /// stay at 2 regardless.
-    #[test]
-    fn recursive_query_size_monotone(tree in arb_tree(), link in arb_link(), bytes in 0usize..100_000) {
-        let small = response(&tree, Action::MultiLevelExpand, Variant::Recursive, &link, 512, bytes);
+/// Bigger requests never reduce recursive-query cost, and communications
+/// stay at 2 regardless.
+#[test]
+fn recursive_query_size_monotone() {
+    cases("recursive_query_size_monotone", 256, 0x17, |rng| {
+        let tree = arb_tree(rng);
+        let link = arb_link(rng);
+        let bytes = rng.usize_inclusive(0, 99_999);
+        let small = response(
+            &tree,
+            Action::MultiLevelExpand,
+            Variant::Recursive,
+            &link,
+            512,
+            bytes,
+        );
         let bigger = response(
             &tree,
             Action::MultiLevelExpand,
@@ -124,8 +175,8 @@ proptest! {
             512,
             bytes + 10_000,
         );
-        prop_assert!(bigger.total() >= small.total() - 1e-9);
-        prop_assert_eq!(small.communications, 2.0);
-        prop_assert_eq!(bigger.communications, 2.0);
-    }
+        assert!(bigger.total() >= small.total() - 1e-9);
+        assert_eq!(small.communications, 2.0);
+        assert_eq!(bigger.communications, 2.0);
+    });
 }

@@ -15,13 +15,17 @@
 
 pub mod channel;
 pub mod clock;
+pub mod fault;
 pub mod link;
 pub mod packet;
 pub mod stats;
 pub mod trace;
 
-pub use channel::{MeteredChannel, RoundTrip};
+pub use channel::{MeteredChannel, PendingRequest, RoundTrip};
 pub use clock::VirtualClock;
+pub use fault::{
+    FaultEvent, FaultEventKind, FaultPlan, LinkError, OutageWindow, ScriptedFault, ScriptedKind,
+};
 pub use link::LinkProfile;
 pub use packet::packet_count;
 pub use stats::TrafficStats;

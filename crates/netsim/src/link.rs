@@ -19,7 +19,11 @@ impl LinkProfile {
         assert!(dtr_kbit > 0.0, "dtr must be positive");
         assert!(latency >= 0.0, "latency must be non-negative");
         assert!(packet_size > 0, "packet size must be positive");
-        LinkProfile { dtr_kbit, latency, packet_size }
+        LinkProfile {
+            dtr_kbit,
+            latency,
+            packet_size,
+        }
     }
 
     /// The paper's first WAN setting: 256 kbit/s, 150 ms latency.

@@ -23,6 +23,23 @@ pub struct TrafficStats {
     pub latency_time: f64,
     /// Response-time share caused by serialization (`vol / dtr`).
     pub transfer_time: f64,
+    /// Packets retransmitted after loss (their volume and latency are
+    /// already folded into `volume_bytes` / `latency_time`).
+    pub retransmits: usize,
+    /// Exchange attempts that failed outright (timeout, outage, server
+    /// error, lost response).
+    pub failed_attempts: usize,
+    /// Failed attempts where the client gave up waiting (stalls, packets
+    /// past the retransmit cap, lost responses).
+    pub timeouts: usize,
+    /// Failed attempts refused by the server with a transient error.
+    pub server_errors: usize,
+    /// Failed attempts that hit a scheduled outage window.
+    pub outage_hits: usize,
+    /// Virtual time burned by failed attempts — kept apart from
+    /// `latency_time`/`transfer_time` so the paper's eq. (4)/(6) identities
+    /// still hold for the successful traffic.
+    pub fault_wait_time: f64,
 }
 
 impl TrafficStats {
@@ -30,9 +47,10 @@ impl TrafficStats {
         TrafficStats::default()
     }
 
-    /// Total response time contribution (the paper's `T`).
+    /// Total response time contribution (the paper's `T`, plus any time
+    /// burned waiting out failed attempts on a faulty link).
     pub fn response_time(&self) -> f64 {
-        self.latency_time + self.transfer_time
+        self.latency_time + self.transfer_time + self.fault_wait_time
     }
 
     /// Fold another measurement into this one (e.g. per-query stats into a
@@ -45,6 +63,12 @@ impl TrafficStats {
         self.volume_bytes += other.volume_bytes;
         self.latency_time += other.latency_time;
         self.transfer_time += other.transfer_time;
+        self.retransmits += other.retransmits;
+        self.failed_attempts += other.failed_attempts;
+        self.timeouts += other.timeouts;
+        self.server_errors += other.server_errors;
+        self.outage_hits += other.outage_hits;
+        self.fault_wait_time += other.fault_wait_time;
     }
 }
 
@@ -59,7 +83,15 @@ impl fmt::Display for TrafficStats {
             self.response_time(),
             self.latency_time,
             self.transfer_time
-        )
+        )?;
+        if self.failed_attempts > 0 || self.retransmits > 0 {
+            write!(
+                f,
+                " faults: {} failed, {} retransmits, {:.2}s waited",
+                self.failed_attempts, self.retransmits, self.fault_wait_time
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -87,6 +119,12 @@ mod tests {
             volume_bytes: 4196.0,
             latency_time: 0.3,
             transfer_time: 0.1,
+            retransmits: 1,
+            failed_attempts: 2,
+            timeouts: 1,
+            server_errors: 1,
+            outage_hits: 0,
+            fault_wait_time: 30.0,
         };
         let b = a.clone();
         a.absorb(&b);
@@ -94,6 +132,11 @@ mod tests {
         assert_eq!(a.communications, 4);
         assert_eq!(a.response_payload_bytes, 200);
         assert!((a.volume_bytes - 8392.0).abs() < 1e-9);
+        assert_eq!(a.retransmits, 2);
+        assert_eq!(a.failed_attempts, 4);
+        assert_eq!(a.timeouts, 2);
+        assert_eq!(a.server_errors, 2);
+        assert!((a.fault_wait_time - 60.0).abs() < 1e-12);
     }
 
     #[test]

@@ -25,10 +25,11 @@ impl TraceEntry {
     }
 }
 
-/// A timeline of exchanges.
+/// A timeline of exchanges, plus any fault events observed on the link.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
     entries: Vec<TraceEntry>,
+    fault_events: Vec<crate::fault::FaultEvent>,
 }
 
 impl Trace {
@@ -40,8 +41,19 @@ impl Trace {
         self.entries.push(entry);
     }
 
+    /// Record a fault occurrence (retransmit, timeout, outage, …).
+    pub fn record_fault(&mut self, event: crate::fault::FaultEvent) {
+        self.fault_events.push(event);
+    }
+
+    /// Fault events in occurrence order.
+    pub fn fault_events(&self) -> &[crate::fault::FaultEvent] {
+        &self.fault_events
+    }
+
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.fault_events.clear();
     }
 
     pub fn len(&self) -> usize {
@@ -75,7 +87,11 @@ impl Trace {
         if total == 0.0 {
             return 0.0;
         }
-        self.entries.iter().map(|e| e.cost.latency_time).sum::<f64>() / total
+        self.entries
+            .iter()
+            .map(|e| e.cost.latency_time)
+            .sum::<f64>()
+            / total
     }
 
     /// Time percentile over exchange costs (p in 0..=100, nearest-rank).
@@ -102,7 +118,12 @@ mod tests {
         for (req, resp) in [(100usize, 512usize), (200, 4096), (150, 0)] {
             let start = ch.elapsed();
             let cost = ch.round_trip(req, resp);
-            trace.record(TraceEntry { start, request_bytes: req, response_bytes: resp, cost });
+            trace.record(TraceEntry {
+                start,
+                request_bytes: req,
+                response_bytes: resp,
+                cost,
+            });
         }
         (ch, trace)
     }

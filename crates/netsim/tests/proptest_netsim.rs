@@ -1,0 +1,175 @@
+//! Property tests for the cost invariants of the paper's eqs. (2)–(5) and
+//! for the fault layer's central guarantee: a fault-free plan reproduces
+//! the reliable channel byte for byte, and a seeded plan is deterministic.
+
+use pdm_net::{packet_count, FaultPlan, LinkProfile, MeteredChannel};
+use pdm_prng::check::cases;
+use pdm_prng::Prng;
+
+fn arb_link(rng: &mut Prng) -> LinkProfile {
+    LinkProfile::new(
+        rng.f64_range(16.0, 20_000.0),
+        rng.f64_range(0.0005, 0.5),
+        4096,
+    )
+}
+
+#[test]
+fn packet_count_is_monotone_and_matches_ceil() {
+    cases(
+        "packet_count_is_monotone_and_matches_ceil",
+        256,
+        0x41,
+        |rng| {
+            let size = rng.usize_inclusive(1, 8192);
+            let a = rng.usize_inclusive(0, 100_000);
+            let b = rng.usize_inclusive(0, 100_000);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            // eq. (5): q_r = ⌈r / size_p⌉, minimum one packet
+            assert!(packet_count(lo, size) <= packet_count(hi, size));
+            let expected = if hi == 0 { 1 } else { hi.div_ceil(size) };
+            assert_eq!(packet_count(hi, size), expected);
+            assert!(packet_count(lo, size) >= 1);
+        },
+    );
+}
+
+#[test]
+fn round_trip_satisfies_the_cost_identities() {
+    cases(
+        "round_trip_satisfies_the_cost_identities",
+        256,
+        0x42,
+        |rng| {
+            let link = arb_link(rng);
+            let req = rng.usize_inclusive(0, 50_000);
+            let resp = rng.usize_inclusive(0, 500_000);
+            let mut ch = MeteredChannel::new(link);
+            let rt = ch.round_trip(req, resp);
+
+            // eq. (2)/(5): volume = q·size_p + payload + q·size_p/2
+            let q = link.packets_for(req) as f64;
+            let vol = q * 4096.0 + resp as f64 + q * 4096.0 / 2.0;
+            assert!(
+                (rt.volume_bytes - vol).abs() < 1e-6,
+                "vol {} vs {}",
+                rt.volume_bytes,
+                vol
+            );
+
+            // eq. (4): T = 2·T_Lat + vol/dtr, exactly decomposed
+            assert_eq!(rt.latency_time, 2.0 * link.latency);
+            assert_eq!(rt.transfer_time, link.transfer_time(rt.volume_bytes));
+            assert_eq!(rt.total_time(), rt.latency_time + rt.transfer_time);
+
+            // the channel's clock and stats agree with the exchange
+            assert_eq!(ch.elapsed(), rt.total_time());
+            assert_eq!(ch.stats().response_time(), rt.total_time());
+        },
+    );
+}
+
+#[test]
+fn volume_is_monotone_in_request_and_response_size() {
+    cases(
+        "volume_is_monotone_in_request_and_response_size",
+        256,
+        0x43,
+        |rng| {
+            let link = arb_link(rng);
+            let req = rng.usize_inclusive(0, 20_000);
+            let resp = rng.usize_inclusive(0, 100_000);
+            let more_req = req + rng.usize_inclusive(0, 20_000);
+            let more_resp = resp + rng.usize_inclusive(0, 100_000);
+            let cost = |r: usize, p: usize| MeteredChannel::new(link).round_trip(r, p);
+            assert!(cost(more_req, resp).volume_bytes >= cost(req, resp).volume_bytes);
+            assert!(cost(req, more_resp).volume_bytes >= cost(req, resp).volume_bytes);
+            assert!(cost(req, more_resp).total_time() >= cost(req, resp).total_time());
+        },
+    );
+}
+
+#[test]
+fn fault_free_plan_is_byte_identical_to_reliable_channel() {
+    cases(
+        "fault_free_plan_is_byte_identical_to_reliable_channel",
+        128,
+        0x44,
+        |rng| {
+            let link = arb_link(rng);
+            let mut reliable = MeteredChannel::new(link);
+            let mut faulty = MeteredChannel::with_faults(link, FaultPlan::none());
+            for _ in 0..rng.usize_inclusive(1, 12) {
+                let req = rng.usize_inclusive(0, 30_000);
+                let resp = rng.usize_inclusive(0, 200_000);
+                let a = reliable.round_trip(req, resp);
+                let b = faulty
+                    .try_round_trip(req, resp)
+                    .expect("fault-free plan never fails");
+                assert_eq!(a.volume_bytes.to_bits(), b.volume_bytes.to_bits());
+                assert_eq!(a.latency_time.to_bits(), b.latency_time.to_bits());
+                assert_eq!(a.transfer_time.to_bits(), b.transfer_time.to_bits());
+            }
+            assert_eq!(reliable.stats(), faulty.stats());
+            assert_eq!(reliable.elapsed().to_bits(), faulty.elapsed().to_bits());
+        },
+    );
+}
+
+#[test]
+fn table2_anchor_survives_the_fault_layer() {
+    // The Table 2 regression guard, through the fallible path: one
+    // navigational expand (200 B request, 9 × 512 B response) on wan_256
+    // must still cost exactly 10752 B / 0.328125 s transfer / 0.30 s latency.
+    let mut ch = MeteredChannel::with_faults(LinkProfile::wan_256(), FaultPlan::none());
+    let rt = ch.try_round_trip(200, 9 * 512).unwrap();
+    assert_eq!(rt.request_packets, 1);
+    assert!((rt.volume_bytes - 10752.0).abs() < 1e-12);
+    assert!((rt.transfer_time - 0.328125).abs() < 1e-12);
+    assert!((rt.latency_time - 0.30).abs() < 1e-12);
+}
+
+#[test]
+fn seeded_fault_plans_replay_identically() {
+    cases("seeded_fault_plans_replay_identically", 64, 0x45, |rng| {
+        let link = arb_link(rng);
+        let seed = rng.next_u64();
+        let loss = rng.f64_range(0.0, 0.4);
+        let stall = rng.f64_range(0.0, 0.1);
+        let run = || {
+            let plan = FaultPlan::lossy(seed, loss).with_stall_rate(stall);
+            let mut ch = MeteredChannel::with_faults(link, plan);
+            let mut outcomes = Vec::new();
+            for _ in 0..20 {
+                outcomes.push(ch.try_round_trip(600, 2048).map_err(|e| e.to_string()));
+            }
+            (outcomes, ch.stats().clone(), ch.elapsed().to_bits())
+        };
+        assert_eq!(run(), run());
+    });
+}
+
+#[test]
+fn failed_attempts_charge_only_fault_wait_time() {
+    cases(
+        "failed_attempts_charge_only_fault_wait_time",
+        64,
+        0x46,
+        |rng| {
+            let link = arb_link(rng);
+            let plan = FaultPlan::lossy(rng.next_u64(), rng.f64_range(0.1, 0.6))
+                .with_server_error_rate(rng.f64_range(0.0, 0.3));
+            let mut ch = MeteredChannel::with_faults(link, plan);
+            for _ in 0..30 {
+                let _ = ch.try_round_trip(500, 4096);
+            }
+            let s = ch.stats();
+            // the eq. (4)/(6) identity holds for the successful traffic: the
+            // clock is exactly latency + transfer + waited-out failures
+            let expected = s.latency_time + s.transfer_time + s.fault_wait_time;
+            assert!((ch.elapsed() - expected).abs() < 1e-9);
+            // failures never count as queries
+            assert_eq!(s.queries + s.failed_attempts, 30);
+        },
+    );
+}

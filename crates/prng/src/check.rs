@@ -1,0 +1,67 @@
+//! A minimal property-testing harness: run a closure over many seeded
+//! generators and report the failing case seed so a failure reproduces with
+//! a one-line unit test. Replaces the proptest macros the offline build
+//! cannot fetch; properties stay explicit generator loops.
+
+use crate::{splitmix64, Prng};
+
+/// Run `property` for `cases` deterministic cases derived from `seed`.
+///
+/// Each case gets a fresh [`Prng`] seeded from `splitmix64(seed + case)`,
+/// so any failure is reproducible in isolation:
+///
+/// ```
+/// use pdm_prng::check::cases;
+/// cases("sum_is_commutative", 64, 0xC0FFEE, |rng| {
+///     let (a, b) = (rng.i64_inclusive(-100, 100), rng.i64_inclusive(-100, 100));
+///     assert_eq!(a + b, b + a);
+/// });
+/// ```
+pub fn cases(name: &str, cases: u64, seed: u64, mut property: impl FnMut(&mut Prng)) {
+    for case in 0..cases {
+        let case_seed = splitmix64(seed.wrapping_add(case));
+        let mut rng = Prng::seed_from_u64(case_seed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            property(&mut rng);
+        }));
+        if let Err(payload) = result {
+            eprintln!(
+                "property '{name}' failed on case {case}/{cases} \
+                 (reproduce with case seed {case_seed:#x})"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Default case count for moderately expensive properties.
+pub const DEFAULT_CASES: u64 = 64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let counter = std::cell::Cell::new(0u64);
+        cases("counter", 10, 1, |_| counter.set(counter.get() + 1));
+        assert_eq!(counter.get(), 10);
+    }
+
+    #[test]
+    fn failing_property_panics_and_names_the_case() {
+        let result = std::panic::catch_unwind(|| {
+            cases("always_fails", 3, 2, |_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut first: Vec<u64> = Vec::new();
+        cases("record", 5, 99, |rng| first.push(rng.next_u64()));
+        let mut second: Vec<u64> = Vec::new();
+        cases("record", 5, 99, |rng| second.push(rng.next_u64()));
+        assert_eq!(first, second);
+    }
+}

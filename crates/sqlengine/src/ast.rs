@@ -108,7 +108,9 @@ impl SetExpr {
     /// UNION c)` is seed `a` plus recursive terms `b`, `c`.
     pub fn flatten_setop(&self, op: SetOp) -> Vec<&SetExpr> {
         match self {
-            SetExpr::SetOp { op: o, left, right, .. } if *o == op => {
+            SetExpr::SetOp {
+                op: o, left, right, ..
+            } if *o == op => {
                 let mut parts = left.flatten_setop(op);
                 parts.push(right);
                 parts
@@ -205,7 +207,10 @@ impl SelectItem {
     }
 
     pub fn aliased(expr: Expr, alias: impl Into<String>) -> Self {
-        SelectItem::Expr { expr, alias: Some(alias.into()) }
+        SelectItem::Expr {
+            expr,
+            alias: Some(alias.into()),
+        }
     }
 }
 
@@ -219,7 +224,10 @@ pub struct TableWithJoins {
 impl TableWithJoins {
     pub fn table(name: impl Into<String>) -> Self {
         TableWithJoins {
-            base: TableFactor::Table { name: name.into(), alias: None },
+            base: TableFactor::Table {
+                name: name.into(),
+                alias: None,
+            },
             joins: Vec::new(),
         }
     }
@@ -267,7 +275,10 @@ pub struct OrderItem {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// `qualifier.name` or bare `name`.
-    Column { qualifier: Option<String>, name: String },
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
     Literal(Value),
     BinaryOp {
         left: Box<Expr>,
@@ -327,7 +338,10 @@ pub enum Expr {
 
 impl Expr {
     pub fn col(name: impl Into<String>) -> Self {
-        Expr::Column { qualifier: None, name: name.into() }
+        Expr::Column {
+            qualifier: None,
+            name: name.into(),
+        }
     }
 
     pub fn qcol(qualifier: impl Into<String>, name: impl Into<String>) -> Self {
@@ -397,13 +411,16 @@ impl Expr {
             Expr::InList { expr, list, .. } => {
                 expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
             }
-            Expr::Between { expr, low, high, .. } => {
-                expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
-            }
+            Expr::Between {
+                expr, low, high, ..
+            } => expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate(),
             Expr::Like { expr, pattern, .. } => {
                 expr.contains_aggregate() || pattern.contains_aggregate()
             }
-            Expr::Case { branches, else_expr } => {
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
                 branches
                     .iter()
                     .any(|(c, r)| c.contains_aggregate() || r.contains_aggregate())
@@ -463,7 +480,11 @@ impl fmt::Display for Statement {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Statement::Query(q) => write!(f, "{q}"),
-            Statement::Insert { table, columns, rows } => {
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => {
                 write!(f, "INSERT INTO {table}")?;
                 if let Some(cols) = columns {
                     write!(f, " ({})", cols.join(", "))?;
@@ -484,7 +505,11 @@ impl fmt::Display for Statement {
                 }
                 Ok(())
             }
-            Statement::Update { table, assignments, predicate } => {
+            Statement::Update {
+                table,
+                assignments,
+                predicate,
+            } => {
                 write!(f, "UPDATE {table} SET ")?;
                 for (i, (col, e)) in assignments.iter().enumerate() {
                     if i > 0 {
@@ -571,7 +596,12 @@ impl fmt::Display for SetExpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SetExpr::Select(s) => write!(f, "{s}"),
-            SetExpr::SetOp { op, all, left, right } => {
+            SetExpr::SetOp {
+                op,
+                all,
+                left,
+                right,
+            } => {
                 let kw = match op {
                     SetOp::Union => "UNION",
                     SetOp::Intersect => "INTERSECT",
@@ -743,7 +773,11 @@ impl fmt::Display for Expr {
                 expr.fmt_child(f, 5)?;
                 write!(f, " IS {}NULL", if *negated { "NOT " } else { "" })
             }
-            Expr::InList { expr, list, negated } => {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 expr.fmt_child(f, 5)?;
                 write!(f, " {}IN (", if *negated { "NOT " } else { "" })?;
                 for (i, e) in list.iter().enumerate() {
@@ -754,7 +788,11 @@ impl fmt::Display for Expr {
                 }
                 write!(f, ")")
             }
-            Expr::InSubquery { expr, query, negated } => {
+            Expr::InSubquery {
+                expr,
+                query,
+                negated,
+            } => {
                 expr.fmt_child(f, 5)?;
                 write!(f, " {}IN ({query})", if *negated { "NOT " } else { "" })
             }
@@ -762,14 +800,23 @@ impl fmt::Display for Expr {
                 write!(f, "{}EXISTS ({query})", if *negated { "NOT " } else { "" })
             }
             Expr::ScalarSubquery(q) => write!(f, "({q})"),
-            Expr::Between { expr, low, high, negated } => {
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
                 expr.fmt_child(f, 5)?;
                 write!(f, " {}BETWEEN ", if *negated { "NOT " } else { "" })?;
                 low.fmt_child(f, 5)?;
                 write!(f, " AND ")?;
                 high.fmt_child(f, 5)
             }
-            Expr::Like { expr, pattern, negated } => {
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
                 expr.fmt_child(f, 5)?;
                 write!(f, " {}LIKE ", if *negated { "NOT " } else { "" })?;
                 pattern.fmt_child(f, 5)
@@ -797,7 +844,10 @@ impl fmt::Display for Expr {
                 };
                 write!(f, "CAST ({expr} AS {type_name})")
             }
-            Expr::Case { branches, else_expr } => {
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
                 write!(f, "CASE")?;
                 for (cond, result) in branches {
                     write!(f, " WHEN {cond} THEN {result}")?;
@@ -881,7 +931,11 @@ mod tests {
     #[test]
     fn aggregate_detection() {
         let e = Expr::binary(
-            Expr::Function { name: "count".into(), args: vec![], star: true },
+            Expr::Function {
+                name: "count".into(),
+                args: vec![],
+                star: true,
+            },
             BinOp::LtEq,
             Expr::lit(10i64),
         );
@@ -927,8 +981,14 @@ mod tests {
         let mut twj = TableWithJoins::table("rtbl");
         twj.joins.push(Join {
             kind: JoinKind::Inner,
-            factor: TableFactor::Table { name: "link".into(), alias: None },
-            on: Some(Expr::eq(Expr::qcol("rtbl", "obid"), Expr::qcol("link", "left"))),
+            factor: TableFactor::Table {
+                name: "link".into(),
+                alias: None,
+            },
+            on: Some(Expr::eq(
+                Expr::qcol("rtbl", "obid"),
+                Expr::qcol("link", "left"),
+            )),
         });
         sel.from.push(twj);
         assert_eq!(sel.from_table_names(), vec!["rtbl", "link"]);

@@ -66,7 +66,14 @@ impl Catalog {
             return Err(Error::Catalog(format!("'{key}' already exists")));
         }
         let sql = query.to_string();
-        self.views.insert(key.clone(), ViewDef { name: key, query, sql });
+        self.views.insert(
+            key.clone(),
+            ViewDef {
+                name: key,
+                query,
+                sql,
+            },
+        );
         Ok(())
     }
 
@@ -132,7 +139,10 @@ mod tests {
     fn duplicate_table_rejected() {
         let mut c = Catalog::new();
         c.create_table("t", schema()).unwrap();
-        assert!(matches!(c.create_table("T", schema()), Err(Error::Catalog(_))));
+        assert!(matches!(
+            c.create_table("T", schema()),
+            Err(Error::Catalog(_))
+        ));
     }
 
     #[test]

@@ -53,7 +53,10 @@ mod tests {
 
     #[test]
     fn display_includes_stage_and_message() {
-        assert_eq!(Error::Lex("bad char".into()).to_string(), "lex error: bad char");
+        assert_eq!(
+            Error::Lex("bad char".into()).to_string(),
+            "lex error: bad char"
+        );
         assert_eq!(Error::Parse("x".into()).to_string(), "parse error: x");
         assert_eq!(Error::Bind("y".into()).to_string(), "bind error: y");
         assert_eq!(Error::Schema("z".into()).to_string(), "schema error: z");

@@ -137,12 +137,17 @@ fn collect_aggregates(e: &Expr, f: &mut impl FnMut(&Expr)) {
                 collect_aggregates(x, f);
             }
         }
-        Expr::Between { expr, low, high, .. } => {
+        Expr::Between {
+            expr, low, high, ..
+        } => {
             collect_aggregates(expr, f);
             collect_aggregates(low, f);
             collect_aggregates(high, f);
         }
-        Expr::Case { branches, else_expr } => {
+        Expr::Case {
+            branches,
+            else_expr,
+        } => {
             for (c, r) in branches {
                 collect_aggregates(c, f);
                 collect_aggregates(r, f);
@@ -195,11 +200,23 @@ fn compute_aggregate(
         "count" => Ok(Value::Int(values.len() as i64)),
         "min" => Ok(values
             .into_iter()
-            .reduce(|a, b| if b.total_cmp(&a) == std::cmp::Ordering::Less { b } else { a })
+            .reduce(|a, b| {
+                if b.total_cmp(&a) == std::cmp::Ordering::Less {
+                    b
+                } else {
+                    a
+                }
+            })
             .unwrap_or(Value::Null)),
         "max" => Ok(values
             .into_iter()
-            .reduce(|a, b| if b.total_cmp(&a) == std::cmp::Ordering::Greater { b } else { a })
+            .reduce(|a, b| {
+                if b.total_cmp(&a) == std::cmp::Ordering::Greater {
+                    b
+                } else {
+                    a
+                }
+            })
             .unwrap_or(Value::Null)),
         "sum" | "avg" => {
             if values.is_empty() {
@@ -227,7 +244,11 @@ fn compute_aggregate(
                 }
             }
             if name == "sum" {
-                Ok(if all_int { Value::Int(isum) } else { Value::Float(sum) })
+                Ok(if all_int {
+                    Value::Int(isum)
+                } else {
+                    Value::Float(sum)
+                })
             } else {
                 Ok(Value::Float(sum / values.len() as f64))
             }

@@ -71,7 +71,12 @@ fn explain_body(
 ) -> Result<()> {
     match body {
         SetExpr::Select(sel) => explain_select(catalog, config, sel, depth, out),
-        SetExpr::SetOp { op, all, left, right } => {
+        SetExpr::SetOp {
+            op,
+            all,
+            left,
+            right,
+        } => {
             pad(out, depth);
             let name = match op {
                 crate::ast::SetOp::Union => {
@@ -141,8 +146,10 @@ fn explain_select(
         for factor in std::iter::once(&twj.base).chain(twj.joins.iter().map(|j| &j.factor)) {
             if let TableFactor::Table { name, alias } = factor {
                 if let Some(schema) = static_schema(catalog, name) {
-                    binding_schemas
-                        .push((alias.as_deref().unwrap_or(name).to_ascii_lowercase(), schema));
+                    binding_schemas.push((
+                        alias.as_deref().unwrap_or(name).to_ascii_lowercase(),
+                        schema,
+                    ));
                 }
             }
         }
@@ -309,7 +316,12 @@ fn index_join_column(
     let right = Bindings::single(table, schema.clone());
     let t = catalog.table(table).ok()?;
     for c in split_conjuncts(on) {
-        if let Expr::BinaryOp { left: a, op: BinOp::Eq, right: b } = &c {
+        if let Expr::BinaryOp {
+            left: a,
+            op: BinOp::Eq,
+            right: b,
+        } = &c
+        {
             for (lhs, rhs) in [(a, b), (b, a)] {
                 if classify_side(lhs, left, &right) == Side::Left {
                     if let Expr::Column { name, .. } = rhs.as_ref() {
@@ -327,16 +339,16 @@ fn index_join_column(
 }
 
 /// Would the hash join find at least one usable equi pair?
-fn has_equi_pair(
-    left: &Bindings,
-    table: &str,
-    schema: Option<&Schema>,
-    on: &Expr,
-) -> bool {
+fn has_equi_pair(left: &Bindings, table: &str, schema: Option<&Schema>, on: &Expr) -> bool {
     let Some(schema) = schema else { return false };
     let right = Bindings::single(table, schema.clone());
     split_conjuncts(on).iter().any(|c| {
-        if let Expr::BinaryOp { left: a, op: BinOp::Eq, right: b } = c {
+        if let Expr::BinaryOp {
+            left: a,
+            op: BinOp::Eq,
+            right: b,
+        } = c
+        {
             let sa = classify_side(a, left, &right);
             let sb = classify_side(b, left, &right);
             matches!(
@@ -365,8 +377,10 @@ mod tests {
 
     fn db() -> Database {
         let mut db = Database::new();
-        db.execute("CREATE TABLE link (obid INTEGER, left INTEGER, right INTEGER)").unwrap();
-        db.execute("CREATE TABLE assy (obid INTEGER, name VARCHAR, dec VARCHAR)").unwrap();
+        db.execute("CREATE TABLE link (obid INTEGER, left INTEGER, right INTEGER)")
+            .unwrap();
+        db.execute("CREATE TABLE assy (obid INTEGER, name VARCHAR, dec VARCHAR)")
+            .unwrap();
         db.execute("CREATE INDEX ON link (left)").unwrap();
         db.execute("CREATE INDEX ON assy (obid)").unwrap();
         db
@@ -382,7 +396,10 @@ mod tests {
         .unwrap();
         let plan = explain_query(&db.catalog, &db.config, &q).unwrap();
         assert!(plan.contains("IndexScan link [index on left]"), "{plan}");
-        assert!(plan.contains("IndexJoin assy [probe index on obid]"), "{plan}");
+        assert!(
+            plan.contains("IndexJoin assy [probe index on obid]"),
+            "{plan}"
+        );
     }
 
     #[test]
@@ -395,7 +412,10 @@ mod tests {
         )
         .unwrap();
         let plan = explain_query(&db.catalog, &db.config, &q).unwrap();
-        assert!(plan.contains("RecursiveCTE rtbl [semi-naive, 2 union terms"), "{plan}");
+        assert!(
+            plan.contains("RecursiveCTE rtbl [semi-naive, 2 union terms"),
+            "{plan}"
+        );
         assert!(plan.contains("Sort"), "{plan}");
     }
 
@@ -425,10 +445,9 @@ mod tests {
     #[test]
     fn union_and_aggregate_annotations() {
         let db = db();
-        let q = parse_query(
-            "SELECT COUNT(*) FROM assy GROUP BY dec UNION ALL SELECT obid FROM link",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT COUNT(*) FROM assy GROUP BY dec UNION ALL SELECT obid FROM link")
+                .unwrap();
         let plan = explain_query(&db.catalog, &db.config, &q).unwrap();
         assert!(plan.contains("UnionAll"), "{plan}");
         assert!(plan.contains("[group by]"), "{plan}");

@@ -29,7 +29,11 @@ pub fn eval_expr(ctx: &ExecContext<'_>, env: &Env<'_>, expr: &Expr) -> Result<Va
             let v = eval_expr(ctx, env, expr)?;
             Ok(Value::Bool(v.is_null() != *negated))
         }
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let needle = eval_expr(ctx, env, expr)?;
             let mut saw_null = needle.is_null();
             let mut found = false;
@@ -46,17 +50,30 @@ pub fn eval_expr(ctx: &ExecContext<'_>, env: &Env<'_>, expr: &Expr) -> Result<Va
             }
             Ok(three_valued_in(found, saw_null, *negated))
         }
-        Expr::InSubquery { expr, query, negated } => {
+        Expr::InSubquery {
+            expr,
+            query,
+            negated,
+        } => {
             let needle = eval_expr(ctx, env, expr)?;
             let (found, saw_null) = subquery::eval_in_subquery(ctx, env, query, &needle)?;
-            Ok(three_valued_in(found, saw_null || needle.is_null(), *negated))
+            Ok(three_valued_in(
+                found,
+                saw_null || needle.is_null(),
+                *negated,
+            ))
         }
         Expr::Exists { query, negated } => {
             let exists = subquery::eval_exists(ctx, env, query)?;
             Ok(Value::Bool(exists != *negated))
         }
         Expr::ScalarSubquery(query) => subquery::eval_scalar(ctx, env, query),
-        Expr::Between { expr, low, high, negated } => {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
             let v = eval_expr(ctx, env, expr)?;
             let lo = eval_expr(ctx, env, low)?;
             let hi = eval_expr(ctx, env, high)?;
@@ -68,7 +85,11 @@ pub fn eval_expr(ctx: &ExecContext<'_>, env: &Env<'_>, expr: &Expr) -> Result<Va
                 None => Value::Null,
             })
         }
-        Expr::Like { expr, pattern, negated } => {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
             let v = eval_expr(ctx, env, expr)?;
             let p = eval_expr(ctx, env, pattern)?;
             match (&v, &p) {
@@ -106,7 +127,10 @@ pub fn eval_expr(ctx: &ExecContext<'_>, env: &Env<'_>, expr: &Expr) -> Result<Va
             ctx.catalog.functions.call(name, &values)
         }
         Expr::Cast { expr, dtype } => eval_expr(ctx, env, expr)?.cast(*dtype),
-        Expr::Case { branches, else_expr } => {
+        Expr::Case {
+            branches,
+            else_expr,
+        } => {
             for (cond, result) in branches {
                 if eval_expr(ctx, env, cond)?.is_true() {
                     return eval_expr(ctx, env, result);
@@ -349,9 +373,7 @@ mod tests {
         let ctx = ExecContext::new(&catalog, &config, &stats);
         let schema = Schema::new(
             cols.iter()
-                .map(|(n, v)| {
-                    Column::new(*n, v.data_type().unwrap_or(DataType::Int))
-                })
+                .map(|(n, v)| Column::new(*n, v.data_type().unwrap_or(DataType::Int)))
                 .collect(),
         );
         let bindings = Bindings::single("t", schema);
@@ -391,7 +413,10 @@ mod tests {
     #[test]
     fn short_circuit_avoids_rhs_errors() {
         // RHS would be a type error, but LHS decides.
-        assert_eq!(eval("FALSE AND ('a' = 1)", &[]).unwrap(), Value::Bool(false));
+        assert_eq!(
+            eval("FALSE AND ('a' = 1)", &[]).unwrap(),
+            Value::Bool(false)
+        );
         assert_eq!(eval("TRUE OR ('a' = 1)", &[]).unwrap(), Value::Bool(true));
     }
 
@@ -426,7 +451,10 @@ mod tests {
     #[test]
     fn between_and_is_null() {
         assert_eq!(eval("5 BETWEEN 1 AND 10", &[]).unwrap(), Value::Bool(true));
-        assert_eq!(eval("5 NOT BETWEEN 1 AND 4", &[]).unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval("5 NOT BETWEEN 1 AND 4", &[]).unwrap(),
+            Value::Bool(true)
+        );
         assert_eq!(eval("NULL BETWEEN 1 AND 4", &[]).unwrap(), Value::Null);
         assert_eq!(eval("NULL IS NULL", &[]).unwrap(), Value::Bool(true));
         assert_eq!(eval("1 IS NOT NULL", &[]).unwrap(), Value::Bool(true));

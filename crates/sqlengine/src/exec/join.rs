@@ -106,13 +106,29 @@ pub fn build_from(
                 // what keeps per-node navigational queries and semi-naive
                 // recursion from rescanning the link table.
                 if let Some(joined) = try_index_join(
-                    ctx, &left, &f.binding, &f.schema, &f.source, f.kind, on.as_ref(), &filters,
+                    ctx,
+                    &left,
+                    &f.binding,
+                    &f.schema,
+                    &f.source,
+                    f.kind,
+                    on.as_ref(),
+                    &filters,
                     outer,
                 )? {
                     joined
                 } else {
                     let rows = scan_source(ctx, &f.binding, &f.schema, &f.source, &filters)?;
-                    join_step(ctx, left, &f.binding, f.schema, rows, f.kind, on.as_ref(), outer)?
+                    join_step(
+                        ctx,
+                        left,
+                        &f.binding,
+                        f.schema,
+                        rows,
+                        f.kind,
+                        on.as_ref(),
+                        outer,
+                    )?
                 }
             }
         });
@@ -209,7 +225,12 @@ fn scan_source(
 /// If `e` is `col = literal` (either order) over `schema`, return the column
 /// position and the literal.
 pub(crate) fn equality_literal(e: &Expr, schema: &Schema) -> Option<(usize, Value)> {
-    let Expr::BinaryOp { left, op: BinOp::Eq, right } = e else {
+    let Expr::BinaryOp {
+        left,
+        op: BinOp::Eq,
+        right,
+    } = e
+    else {
         return None;
     };
     let as_col = |x: &Expr| -> Option<usize> {
@@ -283,7 +304,9 @@ fn visit_columns(e: &Expr, f: &mut impl FnMut(Option<&str>, &str, bool)) {
                 visit_columns(x, f);
             }
         }
-        Expr::Between { expr, low, high, .. } => {
+        Expr::Between {
+            expr, low, high, ..
+        } => {
             visit_columns(expr, f);
             visit_columns(low, f);
             visit_columns(high, f);
@@ -297,7 +320,10 @@ fn visit_columns(e: &Expr, f: &mut impl FnMut(Option<&str>, &str, bool)) {
                 visit_columns(a, f);
             }
         }
-        Expr::Case { branches, else_expr } => {
+        Expr::Case {
+            branches,
+            else_expr,
+        } => {
             for (c, r) in branches {
                 visit_columns(c, f);
                 visit_columns(r, f);
@@ -385,7 +411,12 @@ fn try_index_join(
     let mut residual: Vec<Expr> = Vec::new();
     for c in conjuncts {
         if probe.is_none() {
-            if let Expr::BinaryOp { left: a, op: BinOp::Eq, right: b } = &c {
+            if let Expr::BinaryOp {
+                left: a,
+                op: BinOp::Eq,
+                right: b,
+            } = &c
+            {
                 let candidates = [(a, b), (b, a)];
                 let mut matched = false;
                 for (lhs, rhs) in candidates {
@@ -454,7 +485,10 @@ fn try_index_join(
     }
     ctx.stats.borrow_mut().rows_scanned += out_rows.len();
 
-    Ok(Some(Relation { bindings: combined, rows: out_rows }))
+    Ok(Some(Relation {
+        bindings: combined,
+        rows: out_rows,
+    }))
 }
 
 /// Join an accumulated relation with a new (already scanned) factor.
@@ -478,7 +512,12 @@ fn join_step(
     let mut keys: Vec<(Expr, Expr)> = Vec::new(); // (left-side, right-side)
     let mut residual: Vec<Expr> = Vec::new();
     for c in conjuncts {
-        if let Expr::BinaryOp { left: a, op: BinOp::Eq, right: b } = &c {
+        if let Expr::BinaryOp {
+            left: a,
+            op: BinOp::Eq,
+            right: b,
+        } = &c
+        {
             let sa = classify_side(a, &left.bindings, &right_bindings);
             let sb = classify_side(b, &left.bindings, &right_bindings);
             match (sa, sb) {
@@ -562,7 +601,10 @@ fn join_step(
         }
     }
 
-    Ok(Relation { bindings: combined, rows: out_rows })
+    Ok(Relation {
+        bindings: combined,
+        rows: out_rows,
+    })
 }
 
 fn eval_residual(
@@ -595,7 +637,11 @@ mod tests {
     use crate::value::DataType;
 
     fn schema(cols: &[&str]) -> Schema {
-        Schema::new(cols.iter().map(|c| Column::new(*c, DataType::Int)).collect())
+        Schema::new(
+            cols.iter()
+                .map(|c| Column::new(*c, DataType::Int))
+                .collect(),
+        )
     }
 
     #[test]

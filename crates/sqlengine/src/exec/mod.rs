@@ -180,7 +180,10 @@ pub struct Relation {
 
 impl Relation {
     pub fn empty(bindings: Bindings) -> Self {
-        Relation { bindings, rows: Vec::new() }
+        Relation {
+            bindings,
+            rows: Vec::new(),
+        }
     }
 }
 
@@ -196,7 +199,12 @@ pub struct Env<'a> {
 
 impl<'a> Env<'a> {
     pub fn new(bindings: &'a Bindings, row: &'a [Value]) -> Self {
-        Env { bindings, row, outer: None, aggs: None }
+        Env {
+            bindings,
+            row,
+            outer: None,
+            aggs: None,
+        }
     }
 
     pub fn with_outer(
@@ -204,7 +212,12 @@ impl<'a> Env<'a> {
         row: &'a [Value],
         outer: Option<&'a Env<'a>>,
     ) -> Self {
-        Env { bindings, row, outer, aggs: None }
+        Env {
+            bindings,
+            row,
+            outer,
+            aggs: None,
+        }
     }
 }
 
@@ -303,7 +316,9 @@ impl<'a> ExecContext<'a> {
     fn enter_view(&self) -> Result<()> {
         let d = self.depth.get();
         if d > 32 {
-            return Err(Error::Eval("view expansion too deep (cyclic views?)".into()));
+            return Err(Error::Eval(
+                "view expansion too deep (cyclic views?)".into(),
+            ));
         }
         self.depth.set(d + 1);
         Ok(())
@@ -320,7 +335,11 @@ impl<'a> ExecContext<'a> {
 
 /// Evaluate a full query in `ctx`, with `outer` available for correlated
 /// column references.
-pub fn eval_query(ctx: &ExecContext<'_>, query: &Query, outer: Option<&Env<'_>>) -> Result<ResultSet> {
+pub fn eval_query(
+    ctx: &ExecContext<'_>,
+    query: &Query,
+    outer: Option<&Env<'_>>,
+) -> Result<ResultSet> {
     let mut child;
     let ctx = if let Some(with) = &query.with {
         child = ctx.child();
@@ -407,9 +426,10 @@ fn eval_select_ordered(
     for item in order_by {
         let key = match &item.expr {
             Expr::Literal(Value::Int(n)) => Key::Ordinal((*n - 1).max(0) as usize),
-            Expr::Column { qualifier: None, name }
-                if visible_names.contains(&name.to_ascii_lowercase()) =>
-            {
+            Expr::Column {
+                qualifier: None,
+                name,
+            } if visible_names.contains(&name.to_ascii_lowercase()) => {
                 Key::OutputName(name.to_ascii_lowercase())
             }
             other => {
@@ -492,7 +512,12 @@ pub fn eval_set_expr(
 ) -> Result<ResultSet> {
     match body {
         SetExpr::Select(sel) => eval_select(ctx, sel, outer),
-        SetExpr::SetOp { op, all, left, right } => {
+        SetExpr::SetOp {
+            op,
+            all,
+            left,
+            right,
+        } => {
             let l = eval_set_expr(ctx, left, outer)?;
             let r = eval_set_expr(ctx, right, outer)?;
             setops::apply(*op, *all, l, r)
@@ -566,7 +591,11 @@ pub fn eval_select(
 /// Split an expression into its top-level AND conjuncts.
 pub fn split_conjuncts(e: &Expr) -> Vec<Expr> {
     match e {
-        Expr::BinaryOp { left, op: crate::ast::BinOp::And, right } => {
+        Expr::BinaryOp {
+            left,
+            op: crate::ast::BinOp::And,
+            right,
+        } => {
             let mut parts = split_conjuncts(left);
             parts.extend(split_conjuncts(right));
             parts
@@ -576,10 +605,7 @@ pub fn split_conjuncts(e: &Expr) -> Vec<Expr> {
 }
 
 /// Expand the projection list against `bindings` into (expr, name) pairs.
-pub(crate) fn expand_projection(
-    sel: &Select,
-    bindings: &Bindings,
-) -> Result<Vec<(Expr, String)>> {
+pub(crate) fn expand_projection(sel: &Select, bindings: &Bindings) -> Result<Vec<(Expr, String)>> {
     let mut items = Vec::new();
     for item in &sel.projection {
         match item {
@@ -597,9 +623,9 @@ pub(crate) fn expand_projection(
                 }
             }
             SelectItem::QualifiedWildcard(q) => {
-                let e = bindings.entry(q).ok_or_else(|| {
-                    Error::Bind(format!("unknown table alias '{q}' in {q}.*"))
-                })?;
+                let e = bindings
+                    .entry(q)
+                    .ok_or_else(|| Error::Bind(format!("unknown table alias '{q}' in {q}.*")))?;
                 for c in e.schema.columns() {
                     items.push((
                         Expr::Column {
@@ -611,7 +637,9 @@ pub(crate) fn expand_projection(
                 }
             }
             SelectItem::Expr { expr, alias } => {
-                let name = alias.clone().unwrap_or_else(|| default_name(expr, items.len()));
+                let name = alias
+                    .clone()
+                    .unwrap_or_else(|| default_name(expr, items.len()));
                 items.push((expr.clone(), name.to_ascii_lowercase()));
             }
         }
@@ -711,7 +739,10 @@ fn apply_order_by(result: &mut ResultSet, order_by: &[OrderItem]) -> Result<()> 
                 }
                 (n - 1) as usize
             }
-            Expr::Column { qualifier: None, name } => result.schema.require(name)?,
+            Expr::Column {
+                qualifier: None,
+                name,
+            } => result.schema.require(name)?,
             other => {
                 return Err(Error::Bind(format!(
                     "ORDER BY supports ordinals and output columns, got {other}"
@@ -819,7 +850,11 @@ mod tests {
         assert_eq!(default_name(&Expr::col("x"), 0), "x");
         assert_eq!(
             default_name(
-                &Expr::Function { name: "count".into(), args: vec![], star: true },
+                &Expr::Function {
+                    name: "count".into(),
+                    args: vec![],
+                    star: true
+                },
                 0
             ),
             "count"

@@ -63,7 +63,10 @@ pub fn rename_columns(rel: RelRows, declared: &[String], cte_name: &str) -> Resu
             .map(|(name, col)| Column::new(name.clone(), col.dtype))
             .collect(),
     );
-    Ok(RelRows { schema, rows: rel.rows })
+    Ok(RelRows {
+        schema,
+        rows: rel.rows,
+    })
 }
 
 /// Evaluate one recursive CTE into a materialized relation.
@@ -145,7 +148,10 @@ pub fn eval_recursive_cte(ctx: &ExecContext<'_>, cte: &Cte) -> Result<RelRows> {
         let mut iter_ctx = ctx.child();
         iter_ctx.bind_cte(
             &cte.name,
-            Rc::new(RelRows { schema: schema.clone(), rows: std::mem::take(&mut delta) }),
+            Rc::new(RelRows {
+                schema: schema.clone(),
+                rows: std::mem::take(&mut delta),
+            }),
         );
 
         let mut produced: Vec<Vec<crate::value::Value>> = Vec::new();
@@ -175,7 +181,10 @@ pub fn eval_recursive_cte(ctx: &ExecContext<'_>, cte: &Cte) -> Result<RelRows> {
     }
 
     ctx.stats.borrow_mut().recursion_iterations += iterations;
-    Ok(RelRows { schema, rows: total })
+    Ok(RelRows {
+        schema,
+        rows: total,
+    })
 }
 
 /// Inspect the UNION chain: `true` if every set operation is UNION ALL.
@@ -202,7 +211,13 @@ fn union_chain_is_all(body: &SetExpr) -> Result<bool> {
 }
 
 fn walk_ops(body: &SetExpr, f: &mut impl FnMut(SetOp, bool)) {
-    if let SetExpr::SetOp { op, all, left, right } = body {
+    if let SetExpr::SetOp {
+        op,
+        all,
+        left,
+        right,
+    } = body
+    {
         f(*op, *all);
         walk_ops(left, f);
         walk_ops(right, f);

@@ -145,10 +145,10 @@ pub fn eval_in_subquery(
     if correlated {
         ctx.cache().borrow_mut().known_correlated.insert(key);
     } else if ctx.config.subquery_cache && !known_correlated {
-        ctx.cache().borrow_mut().uncorrelated.insert(
-            key,
-            CachedSubquery::InSet(Rc::new((set, saw_null))),
-        );
+        ctx.cache()
+            .borrow_mut()
+            .uncorrelated
+            .insert(key, CachedSubquery::InSet(Rc::new((set, saw_null))));
     }
     Ok((found, saw_null))
 }
@@ -180,11 +180,7 @@ pub fn eval_scalar(ctx: &ExecContext<'_>, env: &Env<'_>, query: &Query) -> Resul
     let value = match rs.len() {
         0 => Value::Null,
         1 => rs.rows[0].get(0).clone(),
-        n => {
-            return Err(Error::Eval(format!(
-                "scalar subquery returned {n} rows"
-            )))
-        }
+        n => return Err(Error::Eval(format!("scalar subquery returned {n} rows"))),
     };
     if correlated {
         ctx.cache().borrow_mut().known_correlated.insert(key);
@@ -278,7 +274,12 @@ impl SemiJoinSet {
                 local.push(c);
                 continue;
             }
-            if let Expr::BinaryOp { left, op: BinOp::Eq, right } = &c {
+            if let Expr::BinaryOp {
+                left,
+                op: BinOp::Eq,
+                right,
+            } = &c
+            {
                 let l_inner = all_inner(left, &inner);
                 let r_inner = all_inner(right, &inner);
                 let l_outer = all_outer(left, &inner);
@@ -375,7 +376,9 @@ fn visit(e: &Expr, f: &mut impl FnMut(Option<&str>, &str, bool)) {
                 visit(x, f);
             }
         }
-        Expr::Between { expr, low, high, .. } => {
+        Expr::Between {
+            expr, low, high, ..
+        } => {
             visit(expr, f);
             visit(low, f);
             visit(high, f);
@@ -389,7 +392,10 @@ fn visit(e: &Expr, f: &mut impl FnMut(Option<&str>, &str, bool)) {
                 visit(a, f);
             }
         }
-        Expr::Case { branches, else_expr } => {
+        Expr::Case {
+            branches,
+            else_expr,
+        } => {
             for (c, r) in branches {
                 visit(c, f);
                 visit(r, f);

@@ -26,7 +26,9 @@ impl fmt::Debug for FunctionRegistry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut names: Vec<&str> = self.funcs.keys().map(String::as_str).collect();
         names.sort_unstable();
-        f.debug_struct("FunctionRegistry").field("functions", &names).finish()
+        f.debug_struct("FunctionRegistry")
+            .field("functions", &names)
+            .finish()
     }
 }
 

@@ -75,7 +75,10 @@ impl Database {
     }
 
     pub fn with_config(config: ExecConfig) -> Self {
-        Database { catalog: Catalog::new(), config }
+        Database {
+            catalog: Catalog::new(),
+            config,
+        }
     }
 
     /// Execute any single SQL statement.
@@ -165,8 +168,10 @@ mod tests {
 
     fn db_with_fixture() -> Database {
         let mut db = Database::new();
-        db.execute("CREATE TABLE t (a INTEGER NOT NULL, b VARCHAR)").unwrap();
-        db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, NULL)").unwrap();
+        db.execute("CREATE TABLE t (a INTEGER NOT NULL, b VARCHAR)")
+            .unwrap();
+        db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, NULL)")
+            .unwrap();
         db
     }
 
@@ -204,7 +209,9 @@ mod tests {
     #[test]
     fn insert_not_null_violation_via_column_list() {
         let mut db = db_with_fixture();
-        let err = db.execute("INSERT INTO t (b) VALUES ('only-b')").unwrap_err();
+        let err = db
+            .execute("INSERT INTO t (b) VALUES ('only-b')")
+            .unwrap_err();
         assert!(matches!(err, Error::Schema(_)));
     }
 
@@ -231,7 +238,8 @@ mod tests {
     #[test]
     fn views_resolve_in_from() {
         let mut db = db_with_fixture();
-        db.execute("CREATE VIEW v AS SELECT a FROM t WHERE b IS NOT NULL").unwrap();
+        db.execute("CREATE VIEW v AS SELECT a FROM t WHERE b IS NOT NULL")
+            .unwrap();
         let rs = db.query("SELECT * FROM v ORDER BY 1").unwrap();
         assert_eq!(rs.len(), 2);
     }

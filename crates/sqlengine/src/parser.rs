@@ -13,11 +13,55 @@ use crate::value::{DataType, Value};
 
 /// Keywords that terminate an expression or cannot serve as implicit aliases.
 const RESERVED: &[&str] = &[
-    "select", "distinct", "from", "where", "group", "having", "order", "limit", "union",
-    "intersect", "except", "join", "left", "inner", "on", "as", "and", "or", "not", "in",
-    "exists", "between", "is", "null", "true", "false", "cast", "case", "when", "then", "else",
-    "end", "set", "values", "desc", "asc", "by", "with", "recursive", "insert", "into", "like",
-    "update", "delete", "create", "table", "view", "index", "drop",
+    "select",
+    "distinct",
+    "from",
+    "where",
+    "group",
+    "having",
+    "order",
+    "limit",
+    "union",
+    "intersect",
+    "except",
+    "join",
+    "left",
+    "inner",
+    "on",
+    "as",
+    "and",
+    "or",
+    "not",
+    "in",
+    "exists",
+    "between",
+    "is",
+    "null",
+    "true",
+    "false",
+    "cast",
+    "case",
+    "when",
+    "then",
+    "else",
+    "end",
+    "set",
+    "values",
+    "desc",
+    "asc",
+    "by",
+    "with",
+    "recursive",
+    "insert",
+    "into",
+    "like",
+    "update",
+    "delete",
+    "create",
+    "table",
+    "view",
+    "index",
+    "drop",
 ];
 
 /// Parse a single SQL statement (a trailing semicolon is allowed).
@@ -132,7 +176,9 @@ impl Parser {
         match self.advance() {
             Some(Token::Ident(s)) => Ok(s),
             Some(Token::QuotedIdent(s)) => Ok(s.to_ascii_lowercase()),
-            other => Err(Error::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(Error::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -193,7 +239,11 @@ impl Parser {
                 break;
             }
         }
-        Ok(Statement::Insert { table, columns, rows })
+        Ok(Statement::Insert {
+            table,
+            columns,
+            rows,
+        })
     }
 
     fn parse_update(&mut self) -> Result<Statement> {
@@ -214,7 +264,11 @@ impl Parser {
         } else {
             None
         };
-        Ok(Statement::Update { table, assignments, predicate })
+        Ok(Statement::Update {
+            table,
+            assignments,
+            predicate,
+        })
     }
 
     fn parse_delete(&mut self) -> Result<Statement> {
@@ -241,7 +295,11 @@ impl Parser {
                     self.expect_kw("null")?;
                     nullable = false;
                 }
-                columns.push(ColumnDef { name: col_name, dtype, nullable });
+                columns.push(ColumnDef {
+                    name: col_name,
+                    dtype,
+                    nullable,
+                });
                 if !self.eat_symbol(&Token::Comma) {
                     break;
                 }
@@ -261,7 +319,9 @@ impl Parser {
             self.expect_symbol(&Token::RParen)?;
             Ok(Statement::CreateIndex { table, column })
         } else {
-            Err(Error::Parse("expected TABLE, VIEW, or INDEX after CREATE".into()))
+            Err(Error::Parse(
+                "expected TABLE, VIEW, or INDEX after CREATE".into(),
+            ))
         }
     }
 
@@ -305,7 +365,11 @@ impl Parser {
                 self.expect_symbol(&Token::LParen)?;
                 let query = self.parse_query()?;
                 self.expect_symbol(&Token::RParen)?;
-                ctes.push(Cte { name, columns, query });
+                ctes.push(Cte {
+                    name,
+                    columns,
+                    query,
+                });
                 if !self.eat_symbol(&Token::Comma) {
                     break;
                 }
@@ -344,7 +408,12 @@ impl Parser {
             None
         };
 
-        Ok(Query { with, body, order_by, limit })
+        Ok(Query {
+            with,
+            body,
+            order_by,
+            limit,
+        })
     }
 
     /// Set expressions are left-associative:
@@ -565,7 +634,10 @@ impl Parser {
         if self.eat_kw("is") {
             let negated = self.eat_kw("not");
             self.expect_kw("null")?;
-            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
         }
 
         // [NOT] IN / [NOT] BETWEEN / [NOT] LIKE
@@ -594,7 +666,11 @@ impl Parser {
                 list.push(self.parse_expr()?);
             }
             self.expect_symbol(&Token::RParen)?;
-            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
         }
 
         if self.eat_kw("between") {
@@ -619,7 +695,9 @@ impl Parser {
         }
 
         if negated {
-            return Err(Error::Parse("expected IN, BETWEEN, or LIKE after NOT".into()));
+            return Err(Error::Parse(
+                "expected IN, BETWEEN, or LIKE after NOT".into(),
+            ));
         }
 
         let op = match self.peek() {
@@ -726,7 +804,10 @@ impl Parser {
                     self.expect_symbol(&Token::LParen)?;
                     let q = self.parse_query()?;
                     self.expect_symbol(&Token::RParen)?;
-                    Ok(Expr::Exists { query: Box::new(q), negated: false })
+                    Ok(Expr::Exists {
+                        query: Box::new(q),
+                        negated: false,
+                    })
                 }
                 "cast" => {
                     self.pos += 1;
@@ -735,7 +816,10 @@ impl Parser {
                     self.expect_kw("as")?;
                     let dtype = self.parse_data_type()?;
                     self.expect_symbol(&Token::RParen)?;
-                    Ok(Expr::Cast { expr: Box::new(e), dtype })
+                    Ok(Expr::Cast {
+                        expr: Box::new(e),
+                        dtype,
+                    })
                 }
                 "case" => {
                     self.pos += 1;
@@ -755,7 +839,10 @@ impl Parser {
                         None
                     };
                     self.expect_kw("end")?;
-                    Ok(Expr::Case { branches, else_expr })
+                    Ok(Expr::Case {
+                        branches,
+                        else_expr,
+                    })
                 }
                 _ => self.parse_ident_expr(),
             },
@@ -773,7 +860,11 @@ impl Parser {
             self.pos += 1;
             if self.eat_symbol(&Token::Star) {
                 self.expect_symbol(&Token::RParen)?;
-                return Ok(Expr::Function { name: first, args: vec![], star: true });
+                return Ok(Expr::Function {
+                    name: first,
+                    args: vec![],
+                    star: true,
+                });
             }
             // COUNT(DISTINCT x) is normalized to COUNT(x) — the engine's
             // UNION-heavy workloads never produce duplicates we care about,
@@ -787,15 +878,25 @@ impl Parser {
                 }
             }
             self.expect_symbol(&Token::RParen)?;
-            return Ok(Expr::Function { name: first, args, star: false });
+            return Ok(Expr::Function {
+                name: first,
+                args,
+                star: false,
+            });
         }
         // qualified column?
         if self.peek() == Some(&Token::Dot) {
             self.pos += 1;
             let name = self.expect_ident()?;
-            return Ok(Expr::Column { qualifier: Some(first), name });
+            return Ok(Expr::Column {
+                qualifier: Some(first),
+                name,
+            });
         }
-        Ok(Expr::Column { qualifier: None, name: first })
+        Ok(Expr::Column {
+            qualifier: None,
+            name: first,
+        })
     }
 }
 
@@ -806,7 +907,9 @@ mod tests {
     #[test]
     fn simple_select() {
         let q = parse_query("SELECT name FROM assy WHERE assy.obid = 1").unwrap();
-        let SetExpr::Select(sel) = &q.body else { panic!() };
+        let SetExpr::Select(sel) = &q.body else {
+            panic!()
+        };
         assert_eq!(sel.projection.len(), 1);
         assert_eq!(sel.from_table_names(), vec!["assy"]);
         assert!(sel.where_clause.is_some());
@@ -815,7 +918,9 @@ mod tests {
     #[test]
     fn select_star_and_qualified_star() {
         let q = parse_query("SELECT *, a.* FROM a").unwrap();
-        let SetExpr::Select(sel) = &q.body else { panic!() };
+        let SetExpr::Select(sel) = &q.body else {
+            panic!()
+        };
         assert!(matches!(sel.projection[0], SelectItem::Wildcard));
         assert!(matches!(&sel.projection[1], SelectItem::QualifiedWildcard(q) if q == "a"));
     }
@@ -827,7 +932,9 @@ mod tests {
              JOIN assy ON link.right=assy.obid",
         )
         .unwrap();
-        let SetExpr::Select(sel) = &q.body else { panic!() };
+        let SetExpr::Select(sel) = &q.body else {
+            panic!()
+        };
         assert_eq!(sel.from.len(), 1);
         assert_eq!(sel.from[0].joins.len(), 2);
         assert_eq!(sel.from_table_names(), vec!["rtbl", "link", "assy"]);
@@ -836,7 +943,9 @@ mod tests {
     #[test]
     fn left_join() {
         let q = parse_query("SELECT * FROM a LEFT JOIN b ON a.x = b.y").unwrap();
-        let SetExpr::Select(sel) = &q.body else { panic!() };
+        let SetExpr::Select(sel) = &q.body else {
+            panic!()
+        };
         assert_eq!(sel.from[0].joins[0].kind, JoinKind::Left);
     }
 
@@ -878,27 +987,26 @@ mod tests {
         assert_eq!(with.ctes[0].name, "rtbl");
         assert_eq!(with.ctes[0].columns, vec!["type", "obid", "name", "dec"]);
         // CTE body is a two-deep UNION chain = 3 terms
-        assert_eq!(
-            with.ctes[0].query.body.flatten_setop(SetOp::Union).len(),
-            3
-        );
+        assert_eq!(with.ctes[0].query.body.flatten_setop(SetOp::Union).len(), 3);
         assert_eq!(q.order_by.len(), 2);
     }
 
     #[test]
     fn not_exists_subquery() {
-        let e = parse_expr(
-            "NOT EXISTS (SELECT * FROM rtbl WHERE (type='assy' AND dec!='+'))",
-        )
-        .unwrap();
-        let Expr::Not(inner) = e else { panic!("expected NOT") };
+        let e =
+            parse_expr("NOT EXISTS (SELECT * FROM rtbl WHERE (type='assy' AND dec!='+'))").unwrap();
+        let Expr::Not(inner) = e else {
+            panic!("expected NOT")
+        };
         assert!(matches!(*inner, Expr::Exists { negated: false, .. }));
     }
 
     #[test]
     fn scalar_subquery_comparison() {
         let e = parse_expr("(SELECT COUNT(*) FROM rtbl WHERE type='assy') <= 10").unwrap();
-        let Expr::BinaryOp { left, op, .. } = e else { panic!() };
+        let Expr::BinaryOp { left, op, .. } = e else {
+            panic!()
+        };
         assert_eq!(op, BinOp::LtEq);
         assert!(matches!(*left, Expr::ScalarSubquery(_)));
     }
@@ -923,7 +1031,9 @@ mod tests {
     fn precedence_or_and() {
         let e = parse_expr("a = 1 OR b = 2 AND c = 3").unwrap();
         // AND binds tighter: a=1 OR (b=2 AND c=3)
-        let Expr::BinaryOp { op, right, .. } = e else { panic!() };
+        let Expr::BinaryOp { op, right, .. } = e else {
+            panic!()
+        };
         assert_eq!(op, BinOp::Or);
         assert!(matches!(*right, Expr::BinaryOp { op: BinOp::And, .. }));
     }
@@ -931,7 +1041,9 @@ mod tests {
     #[test]
     fn arithmetic_precedence() {
         let e = parse_expr("1 + 2 * 3").unwrap();
-        let Expr::BinaryOp { op, right, .. } = e else { panic!() };
+        let Expr::BinaryOp { op, right, .. } = e else {
+            panic!()
+        };
         assert_eq!(op, BinOp::Plus);
         assert!(matches!(*right, Expr::BinaryOp { op: BinOp::Mul, .. }));
     }
@@ -948,19 +1060,29 @@ mod tests {
     #[test]
     fn aliases_with_and_without_as() {
         let q = parse_query("SELECT a AS x, b y FROM t AS u").unwrap();
-        let SetExpr::Select(sel) = &q.body else { panic!() };
-        let SelectItem::Expr { alias, .. } = &sel.projection[0] else { panic!() };
+        let SetExpr::Select(sel) = &q.body else {
+            panic!()
+        };
+        let SelectItem::Expr { alias, .. } = &sel.projection[0] else {
+            panic!()
+        };
         assert_eq!(alias.as_deref(), Some("x"));
-        let SelectItem::Expr { alias, .. } = &sel.projection[1] else { panic!() };
+        let SelectItem::Expr { alias, .. } = &sel.projection[1] else {
+            panic!()
+        };
         assert_eq!(alias.as_deref(), Some("y"));
-        let TableFactor::Table { alias, .. } = &sel.from[0].base else { panic!() };
+        let TableFactor::Table { alias, .. } = &sel.from[0].base else {
+            panic!()
+        };
         assert_eq!(alias.as_deref(), Some("u"));
     }
 
     #[test]
     fn reserved_word_not_taken_as_alias() {
         let q = parse_query("SELECT a FROM t WHERE a = 1").unwrap();
-        let SetExpr::Select(sel) = &q.body else { panic!() };
+        let SetExpr::Select(sel) = &q.body else {
+            panic!()
+        };
         // WHERE must not have been swallowed as an alias of `t`
         assert!(sel.where_clause.is_some());
     }
@@ -987,7 +1109,9 @@ mod tests {
             "CREATE TABLE assy (type VARCHAR(8) NOT NULL, obid INTEGER NOT NULL, name VARCHAR, dec VARCHAR)",
         )
         .unwrap();
-        let Statement::CreateTable { name, columns } = st else { panic!() };
+        let Statement::CreateTable { name, columns } = st else {
+            panic!()
+        };
         assert_eq!(name, "assy");
         assert_eq!(columns.len(), 4);
         assert!(!columns[0].nullable);
@@ -1006,7 +1130,13 @@ mod tests {
     #[test]
     fn case_expression() {
         let e = parse_expr("CASE WHEN a = 1 THEN 'one' ELSE 'other' END").unwrap();
-        let Expr::Case { branches, else_expr } = e else { panic!() };
+        let Expr::Case {
+            branches,
+            else_expr,
+        } = e
+        else {
+            panic!()
+        };
         assert_eq!(branches.len(), 1);
         assert!(else_expr.is_some());
     }
@@ -1020,7 +1150,9 @@ mod tests {
     #[test]
     fn union_all_vs_union() {
         let q = parse_query("SELECT 1 UNION ALL SELECT 2 UNION SELECT 3").unwrap();
-        let SetExpr::SetOp { all, left, .. } = &q.body else { panic!() };
+        let SetExpr::SetOp { all, left, .. } = &q.body else {
+            panic!()
+        };
         assert!(!all);
         assert!(matches!(**left, SetExpr::SetOp { all: true, .. }));
     }

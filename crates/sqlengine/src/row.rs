@@ -69,7 +69,10 @@ impl ResultSet {
     }
 
     pub fn empty(schema: Schema) -> Self {
-        ResultSet { schema, rows: Vec::new() }
+        ResultSet {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     pub fn len(&self) -> usize {

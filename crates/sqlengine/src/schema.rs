@@ -15,7 +15,11 @@ pub struct Column {
 
 impl Column {
     pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
-        Column { name: name.into().to_ascii_lowercase(), dtype, nullable: true }
+        Column {
+            name: name.into().to_ascii_lowercase(),
+            dtype,
+            nullable: true,
+        }
     }
 
     pub fn not_null(mut self) -> Self {
@@ -37,7 +41,9 @@ impl Schema {
     }
 
     pub fn empty() -> Self {
-        Schema { columns: Vec::new() }
+        Schema {
+            columns: Vec::new(),
+        }
     }
 
     pub fn columns(&self) -> &[Column] {

@@ -112,11 +112,7 @@ impl Table {
     /// Replace the value set of selected rows; rebuilds affected indexes.
     /// `updates` maps column position → new value, applied to every row id in
     /// `row_ids`.
-    pub fn update_rows(
-        &mut self,
-        row_ids: &[usize],
-        updates: &[(usize, Value)],
-    ) -> Result<usize> {
+    pub fn update_rows(&mut self, row_ids: &[usize], updates: &[(usize, Value)]) -> Result<usize> {
         for &(col_idx, ref value) in updates {
             let col = self.schema.column(col_idx);
             if value.is_null() && !col.nullable {
@@ -141,7 +137,9 @@ impl Table {
         for col_idx in touched {
             let mut map: HashMap<Value, Vec<usize>> = HashMap::new();
             for (row_id, row) in self.rows.iter().enumerate() {
-                map.entry(row.get(col_idx).clone()).or_default().push(row_id);
+                map.entry(row.get(col_idx).clone())
+                    .or_default()
+                    .push(row_id);
             }
             self.indexes.insert(col_idx, map);
         }
@@ -151,10 +149,7 @@ impl Table {
     /// Apply per-row updates (`row id` → list of `(column, value)`), then
     /// rebuild the affected indexes once. Used by UPDATE, whose assignment
     /// expressions may evaluate differently per row (`SET x = x + 1`).
-    pub fn apply_updates(
-        &mut self,
-        updates: &[(usize, Vec<(usize, Value)>)],
-    ) -> Result<usize> {
+    pub fn apply_updates(&mut self, updates: &[(usize, Vec<(usize, Value)>)]) -> Result<usize> {
         let mut touched: std::collections::HashSet<usize> = std::collections::HashSet::new();
         for (rid, cols) in updates {
             for (col_idx, value) in cols {
@@ -176,7 +171,9 @@ impl Table {
         for col_idx in indexed {
             let mut map: HashMap<Value, Vec<usize>> = HashMap::new();
             for (row_id, row) in self.rows.iter().enumerate() {
-                map.entry(row.get(col_idx).clone()).or_default().push(row_id);
+                map.entry(row.get(col_idx).clone())
+                    .or_default()
+                    .push(row_id);
             }
             self.indexes.insert(col_idx, map);
         }
@@ -202,7 +199,9 @@ impl Table {
         for col_idx in indexed {
             let mut map: HashMap<Value, Vec<usize>> = HashMap::new();
             for (row_id, row) in self.rows.iter().enumerate() {
-                map.entry(row.get(col_idx).clone()).or_default().push(row_id);
+                map.entry(row.get(col_idx).clone())
+                    .or_default()
+                    .push(row_id);
             }
             self.indexes.insert(col_idx, map);
         }
@@ -286,8 +285,12 @@ mod tests {
     fn index_maintained_on_insert() {
         let mut t = table();
         t.create_index("left").unwrap();
-        t.insert(Row::new(vec![Value::Int(1005), Value::Int(1), Value::Int(6)]))
-            .unwrap();
+        t.insert(Row::new(vec![
+            Value::Int(1005),
+            Value::Int(1),
+            Value::Int(6),
+        ]))
+        .unwrap();
         let left_idx = t.schema.index_of("left").unwrap();
         assert_eq!(t.index_lookup(left_idx, &Value::Int(1)).unwrap().len(), 3);
     }

@@ -36,12 +36,16 @@ pub fn execute_statement(
         Statement::Query(_) => Err(Error::Eval(
             "queries go through Database::query, not execute_statement".into(),
         )),
-        Statement::Insert { table, columns, rows } => {
-            insert(catalog, config, table, columns.as_deref(), rows)
-        }
-        Statement::Update { table, assignments, predicate } => {
-            update(catalog, config, table, assignments, predicate.as_ref())
-        }
+        Statement::Insert {
+            table,
+            columns,
+            rows,
+        } => insert(catalog, config, table, columns.as_deref(), rows),
+        Statement::Update {
+            table,
+            assignments,
+            predicate,
+        } => update(catalog, config, table, assignments, predicate.as_ref()),
         Statement::Delete { table, predicate } => {
             delete(catalog, config, table, predicate.as_ref())
         }

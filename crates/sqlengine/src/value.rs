@@ -160,7 +160,9 @@ impl Value {
             },
             (v, t) => Err(Error::Eval(format!(
                 "cannot cast {} to {t}",
-                v.data_type().map(|d| d.to_string()).unwrap_or_else(|| "NULL".into())
+                v.data_type()
+                    .map(|d| d.to_string())
+                    .unwrap_or_else(|| "NULL".into())
             ))),
         }
     }

@@ -345,9 +345,7 @@ fn effectivity_filter_on_links() {
     // User effectivity: unit 4..5. Link 1001 (1..3) drops out, 1006 (1..5)
     // stays.
     let rs = db
-        .query(
-            "SELECT obid FROM link WHERE eff_from <= 5 AND eff_to >= 4 ORDER BY 1",
-        )
+        .query("SELECT obid FROM link WHERE eff_from <= 5 AND eff_to >= 4 ORDER BY 1")
         .unwrap();
     let obids = rs.column_values("obid").unwrap();
     assert!(!obids.contains(&Value::Int(1001)));
@@ -362,7 +360,8 @@ fn checkout_flag_update_roundtrip() {
     db.execute("CREATE TABLE flags (obid INTEGER NOT NULL, checkedout BOOLEAN)")
         .unwrap();
     for i in 1..=8 {
-        db.execute(&format!("INSERT INTO flags VALUES ({i}, FALSE)")).unwrap();
+        db.execute(&format!("INSERT INTO flags VALUES ({i}, FALSE)"))
+            .unwrap();
     }
     let out = db
         .execute("UPDATE flags SET checkedout = TRUE WHERE obid IN (SELECT right FROM link WHERE left = 2)")

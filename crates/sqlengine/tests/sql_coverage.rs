@@ -24,9 +24,11 @@ fn fixture() -> Database {
         ))
         .unwrap();
     }
-    db.execute("CREATE TABLE bin (part_id INTEGER, shelf VARCHAR)").unwrap();
+    db.execute("CREATE TABLE bin (part_id INTEGER, shelf VARCHAR)")
+        .unwrap();
     for (pid, shelf) in [(1, "A"), (2, "A"), (3, "B"), (5, "C")] {
-        db.execute(&format!("INSERT INTO bin VALUES ({pid}, '{shelf}')")).unwrap();
+        db.execute(&format!("INSERT INTO bin VALUES ({pid}, '{shelf}')"))
+            .unwrap();
     }
     db
 }
@@ -79,7 +81,9 @@ fn having_filters_groups() {
 #[test]
 fn global_aggregates_and_empty_input() {
     let db = fixture();
-    let rs = db.query("SELECT COUNT(*), AVG(weight), MAX(qty) FROM part").unwrap();
+    let rs = db
+        .query("SELECT COUNT(*), AVG(weight), MAX(qty) FROM part")
+        .unwrap();
     assert_eq!(int(rs.rows[0].get(0)), 6);
     assert!((f64_of(rs.rows[0].get(1)) - 36.265).abs() < 1e-3);
     assert_eq!(int(rs.rows[0].get(2)), 500);
@@ -98,8 +102,11 @@ fn global_aggregates_and_empty_input() {
 fn count_skips_nulls_but_count_star_does_not() {
     let mut db = Database::new();
     db.execute("CREATE TABLE t (x INTEGER)").unwrap();
-    db.execute("INSERT INTO t VALUES (1), (NULL), (3), (NULL)").unwrap();
-    let rs = db.query("SELECT COUNT(*), COUNT(x), SUM(x) FROM t").unwrap();
+    db.execute("INSERT INTO t VALUES (1), (NULL), (3), (NULL)")
+        .unwrap();
+    let rs = db
+        .query("SELECT COUNT(*), COUNT(x), SUM(x) FROM t")
+        .unwrap();
     assert_eq!(int(rs.rows[0].get(0)), 4);
     assert_eq!(int(rs.rows[0].get(1)), 2);
     assert_eq!(int(rs.rows[0].get(2)), 4);
@@ -202,7 +209,11 @@ fn correlated_exists_decorrelates_to_semijoin() {
     assert_eq!(rs.len(), 4);
     assert_eq!(stats.decorrelated_semijoins, 1);
     // inner query ran at most twice (detection + set build), not once per row
-    assert!(stats.subquery_evals <= 2, "evals = {}", stats.subquery_evals);
+    assert!(
+        stats.subquery_evals <= 2,
+        "evals = {}",
+        stats.subquery_evals
+    );
 }
 
 #[test]
@@ -232,7 +243,9 @@ fn not_in_with_null_in_set_is_empty() {
 #[test]
 fn distinct_and_order_and_limit() {
     let db = fixture();
-    let rs = db.query("SELECT DISTINCT kind FROM part ORDER BY 1").unwrap();
+    let rs = db
+        .query("SELECT DISTINCT kind FROM part ORDER BY 1")
+        .unwrap();
     assert_eq!(rs.len(), 3);
     let rs = db
         .query("SELECT name FROM part ORDER BY weight DESC LIMIT 2")
@@ -329,8 +342,10 @@ fn string_concat_and_functions() {
 fn arithmetic_in_projection_and_where() {
     let db = fixture();
     let rs = db
-        .query("SELECT name, weight * qty AS total_weight FROM part \
-                WHERE weight * qty > 100 ORDER BY 2 DESC")
+        .query(
+            "SELECT name, weight * qty AS total_weight FROM part \
+                WHERE weight * qty > 100 ORDER BY 2 DESC",
+        )
         .unwrap();
     assert_eq!(rs.rows[0].get(0), &Value::Text("engine".into()));
 }
@@ -349,8 +364,11 @@ fn delete_and_drop() {
 #[test]
 fn update_with_arithmetic_and_predicate() {
     let mut db = fixture();
-    db.execute("UPDATE part SET qty = qty * 2 WHERE kind = 'fastener'").unwrap();
-    let rs = db.query("SELECT SUM(qty) FROM part WHERE kind = 'fastener'").unwrap();
+    db.execute("UPDATE part SET qty = qty * 2 WHERE kind = 'fastener'")
+        .unwrap();
+    let rs = db
+        .query("SELECT SUM(qty) FROM part WHERE kind = 'fastener'")
+        .unwrap();
     assert_eq!(int(rs.rows[0].get(0)), 1600);
 }
 
@@ -389,9 +407,11 @@ fn recursive_cte_union_all_counts_paths() {
     // A small DAG where node 3 is reachable via two paths: UNION ALL keeps
     // both derivations, UNION collapses them.
     let mut db = Database::new();
-    db.execute("CREATE TABLE e (src INTEGER, dst INTEGER)").unwrap();
+    db.execute("CREATE TABLE e (src INTEGER, dst INTEGER)")
+        .unwrap();
     for (a, b) in [(0, 1), (0, 2), (1, 3), (2, 3)] {
-        db.execute(&format!("INSERT INTO e VALUES ({a}, {b})")).unwrap();
+        db.execute(&format!("INSERT INTO e VALUES ({a}, {b})"))
+            .unwrap();
     }
     let rs = db
         .query(
@@ -412,7 +432,8 @@ fn recursive_cte_union_all_counts_paths() {
 #[test]
 fn recursive_cycle_terminates_with_union_and_errors_with_all() {
     let mut db = Database::new();
-    db.execute("CREATE TABLE e (src INTEGER, dst INTEGER)").unwrap();
+    db.execute("CREATE TABLE e (src INTEGER, dst INTEGER)")
+        .unwrap();
     db.execute("INSERT INTO e VALUES (0, 1), (1, 0)").unwrap();
     // UNION dedup closes the cycle
     let rs = db
@@ -425,7 +446,8 @@ fn recursive_cycle_terminates_with_union_and_errors_with_all() {
     // UNION ALL on a cycle hits the iteration guard
     let mut db2 = Database::new();
     db2.config.recursion_limit = 50;
-    db2.execute("CREATE TABLE e (src INTEGER, dst INTEGER)").unwrap();
+    db2.execute("CREATE TABLE e (src INTEGER, dst INTEGER)")
+        .unwrap();
     db2.execute("INSERT INTO e VALUES (0, 1), (1, 0)").unwrap();
     let err = db2
         .query(
@@ -456,7 +478,9 @@ fn error_reporting_quality() {
         .unwrap_err();
     assert!(err.to_string().contains("2 rows"));
     // union arity mismatch
-    let err = db.query("SELECT id FROM part UNION SELECT id, name FROM part").unwrap_err();
+    let err = db
+        .query("SELECT id FROM part UNION SELECT id, name FROM part")
+        .unwrap_err();
     assert!(err.to_string().contains("arity"));
 }
 

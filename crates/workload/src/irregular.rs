@@ -4,8 +4,7 @@
 //! [`ProductData`] bookkeeping as the regular one, so the profile-based cost
 //! model (eq. (1)–(6) over realized counts) applies unchanged.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pdm_prng::Prng;
 
 use crate::generator::{GeneratedLink, GeneratedNode, NodeKind, ProductData};
 use crate::spec::{TreeSpec, VisibilityMode};
@@ -60,7 +59,7 @@ impl IrregularSpec {
 /// convention of disjoint ranges (assemblies, then components, then links,
 /// then specs), assigned breadth-first.
 pub fn generate_irregular(spec: &IrregularSpec) -> ProductData {
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = Prng::seed_from_u64(spec.seed);
 
     // First pass: decide the shape (children per assembly) breadth-first so
     // id ranges can be laid out deterministically afterwards.
@@ -87,16 +86,19 @@ pub fn generate_irregular(spec: &IrregularSpec) -> ProductData {
             if shape[pi].kind != NodeKind::Assembly {
                 continue;
             }
-            let k = rng.random_range(spec.branching.0..=spec.branching.1);
+            let k = rng.u32_inclusive(spec.branching.0, spec.branching.1);
             for _ in 0..k {
-                let leaf = level == spec.max_depth
-                    || rng.random::<f64>() < spec.leaf_probability;
-                let link_visible = rng.random::<f64>() < spec.gamma;
+                let leaf = level == spec.max_depth || rng.f64() < spec.leaf_probability;
+                let link_visible = rng.f64() < spec.gamma;
                 let visible = shape[pi].visible && link_visible;
                 let idx = shape.len();
                 shape.push(ShapeNode {
                     level,
-                    kind: if leaf { NodeKind::Component } else { NodeKind::Assembly },
+                    kind: if leaf {
+                        NodeKind::Component
+                    } else {
+                        NodeKind::Assembly
+                    },
                     children: Vec::new(),
                     parent: Some(pi),
                     visible,
@@ -120,7 +122,10 @@ pub fn generate_irregular(spec: &IrregularSpec) -> ProductData {
     }
 
     // Assign ids: assemblies first, then components, then links/specs.
-    let assy_total = shape.iter().filter(|n| n.kind == NodeKind::Assembly).count() as i64;
+    let assy_total = shape
+        .iter()
+        .filter(|n| n.kind == NodeKind::Assembly)
+        .count() as i64;
     let comp_total = shape.len() as i64 - assy_total;
     let mut next_assy: i64 = 1;
     let mut next_comp: i64 = assy_total + 1;
@@ -156,8 +161,7 @@ pub fn generate_irregular(spec: &IrregularSpec) -> ProductData {
     let mut expanded_children = 0u64;
 
     for (i, node) in shape.iter().enumerate() {
-        let specified = node.kind == NodeKind::Component
-            && rng.random::<f64>() < spec.specified_fraction;
+        let specified = node.kind == NodeKind::Component && rng.f64() < spec.specified_fraction;
         nodes.push(GeneratedNode {
             kind: node.kind,
             obid: obids[i],
@@ -195,13 +199,9 @@ pub fn generate_irregular(spec: &IrregularSpec) -> ProductData {
 
     // A representative TreeSpec so populate() knows the node size; counts
     // come from the realized arrays, not from this spec.
-    let nominal = TreeSpec::new(
-        spec.max_depth,
-        spec.branching.1.max(1),
-        spec.gamma,
-    )
-    .with_node_size(spec.node_size)
-    .with_visibility(VisibilityMode::Random { seed: spec.seed });
+    let nominal = TreeSpec::new(spec.max_depth, spec.branching.1.max(1), spec.gamma)
+        .with_node_size(spec.node_size)
+        .with_visibility(VisibilityMode::Random { seed: spec.seed });
 
     ProductData {
         root_children: shape[0].children.len() as u64,
@@ -282,7 +282,11 @@ mod tests {
     fn visibility_counters_consistent() {
         let spec = IrregularSpec::new(4, (2, 4), 0.6, 99);
         let data = generate_irregular(&spec);
-        let flagged = data.nodes.iter().filter(|n| n.visible && n.level > 0).count() as u64;
+        let flagged = data
+            .nodes
+            .iter()
+            .filter(|n| n.visible && n.level > 0)
+            .count() as u64;
         assert_eq!(flagged, data.visible_nodes());
         // expanded_children = links whose parent is visible
         let visible: std::collections::HashSet<i64> = data
@@ -291,7 +295,11 @@ mod tests {
             .filter(|n| n.visible)
             .map(|n| n.obid)
             .collect();
-        let expected = data.links.iter().filter(|l| visible.contains(&l.left)).count() as u64;
+        let expected = data
+            .links
+            .iter()
+            .filter(|l| visible.contains(&l.left))
+            .count() as u64;
         assert_eq!(data.expanded_children, expected);
     }
 
@@ -303,7 +311,9 @@ mod tests {
         assert_eq!(a.nodes.len(), b.nodes.len());
         assert_eq!(a.visible_per_level, b.visible_per_level);
         let other = generate_irregular(&IrregularSpec::new(4, (1, 5), 0.5, 1235));
-        assert!(a.nodes.len() != other.nodes.len() || a.visible_per_level != other.visible_per_level);
+        assert!(
+            a.nodes.len() != other.nodes.len() || a.visible_per_level != other.visible_per_level
+        );
     }
 
     #[test]

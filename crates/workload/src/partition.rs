@@ -138,7 +138,14 @@ pub fn partition(
         databases.push(db);
     }
 
-    Ok((databases, PartitionInfo { site_of, mounts, n_sites }))
+    Ok((
+        databases,
+        PartitionInfo {
+            site_of,
+            mounts,
+            n_sites,
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -174,7 +181,10 @@ mod tests {
     fn links_stored_with_parent_site() {
         let data = generate(&TreeSpec::new(3, 3, 1.0).with_node_size(128));
         let (dbs, _) = partition(&data, 2).unwrap();
-        let total: i64 = dbs.iter().map(|db| count(db, "SELECT COUNT(*) FROM link")).sum();
+        let total: i64 = dbs
+            .iter()
+            .map(|db| count(db, "SELECT COUNT(*) FROM link"))
+            .sum();
         assert_eq!(total as usize, data.links.len());
     }
 
@@ -212,7 +222,9 @@ mod tests {
             let site = info.site_of[comp];
             let found = count(
                 &dbs[site],
-                &format!("SELECT COUNT(*) FROM specified_by WHERE left = {comp} AND right = {spec}"),
+                &format!(
+                    "SELECT COUNT(*) FROM specified_by WHERE left = {comp} AND right = {spec}"
+                ),
             );
             assert_eq!(found, 1);
         }

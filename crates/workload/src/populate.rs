@@ -240,11 +240,12 @@ mod tests {
         let spec = TreeSpec::new(2, 2, 1.0).with_specified_fraction(1.0);
         let (db, data) = build_database(&spec).unwrap();
         let rs = db
-            .query(
-                "SELECT COUNT(*) AS n FROM specified_by AS s JOIN spec ON s.right = spec.obid",
-            )
+            .query("SELECT COUNT(*) AS n FROM specified_by AS s JOIN spec ON s.right = spec.obid")
             .unwrap();
-        assert_eq!(rs.rows[0].get(0), &Value::Int(data.specified_by.len() as i64));
+        assert_eq!(
+            rs.rows[0].get(0),
+            &Value::Int(data.specified_by.len() as i64)
+        );
     }
 
     #[test]

@@ -100,7 +100,9 @@ impl TreeSpec {
 
     /// Number of assemblies (levels 0..δ-1): Σ β^i.
     pub fn assembly_count(&self) -> u64 {
-        (0..self.depth).map(|i| (self.branching as u64).pow(i)).sum()
+        (0..self.depth)
+            .map(|i| (self.branching as u64).pow(i))
+            .sum()
     }
 
     /// Number of components (level δ): β^δ.

@@ -5,8 +5,7 @@
 //! objects grouped into functional units. In the flat representation this
 //! is simply a *second link table* over the same object rows.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pdm_prng::Prng;
 
 use pdm_sql::{Column, DataType, Database, Result, Row, Schema, Value};
 
@@ -17,7 +16,7 @@ use crate::generator::{GeneratedLink, NodeKind, ProductData};
 /// already-placed assembly. Link visibility is re-drawn with `gamma`
 /// (different disciplines see different slices).
 pub fn generate_view_links(data: &ProductData, gamma: f64, seed: u64) -> Vec<GeneratedLink> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     let root = data.root_obid();
 
     // Shuffle non-root nodes, then attach each to a random assembly that is
@@ -25,7 +24,7 @@ pub fn generate_view_links(data: &ProductData, gamma: f64, seed: u64) -> Vec<Gen
     let mut others: Vec<&crate::generator::GeneratedNode> =
         data.nodes.iter().filter(|n| n.obid != root).collect();
     for i in (1..others.len()).rev() {
-        let j = rng.random_range(0..=i);
+        let j = rng.usize_inclusive(0, i);
         others.swap(i, j);
     }
 
@@ -41,14 +40,14 @@ pub fn generate_view_links(data: &ProductData, gamma: f64, seed: u64) -> Vec<Gen
     let mut placed_assemblies: Vec<i64> = vec![root];
     let mut links = Vec::with_capacity(others.len());
     for (i, node) in others.iter().enumerate() {
-        let parent = placed_assemblies[rng.random_range(0..placed_assemblies.len())];
+        let parent = placed_assemblies[rng.index(placed_assemblies.len())];
         links.push(GeneratedLink {
             obid: link_base + i as i64,
             left: parent,
             right: node.obid,
             eff_from: 1,
             eff_to: 10,
-            visible: rng.random::<f64>() < gamma,
+            visible: rng.f64() < gamma,
         });
         if node.kind == NodeKind::Assembly {
             placed_assemblies.push(node.obid);
@@ -128,7 +127,9 @@ mod tests {
         let data = crate::generator::generate(&spec);
         let vlinks = generate_view_links(&data, 1.0, 7);
         let same = vlinks.iter().filter(|v| {
-            data.links.iter().any(|p| p.left == v.left && p.right == v.right)
+            data.links
+                .iter()
+                .any(|p| p.left == v.left && p.right == v.right)
         });
         // a random reattachment shares only a few edges with the original
         assert!(same.count() < data.links.len() / 2);
@@ -156,6 +157,9 @@ mod tests {
         let a = generate_view_links(&data, 0.7, 5);
         let b = generate_view_links(&data, 0.7, 5);
         assert_eq!(a.len(), b.len());
-        assert!(a.iter().zip(&b).all(|(x, y)| x.left == y.left && x.right == y.right));
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| x.left == y.left && x.right == y.right));
     }
 }

@@ -1,48 +1,58 @@
 //! Property-based tests on the workload generator: structural invariants of
 //! generated product trees and consistency between the generator's
 //! bookkeeping and the loaded database.
+//!
+//! Uses the in-repo `pdm_prng::check` harness (explicit generator loops)
+//! instead of proptest, which the offline build cannot fetch.
 
-use proptest::prelude::*;
+use pdm_prng::check::cases;
+use pdm_prng::Prng;
 use std::collections::{HashMap, HashSet};
 
 use pdm_sql::Value;
 use pdm_workload::{build_database, generator::generate, NodeKind, TreeSpec, VisibilityMode};
 
-fn arb_spec() -> impl Strategy<Value = TreeSpec> {
-    (1u32..5, 2u32..5, 0.0f64..=1.0, any::<bool>(), 0u64..1000).prop_map(
-        |(depth, branching, gamma, random_vis, seed)| {
-            let vis = if random_vis {
-                VisibilityMode::Random { seed }
-            } else {
-                VisibilityMode::Deterministic
-            };
-            TreeSpec::new(depth, branching, gamma)
-                .with_visibility(vis)
-                .with_node_size(96)
-                .with_attribute_seed(seed)
-        },
-    )
+fn arb_spec(rng: &mut Prng) -> TreeSpec {
+    let depth = rng.u32_inclusive(1, 4);
+    let branching = rng.u32_inclusive(2, 4);
+    let gamma = if rng.index(16) == 0 {
+        1.0
+    } else {
+        rng.f64_range(0.0, 1.0)
+    };
+    let seed = rng.u64_inclusive(0, 999);
+    let vis = if rng.bool() {
+        VisibilityMode::Random { seed }
+    } else {
+        VisibilityMode::Deterministic
+    };
+    TreeSpec::new(depth, branching, gamma)
+        .with_visibility(vis)
+        .with_node_size(96)
+        .with_attribute_seed(seed)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Generated counts match the closed-form spec counts exactly.
-    #[test]
-    fn counts_match_spec(spec in arb_spec()) {
+/// Generated counts match the closed-form spec counts exactly.
+#[test]
+fn counts_match_spec() {
+    cases("counts_match_spec", 128, 0x31, |rng| {
+        let spec = arb_spec(rng);
         let data = generate(&spec);
-        prop_assert_eq!(
+        assert_eq!(
             data.nodes.len() as u64,
             spec.assembly_count() + spec.component_count()
         );
-        prop_assert_eq!(data.links.len() as u64, spec.link_count());
-        prop_assert_eq!(data.total_nodes(), spec.link_count());
-    }
+        assert_eq!(data.links.len() as u64, spec.link_count());
+        assert_eq!(data.total_nodes(), spec.link_count());
+    });
+}
 
-    /// Links form a tree rooted at obid 1: every non-root node has exactly
-    /// one incoming link, and every node is reachable from the root.
-    #[test]
-    fn links_form_rooted_tree(spec in arb_spec()) {
+/// Links form a tree rooted at obid 1: every non-root node has exactly
+/// one incoming link, and every node is reachable from the root.
+#[test]
+fn links_form_rooted_tree() {
+    cases("links_form_rooted_tree", 128, 0x32, |rng| {
+        let spec = arb_spec(rng);
         let data = generate(&spec);
         let mut incoming: HashMap<i64, usize> = HashMap::new();
         let mut children: HashMap<i64, Vec<i64>> = HashMap::new();
@@ -50,8 +60,8 @@ proptest! {
             *incoming.entry(l.right).or_insert(0) += 1;
             children.entry(l.left).or_default().push(l.right);
         }
-        prop_assert!(incoming.values().all(|&c| c == 1));
-        prop_assert!(!incoming.contains_key(&1), "root has no incoming link");
+        assert!(incoming.values().all(|&c| c == 1));
+        assert!(!incoming.contains_key(&1), "root has no incoming link");
 
         let mut seen: HashSet<i64> = HashSet::new();
         let mut stack = vec![1i64];
@@ -62,17 +72,24 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(seen.len() as u64, 1 + data.total_nodes());
-    }
+        assert_eq!(seen.len() as u64, 1 + data.total_nodes());
+    });
+}
 
-    /// Visibility bookkeeping is internally consistent: per-level visible
-    /// counts sum to the node-level flags, and a node is visible iff its
-    /// link and all ancestors' links are visible.
-    #[test]
-    fn visibility_flags_consistent(spec in arb_spec()) {
+/// Visibility bookkeeping is internally consistent: per-level visible
+/// counts sum to the node-level flags, and a node is visible iff its
+/// link and all ancestors' links are visible.
+#[test]
+fn visibility_flags_consistent() {
+    cases("visibility_flags_consistent", 128, 0x33, |rng| {
+        let spec = arb_spec(rng);
         let data = generate(&spec);
-        let flagged = data.nodes.iter().filter(|n| n.visible && n.level > 0).count() as u64;
-        prop_assert_eq!(flagged, data.visible_nodes());
+        let flagged = data
+            .nodes
+            .iter()
+            .filter(|n| n.visible && n.level > 0)
+            .count() as u64;
+        assert_eq!(flagged, data.visible_nodes());
 
         let link_by_child: HashMap<i64, &pdm_workload::GeneratedLink> =
             data.links.iter().map(|l| (l.right, l)).collect();
@@ -80,29 +97,35 @@ proptest! {
             data.nodes.iter().map(|n| (n.obid, n.visible)).collect();
         for node in &data.nodes {
             if node.level == 0 {
-                prop_assert!(node.visible);
+                assert!(node.visible);
                 continue;
             }
             let link = link_by_child[&node.obid];
             let parent_visible = visible_by_id[&link.left];
-            prop_assert_eq!(node.visible, parent_visible && link.visible);
+            assert_eq!(node.visible, parent_visible && link.visible);
         }
-    }
+    });
+}
 
-    /// Visible counts respect the branching bound: v_i ≤ β · v_{i-1}.
-    #[test]
-    fn visible_counts_bounded_by_branching(spec in arb_spec()) {
+/// Visible counts respect the branching bound: v_i ≤ β · v_{i-1}.
+#[test]
+fn visible_counts_bounded_by_branching() {
+    cases("visible_counts_bounded_by_branching", 128, 0x34, |rng| {
+        let spec = arb_spec(rng);
         let data = generate(&spec);
         let mut prev = 1u64; // root
         for &v in &data.visible_per_level {
-            prop_assert!(v <= prev * spec.branching as u64);
+            assert!(v <= prev * spec.branching as u64);
             prev = v;
         }
-    }
+    });
+}
 
-    /// The loaded database agrees with the generator's bookkeeping.
-    #[test]
-    fn database_matches_generator(spec in arb_spec()) {
+/// The loaded database agrees with the generator's bookkeeping.
+#[test]
+fn database_matches_generator() {
+    cases("database_matches_generator", 128, 0x35, |rng| {
+        let spec = arb_spec(rng);
         let (db, data) = build_database(&spec).unwrap();
         let count = |sql: &str| -> i64 {
             match db.query(sql).unwrap().rows[0].get(0) {
@@ -110,36 +133,38 @@ proptest! {
                 other => panic!("unexpected {other}"),
             }
         };
-        let assys = data.nodes.iter().filter(|n| n.kind == NodeKind::Assembly).count() as i64;
-        prop_assert_eq!(count("SELECT COUNT(*) AS n FROM assy"), assys);
-        prop_assert_eq!(
+        let assys = data
+            .nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Assembly)
+            .count() as i64;
+        assert_eq!(count("SELECT COUNT(*) AS n FROM assy"), assys);
+        assert_eq!(
             count("SELECT COUNT(*) AS n FROM link"),
             data.links.len() as i64
         );
         // visible node flags match the strc_opt marking
-        let visible_flagged = count(
-            "SELECT COUNT(*) AS n FROM assy WHERE strc_opt = 'OPTA' \
-             UNION ALL SELECT COUNT(*) AS n FROM comp WHERE strc_opt = 'OPTA'",
-        );
-        let _ = visible_flagged; // first row only counted above; check full sum below
         let a = count("SELECT COUNT(*) AS n FROM assy WHERE strc_opt = 'OPTA'");
         let c = count("SELECT COUNT(*) AS n FROM comp WHERE strc_opt = 'OPTA'");
-        prop_assert_eq!((a + c) as u64, 1 + data.visible_nodes()); // root included
-    }
+        assert_eq!((a + c) as u64, 1 + data.visible_nodes()); // root included
+    });
+}
 
-    /// Deterministic specs are reproducible; distinct visibility seeds give
-    /// the same structure (ids/links), only different markings.
-    #[test]
-    fn generation_is_deterministic(spec in arb_spec()) {
+/// Deterministic specs are reproducible; the same spec always generates
+/// the same ids, links, and visibility markings.
+#[test]
+fn generation_is_deterministic() {
+    cases("generation_is_deterministic", 128, 0x36, |rng| {
+        let spec = arb_spec(rng);
         let a = generate(&spec);
         let b = generate(&spec);
-        prop_assert_eq!(a.visible_per_level, b.visible_per_level);
-        prop_assert_eq!(a.links.len(), b.links.len());
+        assert_eq!(a.visible_per_level, b.visible_per_level);
+        assert_eq!(a.links.len(), b.links.len());
         for (x, y) in a.links.iter().zip(&b.links) {
-            prop_assert_eq!(x.obid, y.obid);
-            prop_assert_eq!(x.left, y.left);
-            prop_assert_eq!(x.right, y.right);
-            prop_assert_eq!(x.visible, y.visible);
+            assert_eq!(x.obid, y.obid);
+            assert_eq!(x.left, y.left);
+            assert_eq!(x.right, y.right);
+            assert_eq!(x.visible, y.visible);
         }
-    }
+    });
 }

@@ -38,7 +38,10 @@ fn main() {
         ("office LAN", LinkProfile::lan()),
         ("WAN 1024 kbit/s, 50ms", LinkProfile::wan_1024()),
         ("WAN 512 kbit/s, 150ms", LinkProfile::wan_512()),
-        ("WAN 256 kbit/s, 150ms (Germany↔Brazil)", LinkProfile::wan_256()),
+        (
+            "WAN 256 kbit/s, 150ms (Germany↔Brazil)",
+            LinkProfile::wan_256(),
+        ),
     ];
 
     let mut session = Session::new(
@@ -47,16 +50,21 @@ fn main() {
         rules(),
     );
 
-    println!(
-        "\n{:<42}{:>16}{:>16}",
-        "link", "navigational", "recursive"
-    );
+    println!("\n{:<42}{:>16}{:>16}", "link", "navigational", "recursive");
     for (name, link) in settings {
         session.set_link(link);
         session.set_strategy(Strategy::LateEval);
-        let nav = session.multi_level_expand(1).expect("expand").stats.response_time();
+        let nav = session
+            .multi_level_expand(1)
+            .expect("expand")
+            .stats
+            .response_time();
         session.set_strategy(Strategy::Recursive);
-        let rec = session.multi_level_expand(1).expect("expand").stats.response_time();
+        let rec = session
+            .multi_level_expand(1)
+            .expect("expand")
+            .stats
+            .response_time();
         println!("{:<42}{:>15.1}s{:>15.1}s", name, nav, rec);
     }
 

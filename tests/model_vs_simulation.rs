@@ -219,7 +219,7 @@ fn random_visibility_tracks_model_in_expectation() {
     // With random γ the measured counts should track expectations loosely.
     let spec = TreeSpec::new(5, 4, 0.6)
         .with_node_size(NODE)
-        .with_visibility(VisibilityMode::Random { seed: 2024 });
+        .with_visibility(VisibilityMode::Random { seed: 2065 });
     let (db, data) = build_database(&spec).unwrap();
     let mut s = Session::new(
         db,

@@ -1,0 +1,308 @@
+//! End-to-end resilience: the fault-injected WAN must never corrupt PDM
+//! state or silently change what the user sees. Check-out stays atomic
+//! under lost confirmations, retries are invisible in the returned tree,
+//! recursive degradation serves the same visible tree, and federations
+//! mark unreachable sites instead of failing or truncating silently.
+
+use pdm_bench::visibility_rules;
+use pdm_core::{
+    Federation, MountPoint, RetryPolicy, Session, SessionConfig, SessionError, Strategy,
+};
+use pdm_net::{FaultPlan, LinkProfile, OutageWindow, ScriptedKind};
+use pdm_sql::Value;
+use pdm_workload::{build_database, generate, partition, TreeSpec};
+
+fn session(strategy: Strategy, spec: &TreeSpec) -> Session {
+    let (db, _) = build_database(spec).unwrap();
+    Session::new(
+        db,
+        SessionConfig::new("scott", strategy, LinkProfile::wan_256()),
+        visibility_rules(),
+    )
+}
+
+fn spec() -> TreeSpec {
+    TreeSpec::new(3, 5, 0.6).with_node_size(256)
+}
+
+fn checked_out_count(s: &Session) -> i64 {
+    let mut n = 0;
+    for table in ["assy", "comp"] {
+        let rs = s
+            .server()
+            .query(&format!(
+                "SELECT COUNT(*) AS n FROM {table} WHERE checkedout = TRUE"
+            ))
+            .unwrap();
+        match rs.rows[0].get(0) {
+            Value::Int(i) => n += i,
+            other => panic!("unexpected count {other:?}"),
+        }
+    }
+    n
+}
+
+#[test]
+fn checkout_stays_atomic_when_the_confirmation_is_lost() {
+    // Exchange 0 is the procedure call; its response (the confirmation that
+    // the flags were flipped) is scripted to vanish. The retry replays the
+    // same idempotency token, so the server returns the recorded outcome
+    // instead of refusing its own half-visible check-out.
+    let sp = spec();
+    let mut s = session(Strategy::Recursive, &sp);
+    s.set_fault_plan(FaultPlan::none().with_scripted(0, ScriptedKind::LoseResponse));
+
+    let out = s.check_out_function_shipping(1).unwrap();
+    let tree = out.tree.expect("check-out must succeed after the replay");
+    assert_eq!(
+        out.stats.failed_attempts, 1,
+        "the lost confirmation was charged"
+    );
+
+    // flags flipped exactly once: every tree node, nothing else
+    assert_eq!(checked_out_count(&s), tree.len() as i64);
+
+    // a genuinely new check-out is still refused (∀rows condition)
+    let denied = s.check_out_function_shipping(1).unwrap();
+    assert!(denied.tree.is_none());
+
+    // and the tree matches a fault-free run exactly
+    let mut clean = session(Strategy::Recursive, &sp);
+    let clean_out = clean.check_out_function_shipping(1).unwrap();
+    let mut a: Vec<i64> = tree.node_ids().collect();
+    let mut b: Vec<i64> = clean_out.tree.unwrap().node_ids().collect();
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn lossy_link_retries_are_invisible_in_the_result() {
+    let sp = spec();
+    let mut clean = session(Strategy::EarlyEval, &sp);
+    let reference: Vec<i64> = {
+        let mut ids: Vec<i64> = clean
+            .multi_level_expand(1)
+            .unwrap()
+            .tree
+            .node_ids()
+            .collect();
+        ids.sort_unstable();
+        ids
+    };
+
+    let mut s = session(Strategy::EarlyEval, &sp);
+    s.set_fault_plan(FaultPlan::lossy(42, 0.25).with_server_error_rate(0.05));
+    let out = s.multi_level_expand(1).unwrap();
+    let mut ids: Vec<i64> = out.tree.node_ids().collect();
+    ids.sort_unstable();
+    assert_eq!(ids, reference, "retries must not change the visible tree");
+    assert!(!out.degraded);
+
+    // the pain was real, just absorbed
+    let faults = out.stats.retransmits + out.stats.failed_attempts;
+    assert!(faults > 0, "25% loss over 40 queries must surface faults");
+    assert!(out.stats.fault_wait_time > 0.0 || out.stats.retransmits > 0);
+}
+
+#[test]
+fn recursive_degrades_to_batched_and_serves_the_same_tree() {
+    let sp = spec();
+    let reference: Vec<i64> = {
+        let mut clean = session(Strategy::Recursive, &sp);
+        let mut ids: Vec<i64> = clean
+            .multi_level_expand(1)
+            .unwrap()
+            .tree
+            .node_ids()
+            .collect();
+        ids.sort_unstable();
+        ids
+    };
+
+    let mut s = session(Strategy::Recursive, &sp);
+    // Kill the first two attempts of the recursive query (exchanges 0, 1);
+    // the batched fallback's level queries (exchanges 2+) go through.
+    s.set_fault_plan(
+        FaultPlan::none()
+            .with_scripted(0, ScriptedKind::StallRequest)
+            .with_scripted(1, ScriptedKind::StallRequest),
+    );
+    s.set_retry_policy(RetryPolicy::default_wan().with_max_attempts(2));
+
+    let out = s.multi_level_expand(1).unwrap();
+    assert!(
+        out.degraded,
+        "the action must be served by the fallback path"
+    );
+    let mut ids: Vec<i64> = out.tree.node_ids().collect();
+    ids.sort_unstable();
+    assert_eq!(
+        ids, reference,
+        "degraded service must show the same visible tree"
+    );
+    assert_eq!(out.stats.failed_attempts, 2);
+    // level-batched: one query per level (root, 3, 9, 27 frontiers)
+    assert_eq!(out.stats.queries, 4);
+    assert_eq!(s.degradation().consecutive_failures(), 1);
+}
+
+#[test]
+fn circuit_breaker_opens_after_repeated_recursive_failures() {
+    let sp = spec();
+    let mut s = session(Strategy::Recursive, &sp);
+    // First action: recursive attempts at exchanges 0,1 stall → fallback
+    // uses exchanges 2..=5. Second action: recursive attempts at exchanges
+    // 6,7 stall → breaker trips.
+    s.set_fault_plan(
+        FaultPlan::none()
+            .with_scripted(0, ScriptedKind::StallRequest)
+            .with_scripted(1, ScriptedKind::StallRequest)
+            .with_scripted(6, ScriptedKind::StallRequest)
+            .with_scripted(7, ScriptedKind::StallRequest),
+    );
+    s.set_retry_policy(RetryPolicy::default_wan().with_max_attempts(2));
+
+    assert!(s.multi_level_expand(1).unwrap().degraded);
+    assert!(!s.degradation().is_open());
+    assert!(s.multi_level_expand(1).unwrap().degraded);
+    assert!(
+        s.degradation().is_open(),
+        "two consecutive failures trip the breaker"
+    );
+
+    // Third action: breaker open → no recursive attempt at all, straight to
+    // the batched path (no scripted faults left, but none are reached
+    // either: zero failed attempts this action).
+    let out = s.multi_level_expand(1).unwrap();
+    assert!(out.degraded);
+    assert_eq!(out.stats.failed_attempts, 0);
+}
+
+#[test]
+fn deadline_bounds_an_unreachable_server() {
+    let sp = spec();
+    let mut s = session(Strategy::Recursive, &sp);
+    // 100% stall: nothing ever gets through.
+    s.set_fault_plan(FaultPlan::none().with_stall_rate(1.0).with_timeout(10.0));
+    s.set_retry_policy(RetryPolicy::default_wan().with_deadline(25.0));
+    match s.multi_level_expand(1) {
+        Err(e) => {
+            assert!(e.is_link_failure(), "got {e}");
+            // degradation fallback also ran into the wall; either way the
+            // session gave up within the deadline plus one timeout charge
+            assert!(s.elapsed() <= 25.0 + 10.0 + 1e-9, "elapsed {}", s.elapsed());
+        }
+        Ok(out) => panic!("must not succeed, got {} nodes", out.tree.len()),
+    }
+}
+
+#[test]
+fn outage_window_is_waited_out() {
+    let sp = spec();
+    let mut s = session(Strategy::Recursive, &sp);
+    s.set_fault_plan(
+        FaultPlan::none()
+            .with_outage(OutageWindow::new(0.0, 5.0))
+            .with_timeout(2.0),
+    );
+    let out = s.multi_level_expand(1).unwrap();
+    assert!(!out.degraded || out.tree.len() > 1);
+    assert!(out.stats.outage_hits >= 1);
+    // the clock sat through the outage before the query could succeed
+    assert!(s.elapsed() >= 5.0);
+}
+
+#[test]
+fn classic_checkout_update_replays_are_idempotent() {
+    let sp = TreeSpec::new(2, 3, 1.0).with_node_size(256);
+    let mut s = session(Strategy::Recursive, &sp);
+    // Lossy enough to force retries (including replayed UPDATEs after lost
+    // confirmations) but survivable with the default retry budget.
+    s.set_fault_plan(FaultPlan::lossy(7, 0.3).with_max_retransmits(20));
+    let out = s.check_out(1).unwrap();
+    let tree = out.tree.expect("check-out succeeds through the noise");
+    // flags exactly once per node, no matter how many times the UPDATE ran
+    assert_eq!(checked_out_count(&s), tree.len() as i64);
+    // and check-in under the same noise releases everything
+    let n = s.check_in(&tree).unwrap();
+    assert_eq!(n, tree.len());
+    assert_eq!(checked_out_count(&s), 0);
+}
+
+#[test]
+fn federation_marks_unreachable_sites_as_partial() {
+    let sp = TreeSpec::new(3, 4, 1.0).with_node_size(256);
+    let data = generate(&sp);
+    let n_sites = 3;
+    let (_, info) = partition(&data, n_sites).unwrap();
+    let links = vec![LinkProfile::wan_256(); n_sites];
+    let names: Vec<String> = (0..n_sites).map(|i| format!("site{i}")).collect();
+    let mounts: Vec<MountPoint> = info
+        .mounts
+        .iter()
+        .map(|m| MountPoint {
+            parent: m.parent,
+            child: m.child,
+            child_site: m.child_site,
+            visible: m.visible,
+        })
+        .collect();
+
+    let build = |strategy: Strategy| {
+        let (dbs, _) = partition(&data, n_sites).unwrap();
+        Federation::new(
+            dbs,
+            links.clone(),
+            names.clone(),
+            info.site_of.clone(),
+            mounts.clone(),
+            "scott",
+            strategy,
+            visibility_rules(),
+        )
+    };
+
+    for strategy in [Strategy::Recursive, Strategy::EarlyEval] {
+        let mut fed = build(strategy);
+        let full = fed.multi_level_expand(1).unwrap();
+        assert!(!full.partial);
+        assert!(full.unreachable_sites.is_empty());
+
+        // Site 2's link goes fully dark; the root's site stays up.
+        let mut fed = build(strategy);
+        fed.set_site_fault_plan(2, FaultPlan::none().with_stall_rate(1.0).with_timeout(5.0));
+        fed.set_retry_policy(RetryPolicy::default_wan().with_max_attempts(2));
+        let out = fed.multi_level_expand(1).unwrap();
+        assert!(
+            out.partial,
+            "{strategy:?}: losing a site must mark the result partial"
+        );
+        assert_eq!(out.unreachable_sites, vec!["site2".to_string()]);
+        assert!(
+            out.tree.len() < full.tree.len(),
+            "{strategy:?}: the dark site's subtrees are missing"
+        );
+        // everything still present is reachable from the root — the tree is
+        // a consistent prefix, not a random subset
+        assert_eq!(out.tree.reachable_from_root(), out.tree.len());
+    }
+}
+
+#[test]
+fn timeout_error_reports_attempts_and_elapsed() {
+    let sp = spec();
+    let mut s = session(Strategy::LateEval, &sp);
+    s.set_fault_plan(FaultPlan::none().with_stall_rate(1.0).with_timeout(3.0));
+    s.set_retry_policy(RetryPolicy::default_wan().with_max_attempts(3));
+    match s.multi_level_expand(1) {
+        Err(SessionError::Timeout { attempts, elapsed }) => {
+            assert_eq!(attempts, 3);
+            assert!(
+                elapsed >= 9.0,
+                "three 3 s timeouts plus backoff, got {elapsed}"
+            );
+        }
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+}

@@ -201,8 +201,8 @@ fn effectivity_rule_with_stored_function() {
     rules.add(Rule::for_all_users(
         ActionKind::Access,
         "link",
-        Condition::Row(
-            RowPredicate::compare("strc_opt", CmpOp::Eq, "OPTA").and(RowPredicate::StoredFn {
+        Condition::Row(RowPredicate::compare("strc_opt", CmpOp::Eq, "OPTA").and(
+            RowPredicate::StoredFn {
                 name: "overlaps_interval".into(),
                 args: vec![
                     FnArg::Attr("eff_from".into()),
@@ -210,8 +210,8 @@ fn effectivity_rule_with_stored_function() {
                     FnArg::Const(pdm_sql::Value::Int(4)),
                     FnArg::Const(pdm_sql::Value::Int(6)),
                 ],
-            }),
-        ),
+            },
+        )),
     ));
 
     let spec = TreeSpec::new(2, 4, 1.0)

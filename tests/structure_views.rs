@@ -52,9 +52,9 @@ fn same_objects_different_hierarchies() {
     assert_eq!(p, f, "same objects in both views");
 
     // ...but the hierarchies differ.
-    let differs = physical.node_ids().any(|id| {
-        physical.node(id).unwrap().parent != functional.node(id).unwrap().parent
-    });
+    let differs = physical
+        .node_ids()
+        .any(|id| physical.node(id).unwrap().parent != functional.node(id).unwrap().parent);
     assert!(differs, "views should arrange objects differently");
 }
 
