@@ -1,0 +1,99 @@
+//! `pdm-analyze` — audit the generator corpus and report diagnostics.
+//!
+//! Exit status is 0 only if every corpus entry is clean; any diagnostic
+//! (warning or error) fails the run, so CI can gate on it directly.
+//!
+//! Usage:
+//!   pdm-analyze               human-readable report
+//!   pdm-analyze --json        machine-readable JSON report
+//!   pdm-analyze --list-checks print the check registry and exit
+
+#![allow(clippy::unwrap_used)]
+
+use std::process::ExitCode;
+
+use pdm_analyze::diag::Check;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    for arg in &args {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--list-checks" => {
+                list_checks();
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: pdm-analyze [--json | --list-checks]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("pdm-analyze: unknown argument '{other}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let results = pdm_analyze::audit_corpus();
+    let total: usize = results.iter().map(|(_, r)| r.diagnostics.len()).sum();
+
+    if json {
+        print_json(&results);
+    } else {
+        print_human(&results, total);
+    }
+
+    if total == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn list_checks() {
+    for check in Check::ALL {
+        println!(
+            "{:<28} {:<7} {}",
+            check.id(),
+            check.severity(),
+            check.description()
+        );
+    }
+}
+
+fn print_human(results: &[(pdm_analyze::corpus::CorpusEntry, pdm_analyze::Report)], total: usize) {
+    for (entry, report) in results {
+        if report.is_clean() {
+            println!("ok   {}", entry.name);
+        } else {
+            println!("FAIL {}", entry.name);
+            for d in &report.diagnostics {
+                println!("     {d}");
+            }
+        }
+    }
+    println!(
+        "{} corpus entries audited, {} diagnostic(s)",
+        results.len(),
+        total
+    );
+}
+
+fn print_json(results: &[(pdm_analyze::corpus::CorpusEntry, pdm_analyze::Report)]) {
+    let mut out = String::from("{\"entries\":[");
+    for (i, (entry, report)) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"clean\":{},\"report\":{}}}",
+            entry.name,
+            report.is_clean(),
+            report.to_json()
+        ));
+    }
+    let total: usize = results.iter().map(|(_, r)| r.diagnostics.len()).sum();
+    out.push_str(&format!("],\"total_diagnostics\":{total}}}"));
+    println!("{out}");
+}

@@ -1,0 +1,197 @@
+//! The audit corpus: one instance of every query shape the core generators
+//! emit — unmodified and rule-modified — paired with the rule table, user,
+//! and action that produced it.
+//!
+//! The `pdm-analyze` CLI runs the full analyzer over this corpus and fails
+//! on any diagnostic; CI runs the CLI. The corpus is the contract that the
+//! generator → modificator pipeline stays statically clean as it evolves.
+
+use std::collections::HashSet;
+
+use pdm_sql::ast::Query;
+
+use pdm_core::query::modificator::{ModReport, Modificator};
+use pdm_core::query::{navigational, recursive};
+use pdm_core::rules::condition::{AggFunc, CmpOp, Condition, RowPredicate};
+use pdm_core::rules::table::RuleTable;
+use pdm_core::rules::{ActionKind, Rule};
+
+/// One corpus member: a generated query plus the context needed to verify
+/// predicate placement (if it was modified).
+pub struct CorpusEntry {
+    /// Stable scenario name (used in CLI output and JSON).
+    pub name: &'static str,
+    pub query: Query,
+    /// Rendered SQL, for display and for the print→parse drift check.
+    pub sql: String,
+    /// The rule table the modificator ran with; `None` for unmodified
+    /// queries (placement checks are skipped).
+    pub rules: Option<RuleTable>,
+    pub user: &'static str,
+    pub action: ActionKind,
+    /// The modificator's own account of its injections, cross-checked
+    /// against the analyzer's re-derivation.
+    pub report: Option<ModReport>,
+}
+
+/// The §4.1 visibility rule set: `strc_opt = 'OPTA'` row conditions on all
+/// three structure-bearing tables.
+pub fn visibility_rules() -> RuleTable {
+    let mut t = RuleTable::new();
+    for table in ["link", "assy", "comp"] {
+        t.add(Rule::for_all_users(
+            ActionKind::Access,
+            table,
+            Condition::Row(RowPredicate::compare("strc_opt", CmpOp::Eq, "OPTA")),
+        ));
+    }
+    t
+}
+
+/// The full §5.5 rule set: visibility rows plus a ∀rows release-flag rule,
+/// a tree-size aggregate bound, and an ∃structure specification rule —
+/// exercising steps A through D of the modification algorithm.
+pub fn paper_rules() -> RuleTable {
+    let mut t = visibility_rules();
+    t.add(Rule::for_all_users(
+        ActionKind::MultiLevelExpand,
+        "assy",
+        Condition::ForAllRows {
+            object_type: Some("assy".into()),
+            predicate: RowPredicate::compare("dec", CmpOp::Eq, "+"),
+        },
+    ));
+    t.add(Rule::for_all_users(
+        ActionKind::MultiLevelExpand,
+        "assy",
+        Condition::TreeAggregate {
+            func: AggFunc::Count,
+            attr: None,
+            object_type: Some("assy".into()),
+            op: CmpOp::LtEq,
+            value: 10_000.0,
+        },
+    ));
+    t.add(Rule::for_all_users(
+        ActionKind::MultiLevelExpand,
+        "comp",
+        Condition::ExistsStructure {
+            object_table: "comp".into(),
+            relation_table: "specified_by".into(),
+            related_table: "spec".into(),
+        },
+    ));
+    t
+}
+
+fn unmodified(name: &'static str, action: ActionKind, query: Query) -> CorpusEntry {
+    let sql = query.to_string();
+    CorpusEntry {
+        name,
+        query,
+        sql,
+        rules: None,
+        user: "scott",
+        action,
+        report: None,
+    }
+}
+
+fn modified(
+    name: &'static str,
+    action: ActionKind,
+    mut query: Query,
+    rules: RuleTable,
+    recursive: bool,
+) -> CorpusEntry {
+    let views = HashSet::new();
+    let m = Modificator::new(&rules, "scott", action, &views);
+    let report = if recursive {
+        m.modify_recursive(&mut query)
+    } else {
+        m.modify_navigational(&mut query)
+    }
+    .expect("corpus query modification cannot fail");
+    let sql = query.to_string();
+    CorpusEntry {
+        name,
+        query,
+        sql,
+        rules: Some(rules),
+        user: "scott",
+        action,
+        report: Some(report),
+    }
+}
+
+/// Build the full corpus: every generator shape, plus the two modification
+/// paths over representative rule sets.
+pub fn build_corpus() -> Vec<CorpusEntry> {
+    vec![
+        unmodified("expand", ActionKind::Expand, navigational::expand_query(42)),
+        unmodified(
+            "expand-many",
+            ActionKind::Expand,
+            navigational::expand_many_query(&[1, 2, 3], "link"),
+        ),
+        unmodified(
+            "query-all",
+            ActionKind::Query,
+            navigational::query_all_query(1),
+        ),
+        unmodified(
+            "fetch-node",
+            ActionKind::Query,
+            navigational::fetch_node_query(7),
+        ),
+        unmodified("mle", ActionKind::MultiLevelExpand, recursive::mle_query(1)),
+        unmodified(
+            "mle-with-root",
+            ActionKind::MultiLevelExpand,
+            recursive::mle_query_with_root(1, true),
+        ),
+        modified(
+            "expand-modified",
+            ActionKind::Expand,
+            navigational::expand_query(42),
+            visibility_rules(),
+            false,
+        ),
+        modified(
+            "mle-modified",
+            ActionKind::MultiLevelExpand,
+            recursive::mle_query(1),
+            paper_rules(),
+            true,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_covers_both_pipelines() {
+        let corpus = build_corpus();
+        assert!(corpus.len() >= 8);
+        assert!(corpus.iter().any(|e| e.report.is_some()));
+        assert!(corpus.iter().any(|e| e.query.with.is_some()));
+        // Names are unique (JSON output keys on them).
+        let mut names: Vec<_> = corpus.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), corpus.len());
+    }
+
+    #[test]
+    fn corpus_rule_tables_are_clean() {
+        let mut report = crate::diag::Report::new();
+        crate::rules::check_rule_table(
+            &paper_rules(),
+            &crate::schema::SchemaInfo::paper(),
+            &mut report,
+        );
+        assert!(report.is_clean(), "{report}");
+    }
+}

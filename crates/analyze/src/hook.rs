@@ -1,0 +1,50 @@
+//! Generation-time audit hook.
+//!
+//! [`install`] registers the analyzer with
+//! [`pdm_core::query::audit::install_audit_hook`], so that in debug builds
+//! every query the generators or the modificator produce is name-resolved
+//! and recursion-checked the moment it is built — and the building test or
+//! bench panics with the diagnostics if anything is wrong.
+//!
+//! The hook analyzes in **lenient** mode against the paper schema: the
+//! generators can be pointed at alternative structure views whose link
+//! tables carry arbitrary names, which must bind opaquely rather than fail
+//! resolution.
+
+use std::sync::Once;
+
+use crate::diag::Report;
+use crate::schema::SchemaInfo;
+
+static INSTALL: Once = Once::new();
+
+/// Install the audit hook (idempotent; cheap to call from every test).
+pub fn install() {
+    INSTALL.call_once(|| {
+        let schema = SchemaInfo::paper().lenient();
+        pdm_core::query::audit::install_audit_hook(move |query| {
+            let mut report = Report::new();
+            crate::resolve::check_query(query, &schema, &mut report);
+            crate::recursion::check_recursion(query, &mut report);
+            assert!(
+                !report.has_errors(),
+                "generated query failed static analysis:\n{report}\nSQL: {query}"
+            );
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hooked_generators_stay_clean() {
+        install();
+        install(); // idempotent
+                   // Every generator runs under the hook without panicking.
+        let _ = pdm_core::query::navigational::expand_query(42);
+        let _ = pdm_core::query::navigational::expand_many_query(&[1, 2], "alt_link");
+        let _ = pdm_core::query::recursive::mle_query(1);
+    }
+}

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Engine microbenchmarks: the SQL-processing building blocks the
 //! reproduction rests on. Local execution cost is explicitly out of scope
 //! for the paper's response-time model ("transmission costs are the

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Query-modificator benches: the client-side cost of §5.5's steps A–D.
 //! The paper stores translated conditions in the rule table precisely to
 //! keep this path cheap; these benches quantify it.

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! End-to-end strategy benches: one full PDM action (real SQL, metered WAN)
 //! per iteration. Wall-clock here measures the *machinery*; the reproduced
 //! result is the virtual response time, which the `validate` binary and the

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Ablation: the §6 check-out problem. Check-out cannot be one query — the
 //! retrieval is recursive, but the flag UPDATE is a separate WAN
 //! communication. The paper's sketched remedy is function shipping (install

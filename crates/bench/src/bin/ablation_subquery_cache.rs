@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Ablation: the §5.3.1 optimizer assumption. The ∀rows translation places
 //! an uncorrelated `NOT EXISTS (SELECT * FROM rtbl ...)` in the outer WHERE
 //! clause; the paper notes that "an intelligent query optimizer will

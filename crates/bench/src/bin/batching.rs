@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Four access paths for a multi-level expand, measured end-to-end:
 //! per-node navigation (late/early), level-batched IN-list navigation, and
 //! the paper's recursive query. Batching removes most round trips without

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Bandwidth/latency crossover study: where does the navigational approach
 //! become tolerable again? §1 observes that in LANs "acceptable response
 //! times can be achieved" even navigationally; §6 adds that in

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Multi-server sweep (§7 outlook): how the recursive strategy degrades as
 //! the product structure is distributed over more sites — one round trip
 //! per visited partition instead of one total — and how far that still is

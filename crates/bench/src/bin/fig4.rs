@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Regenerate Figure 4: response-time bars for δ=9, β=3, γ=0.6 at
 //! T_Lat=150ms, dtr=512 kbit/s, across the three system variants.
 

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Regenerate Figure 5: response-time bars for δ=7, β=5, γ=0.6 at
 //! T_Lat=150ms, dtr=256 kbit/s, across the three system variants.
 

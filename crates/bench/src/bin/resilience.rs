@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Resilience sweep: packet-loss rate × client strategy → response time,
 //! retries, degradation, success rate.
 //!

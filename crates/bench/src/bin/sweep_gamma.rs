@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Sweep the visibility probability γ: how rule selectivity shifts the
 //! balance between the three strategies (analytic, δ=7, β=5, 256 kbit/s).
 //!

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Sweep the packet size and the generated-query size: §5.4's caveat that
 //! "the recursive query may become quite large ... potentially needs more
 //! than one packet to be transmitted to the server" (q_r > 1 in eq. (5)).

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Regenerate Table 2: response times under late rule evaluation.
 //!
 //! Default: the paper's analytic table. `--simulate` additionally measures

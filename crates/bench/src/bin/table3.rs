@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Regenerate Table 3: response times with early rule evaluation
 //! (Approach 1), including savings against late evaluation.
 

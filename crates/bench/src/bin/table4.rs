@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Regenerate Table 4: multi-level expands with recursive queries
 //! (Approach 2), including savings against late evaluation.
 

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Full-scale validation: run every paper cell end-to-end (real SQL through
 //! the engine, metered WAN) and report measured vs predicted response
 //! times. This is the repository's evidence that the simulation and the

@@ -1,3 +1,5 @@
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 //! Shared harness for the table/figure regeneration binaries and the
 //! Criterion benches: builds paper-scenario sessions and measures actions
 //! under each strategy.
@@ -75,7 +77,7 @@ pub fn make_session(
     let spec = TreeSpec::new(depth, branching, gamma)
         .with_node_size(node_size)
         .with_visibility(VisibilityMode::Deterministic);
-    let (db, _) = build_database(&spec).unwrap();
+    let (db, _) = build_database(&spec).expect("benchmark database build cannot fail");
     Session::new(
         db,
         SessionConfig::new("scott", strategy, link),
@@ -86,9 +88,19 @@ pub fn make_session(
 /// Run one action and return its traffic stats.
 pub fn run_action(session: &mut Session, action: SimAction) -> TrafficStats {
     match action {
-        SimAction::Query => session.query_all(1).unwrap().stats,
-        SimAction::Expand => session.single_level_expand(1).unwrap().stats,
-        SimAction::MultiLevelExpand => session.multi_level_expand(1).unwrap().stats,
+        SimAction::Query => session.query_all(1).expect("benchmark action failed").stats,
+        SimAction::Expand => {
+            session
+                .single_level_expand(1)
+                .expect("benchmark action failed")
+                .stats
+        }
+        SimAction::MultiLevelExpand => {
+            session
+                .multi_level_expand(1)
+                .expect("benchmark action failed")
+                .stats
+        }
     }
 }
 
@@ -161,7 +173,8 @@ impl PaperSim {
                 let spec = TreeSpec::new(d, b, self.gamma)
                     .with_node_size(self.node_size)
                     .with_visibility(VisibilityMode::Deterministic);
-                let (db, data) = build_database(&spec).unwrap();
+                let (db, data) =
+                    build_database(&spec).expect("benchmark database build cannot fail");
                 let session = Session::new(
                     db,
                     SessionConfig::new("scott", strategy, self.links[0]),

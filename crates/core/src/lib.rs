@@ -1,3 +1,5 @@
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 //! # pdm-core — the PDM system of the paper
 //!
 //! Implements the primary contribution of *"Tuning an SQL-Based PDM System

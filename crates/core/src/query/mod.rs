@@ -9,6 +9,7 @@
 //! equals the transferred-node count of the cost model, and every row
 //! occupies the configured node size on the wire.
 
+pub mod audit;
 pub mod modificator;
 pub mod navigational;
 pub mod recursive;

@@ -47,8 +47,49 @@ impl fmt::Display for ModError {
 
 impl std::error::Error for ModError {}
 
-/// What the modificator injected (observability for tests and benches).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Identity of one SELECT block within a query — the coordinate system both
+/// the modificator (when recording injections) and the `pdm-analyze`
+/// placement check (when verifying them) use to address blocks.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BlockId {
+    /// `select`-th SELECT (preorder) of the outer query body.
+    Outer { select: usize },
+    /// `select`-th SELECT (preorder) of `cte`'s body that does *not*
+    /// reference the CTE itself — an initial (seed) term.
+    CteSeed { cte: String, select: usize },
+    /// `select`-th SELECT (preorder) of `cte`'s body that references the
+    /// CTE in its FROM clause — a recursive term.
+    CteRecursive { cte: String, select: usize },
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockId::Outer { select } => write!(f, "outer query select #{select}"),
+            BlockId::CteSeed { cte, select } => {
+                write!(f, "initial term (select #{select}) of CTE '{cte}'")
+            }
+            BlockId::CteRecursive { cte, select } => {
+                write!(f, "recursive term (select #{select}) of CTE '{cte}'")
+            }
+        }
+    }
+}
+
+/// One recorded injection: which condition class landed in which SELECT
+/// block, and the exact predicate text spliced in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectionSite {
+    pub class: ConditionClass,
+    pub block: BlockId,
+    /// Rendered SQL of the injected predicate (the whole OR-disjunction
+    /// that was AND-ed onto the block's WHERE clause).
+    pub predicate: String,
+}
+
+/// What the modificator injected (observability for tests, benches, and
+/// the `pdm-analyze` placement check).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ModReport {
     /// SELECT blocks that received a row-condition predicate (step D).
     pub row_injections: usize,
@@ -58,6 +99,8 @@ pub struct ModReport {
     pub aggregate_injections: usize,
     /// SELECT blocks that received an ∃structure predicate (step C).
     pub exists_injections: usize,
+    /// Every injection in splice order: (class, block, predicate).
+    pub sites: Vec<InjectionSite>,
 }
 
 impl ModReport {
@@ -67,6 +110,72 @@ impl ModReport {
             + self.aggregate_injections
             + self.exists_injections
     }
+
+    /// Blocks that received an injection of `class`.
+    pub fn blocks_of_class(&self, class: ConditionClass) -> Vec<&BlockId> {
+        self.sites
+            .iter()
+            .filter(|s| s.class == class)
+            .map(|s| &s.block)
+            .collect()
+    }
+
+    /// Record one injection, keeping the per-class counters in sync.
+    fn record(&mut self, class: ConditionClass, block: BlockId, predicate: &Expr) {
+        match class {
+            ConditionClass::Row => self.row_injections += 1,
+            ConditionClass::ForAllRows => self.forall_injections += 1,
+            ConditionClass::TreeAggregate => self.aggregate_injections += 1,
+            ConditionClass::ExistsStructure => self.exists_injections += 1,
+        }
+        self.sites.push(InjectionSite {
+            class,
+            block,
+            predicate: predicate.to_string(),
+        });
+    }
+}
+
+/// Which region of the query an injection walker is visiting; determines
+/// how [`BlockId`]s are minted.
+#[derive(Clone, Copy)]
+enum Region<'a> {
+    Outer,
+    Cte(&'a str),
+}
+
+impl Region<'_> {
+    fn block_id(&self, sel: &Select, select: usize) -> BlockId {
+        match self {
+            Region::Outer => BlockId::Outer { select },
+            Region::Cte(cte) => {
+                if select_references_table(sel, cte) {
+                    BlockId::CteRecursive {
+                        cte: (*cte).to_string(),
+                        select,
+                    }
+                } else {
+                    BlockId::CteSeed {
+                        cte: (*cte).to_string(),
+                        select,
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// True if `sel`'s FROM clause references `table` directly (by name, not
+/// through an alias of another table).
+pub fn select_references_table(sel: &Select, table: &str) -> bool {
+    sel.from.iter().any(|twj| {
+        std::iter::once(&twj.base)
+            .chain(twj.joins.iter().map(|j| &j.factor))
+            .any(|factor| match factor {
+                TableFactor::Table { name, .. } => name.eq_ignore_ascii_case(table),
+                TableFactor::Derived { .. } => false,
+            })
+    })
 }
 
 /// The query modificator: bound to a rule table, a user, and the action
@@ -103,8 +212,9 @@ impl<'a> Modificator<'a> {
         self.check_views(query)?;
         let mut report = ModReport::default();
         let mut body = std::mem::replace(&mut query.body, empty_body());
-        self.inject_row_conditions(&mut body, &mut report);
+        self.inject_row_conditions(&mut body, Region::Outer, &mut report);
         query.body = body;
+        super::audit::audit(query);
         Ok(report)
     }
 
@@ -137,39 +247,55 @@ impl<'a> Modificator<'a> {
 
         let mut body = std::mem::replace(&mut query.body, empty_body());
         if let Some(pred) = Expr::disjunction(forall) {
-            for_each_select(&mut body, &mut |sel| {
+            for_each_select_indexed(&mut body, &mut |idx, sel| {
                 sel.and_where(pred.clone());
-                report.forall_injections += 1;
+                report.record(
+                    ConditionClass::ForAllRows,
+                    BlockId::Outer { select: idx },
+                    &pred,
+                );
             });
         }
         if let Some(pred) = Expr::disjunction(aggregate) {
-            for_each_select(&mut body, &mut |sel| {
+            for_each_select_indexed(&mut body, &mut |idx, sel| {
                 sel.and_where(pred.clone());
-                report.aggregate_injections += 1;
+                report.record(
+                    ConditionClass::TreeAggregate,
+                    BlockId::Outer { select: idx },
+                    &pred,
+                );
             });
         }
         // Step D (outside part): row conditions on tables referenced by the
         // outer SELECTs (usually only the CTE itself, so typically a no-op).
-        self.inject_row_conditions(&mut body, &mut report);
+        self.inject_row_conditions(&mut body, Region::Outer, &mut report);
         query.body = body;
 
         // Steps C + D inside the recursive part.
         if let Some(with) = &mut query.with {
             for cte in &mut with.ctes {
+                let name = cte.name.clone();
                 let mut cte_body = std::mem::replace(&mut cte.query.body, empty_body());
-                self.inject_exists_structure(&mut cte_body, &mut report);
-                self.inject_row_conditions(&mut cte_body, &mut report);
+                self.inject_exists_structure(&mut cte_body, Region::Cte(&name), &mut report);
+                self.inject_row_conditions(&mut cte_body, Region::Cte(&name), &mut report);
                 cte.query.body = cte_body;
             }
         }
 
+        super::audit::audit(query);
         Ok(report)
     }
 
     /// Step D: for every SELECT, AND in the per-type disjunction of row
     /// conditions for each referenced table that has relevant rules.
-    fn inject_row_conditions(&self, body: &mut SetExpr, report: &mut ModReport) {
-        for_each_select(body, &mut |sel| {
+    fn inject_row_conditions(
+        &self,
+        body: &mut SetExpr,
+        region: Region<'_>,
+        report: &mut ModReport,
+    ) {
+        for_each_select_indexed(body, &mut |idx, sel| {
+            let block = region.block_id(sel, idx);
             let bindings = select_bindings(sel);
             for (table, binding) in &bindings {
                 let rules = self.rules.relevant_for_type(
@@ -186,8 +312,8 @@ impl<'a> Modificator<'a> {
                     })
                     .collect();
                 if let Some(pred) = Expr::disjunction(preds) {
-                    sel.and_where(pred);
-                    report.row_injections += 1;
+                    sel.and_where(pred.clone());
+                    report.record(ConditionClass::Row, block.clone(), &pred);
                 }
             }
         });
@@ -195,14 +321,20 @@ impl<'a> Modificator<'a> {
 
     /// Step C: ∃structure conditions, grouped by tested object type, go
     /// into the WHERE of SELECTs whose FROM references that type's table.
-    fn inject_exists_structure(&self, body: &mut SetExpr, report: &mut ModReport) {
+    fn inject_exists_structure(
+        &self,
+        body: &mut SetExpr,
+        region: Region<'_>,
+        report: &mut ModReport,
+    ) {
         let rules =
             self.rules
                 .relevant_of_class(self.user, self.action, ConditionClass::ExistsStructure);
         if rules.is_empty() {
             return;
         }
-        for_each_select(body, &mut |sel| {
+        for_each_select_indexed(body, &mut |idx, sel| {
+            let block = region.block_id(sel, idx);
             let bindings = select_bindings(sel);
             for (table, binding) in &bindings {
                 let preds: Vec<Expr> = rules
@@ -223,8 +355,8 @@ impl<'a> Modificator<'a> {
                     })
                     .collect();
                 if let Some(pred) = Expr::disjunction(preds) {
-                    sel.and_where(pred);
-                    report.exists_injections += 1;
+                    sel.and_where(pred.clone());
+                    report.record(ConditionClass::ExistsStructure, block.clone(), &pred);
                 }
             }
         });
@@ -268,8 +400,10 @@ impl<'a> Modificator<'a> {
     }
 }
 
-/// (table name, binding name) pairs of a SELECT's FROM clause.
-fn select_bindings(sel: &Select) -> Vec<(String, String)> {
+/// (table name, binding name) pairs of a SELECT's FROM clause — the lookup
+/// key the modificator (and the analyzer's placement re-derivation) use to
+/// match rules against blocks. Both are lowercased.
+pub fn select_bindings(sel: &Select) -> Vec<(String, String)> {
     let mut out = Vec::new();
     for twj in &sel.from {
         for factor in std::iter::once(&twj.base).chain(twj.joins.iter().map(|j| &j.factor)) {
@@ -288,15 +422,24 @@ fn empty_body() -> SetExpr {
     SetExpr::Select(Box::new(Select::new()))
 }
 
-/// Apply `f` to every SELECT block of a set-expression tree (mutably).
-fn for_each_select(body: &mut SetExpr, f: &mut impl FnMut(&mut Select)) {
-    match body {
-        SetExpr::Select(sel) => f(sel),
-        SetExpr::SetOp { left, right, .. } => {
-            for_each_select(left, f);
-            for_each_select(right, f);
+/// Apply `f` to every SELECT block of a set-expression tree (mutably),
+/// passing each block's preorder index — the `select` coordinate of
+/// [`BlockId`].
+fn for_each_select_indexed(body: &mut SetExpr, f: &mut impl FnMut(usize, &mut Select)) {
+    fn go(body: &mut SetExpr, f: &mut impl FnMut(usize, &mut Select), next: &mut usize) {
+        match body {
+            SetExpr::Select(sel) => {
+                f(*next, sel);
+                *next += 1;
+            }
+            SetExpr::SetOp { left, right, .. } => {
+                go(left, f, next);
+                go(right, f, next);
+            }
         }
     }
+    let mut next = 0;
+    go(body, f, &mut next);
 }
 
 fn for_each_select_ref(body: &SetExpr, f: &mut impl FnMut(&Select)) {
@@ -390,6 +533,58 @@ mod tests {
         // D: seed (assy) + assy term (link+assy) + comp term (link+comp)
         // = 1 + 2 + 2 row-condition injections.
         assert_eq!(report.row_injections, 5);
+
+        // The recorded sites pin each injection to its exact SELECT block.
+        let rtbl = || "rtbl".to_string();
+        assert_eq!(
+            report.blocks_of_class(ConditionClass::ForAllRows),
+            vec![&BlockId::Outer { select: 0 }]
+        );
+        assert_eq!(
+            report.blocks_of_class(ConditionClass::TreeAggregate),
+            vec![&BlockId::Outer { select: 0 }]
+        );
+        assert_eq!(
+            report.blocks_of_class(ConditionClass::ExistsStructure),
+            vec![&BlockId::CteRecursive {
+                cte: rtbl(),
+                select: 2
+            }]
+        );
+        assert_eq!(
+            report.blocks_of_class(ConditionClass::Row),
+            vec![
+                &BlockId::CteSeed {
+                    cte: rtbl(),
+                    select: 0
+                },
+                &BlockId::CteRecursive {
+                    cte: rtbl(),
+                    select: 1
+                },
+                &BlockId::CteRecursive {
+                    cte: rtbl(),
+                    select: 1
+                },
+                &BlockId::CteRecursive {
+                    cte: rtbl(),
+                    select: 2
+                },
+                &BlockId::CteRecursive {
+                    cte: rtbl(),
+                    select: 2
+                },
+            ]
+        );
+        // Every recorded predicate is the exact text spliced into the query.
+        let sql = q.to_string();
+        for site in &report.sites {
+            assert!(
+                sql.contains(&site.predicate),
+                "recorded predicate '{}' not in query",
+                site.predicate
+            );
+        }
 
         let sql = q.to_string();
         assert!(sql.contains(

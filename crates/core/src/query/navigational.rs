@@ -40,7 +40,7 @@ pub fn expand_query(parent: ObjectId) -> Query {
 /// Single-level expand through an alternative structure view (a second
 /// link table over the same objects — §1 footnote 1).
 pub fn expand_query_in(parent: ObjectId, link_table: &str) -> Query {
-    Query {
+    let q = Query {
         with: None,
         body: SetExpr::SetOp {
             op: SetOp::Union,
@@ -54,7 +54,9 @@ pub fn expand_query_in(parent: ObjectId, link_table: &str) -> Query {
         },
         order_by: Vec::new(),
         limit: None,
-    }
+    };
+    super::audit::audit(&q);
+    q
 }
 
 /// Batched single-level expand: children of *all* `parents` in ONE query
@@ -76,7 +78,7 @@ pub fn expand_many_query(parents: &[ObjectId], link_table: &str) -> Query {
     in_list(&mut assy);
     let mut comp = expand_select(T_COMP, link_table, 0);
     in_list(&mut comp);
-    Query {
+    let q = Query {
         with: None,
         body: SetExpr::SetOp {
             op: SetOp::Union,
@@ -86,7 +88,9 @@ pub fn expand_many_query(parents: &[ObjectId], link_table: &str) -> Query {
         },
         order_by: Vec::new(),
         limit: None,
-    }
+    };
+    super::audit::audit(&q);
+    q
 }
 
 /// The set-oriented Query action: all nodes of the product, no structure
@@ -107,7 +111,7 @@ pub fn query_all_query(root: ObjectId) -> Query {
     comp.projection = bare_node_projection(T_COMP);
     comp.from.push(TableWithJoins::table(T_COMP));
 
-    Query {
+    let q = Query {
         with: None,
         body: SetExpr::SetOp {
             op: SetOp::Union,
@@ -117,7 +121,9 @@ pub fn query_all_query(root: ObjectId) -> Query {
         },
         order_by: Vec::new(),
         limit: None,
-    }
+    };
+    super::audit::audit(&q);
+    q
 }
 
 /// Fetch one object's full homogenized row by id (used to prime the client
@@ -133,7 +139,7 @@ pub fn fetch_node_query(obid: ObjectId) -> Query {
     comp.from.push(TableWithJoins::table(T_COMP));
     comp.and_where(Expr::eq(Expr::qcol(T_COMP, "obid"), Expr::lit(obid)));
 
-    Query {
+    let q = Query {
         with: None,
         body: SetExpr::SetOp {
             op: SetOp::Union,
@@ -143,7 +149,9 @@ pub fn fetch_node_query(obid: ObjectId) -> Query {
         },
         order_by: Vec::new(),
         limit: None,
-    }
+    };
+    super::audit::audit(&q);
+    q
 }
 
 #[cfg(test)]

@@ -98,10 +98,13 @@ pub fn forall_rows_expr(cte: &str, object_type: Option<&str>, pred: &RowPredicat
         inner.and_where(Expr::eq(Expr::col(TYPE_COLUMN), Expr::lit(t)));
     }
     inner.and_where(Expr::Not(Box::new(row_predicate_expr(pred, cte))));
-    Expr::Exists {
+    // Built as NOT(EXISTS ..) rather than EXISTS{negated} because that is
+    // the shape the parser produces for `NOT EXISTS` — generated ASTs must
+    // round-trip through print→parse unchanged.
+    Expr::Not(Box::new(Expr::Exists {
         query: Box::new(Query::select(inner)),
-        negated: true,
-    }
+        negated: false,
+    }))
 }
 
 /// §5.3.2: the ∃structure translation —

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Property-based tests on the PDM layer. The central property is the one
 //! the whole paper rests on: **the three strategies are semantically
 //! equivalent** — late evaluation, early evaluation, and the recursive

@@ -1,3 +1,5 @@
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 //! # pdm-model — the paper's closed-form response-time model
 //!
 //! Implements Section 2 (equations (1)–(4)), Section 4.2 (early rule

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Property-based tests on the response-time model: monotonicity, bounds,
 //! and the structural identities equations (1)–(6) must satisfy.
 //!

@@ -1,3 +1,5 @@
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 //! # pdm-net — deterministic WAN/LAN simulator
 //!
 //! Substitutes for the paper's physical testbed (PDM clients in Germany,

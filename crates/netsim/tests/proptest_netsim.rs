@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Property tests for the cost invariants of the paper's eqs. (2)–(5) and
 //! for the fault layer's central guarantee: a fault-free plan reproduces
 //! the reliable channel byte for byte, and a seeded plan is deterministic.

@@ -1,3 +1,5 @@
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 //! # pdm-prng — deterministic randomness without external dependencies
 //!
 //! The build environment is fully offline, so the workspace cannot pull

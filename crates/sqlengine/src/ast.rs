@@ -607,7 +607,15 @@ impl fmt::Display for SetExpr {
                     SetOp::Intersect => "INTERSECT",
                     SetOp::Except => "EXCEPT",
                 };
-                write!(f, "{left} {kw}{} {right}", if *all { " ALL" } else { "" })
+                write!(f, "{left} {kw}{}", if *all { " ALL" } else { "" })?;
+                // The grammar is left-associative with a single precedence
+                // level for all three operators, so a set-op on the *right*
+                // must be parenthesized to re-parse with the same shape.
+                if matches!(**right, SetExpr::SetOp { .. }) {
+                    write!(f, " ({right})")
+                } else {
+                    write!(f, " {right}")
+                }
             }
         }
     }

@@ -1,3 +1,5 @@
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 //! # pdm-sql — in-memory relational engine with SQL:1999 recursion
 //!
 //! The database substrate for the reproduction of *"Tuning an SQL-Based PDM

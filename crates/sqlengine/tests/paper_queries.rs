@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! End-to-end engine tests against the paper's worked example (Figures 2
 //! and 3) and the §5.3 condition queries, using the exact SQL printed in the
 //! paper (modulo whitespace).

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Property-based tests on the engine's core invariants: value ordering
 //! laws, parser round-trips, set-operation algebra, and recursive-CTE
 //! reachability against an independent Rust-side traversal.

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Broad SQL-surface coverage: every feature the engine exposes, exercised
 //! through SQL text on small fixtures with hand-computed expectations.
 

@@ -1,3 +1,5 @@
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 //! # pdm-workload — synthetic product structures
 //!
 //! The paper evaluates on complete β-ary product trees of depth δ with

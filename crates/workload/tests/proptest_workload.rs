@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Property-based tests on the workload generator: structural invariants of
 //! generated product trees and consistency between the generator's
 //! bookkeeping and the loaded database.

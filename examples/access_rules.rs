@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Tour of the rule taxonomy (§3) and its SQL translations (§5.3): define
 //! one rule of each condition class, show the SQL the translator produces,
 //! and watch the query modificator splice them into a recursive

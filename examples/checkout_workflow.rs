@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! The §6 check-out workflow over the WAN: retrieve a subtree for exclusive
 //! update, observe the extra UPDATE round trips that one recursive query
 //! cannot absorb, then compare against the paper's function-shipping

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Quickstart: build a product structure, expand it over a simulated
 //! intercontinental WAN with all three strategies, and compare.
 //!

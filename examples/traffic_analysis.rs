@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Where do the seconds go? Trace every WAN exchange of a multi-level
 //! expand and break the delay down — the diagnostic view that motivated the
 //! paper's suspicion ("the problem is caused by the large number of isolated

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! The paper's opening story, measured: the same multi-level expand takes
 //! half a minute on a LAN and half an hour over an intercontinental WAN —
 //! unless the client uses recursive SQL.

@@ -1,3 +1,5 @@
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 //! # pdm-repro — façade crate
 //!
 //! Reproduction of *"Tuning an SQL-Based PDM System in a Worldwide

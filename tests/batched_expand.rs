@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Level-batched expansion: the IN-list middle ground between per-node
 //! navigation and one recursive query. Checks semantic equivalence with the
 //! other strategies and the predicted round-trip count (depth + 1 levels).

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Multi-server federation end-to-end (the paper's §7 outlook): the same
 //! product structure split over several sites must yield the same visible
 //! tree as a single server, with the recursive strategy paying one round

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Irregular product structures end-to-end: real bills of material are not
 //! complete β-ary trees, so this suite checks that (a) the three strategies
 //! still agree on arbitrary-shaped structures and (b) the profile-based

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Cross-validation: the closed-form response-time model (pdm-model, i.e.
 //! the paper's equations) against the *measured* behaviour of real SQL
 //! traffic through the engine and the WAN simulator (pdm-core + pdm-net).

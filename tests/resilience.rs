@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! End-to-end resilience: the fault-injected WAN must never corrupt PDM
 //! state or silently change what the user sees. Check-out stays atomic
 //! under lost confirmations, retries are invisible in the returned tree,

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! End-to-end rule semantics across the full stack: rule table → condition
 //! translation → query modification → recursive SQL → engine → reassembled
 //! tree. Exercises all four condition classes of Figure 1 on generated

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Parallel hierarchical views over the same objects (§1 footnote 1): a
 //! functional decomposition stored as a second link table. The same PDM
 //! machinery — navigational and recursive, early and late — must work
