@@ -1,0 +1,208 @@
+#![allow(clippy::unwrap_used)]
+
+//! Multi-client throughput bench over ONE shared server.
+//!
+//! N client threads each run a mixed PDM workload — multi-level expands,
+//! Query actions, function-shipping check-outs with check-in, and the
+//! occasional write (an epoch bump) — against a single `Arc<SharedServer>`.
+//! Reported: sustained QPS, cross-session result-cache hit rate, and
+//! p50/p99 per-operation latency (server-side wall clock, microseconds).
+//!
+//! The schedule is seeded per thread; the interleaving is whatever the
+//! machine produces, so latency numbers are hardware-dependent — the
+//! structural numbers (ops, grants+refusals, hit rate > 0) are not.
+//!
+//! Output: a summary table on stdout plus `BENCH_concurrent.json`.
+
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use pdm_bench::visibility_rules;
+use pdm_core::{PdmServer, Session, SessionConfig, Strategy};
+use pdm_net::LinkProfile;
+use pdm_prng::Prng;
+use pdm_workload::{build_database, TreeSpec};
+
+const SEED: u64 = 0xBE7C4;
+
+#[derive(Default)]
+struct WorkerOut {
+    latencies_us: Vec<u64>,
+    expands: usize,
+    queries: usize,
+    grants: usize,
+    refusals: usize,
+    writes: usize,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let ops_per_thread: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(300);
+
+    let spec = TreeSpec::new(3, 4, 0.8).with_node_size(256);
+    let (db, _) = build_database(&spec).unwrap();
+    let server = PdmServer::new(db);
+    let roots: Vec<i64> = {
+        let rs = server.query("SELECT obid FROM assy ORDER BY obid").unwrap();
+        rs.rows
+            .iter()
+            .filter_map(|r| match r.get(0) {
+                pdm_sql::Value::Int(i) => Some(*i),
+                _ => None,
+            })
+            .collect()
+    };
+
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let mut handles = Vec::new();
+    for worker in 0..threads {
+        let server = server.clone();
+        let roots = roots.clone();
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let mut prng = Prng::seed_from_u64(SEED ^ (worker as u64).wrapping_mul(0x9E37));
+            let mut session = Session::attach(
+                server.clone(),
+                SessionConfig::new(
+                    format!("user{worker}"),
+                    Strategy::Recursive,
+                    LinkProfile::wan_256(),
+                ),
+                visibility_rules(),
+            );
+            let mut out = WorkerOut::default();
+            barrier.wait();
+            for _ in 0..ops_per_thread {
+                let root = roots[(prng.next_u64() % roots.len() as u64) as usize];
+                let kind = prng.next_u64() % 100;
+                let started = Instant::now();
+                match kind {
+                    // Expands dominate, as in the paper's workload — and
+                    // repeated expands are what the result cache serves.
+                    0..=49 => {
+                        session.multi_level_expand(root).unwrap();
+                        out.expands += 1;
+                    }
+                    50..=74 => {
+                        session.query_all(roots[0]).unwrap();
+                        out.queries += 1;
+                    }
+                    75..=94 => {
+                        let co = session.check_out_function_shipping(root).unwrap();
+                        match co.tree {
+                            Some(tree) => {
+                                out.grants += 1;
+                                session.check_in(&tree).unwrap();
+                            }
+                            None => out.refusals += 1,
+                        }
+                    }
+                    // Occasional write: bumps the storage version, forcing
+                    // the cache through a fresh epoch.
+                    _ => {
+                        server
+                            .execute(&format!(
+                                "UPDATE comp SET checkedout = FALSE WHERE obid = {root}"
+                            ))
+                            .unwrap();
+                        out.writes += 1;
+                    }
+                }
+                out.latencies_us.push(started.elapsed().as_micros() as u64);
+            }
+            out
+        }));
+    }
+
+    barrier.wait();
+    let wall_start = Instant::now();
+    let outs: Vec<WorkerOut> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let wall = wall_start.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<u64> = outs.iter().flat_map(|o| o.latencies_us.clone()).collect();
+    latencies.sort_unstable();
+    let total_ops = latencies.len();
+    let qps = total_ops as f64 / wall;
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+    let cache = server.shared().cache_stats();
+    let grants: usize = outs.iter().map(|o| o.grants).sum();
+    let refusals: usize = outs.iter().map(|o| o.refusals).sum();
+    let expands: usize = outs.iter().map(|o| o.expands).sum();
+    let queries: usize = outs.iter().map(|o| o.queries).sum();
+    let writes: usize = outs.iter().map(|o| o.writes).sum();
+
+    println!(
+        "multi-client bench: {threads} threads x {ops_per_thread} ops, δ=3 β=4 γ=0.8, node 256B"
+    );
+    println!();
+    println!("{:<26}{:>12}", "total ops", total_ops);
+    println!("{:<26}{:>12.0}", "throughput (ops/s)", qps);
+    println!("{:<26}{:>12}", "p50 latency (us)", p50);
+    println!("{:<26}{:>12}", "p99 latency (us)", p99);
+    println!("{:<26}{:>12.3}", "cache hit rate", cache.hit_rate());
+    println!(
+        "{:<26}{:>12}",
+        "cache hits/misses",
+        format!("{}/{}", cache.hits, cache.misses)
+    );
+    println!("{:<26}{:>12}", "checkouts granted", grants);
+    println!("{:<26}{:>12}", "checkouts refused", refusals);
+    println!("{:<26}{:>12}", "epoch bumps (writes)", writes);
+    println!(
+        "{:<26}{:>12}",
+        "final storage version",
+        server.shared().version()
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"concurrent\",\n",
+            "  \"threads\": {},\n",
+            "  \"ops_per_thread\": {},\n",
+            "  \"total_ops\": {},\n",
+            "  \"wall_seconds\": {:.4},\n",
+            "  \"qps\": {:.1},\n",
+            "  \"latency_us\": {{ \"p50\": {}, \"p99\": {} }},\n",
+            "  \"cache\": {{ \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4} }},\n",
+            "  \"ops\": {{ \"expand\": {}, \"query\": {}, \"checkout_granted\": {}, ",
+            "\"checkout_refused\": {}, \"writes\": {} }},\n",
+            "  \"final_version\": {}\n",
+            "}}\n"
+        ),
+        threads,
+        ops_per_thread,
+        total_ops,
+        wall,
+        qps,
+        p50,
+        p99,
+        cache.hits,
+        cache.misses,
+        cache.hit_rate(),
+        expands,
+        queries,
+        grants,
+        refusals,
+        writes,
+        server.shared().version(),
+    );
+    std::fs::write("BENCH_concurrent.json", json).unwrap();
+    println!();
+    println!("wrote BENCH_concurrent.json");
+
+    assert!(
+        cache.hits > 0,
+        "acceptance: the cross-session cache must serve hits under this workload"
+    );
+}

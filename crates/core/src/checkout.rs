@@ -15,7 +15,7 @@ use crate::rules::classify::ConditionClass;
 use crate::rules::condition::Condition;
 use crate::rules::ActionKind;
 use crate::server::id_list;
-use crate::session::{Session, SessionResult};
+use crate::session::{Session, SessionError, SessionResult};
 
 /// Result of a check-out attempt.
 #[derive(Debug, Clone)]
@@ -116,10 +116,16 @@ impl Session {
         let token = self.next_checkout_token();
         let request_bytes = sql.len() + 32; // procedure-call framing
 
+        // A conflicting check-out that is mid-procedure on another session's
+        // thread makes the server-side call WAIT; the session's per-action
+        // deadline bounds that wait and surfaces as a Timeout.
+        let lock_deadline = self.lock_deadline();
         let result = if self.channel_mut().fault_plan().is_none() {
+            let elapsed = self.elapsed();
             let result = self
-                .server_mut()
-                .checkout_procedure_idempotent(root, &sql, token)?;
+                .server()
+                .checkout_procedure_with_deadline(root, &sql, token, lock_deadline)
+                .map_err(|e| SessionError::from_shared(e, elapsed))?;
             let response = procedure_response_size(&result);
             self.meter_round_trip(request_bytes, response);
             result
@@ -129,9 +135,11 @@ impl Session {
                 self.check_deadline(attempt)?;
                 let failure = match self.channel_mut().try_send_request(request_bytes) {
                     Ok(pending) => {
+                        let elapsed = self.elapsed();
                         let result = self
-                            .server_mut()
-                            .checkout_procedure_idempotent(root, &sql, token)?;
+                            .server()
+                            .checkout_procedure_with_deadline(root, &sql, token, lock_deadline)
+                            .map_err(|e| SessionError::from_shared(e, elapsed))?;
                         let response = procedure_response_size(&result);
                         match self.channel_mut().try_receive_response(pending, response) {
                             Ok(_) => break result,
@@ -201,6 +209,11 @@ impl Session {
             );
             n += self.metered_update_public(&sql)?;
         }
+        // Release the lock-table entries a function-shipping check-out of
+        // this tree registered (no-op for classically checked-out trees).
+        let mut all_ids = assy_ids;
+        all_ids.extend(comp_ids);
+        self.server().shared().lock_table().release(&all_ids);
         Ok(n)
     }
 

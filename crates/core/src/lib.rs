@@ -36,6 +36,7 @@ pub mod resilience;
 pub mod rules;
 pub mod server;
 pub mod session;
+pub mod shared;
 
 pub use client::Strategy;
 pub use federation::{FederatedOutcome, Federation, MountPoint};
@@ -46,3 +47,4 @@ pub use rules::table::RuleTable;
 pub use rules::{ActionKind, Rule, UserPattern};
 pub use server::PdmServer;
 pub use session::{ExpandOutcome, QueryOutcome, Session, SessionConfig, SessionError};
+pub use shared::{Acquire, CacheStats, LockEvent, LockTable, SharedServer, SharedServerError};

@@ -1,169 +1,140 @@
-//! The database-server side: a `pdm_sql` database with the PDM stored
-//! functions installed, plus the server-resident check-out procedure the
-//! paper proposes for function shipping (§6: "application-specific
-//! functionality performing the desired user action has to be installed at
-//! the database server").
+//! The database-server side: a handle to the shared PDM server.
+//!
+//! Historically `PdmServer` *owned* its database, which made every session
+//! a private universe — nothing the paper describes (one central server,
+//! many worldwide clients, §1 Fig. 1) could be measured. It is now a cheap
+//! cloneable handle over [`crate::shared::SharedServer`]: cloning the
+//! handle (or [`crate::Session::attach`]-ing more sessions) shares ONE
+//! server — one storage, one check-out lock table, one cross-session
+//! result cache — across any number of threads.
+//!
+//! The server-resident check-out procedure the paper proposes for function
+//! shipping (§6: "application-specific functionality performing the
+//! desired user action has to be installed at the database server") lives
+//! on the shared server; the wrappers here keep the PR-1 call surface.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Duration;
 
-use pdm_sql::{Database, ExecOutcome, Result, ResultSet, Statement, Value};
+use pdm_sql::{Database, ExecOutcome, Result, ResultSet, SharedDatabase, Statement, Value};
 
 use crate::product::ObjectId;
+use crate::shared::{SharedServer, SharedServerError};
 
-/// The PDM database server.
-#[derive(Debug)]
+/// A handle to the PDM database server. Clones share the same server.
+#[derive(Debug, Clone)]
 pub struct PdmServer {
-    db: Database,
-    /// Completed check-outs by idempotency token: a client replaying a
-    /// check-out whose confirmation was lost gets the recorded outcome back
-    /// instead of a spurious "already checked out" refusal.
-    checkout_log: HashMap<u64, CheckoutProcedureResult>,
+    shared: Arc<SharedServer>,
 }
 
 impl PdmServer {
-    /// Wrap a populated database, installing the PDM stored functions.
-    pub fn new(mut db: Database) -> Self {
-        crate::functions::register_pdm_functions(&mut db);
+    /// Publish a populated database as a fresh shared server (PDM stored
+    /// functions installed).
+    pub fn new(db: Database) -> Self {
         PdmServer {
-            db,
-            checkout_log: HashMap::new(),
+            shared: Arc::new(SharedServer::new(db)),
         }
     }
 
-    pub fn database(&self) -> &Database {
-        &self.db
+    /// Handle to an existing shared server.
+    pub fn from_shared(shared: Arc<SharedServer>) -> Self {
+        PdmServer { shared }
     }
 
-    pub fn database_mut(&mut self) -> &mut Database {
-        &mut self.db
+    /// The shared server behind this handle.
+    pub fn shared(&self) -> &Arc<SharedServer> {
+        &self.shared
     }
 
-    /// Execute a read query arriving from the client.
+    /// The snapshot store (direct storage access for loaders and tests).
+    pub fn database(&self) -> &SharedDatabase {
+        self.shared.database()
+    }
+
+    /// Execute a read query arriving from the client, through the
+    /// cross-session result cache.
     pub fn query(&self, sql: &str) -> Result<ResultSet> {
-        self.db.query(sql)
+        Ok((*self.shared.query_cached(sql)?).clone())
     }
 
     /// Execute any statement (the check-out UPDATE path).
-    pub fn execute(&mut self, sql: &str) -> Result<ExecOutcome> {
-        self.db.execute(sql)
+    pub fn execute(&self, sql: &str) -> Result<ExecOutcome> {
+        self.shared.execute(sql)
     }
 
     /// Names of views defined at the server — schema knowledge the client's
     /// query modificator consults for the §5.5 view caveat.
     pub fn view_names(&self) -> HashSet<String> {
-        self.db
-            .catalog
-            .view_names()
-            .into_iter()
-            .map(str::to_string)
-            .collect()
+        self.shared.view_names()
     }
 
     /// Server-side check-out procedure (function shipping): retrieve the
-    /// subtree with an already-modified recursive query, verify no node is
-    /// checked out, flip the flags, and return the rows — all in ONE
-    /// client/server exchange.
-    ///
-    /// `modified_sql` is the recursive MLE query (with rule predicates
-    /// already spliced in) shipped as the procedure's argument.
+    /// subtree with an already-modified recursive query, verify via the
+    /// lock table and the `checkedout` flags that nothing in it is taken,
+    /// flip the flags, and return the rows — all in ONE client/server
+    /// exchange. Conflicting concurrent check-outs serialize on the lock
+    /// table.
     pub fn checkout_procedure(
-        &mut self,
+        &self,
         root: ObjectId,
         modified_sql: &str,
     ) -> Result<CheckoutProcedureResult> {
-        let rows = self.db.query(modified_sql)?;
-
-        // Collect retrieved object ids per node table.
-        let (assy_ids, comp_ids) = split_ids(&rows)?;
-
-        // ∀rows check: nothing may already be checked out (the paper's
-        // example 2 condition), root included.
-        let mut all_ids = assy_ids.clone();
-        all_ids.push(root);
-        let busy =
-            self.any_checked_out("assy", &all_ids)? || self.any_checked_out("comp", &comp_ids)?;
-        if busy {
-            return Ok(CheckoutProcedureResult { rows: None });
-        }
-
-        self.set_checked_out("assy", &all_ids, true)?;
-        self.set_checked_out("comp", &comp_ids, true)?;
-        Ok(CheckoutProcedureResult { rows: Some(rows) })
+        let token = self.shared.next_token();
+        self.checkout_procedure_idempotent(root, modified_sql, token)
     }
 
-    /// Failure-atomic check-out: like [`PdmServer::checkout_procedure`],
-    /// but keyed by a client-chosen idempotency `token`. The outcome is
-    /// recorded *before* the confirmation leaves the server, so a retry
-    /// with the same token — after a lost response — returns the original
-    /// outcome without flipping any flag twice or refusing its own
-    /// check-out as "already checked out". Flags are never left in a state
-    /// the client cannot learn about by replaying.
+    /// Failure-atomic check-out keyed by a client-chosen idempotency
+    /// `token` (see PR 1): a retry with the same token — after a lost
+    /// response — returns the original outcome without flipping any flag
+    /// twice or refusing its own check-out.
     pub fn checkout_procedure_idempotent(
-        &mut self,
+        &self,
         root: ObjectId,
         modified_sql: &str,
         token: u64,
     ) -> Result<CheckoutProcedureResult> {
-        if let Some(done) = self.checkout_log.get(&token) {
-            return Ok(done.clone());
+        match self
+            .shared
+            .checkout_procedure_locked(root, modified_sql, token, None)
+        {
+            Ok(r) => Ok(r),
+            Err(SharedServerError::Sql(e)) => Err(e),
+            Err(SharedServerError::LockTimeout { waited }) => Err(pdm_sql::Error::Eval(format!(
+                "check-out lock wait timed out after {waited:?}"
+            ))),
         }
-        let result = self.checkout_procedure(root, modified_sql)?;
-        self.checkout_log.insert(token, result.clone());
-        Ok(result)
+    }
+
+    /// Check-out with a bound on how long to wait for a conflicting
+    /// in-flight check-out ([`SharedServerError::LockTimeout`] past it).
+    pub fn checkout_procedure_with_deadline(
+        &self,
+        root: ObjectId,
+        modified_sql: &str,
+        token: u64,
+        deadline: Option<Duration>,
+    ) -> std::result::Result<CheckoutProcedureResult, SharedServerError> {
+        self.shared
+            .checkout_procedure_locked(root, modified_sql, token, deadline)
     }
 
     /// Whether a check-out with this idempotency token has already
     /// completed (test/diagnostic hook).
     pub fn checkout_recorded(&self, token: u64) -> bool {
-        self.checkout_log.contains_key(&token)
+        self.shared.checkout_recorded(token)
     }
 
-    /// Server-side check-in: clear the flags for the given objects.
-    pub fn checkin_procedure(
-        &mut self,
-        assy_ids: &[ObjectId],
-        comp_ids: &[ObjectId],
-    ) -> Result<usize> {
-        let a = self.set_checked_out("assy", assy_ids, false)?;
-        let c = self.set_checked_out("comp", comp_ids, false)?;
-        Ok(a + c)
-    }
-
-    fn any_checked_out(&self, table: &str, ids: &[ObjectId]) -> Result<bool> {
-        if ids.is_empty() {
-            return Ok(false);
-        }
-        let list = id_list(ids);
-        let rs = self.db.query(&format!(
-            "SELECT COUNT(*) AS n FROM {table} WHERE checkedout = TRUE AND obid IN ({list})"
-        ))?;
-        let row = rs
-            .rows
-            .first()
-            .ok_or_else(|| pdm_sql::Error::Eval("COUNT(*) returned no row".into()))?;
-        Ok(row.get(0) != &Value::Int(0))
-    }
-
-    fn set_checked_out(&mut self, table: &str, ids: &[ObjectId], value: bool) -> Result<usize> {
-        if ids.is_empty() {
-            return Ok(0);
-        }
-        let list = id_list(ids);
-        let flag = if value { "TRUE" } else { "FALSE" };
-        match self.db.execute(&format!(
-            "UPDATE {table} SET checkedout = {flag} WHERE obid IN ({list})"
-        ))? {
-            ExecOutcome::Dml(pdm_sql::DmlOutcome::Updated(n)) => Ok(n),
-            other => Err(pdm_sql::Error::Eval(format!(
-                "UPDATE returned unexpected outcome {other:?}"
-            ))),
-        }
+    /// Server-side check-in: clear the flags for the given objects and
+    /// release their lock-table entries.
+    pub fn checkin_procedure(&self, assy_ids: &[ObjectId], comp_ids: &[ObjectId]) -> Result<usize> {
+        self.shared.checkin_procedure(assy_ids, comp_ids)
     }
 
     /// Parse and execute a statement AST directly (bypasses re-parsing when
     /// the caller built the AST itself).
-    pub fn execute_ast(&mut self, stmt: &Statement) -> Result<ExecOutcome> {
-        self.db.execute_ast(stmt)
+    pub fn execute_ast(&self, stmt: &Statement) -> Result<ExecOutcome> {
+        self.shared.execute_ast(stmt)
     }
 }
 
@@ -223,7 +194,7 @@ mod tests {
 
     #[test]
     fn query_and_views() {
-        let mut s = server();
+        let s = server();
         assert!(s.view_names().is_empty());
         s.execute("CREATE VIEW v AS SELECT obid FROM assy").unwrap();
         assert!(s.view_names().contains("v"));
@@ -242,7 +213,7 @@ mod tests {
 
     #[test]
     fn checkout_procedure_flips_flags_once() {
-        let mut s = server();
+        let s = server();
         let sql = recursive::mle_query(1).to_string();
         let result = s.checkout_procedure(1, &sql).unwrap();
         let rows = result.rows.expect("first check-out succeeds");
@@ -261,7 +232,7 @@ mod tests {
 
     #[test]
     fn checkin_procedure_clears_flags() {
-        let mut s = server();
+        let s = server();
         let sql = recursive::mle_query(1).to_string();
         s.checkout_procedure(1, &sql).unwrap();
         let n = s.checkin_procedure(&[1, 2, 3], &[4, 5, 6, 7]).unwrap();
@@ -270,11 +241,12 @@ mod tests {
             .query("SELECT COUNT(*) AS n FROM comp WHERE checkedout = TRUE")
             .unwrap();
         assert_eq!(rs.rows[0].get(0), &Value::Int(0));
+        assert!(s.shared().lock_table().is_empty());
     }
 
     #[test]
     fn idempotent_checkout_replays_original_outcome() {
-        let mut s = server();
+        let s = server();
         let sql = recursive::mle_query(1).to_string();
         let first = s.checkout_procedure_idempotent(1, &sql, 42).unwrap();
         assert!(first.rows.is_some());
@@ -286,6 +258,21 @@ mod tests {
         // a genuinely new check-out still fails the ∀rows condition
         let other = s.checkout_procedure_idempotent(1, &sql, 43).unwrap();
         assert!(other.rows.is_none());
+    }
+
+    #[test]
+    fn cloned_handles_share_one_server() {
+        let s = server();
+        let s2 = s.clone();
+        s.execute("CREATE VIEW shared_v AS SELECT obid FROM assy")
+            .unwrap();
+        assert!(s2.view_names().contains("shared_v"));
+        // Result cache is shared too: same query from the other handle hits.
+        s.query("SELECT obid FROM comp WHERE obid = 4").unwrap();
+        let before = s2.shared().cache_stats();
+        s2.query("SELECT obid FROM comp WHERE obid = 4").unwrap();
+        let after = s2.shared().cache_stats();
+        assert_eq!(after.hits, before.hits + 1);
     }
 
     #[test]

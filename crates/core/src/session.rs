@@ -78,6 +78,19 @@ impl SessionError {
             SessionError::Timeout { .. } | SessionError::LinkDown { .. }
         )
     }
+
+    /// Classify a shared-server failure: a check-out lock wait that
+    /// exceeded the per-action deadline surfaces as
+    /// [`SessionError::Timeout`], exactly like a link deadline.
+    pub(crate) fn from_shared(e: crate::shared::SharedServerError, elapsed: f64) -> Self {
+        match e {
+            crate::shared::SharedServerError::Sql(e) => SessionError::Sql(e),
+            crate::shared::SharedServerError::LockTimeout { waited } => SessionError::Timeout {
+                attempts: 1,
+                elapsed: elapsed + waited.as_secs_f64(),
+            },
+        }
+    }
 }
 
 impl From<pdm_sql::Error> for SessionError {
@@ -148,14 +161,20 @@ pub struct Session {
     fault_plan: Option<FaultPlan>,
     retry: RetryPolicy,
     degradation: DegradationController,
-    /// Monotonic source of check-out idempotency tokens.
-    next_checkout_token: u64,
 }
 
 impl Session {
-    /// Open a session on a populated database.
+    /// Open a session on a populated database (a fresh private server —
+    /// the single-client setup every PR-0/PR-1 bench uses).
     pub fn new(db: Database, config: SessionConfig, rules: RuleTable) -> Self {
-        let server = PdmServer::new(db);
+        Session::attach(PdmServer::new(db), config, rules)
+    }
+
+    /// Open a session on an EXISTING server. This is the paper's worldwide
+    /// deployment shape: any number of sessions — across threads — attach
+    /// to one shared server and contend for its storage, its check-out
+    /// lock table, and its cross-session result cache.
+    pub fn attach(server: PdmServer, config: SessionConfig, rules: RuleTable) -> Self {
         let view_names = server.view_names();
         Session {
             channel: MeteredChannel::new(config.link),
@@ -168,16 +187,14 @@ impl Session {
             fault_plan: None,
             retry: RetryPolicy::none(),
             degradation: DegradationController::default(),
-            next_checkout_token: 1,
         }
     }
 
-    /// A fresh idempotency token for a check-out attempt (unique within the
-    /// session; retries of the same action reuse the token they drew).
+    /// A fresh idempotency token for a check-out attempt. Drawn from the
+    /// shared server's counter so tokens never collide across sessions;
+    /// retries of the same action reuse the token they drew.
     pub(crate) fn next_checkout_token(&mut self) -> u64 {
-        let t = self.next_checkout_token;
-        self.next_checkout_token += 1;
-        t
+        self.server.shared().next_token()
     }
 
     /// Install a fault plan on the link. Queries switch to the fallible
@@ -200,6 +217,16 @@ impl Session {
 
     pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
         self.retry = policy;
+    }
+
+    /// The per-action deadline as a real-time bound for check-out lock
+    /// waits on the shared server (`None` when the policy has no deadline).
+    pub(crate) fn lock_deadline(&self) -> Option<std::time::Duration> {
+        if self.retry.deadline.is_finite() {
+            Some(std::time::Duration::from_secs_f64(self.retry.deadline))
+        } else {
+            None
+        }
     }
 
     pub fn retry_policy(&self) -> &RetryPolicy {
@@ -613,6 +640,12 @@ impl Session {
         Ok(children)
     }
 }
+
+// Sessions are moved into worker threads of the shared-server harness.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Session>();
+};
 
 /// Interpret a homogenized result row as a product node.
 pub(crate) fn node_from_attrs(

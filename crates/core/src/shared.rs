@@ -1,0 +1,780 @@
+//! The shared, concurrently queryable PDM server.
+//!
+//! The paper's deployment (§1, Fig. 1) is many worldwide clients against
+//! ONE central PDM database. [`SharedServer`] is that central object: every
+//! [`crate::Session`] holds an `Arc<SharedServer>`, reads run lock-free on
+//! immutable storage snapshots ([`pdm_sql::SharedDatabase`]), and the
+//! server adds the three pieces of cross-session state a real PDM server
+//! needs:
+//!
+//! * a **check-out lock table** (§6 semantics): conflicting concurrent
+//!   check-outs of the same object serialize — an in-flight check-out makes
+//!   competitors *wait* (bounded by the caller's deadline), a completed one
+//!   makes them *refuse*, and check-in releases the entry;
+//! * a **cross-session query-result cache** keyed by canonical SQL text +
+//!   storage version. Any DML bumps the version (the cache epoch), so a
+//!   stale read is impossible by construction — a cached result is only
+//!   returned while the storage it was computed from is still current;
+//! * an **idempotency log** for failure-atomic check-outs (PR 1), now
+//!   shared so tokens are unique across sessions, plus an optional
+//!   **operation journal** the deterministic concurrency tests replay.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use pdm_sql::{Database, ExecOutcome, ResultSet, SharedDatabase, Statement};
+
+use crate::product::ObjectId;
+use crate::server::{id_list, split_ids, CheckoutProcedureResult};
+
+/// Lock a mutex, treating poison as "the panicking thread is gone, the data
+/// is still consistent" (every critical section here is short and
+/// non-panicking in release paths).
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Errors surfaced by the shared server itself (the session layer maps
+/// these onto [`crate::SessionError`]).
+#[derive(Debug)]
+pub enum SharedServerError {
+    Sql(pdm_sql::Error),
+    /// A conflicting check-out was in flight and the lock wait exceeded the
+    /// caller's deadline.
+    LockTimeout {
+        waited: Duration,
+    },
+}
+
+impl std::fmt::Display for SharedServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SharedServerError::Sql(e) => write!(f, "database error: {e}"),
+            SharedServerError::LockTimeout { waited } => {
+                write!(f, "lock wait timed out after {waited:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SharedServerError {}
+
+impl From<pdm_sql::Error> for SharedServerError {
+    fn from(e: pdm_sql::Error) -> Self {
+        SharedServerError::Sql(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lock table
+// ---------------------------------------------------------------------------
+
+/// State of one object's check-out lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LockState {
+    /// A check-out holding this object is mid-procedure; competitors wait.
+    InFlight(u64),
+    /// A completed check-out holds this object until check-in; competitors
+    /// refuse (the paper's ∀rows condition).
+    Held(u64),
+}
+
+/// Outcome of an all-or-nothing in-flight acquisition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Acquire {
+    /// All objects marked in-flight for this token.
+    Granted,
+    /// At least one object is held by a completed check-out — the check-out
+    /// must refuse (not wait).
+    Busy,
+}
+
+/// Events recorded by the lock table when journaling is on. The
+/// concurrency tests assert overlap-safety on this sequence: between a
+/// granted check-out of object X and the next check-in covering X, no other
+/// grant may mention X.
+#[derive(Debug, Clone)]
+pub enum LockEvent {
+    Granted { token: u64, ids: Vec<ObjectId> },
+    Refused { token: u64, ids: Vec<ObjectId> },
+    Released { ids: Vec<ObjectId> },
+}
+
+#[derive(Debug, Default)]
+struct LockTableState {
+    locks: HashMap<ObjectId, LockState>,
+    /// Lock-event journal (only appended when journaling is enabled).
+    /// Appended inside the same critical section that mutates `locks`, so
+    /// the recorded order IS the serialization order.
+    events: Vec<LockEvent>,
+}
+
+/// The check-out lock table: object id → lock state, with condvar-based
+/// waiting on in-flight conflicts.
+#[derive(Debug, Default)]
+pub struct LockTable {
+    state: Mutex<LockTableState>,
+    cv: Condvar,
+    journal: AtomicBool,
+}
+
+impl LockTable {
+    /// All-or-nothing: mark every id in-flight for `token`, waiting (up to
+    /// `deadline`) while any id is in-flight for another token. Ids held by
+    /// a *completed* check-out produce [`Acquire::Busy`] immediately — that
+    /// conflict is resolved by check-in, not by waiting.
+    ///
+    /// Re-entrancy: ids already in-flight or held by `token` itself count
+    /// as satisfied, so a retry of the same idempotent check-out never
+    /// deadlocks on its own locks.
+    pub fn acquire_in_flight(
+        &self,
+        ids: &[ObjectId],
+        token: u64,
+        deadline: Option<Duration>,
+    ) -> Result<Acquire, SharedServerError> {
+        let start = Instant::now();
+        let mut guard = lock_unpoisoned(&self.state);
+        loop {
+            let mut blocked = false;
+            let mut busy = false;
+            for id in ids {
+                match guard.locks.get(id) {
+                    Some(LockState::Held(owner)) if *owner != token => busy = true,
+                    Some(LockState::InFlight(owner)) if *owner != token => blocked = true,
+                    _ => {}
+                }
+            }
+            if busy {
+                if self.journal.load(Ordering::Relaxed) {
+                    guard.events.push(LockEvent::Refused {
+                        token,
+                        ids: ids.to_vec(),
+                    });
+                }
+                return Ok(Acquire::Busy);
+            }
+            if !blocked {
+                for id in ids {
+                    guard.locks.entry(*id).or_insert(LockState::InFlight(token));
+                }
+                return Ok(Acquire::Granted);
+            }
+            guard = match deadline {
+                None => match self.cv.wait(guard) {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                },
+                Some(d) => {
+                    let Some(remaining) = d.checked_sub(start.elapsed()) else {
+                        return Err(SharedServerError::LockTimeout {
+                            waited: start.elapsed(),
+                        });
+                    };
+                    match self.cv.wait_timeout(guard, remaining) {
+                        Ok((g, _)) => g,
+                        Err(poisoned) => poisoned.into_inner().0,
+                    }
+                }
+            };
+        }
+    }
+
+    /// Promote this token's in-flight marks to held (check-out committed)
+    /// and record the grant.
+    pub fn promote(&self, ids: &[ObjectId], token: u64) {
+        let mut guard = lock_unpoisoned(&self.state);
+        for id in ids {
+            guard.locks.insert(*id, LockState::Held(token));
+        }
+        if self.journal.load(Ordering::Relaxed) {
+            guard.events.push(LockEvent::Granted {
+                token,
+                ids: ids.to_vec(),
+            });
+        }
+        drop(guard);
+        self.cv.notify_all();
+    }
+
+    /// Drop this token's in-flight marks (check-out refused or failed) and
+    /// wake waiters.
+    pub fn abort(&self, ids: &[ObjectId], token: u64) {
+        let mut guard = lock_unpoisoned(&self.state);
+        for id in ids {
+            if guard.locks.get(id) == Some(&LockState::InFlight(token)) {
+                guard.locks.remove(id);
+            }
+        }
+        if self.journal.load(Ordering::Relaxed) {
+            guard.events.push(LockEvent::Refused {
+                token,
+                ids: ids.to_vec(),
+            });
+        }
+        drop(guard);
+        self.cv.notify_all();
+    }
+
+    /// Release held entries (check-in) and wake waiters. Ids not present
+    /// are ignored — check-in of a classically checked-out tree (whose
+    /// flags were set by plain UPDATEs) has nothing to release here.
+    pub fn release(&self, ids: &[ObjectId]) {
+        let mut guard = lock_unpoisoned(&self.state);
+        for id in ids {
+            if matches!(guard.locks.get(id), Some(LockState::Held(_))) {
+                guard.locks.remove(id);
+            }
+        }
+        if self.journal.load(Ordering::Relaxed) {
+            guard.events.push(LockEvent::Released { ids: ids.to_vec() });
+        }
+        drop(guard);
+        self.cv.notify_all();
+    }
+
+    /// Which token holds this object (completed check-outs only).
+    pub fn holder(&self, id: ObjectId) -> Option<u64> {
+        match lock_unpoisoned(&self.state).locks.get(&id) {
+            Some(LockState::Held(t)) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// Number of live entries (in-flight + held).
+    pub fn len(&self) -> usize {
+        lock_unpoisoned(&self.state).locks.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn set_journal(&self, on: bool) {
+        self.journal.store(on, Ordering::Relaxed);
+    }
+
+    fn take_events(&self) -> Vec<LockEvent> {
+        std::mem::take(&mut lock_unpoisoned(&self.state).events)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-session query-result cache
+// ---------------------------------------------------------------------------
+
+/// One cached result: the storage version it was computed against and the
+/// shared rows.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    version: u64,
+    result: Arc<ResultSet>,
+}
+
+/// Hit/miss counters of the cross-session cache (monotonic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl CacheStats {
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Cross-session query-result cache. Keyed by canonical SQL text (the
+/// parsed query pretty-printed, so formatting differences collapse onto one
+/// entry) plus the storage version. DML bumps the version, which atomically
+/// invalidates every entry — a lookup only ever returns a result computed
+/// against the *current* storage.
+#[derive(Debug, Default)]
+struct QueryCache {
+    map: Mutex<HashMap<String, CacheEntry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Entries beyond this trigger an eviction sweep of stale versions.
+const CACHE_CAPACITY: usize = 4096;
+
+impl QueryCache {
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared server
+// ---------------------------------------------------------------------------
+
+/// The central PDM server shared by all sessions. See the module docs.
+#[derive(Debug)]
+pub struct SharedServer {
+    db: SharedDatabase,
+    locks: LockTable,
+    cache: QueryCache,
+    /// Check-outs by idempotency token (shared across sessions — tokens are
+    /// drawn from [`SharedServer::next_token`]). `None` marks a call still
+    /// in progress: concurrent calls with the same token wait on
+    /// `checkout_cv` for its recorded outcome instead of executing twice.
+    checkout_log: Mutex<HashMap<u64, Option<CheckoutProcedureResult>>>,
+    checkout_cv: Condvar,
+    token_counter: AtomicU64,
+    /// DML journal: the exact commit order of every write statement, for
+    /// deterministic serial replay. `write_gate` makes append atomic with
+    /// execution.
+    write_gate: Mutex<Vec<String>>,
+    journal: AtomicBool,
+}
+
+impl SharedServer {
+    /// Wrap a populated database, installing the PDM stored functions.
+    pub fn new(mut db: Database) -> Self {
+        crate::functions::register_pdm_functions(&mut db);
+        SharedServer {
+            db: SharedDatabase::new(db),
+            locks: LockTable::default(),
+            cache: QueryCache::default(),
+            checkout_log: Mutex::new(HashMap::new()),
+            checkout_cv: Condvar::new(),
+            token_counter: AtomicU64::new(1),
+            write_gate: Mutex::new(Vec::new()),
+            journal: AtomicBool::new(false),
+        }
+    }
+
+    /// The underlying snapshot store.
+    pub fn database(&self) -> &SharedDatabase {
+        &self.db
+    }
+
+    /// The check-out lock table (diagnostics and tests).
+    pub fn lock_table(&self) -> &LockTable {
+        &self.locks
+    }
+
+    /// Current storage version — the cache epoch.
+    pub fn version(&self) -> u64 {
+        self.db.version()
+    }
+
+    /// A server-unique idempotency token (sessions draw from this counter,
+    /// so tokens never collide across sessions).
+    pub fn next_token(&self) -> u64 {
+        self.token_counter.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Hit/miss counters of the cross-session result cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Turn the operation journal on (DML commit log + lock events).
+    pub fn enable_journal(&self) {
+        self.journal.store(true, Ordering::Relaxed);
+        self.locks.set_journal(true);
+    }
+
+    /// Drain the DML commit log (statements in exact commit order).
+    pub fn take_dml_log(&self) -> Vec<String> {
+        std::mem::take(&mut *lock_unpoisoned(&self.write_gate))
+    }
+
+    /// Drain the lock-event journal.
+    pub fn take_lock_events(&self) -> Vec<LockEvent> {
+        self.locks.take_events()
+    }
+
+    /// Names of views defined at the server.
+    pub fn view_names(&self) -> HashSet<String> {
+        self.db
+            .snapshot()
+            .catalog
+            .view_names()
+            .into_iter()
+            .map(str::to_string)
+            .collect()
+    }
+
+    // -- reads ------------------------------------------------------------
+
+    /// Execute a read query through the cross-session result cache.
+    ///
+    /// The key is the canonical (parsed and re-printed) SQL plus the
+    /// version of the snapshot the result was computed on; a hit requires
+    /// the cached version to equal the *current* version, so results can
+    /// never be stale.
+    pub fn query_cached(&self, sql: &str) -> pdm_sql::Result<Arc<ResultSet>> {
+        let query = pdm_sql::parser::parse_query(sql)?;
+        let key = query.to_string();
+        let snapshot = self.db.snapshot();
+        if let Some(entry) = lock_unpoisoned(&self.cache.map).get(&key) {
+            if entry.version == snapshot.version {
+                self.cache.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(&entry.result));
+            }
+        }
+        let result = Arc::new(snapshot.query_ast(&query)?);
+        self.cache.misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = lock_unpoisoned(&self.cache.map);
+        if map.len() >= CACHE_CAPACITY {
+            let current = snapshot.version;
+            map.retain(|_, e| e.version == current);
+            if map.len() >= CACHE_CAPACITY {
+                map.clear();
+            }
+        }
+        map.insert(
+            key,
+            CacheEntry {
+                version: snapshot.version,
+                result: Arc::clone(&result),
+            },
+        );
+        Ok(result)
+    }
+
+    /// Execute a read query bypassing the cache (cold path; the cache
+    /// differential tests compare against this).
+    pub fn query_uncached(&self, sql: &str) -> pdm_sql::Result<ResultSet> {
+        self.db.query(sql)
+    }
+
+    // -- writes -----------------------------------------------------------
+
+    /// Execute any statement. Writes serialize on the commit gate so the
+    /// DML journal order is exactly the storage commit order.
+    pub fn execute(&self, sql: &str) -> pdm_sql::Result<ExecOutcome> {
+        let stmt = pdm_sql::parser::parse_statement(sql)?;
+        self.execute_ast(&stmt)
+    }
+
+    /// Like [`SharedServer::execute`] for a parsed statement.
+    pub fn execute_ast(&self, stmt: &Statement) -> pdm_sql::Result<ExecOutcome> {
+        if matches!(stmt, Statement::Query(_)) {
+            let (outcome, _) = self.db.execute_ast(stmt)?;
+            return Ok(outcome);
+        }
+        let mut log = lock_unpoisoned(&self.write_gate);
+        let (outcome, _) = self.db.execute_ast(stmt)?;
+        if self.journal.load(Ordering::Relaxed) {
+            log.push(stmt.to_string());
+        }
+        Ok(outcome)
+    }
+
+    // -- check-out / check-in --------------------------------------------
+
+    /// Server-side check-out through the lock table (§6 function shipping
+    /// with real concurrency semantics).
+    ///
+    /// 1. Run the (rule-modified) recursive retrieval on the current
+    ///    snapshot and collect the subtree's object ids.
+    /// 2. Acquire in-flight locks on all of them (plus the root). A
+    ///    conflicting *in-flight* check-out makes us wait up to `deadline`
+    ///    ([`SharedServerError::LockTimeout`] past it); a conflicting
+    ///    *completed* check-out makes us refuse (∀rows semantics).
+    /// 3. Re-verify the `checkedout` flags under the locks (covers flags
+    ///    set by the classic UPDATE path, which bypasses the lock table).
+    /// 4. Flip the flags, promote the locks to held, record the outcome
+    ///    under the idempotency token.
+    pub fn checkout_procedure_locked(
+        &self,
+        root: ObjectId,
+        modified_sql: &str,
+        token: u64,
+        deadline: Option<Duration>,
+    ) -> Result<CheckoutProcedureResult, SharedServerError> {
+        // Claim the token, or adopt its outcome. A token executes AT MOST
+        // ONCE: a concurrent call with the same token (an aggressive client
+        // retry racing its own original) waits here for the recorded
+        // outcome rather than running the procedure a second time.
+        let start = Instant::now();
+        {
+            let mut log = lock_unpoisoned(&self.checkout_log);
+            loop {
+                match log.get(&token) {
+                    Some(Some(done)) => return Ok(done.clone()),
+                    Some(None) => {
+                        log = match deadline {
+                            None => match self.checkout_cv.wait(log) {
+                                Ok(g) => g,
+                                Err(poisoned) => poisoned.into_inner(),
+                            },
+                            Some(d) => {
+                                let Some(remaining) = d.checked_sub(start.elapsed()) else {
+                                    return Err(SharedServerError::LockTimeout {
+                                        waited: start.elapsed(),
+                                    });
+                                };
+                                match self.checkout_cv.wait_timeout(log, remaining) {
+                                    Ok((g, _)) => g,
+                                    Err(poisoned) => poisoned.into_inner().0,
+                                }
+                            }
+                        };
+                    }
+                    None => {
+                        log.insert(token, None);
+                        break;
+                    }
+                }
+            }
+        }
+
+        let result = self.checkout_procedure_inner(root, modified_sql, token, deadline);
+        let mut log = lock_unpoisoned(&self.checkout_log);
+        match &result {
+            Ok(outcome) => {
+                log.insert(token, Some(outcome.clone()));
+            }
+            // A failed call records nothing: the token stays replayable.
+            Err(_) => {
+                log.remove(&token);
+            }
+        }
+        drop(log);
+        self.checkout_cv.notify_all();
+        result
+    }
+
+    /// The procedure body, entered by exactly one call per token.
+    fn checkout_procedure_inner(
+        &self,
+        root: ObjectId,
+        modified_sql: &str,
+        token: u64,
+        deadline: Option<Duration>,
+    ) -> Result<CheckoutProcedureResult, SharedServerError> {
+        let rows = (*self.query_cached(modified_sql)?).clone();
+        let (assy_ids, comp_ids) = split_ids(&rows)?;
+        let mut all_assy = assy_ids.clone();
+        all_assy.push(root);
+
+        let mut lock_ids: Vec<ObjectId> = Vec::with_capacity(all_assy.len() + comp_ids.len());
+        lock_ids.extend(&all_assy);
+        lock_ids.extend(&comp_ids);
+
+        match self.locks.acquire_in_flight(&lock_ids, token, deadline)? {
+            Acquire::Busy => {
+                return Ok(CheckoutProcedureResult { rows: None });
+            }
+            Acquire::Granted => {}
+        }
+
+        // Flags may be set by the classic (non-lock-table) check-out path;
+        // verify them under the in-flight locks.
+        let busy =
+            self.any_checked_out("assy", &all_assy)? || self.any_checked_out("comp", &comp_ids)?;
+        if busy {
+            self.locks.abort(&lock_ids, token);
+            return Ok(CheckoutProcedureResult { rows: None });
+        }
+
+        self.set_checked_out("assy", &all_assy, true)?;
+        self.set_checked_out("comp", &comp_ids, true)?;
+        self.locks.promote(&lock_ids, token);
+
+        Ok(CheckoutProcedureResult { rows: Some(rows) })
+    }
+
+    /// Whether a check-out with this token has completed.
+    pub fn checkout_recorded(&self, token: u64) -> bool {
+        matches!(
+            lock_unpoisoned(&self.checkout_log).get(&token),
+            Some(Some(_))
+        )
+    }
+
+    /// Server-side check-in: clear the flags and release the lock entries.
+    pub fn checkin_procedure(
+        &self,
+        assy_ids: &[ObjectId],
+        comp_ids: &[ObjectId],
+    ) -> pdm_sql::Result<usize> {
+        let a = self.set_checked_out("assy", assy_ids, false)?;
+        let c = self.set_checked_out("comp", comp_ids, false)?;
+        let mut ids: Vec<ObjectId> = Vec::with_capacity(assy_ids.len() + comp_ids.len());
+        ids.extend(assy_ids);
+        ids.extend(comp_ids);
+        self.locks.release(&ids);
+        Ok(a + c)
+    }
+
+    fn any_checked_out(&self, table: &str, ids: &[ObjectId]) -> pdm_sql::Result<bool> {
+        if ids.is_empty() {
+            return Ok(false);
+        }
+        let list = id_list(ids);
+        let rs = self.db.query(&format!(
+            "SELECT COUNT(*) AS n FROM {table} WHERE checkedout = TRUE AND obid IN ({list})"
+        ))?;
+        let row = rs
+            .rows
+            .first()
+            .ok_or_else(|| pdm_sql::Error::Eval("COUNT(*) returned no row".into()))?;
+        Ok(row.get(0) != &pdm_sql::Value::Int(0))
+    }
+
+    fn set_checked_out(
+        &self,
+        table: &str,
+        ids: &[ObjectId],
+        value: bool,
+    ) -> pdm_sql::Result<usize> {
+        if ids.is_empty() {
+            return Ok(0);
+        }
+        let list = id_list(ids);
+        let flag = if value { "TRUE" } else { "FALSE" };
+        match self.execute(&format!(
+            "UPDATE {table} SET checkedout = {flag} WHERE obid IN ({list})"
+        ))? {
+            ExecOutcome::Dml(pdm_sql::DmlOutcome::Updated(n)) => Ok(n),
+            other => Err(pdm_sql::Error::Eval(format!(
+                "UPDATE returned unexpected outcome {other:?}"
+            ))),
+        }
+    }
+}
+
+// Sessions on many threads share one server.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SharedServer>();
+    assert_send_sync::<LockTable>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm_workload::{build_database, TreeSpec};
+
+    fn server() -> Arc<SharedServer> {
+        let (db, _) = build_database(&TreeSpec::new(2, 2, 1.0).with_node_size(128)).unwrap();
+        Arc::new(SharedServer::new(db))
+    }
+
+    #[test]
+    fn cache_hit_requires_same_version() {
+        let s = server();
+        let sql = "SELECT COUNT(*) AS n FROM assy";
+        let a = s.query_cached(sql).unwrap();
+        let b = s.query_cached(sql).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit");
+        assert_eq!(s.cache_stats(), CacheStats { hits: 1, misses: 1 });
+
+        // DML bumps the epoch: next lookup recomputes.
+        s.execute("UPDATE assy SET checkedout = FALSE WHERE obid = 1")
+            .unwrap();
+        let c = s.query_cached(sql).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(s.cache_stats(), CacheStats { hits: 1, misses: 2 });
+        assert_eq!(*c, s.query_uncached(sql).unwrap());
+    }
+
+    #[test]
+    fn canonicalization_collapses_formatting() {
+        let s = server();
+        s.query_cached("SELECT obid FROM assy WHERE obid = 1")
+            .unwrap();
+        s.query_cached("select  obid\nfrom ASSY where obid=1")
+            .unwrap();
+        let stats = s.cache_stats();
+        assert_eq!(stats.hits, 1, "differently formatted same query must hit");
+    }
+
+    #[test]
+    fn lock_table_waits_and_times_out() {
+        let t = LockTable::default();
+        assert_eq!(
+            t.acquire_in_flight(&[1, 2], 10, None).unwrap(),
+            Acquire::Granted
+        );
+        // Another token waiting on an in-flight conflict times out.
+        let err = t
+            .acquire_in_flight(&[2, 3], 11, Some(Duration::from_millis(30)))
+            .unwrap_err();
+        assert!(matches!(err, SharedServerError::LockTimeout { .. }));
+        // Re-entrant: same token sails through.
+        assert_eq!(
+            t.acquire_in_flight(&[1, 2], 10, None).unwrap(),
+            Acquire::Granted
+        );
+        // Promote → competitor refuses instead of waiting.
+        t.promote(&[1, 2], 10);
+        assert_eq!(
+            t.acquire_in_flight(&[2], 11, Some(Duration::from_millis(5)))
+                .unwrap(),
+            Acquire::Busy
+        );
+        assert_eq!(t.holder(2), Some(10));
+        // Release → free again.
+        t.release(&[1, 2]);
+        assert_eq!(
+            t.acquire_in_flight(&[2], 11, None).unwrap(),
+            Acquire::Granted
+        );
+    }
+
+    #[test]
+    fn abort_frees_waiters() {
+        let t = Arc::new(LockTable::default());
+        assert_eq!(
+            t.acquire_in_flight(&[7], 1, None).unwrap(),
+            Acquire::Granted
+        );
+        let t2 = Arc::clone(&t);
+        let waiter = std::thread::spawn(move || {
+            t2.acquire_in_flight(&[7], 2, Some(Duration::from_secs(10)))
+                .unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        t.abort(&[7], 1);
+        assert_eq!(waiter.join().unwrap(), Acquire::Granted);
+    }
+
+    #[test]
+    fn checkout_serializes_and_checkin_releases() {
+        let s = server();
+        let sql = crate::query::recursive::mle_query(1).to_string();
+        let t1 = s.next_token();
+        let first = s.checkout_procedure_locked(1, &sql, t1, None).unwrap();
+        assert!(first.rows.is_some());
+        assert!(s.lock_table().holder(1).is_some());
+
+        // Conflicting check-out refuses (completed holder).
+        let t2 = s.next_token();
+        let second = s.checkout_procedure_locked(1, &sql, t2, None).unwrap();
+        assert!(second.rows.is_none());
+
+        // Replay of the first token returns the recorded success.
+        let replay = s.checkout_procedure_locked(1, &sql, t1, None).unwrap();
+        assert!(replay.rows.is_some());
+
+        // Check-in releases locks and flags; a new check-out succeeds.
+        s.checkin_procedure(&[1, 2, 3], &[4, 5, 6, 7]).unwrap();
+        assert!(s.lock_table().is_empty());
+        let t3 = s.next_token();
+        assert!(s
+            .checkout_procedure_locked(1, &sql, t3, None)
+            .unwrap()
+            .rows
+            .is_some());
+    }
+}

@@ -1,6 +1,15 @@
 //! Database catalog: tables, views, and the function registry.
+//!
+//! Tables are held behind [`Arc`] so a catalog clone is a cheap snapshot:
+//! only the table maps and `Arc` pointers are copied, never the rows. DML
+//! then copies-on-write exactly the tables it touches (via
+//! [`Arc::make_mut`]), which is what makes the shared-server storage model
+//! ([`crate::shared::SharedDatabase`]) affordable — every write produces a
+//! new immutable snapshot without duplicating the untouched 99 % of the
+//! database.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::ast::Query;
 use crate::error::{Error, Result};
@@ -23,7 +32,7 @@ pub struct ViewDef {
 /// The catalog: every named object the executor can resolve.
 #[derive(Debug, Clone)]
 pub struct Catalog {
-    tables: HashMap<String, Table>,
+    tables: HashMap<String, Arc<Table>>,
     views: HashMap<String, ViewDef>,
     pub functions: FunctionRegistry,
 }
@@ -48,7 +57,8 @@ impl Catalog {
         if self.tables.contains_key(&key) || self.views.contains_key(&key) {
             return Err(Error::Catalog(format!("'{key}' already exists")));
         }
-        self.tables.insert(key.clone(), Table::new(key, schema));
+        self.tables
+            .insert(key.clone(), Arc::new(Table::new(key, schema)));
         Ok(())
     }
 
@@ -81,13 +91,28 @@ impl Catalog {
         let key = name.to_ascii_lowercase();
         self.tables
             .get(&key)
+            .map(Arc::as_ref)
             .ok_or_else(|| Error::Bind(format!("unknown table '{key}'")))
     }
 
+    /// The shared handle to a table (cheap clone; used by snapshot readers
+    /// that must keep the rows alive past the catalog borrow).
+    pub fn table_arc(&self, name: &str) -> Result<Arc<Table>> {
+        let key = name.to_ascii_lowercase();
+        self.tables
+            .get(&key)
+            .cloned()
+            .ok_or_else(|| Error::Bind(format!("unknown table '{key}'")))
+    }
+
+    /// Mutable access for DML. If the table is shared with an older
+    /// snapshot, this copies it first (`Arc::make_mut`), so writes never
+    /// reach rows a concurrent reader is scanning.
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
         let key = name.to_ascii_lowercase();
         self.tables
             .get_mut(&key)
+            .map(Arc::make_mut)
             .ok_or_else(|| Error::Bind(format!("unknown table '{key}'")))
     }
 
@@ -169,6 +194,36 @@ mod tests {
         c.drop_table("t").unwrap();
         assert!(!c.has_table("t"));
         assert!(c.drop_table("t").is_err());
+    }
+
+    #[test]
+    fn clone_is_copy_on_write() {
+        use crate::row::Row;
+        use crate::value::Value;
+        let mut c = Catalog::new();
+        c.create_table("t", schema()).unwrap();
+        c.table_mut("t")
+            .unwrap()
+            .insert(Row::new(vec![Value::Int(1)]))
+            .unwrap();
+
+        let snapshot = c.clone();
+        let shared_before = Arc::ptr_eq(
+            &c.table_arc("t").unwrap(),
+            &snapshot.table_arc("t").unwrap(),
+        );
+        assert!(shared_before, "clone shares table storage until a write");
+
+        c.table_mut("t")
+            .unwrap()
+            .insert(Row::new(vec![Value::Int(2)]))
+            .unwrap();
+        assert_eq!(c.table("t").unwrap().len(), 2);
+        assert_eq!(
+            snapshot.table("t").unwrap().len(),
+            1,
+            "write must not reach the snapshot"
+        );
     }
 
     #[test]

@@ -19,7 +19,7 @@ pub mod subquery;
 
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::ast::{Expr, OrderItem, Query, Select, SelectItem, SetExpr, TableFactor, With};
 use crate::catalog::Catalog;
@@ -228,7 +228,7 @@ pub struct SubqueryCache {
     /// Uncorrelated EXISTS/scalar/IN results.
     pub uncorrelated: HashMap<usize, CachedSubquery>,
     /// Decorrelated EXISTS semi-join key sets.
-    pub semijoin: HashMap<usize, Rc<subquery::SemiJoinSet>>,
+    pub semijoin: HashMap<usize, Arc<subquery::SemiJoinSet>>,
     /// Subqueries proven correlated (don't retry caching).
     pub known_correlated: std::collections::HashSet<usize>,
 }
@@ -239,7 +239,7 @@ pub enum CachedSubquery {
     Exists(bool),
     Scalar(Value),
     /// `IN` set plus whether it contained NULL (three-valued logic).
-    InSet(Rc<(std::collections::HashSet<Value>, bool)>),
+    InSet(Arc<(std::collections::HashSet<Value>, bool)>),
 }
 
 /// Everything the executor threads through evaluation. Layered: WITH
@@ -249,7 +249,7 @@ pub struct ExecContext<'a> {
     pub catalog: &'a Catalog,
     pub config: &'a ExecConfig,
     pub stats: &'a RefCell<ExecStats>,
-    ctes: HashMap<String, Rc<RelRows>>,
+    ctes: HashMap<String, Arc<RelRows>>,
     parent: Option<&'a ExecContext<'a>>,
     cache: RefCell<SubqueryCache>,
     /// Set when a column resolves in an outer scope during subquery
@@ -293,16 +293,16 @@ impl<'a> ExecContext<'a> {
         }
     }
 
-    pub fn bind_cte(&mut self, name: &str, rel: Rc<RelRows>) {
+    pub fn bind_cte(&mut self, name: &str, rel: Arc<RelRows>) {
         self.ctes.insert(name.to_ascii_lowercase(), rel);
     }
 
-    pub fn lookup_cte(&self, name: &str) -> Option<Rc<RelRows>> {
+    pub fn lookup_cte(&self, name: &str) -> Option<Arc<RelRows>> {
         let lower = name.to_ascii_lowercase();
         let mut ctx = Some(self);
         while let Some(c) = ctx {
             if let Some(rel) = c.ctes.get(&lower) {
-                return Some(Rc::clone(rel));
+                return Some(Arc::clone(rel));
             }
             ctx = c.parent;
         }
@@ -500,7 +500,7 @@ fn bind_with(ctx: &mut ExecContext<'_>, with: &With, outer: Option<&Env<'_>>) ->
             let rs = eval_query(ctx, &cte.query, outer)?;
             recursion::rename_columns(RelRows::from_result_set(rs), &cte.columns, &cte.name)?
         };
-        ctx.bind_cte(&cte.name, Rc::new(rel));
+        ctx.bind_cte(&cte.name, Arc::new(rel));
     }
     Ok(())
 }
@@ -769,7 +769,7 @@ pub enum FactorSource {
     /// Borrow a base table from the catalog (rows accessed by reference).
     Table(String),
     /// Materialized rows (CTE, view, derived table).
-    Rows(Rc<RelRows>),
+    Rows(Arc<RelRows>),
 }
 
 pub fn factor_source(
@@ -793,7 +793,7 @@ pub fn factor_source(
                 ctx.exit_view();
                 return Ok((
                     binding,
-                    FactorSource::Rows(Rc::new(RelRows::from_result_set(rs?))),
+                    FactorSource::Rows(Arc::new(RelRows::from_result_set(rs?))),
                 ));
             }
             Err(Error::Bind(format!("unknown table '{name}'")))
@@ -802,7 +802,7 @@ pub fn factor_source(
             let rs = eval_query(ctx, subquery, outer)?;
             Ok((
                 alias.to_ascii_lowercase(),
-                FactorSource::Rows(Rc::new(RelRows::from_result_set(rs))),
+                FactorSource::Rows(Arc::new(RelRows::from_result_set(rs))),
             ))
         }
     }

@@ -8,7 +8,7 @@
 //! the server side.
 
 use std::collections::HashSet;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::ast::{Cte, Query, SetExpr, SetOp, TableFactor};
 use crate::error::{Error, Result};
@@ -148,7 +148,7 @@ pub fn eval_recursive_cte(ctx: &ExecContext<'_>, cte: &Cte) -> Result<RelRows> {
         let mut iter_ctx = ctx.child();
         iter_ctx.bind_cte(
             &cte.name,
-            Rc::new(RelRows {
+            Arc::new(RelRows {
                 schema: schema.clone(),
                 rows: std::mem::take(&mut delta),
             }),

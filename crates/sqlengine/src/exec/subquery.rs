@@ -13,7 +13,7 @@
 //!   ∃structure conditions (§5.3.2) linear instead of quadratic.
 
 use std::collections::HashSet;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::ast::{BinOp, Expr, Query, Select, SelectItem, SetExpr, TableFactor};
 use crate::error::{Error, Result};
@@ -61,7 +61,7 @@ pub fn eval_exists(ctx: &ExecContext<'_>, env: &Env<'_>, query: &Query) -> Resul
         }
         if ctx.config.semijoin_decorrelation {
             if let Some(set) = cache.semijoin.get(&key) {
-                let set = Rc::clone(set);
+                let set = Arc::clone(set);
                 drop(cache);
                 ctx.stats.borrow_mut().subquery_cache_hits += 1;
                 return set.probe(ctx, env);
@@ -89,7 +89,7 @@ pub fn eval_exists(ctx: &ExecContext<'_>, env: &Env<'_>, query: &Query) -> Resul
         if ctx.config.semijoin_decorrelation {
             if let Some(set) = SemiJoinSet::build(ctx, query)? {
                 ctx.stats.borrow_mut().decorrelated_semijoins += 1;
-                ctx.cache().borrow_mut().semijoin.insert(key, Rc::new(set));
+                ctx.cache().borrow_mut().semijoin.insert(key, Arc::new(set));
             }
         }
         return Ok(exists);
@@ -116,7 +116,7 @@ pub fn eval_in_subquery(
     if ctx.config.subquery_cache {
         let cache = ctx.cache().borrow();
         if let Some(CachedSubquery::InSet(set)) = cache.uncorrelated.get(&key) {
-            let set = Rc::clone(set);
+            let set = Arc::clone(set);
             drop(cache);
             ctx.stats.borrow_mut().subquery_cache_hits += 1;
             return Ok((set.0.contains(needle), set.1));
@@ -148,7 +148,7 @@ pub fn eval_in_subquery(
         ctx.cache()
             .borrow_mut()
             .uncorrelated
-            .insert(key, CachedSubquery::InSet(Rc::new((set, saw_null))));
+            .insert(key, CachedSubquery::InSet(Arc::new((set, saw_null))));
     }
     Ok((found, saw_null))
 }

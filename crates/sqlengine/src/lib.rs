@@ -30,6 +30,7 @@ pub mod lexer;
 pub mod parser;
 pub mod row;
 pub mod schema;
+pub mod shared;
 pub mod storage;
 pub mod update;
 pub mod value;
@@ -42,6 +43,7 @@ pub use error::{Error, Result};
 pub use exec::{ExecConfig, ExecStats};
 pub use row::{ResultSet, Row};
 pub use schema::{Column, Schema};
+pub use shared::{SharedDatabase, Snapshot};
 pub use update::DmlOutcome;
 pub use value::{DataType, Value};
 
@@ -65,7 +67,10 @@ impl ExecOutcome {
 }
 
 /// An in-memory SQL database: catalog + executor configuration.
-#[derive(Debug, Default)]
+///
+/// Cloning is cheap (tables are `Arc`ed copy-on-write, see [`Catalog`]);
+/// for genuinely concurrent access wrap it in a [`SharedDatabase`].
+#[derive(Debug, Default, Clone)]
 pub struct Database {
     pub catalog: Catalog,
     pub config: ExecConfig,

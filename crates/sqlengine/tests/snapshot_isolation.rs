@@ -1,0 +1,150 @@
+#![allow(clippy::unwrap_used)]
+
+//! Regression tests pinning the storage-sharing hazards found while
+//! migrating the executor from `Rc`/`RefCell` to `Arc` snapshots.
+//!
+//! The executor shares materialized relations (`Arc<RelRows>` for CTEs,
+//! views, derived tables; `Arc<Table>` for base storage) freely *within*
+//! one statement. The invariant these tests pin is that none of that
+//! sharing escapes a statement boundary: every statement sees exactly the
+//! catalog state published before it, and nothing a statement returned can
+//! be mutated by a later one.
+
+use pdm_sql::{Database, SharedDatabase, Value};
+
+fn db() -> Database {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE t (a INTEGER NOT NULL, b VARCHAR)")
+        .unwrap();
+    db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z')")
+        .unwrap();
+    db
+}
+
+/// Hazard 1: a returned `ResultSet` borrowing table storage would be
+/// corrupted by later DML. Results must be value-independent of storage.
+#[test]
+fn returned_rows_survive_later_dml() {
+    let mut d = db();
+    let before = d.query("SELECT a, b FROM t ORDER BY a").unwrap();
+    d.execute("UPDATE t SET b = 'clobbered'").unwrap();
+    d.execute("DELETE FROM t WHERE a >= 2").unwrap();
+    assert_eq!(before.len(), 3);
+    assert_eq!(before.rows[1].get(1), &Value::Text("y".into()));
+}
+
+/// Hazard 2: `Database` clones share `Arc<Table>` storage; a write through
+/// one clone must copy-on-write, never mutate the shared rows.
+#[test]
+fn cloned_database_is_isolated() {
+    let mut original = db();
+    let mut clone = original.clone();
+
+    clone
+        .execute("UPDATE t SET b = 'theirs' WHERE a = 1")
+        .unwrap();
+    original
+        .execute("UPDATE t SET b = 'mine' WHERE a = 1")
+        .unwrap();
+
+    let theirs = clone.query("SELECT b FROM t WHERE a = 1").unwrap();
+    let mine = original.query("SELECT b FROM t WHERE a = 1").unwrap();
+    assert_eq!(theirs.rows[0].get(0), &Value::Text("theirs".into()));
+    assert_eq!(mine.rows[0].get(0), &Value::Text("mine".into()));
+}
+
+/// Hazard 2b: index builds are writes too — `CREATE INDEX` through a clone
+/// must not install the index into the shared table of the original.
+#[test]
+fn index_creation_copies_on_write() {
+    let original = db();
+    let mut clone = original.clone();
+    clone.execute("CREATE INDEX ON t (a)").unwrap();
+
+    let (_, stats) = clone
+        .query_with_stats("SELECT * FROM t WHERE a = 2")
+        .unwrap();
+    assert_eq!(stats.index_probes, 1, "clone uses its new index");
+    let (_, stats) = original
+        .query_with_stats("SELECT * FROM t WHERE a = 2")
+        .unwrap();
+    assert_eq!(stats.index_probes, 0, "original must not see the index");
+}
+
+/// Hazard 3: a CTE binding (`Arc<RelRows>`) must not shadow catalog names
+/// past its own statement.
+#[test]
+fn cte_binding_does_not_leak_across_statements() {
+    let mut d = db();
+    let rs = d
+        .query("WITH shadow AS (SELECT a FROM t WHERE a = 1) SELECT * FROM shadow")
+        .unwrap();
+    assert_eq!(rs.len(), 1);
+    // The binding is gone: 'shadow' is now resolvable as a fresh table.
+    d.execute("CREATE TABLE shadow (a INTEGER)").unwrap();
+    d.execute("INSERT INTO shadow VALUES (41), (42)").unwrap();
+    let rs = d.query("SELECT * FROM shadow ORDER BY a").unwrap();
+    assert_eq!(rs.len(), 2);
+    assert_eq!(rs.rows[1].get(0), &Value::Int(42));
+}
+
+/// Hazard 4: the uncorrelated-subquery cache is per-execution. Re-running
+/// a statement must re-evaluate its subqueries against current storage —
+/// a cache entry surviving the statement would serve stale rows after DML.
+#[test]
+fn subquery_cache_does_not_survive_the_statement() {
+    let mut d = db();
+    d.execute("CREATE TABLE s (v INTEGER)").unwrap();
+    d.execute("INSERT INTO s VALUES (1)").unwrap();
+
+    let sql = "SELECT a FROM t WHERE a IN (SELECT v FROM s) ORDER BY a";
+    let (rs, stats) = d.query_with_stats(sql).unwrap();
+    assert_eq!(rs.len(), 1);
+    assert!(stats.subquery_evals >= 1);
+
+    d.execute("INSERT INTO s VALUES (2), (3)").unwrap();
+    let (rs, stats) = d.query_with_stats(sql).unwrap();
+    assert_eq!(rs.len(), 3, "second run must see the new subquery rows");
+    assert!(
+        stats.subquery_evals >= 1,
+        "subquery re-evaluated, not reused"
+    );
+}
+
+/// Hazard 5: a view materialization (`Arc<RelRows>`) captured during one
+/// statement must not be reused by the next — views re-evaluate against
+/// current storage every time.
+#[test]
+fn view_rows_reevaluate_per_statement() {
+    let mut d = db();
+    d.execute("CREATE VIEW big AS SELECT a FROM t WHERE a >= 2")
+        .unwrap();
+    assert_eq!(d.query("SELECT * FROM big").unwrap().len(), 2);
+    d.execute("INSERT INTO t VALUES (9, 'new')").unwrap();
+    assert_eq!(d.query("SELECT * FROM big").unwrap().len(), 3);
+}
+
+/// Hazard 6: an old snapshot's hash indexes must keep matching the old
+/// rows after the current version rebuilt them (index + rows move
+/// together under copy-on-write).
+#[test]
+fn snapshot_index_stays_consistent_with_its_rows() {
+    let mut d = db();
+    d.execute("CREATE INDEX ON t (b)").unwrap();
+    let shared = SharedDatabase::new(d);
+
+    let old = shared.snapshot();
+    shared
+        .execute("UPDATE t SET b = 'moved' WHERE a = 1")
+        .unwrap();
+
+    // Old snapshot: index probe for the old value still finds the row.
+    let rs = old.query("SELECT a FROM t WHERE b = 'x'").unwrap();
+    assert_eq!(rs.len(), 1);
+    assert_eq!(rs.rows[0].get(0), &Value::Int(1));
+    // Current snapshot: the row moved.
+    let rs = shared.query("SELECT a FROM t WHERE b = 'x'").unwrap();
+    assert_eq!(rs.len(), 0);
+    let rs = shared.query("SELECT a FROM t WHERE b = 'moved'").unwrap();
+    assert_eq!(rs.len(), 1);
+}

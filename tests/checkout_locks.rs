@@ -1,0 +1,188 @@
+#![allow(clippy::unwrap_used)]
+
+//! Check-out lock-table edge cases (§6 semantics under real concurrency).
+//!
+//! * a re-entrant idempotency token under contention executes AT MOST once
+//!   and every caller observes the one recorded outcome;
+//! * check-in releases the lock entries, making the tree re-checkoutable;
+//! * a lock wait that exceeds the session's `RetryPolicy` deadline
+//!   surfaces as `SessionError::Timeout`, not a hang;
+//! * a conflict with a COMPLETED check-out refuses immediately (∀rows
+//!   semantics) instead of waiting.
+
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use pdm_core::query::recursive;
+use pdm_core::{PdmServer, RetryPolicy, RuleTable, Session, SessionConfig, SessionError, Strategy};
+use pdm_net::LinkProfile;
+use pdm_workload::{build_database, TreeSpec};
+
+fn fresh_server() -> PdmServer {
+    let spec = TreeSpec::new(2, 3, 1.0).with_node_size(128);
+    let (db, _) = build_database(&spec).unwrap();
+    PdmServer::new(db)
+}
+
+fn session_on(server: &PdmServer, user: &str) -> Session {
+    Session::attach(
+        server.clone(),
+        SessionConfig::new(user, Strategy::Recursive, LinkProfile::wan_256()),
+        RuleTable::new(),
+    )
+}
+
+/// Number of flagged objects across both object tables.
+fn flagged(server: &PdmServer) -> usize {
+    ["assy", "comp"]
+        .iter()
+        .map(|t| {
+            server
+                .query(&format!("SELECT obid FROM {t} WHERE checkedout = TRUE"))
+                .unwrap()
+                .len()
+        })
+        .sum()
+}
+
+/// Four threads race the SAME idempotency token (a client retry racing its
+/// own original request). The procedure must execute at most once: every
+/// caller gets the identical recorded outcome and the flags flip exactly
+/// once.
+#[test]
+fn reentrant_token_executes_at_most_once() {
+    let server = fresh_server();
+    let sql = recursive::mle_query(1).to_string();
+    let token = server.shared().next_token();
+    let barrier = Arc::new(Barrier::new(4));
+
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let server = server.clone();
+        let sql = sql.clone();
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            server
+                .checkout_procedure_with_deadline(1, &sql, token, None)
+                .unwrap()
+        }));
+    }
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    // One recorded outcome, observed by everyone.
+    for r in &results[1..] {
+        assert_eq!(
+            r.rows, results[0].rows,
+            "same token must yield one recorded outcome"
+        );
+    }
+    let rows = results[0].rows.as_ref().expect("uncontended tree: success");
+    // Flags flipped exactly once: subtree (rows) plus the root itself.
+    assert_eq!(flagged(&server), rows.len() + 1);
+    assert!(server.checkout_recorded(token));
+    assert_eq!(server.shared().lock_table().holder(1), Some(token));
+}
+
+/// A sequential replay of a recorded token (the lost-confirmation retry)
+/// returns the recorded outcome without re-executing or re-flipping.
+#[test]
+fn recorded_token_replays_without_reexecution() {
+    let server = fresh_server();
+    let sql = recursive::mle_query(1).to_string();
+    let token = server.shared().next_token();
+
+    let first = server
+        .checkout_procedure_with_deadline(1, &sql, token, None)
+        .unwrap();
+    assert!(first.rows.is_some());
+    let flags_after_first = flagged(&server);
+    let version_after_first = server.shared().version();
+
+    let replay = server
+        .checkout_procedure_with_deadline(1, &sql, token, None)
+        .unwrap();
+    assert_eq!(replay.rows, first.rows);
+    assert_eq!(flagged(&server), flags_after_first, "no second flag flip");
+    assert_eq!(
+        server.shared().version(),
+        version_after_first,
+        "replay must not write"
+    );
+}
+
+/// Check-in clears the flags AND the lock entries: the same subtree can be
+/// checked out again afterwards (by someone else).
+#[test]
+fn checkin_releases_lock_entries() {
+    let server = fresh_server();
+    let mut alice = session_on(&server, "alice");
+    let mut bob = session_on(&server, "bob");
+
+    let out = alice.check_out_function_shipping(1).unwrap();
+    let tree = out.tree.expect("first check-out succeeds");
+    assert!(!server.shared().lock_table().is_empty());
+
+    // While held: bob is refused.
+    assert!(bob.check_out_function_shipping(1).unwrap().tree.is_none());
+
+    alice.check_in(&tree).unwrap();
+    assert!(
+        server.shared().lock_table().is_empty(),
+        "check-in must release every lock entry"
+    );
+    assert_eq!(flagged(&server), 0);
+
+    // Released: bob now wins.
+    assert!(bob.check_out_function_shipping(1).unwrap().tree.is_some());
+}
+
+/// An in-flight conflict that outlives the session's RetryPolicy deadline
+/// surfaces as `SessionError::Timeout` (with the wait accounted), and the
+/// check-out succeeds once the stalled procedure aborts.
+#[test]
+fn lock_wait_past_deadline_is_session_timeout() {
+    let server = fresh_server();
+    let stalled_token = 0xDEAD;
+    // Simulate a check-out stalled mid-procedure on another thread: the
+    // root id sits in-flight, so competitors WAIT rather than refuse.
+    server
+        .shared()
+        .lock_table()
+        .acquire_in_flight(&[1], stalled_token, None)
+        .unwrap();
+
+    let mut s = session_on(&server, "scott");
+    s.set_retry_policy(RetryPolicy::none().with_deadline(0.05));
+    let err = s.check_out_function_shipping(1).unwrap_err();
+    match err {
+        SessionError::Timeout { elapsed, .. } => {
+            assert!(elapsed >= 0.05, "the lock wait must be accounted");
+        }
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+    assert_eq!(flagged(&server), 0, "a timed-out check-out changes nothing");
+
+    // The stalled procedure aborts — the very same session succeeds now.
+    server.shared().lock_table().abort(&[1], stalled_token);
+    assert!(s.check_out_function_shipping(1).unwrap().tree.is_some());
+}
+
+/// Conflicts with a COMPLETED check-out refuse immediately — they must not
+/// burn the waiter's deadline (refusal is resolved by check-in, not time).
+#[test]
+fn held_conflict_refuses_without_waiting() {
+    let server = fresh_server();
+    let mut alice = session_on(&server, "alice");
+    alice.check_out_function_shipping(1).unwrap().tree.unwrap();
+
+    let mut bob = session_on(&server, "bob");
+    bob.set_retry_policy(RetryPolicy::none().with_deadline(30.0));
+    let started = std::time::Instant::now();
+    let out = bob.check_out_function_shipping(1).unwrap();
+    assert!(out.tree.is_none(), "held conflict must refuse");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "refusal must not wait out the deadline"
+    );
+}
