@@ -1,5 +1,9 @@
 //! `pdm-analyze` — audit the generator corpus and report diagnostics.
 //!
+//! Audits both corpora: the query corpus (every generator shape, modified
+//! and unmodified) and the statement corpus (the DML shapes the durability
+//! layer logs and crash recovery re-executes).
+//!
 //! Exit status is 0 only if every corpus entry is clean; any diagnostic
 //! (warning or error) fails the run, so CI can gate on it directly.
 //!
@@ -13,6 +17,14 @@
 use std::process::ExitCode;
 
 use pdm_analyze::diag::Check;
+use pdm_analyze::Report;
+
+/// A corpus result row, unified across the query and statement corpora.
+struct Row {
+    corpus: &'static str,
+    name: &'static str,
+    report: Report,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,13 +47,29 @@ fn main() -> ExitCode {
         }
     }
 
-    let results = pdm_analyze::audit_corpus();
-    let total: usize = results.iter().map(|(_, r)| r.diagnostics.len()).sum();
+    let mut rows: Vec<Row> = pdm_analyze::audit_corpus()
+        .into_iter()
+        .map(|(entry, report)| Row {
+            corpus: "query",
+            name: entry.name,
+            report,
+        })
+        .collect();
+    rows.extend(
+        pdm_analyze::audit_statement_corpus()
+            .into_iter()
+            .map(|(entry, report)| Row {
+                corpus: "statement",
+                name: entry.name,
+                report,
+            }),
+    );
+    let total: usize = rows.iter().map(|r| r.report.diagnostics.len()).sum();
 
     if json {
-        print_json(&results);
+        print_json(&rows, total);
     } else {
-        print_human(&results, total);
+        print_human(&rows, total);
     }
 
     if total == 0 {
@@ -62,38 +90,38 @@ fn list_checks() {
     }
 }
 
-fn print_human(results: &[(pdm_analyze::corpus::CorpusEntry, pdm_analyze::Report)], total: usize) {
-    for (entry, report) in results {
-        if report.is_clean() {
-            println!("ok   {}", entry.name);
+fn print_human(rows: &[Row], total: usize) {
+    for row in rows {
+        if row.report.is_clean() {
+            println!("ok   [{}] {}", row.corpus, row.name);
         } else {
-            println!("FAIL {}", entry.name);
-            for d in &report.diagnostics {
+            println!("FAIL [{}] {}", row.corpus, row.name);
+            for d in &row.report.diagnostics {
                 println!("     {d}");
             }
         }
     }
     println!(
         "{} corpus entries audited, {} diagnostic(s)",
-        results.len(),
+        rows.len(),
         total
     );
 }
 
-fn print_json(results: &[(pdm_analyze::corpus::CorpusEntry, pdm_analyze::Report)]) {
+fn print_json(rows: &[Row], total: usize) {
     let mut out = String::from("{\"entries\":[");
-    for (i, (entry, report)) in results.iter().enumerate() {
+    for (i, row) in rows.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"name\":\"{}\",\"clean\":{},\"report\":{}}}",
-            entry.name,
-            report.is_clean(),
-            report.to_json()
+            "{{\"corpus\":\"{}\",\"name\":\"{}\",\"clean\":{},\"report\":{}}}",
+            row.corpus,
+            row.name,
+            row.report.is_clean(),
+            row.report.to_json()
         ));
     }
-    let total: usize = results.iter().map(|(_, r)| r.diagnostics.len()).sum();
     out.push_str(&format!("],\"total_diagnostics\":{total}}}"));
     println!("{out}");
 }

@@ -8,7 +8,7 @@
 
 use std::collections::HashSet;
 
-use pdm_sql::ast::Query;
+use pdm_sql::ast::{Query, Statement};
 
 use pdm_core::query::modificator::{ModReport, Modificator};
 use pdm_core::query::{navigational, recursive};
@@ -167,9 +167,82 @@ pub fn build_corpus() -> Vec<CorpusEntry> {
     ]
 }
 
+/// One member of the statement corpus: a DML shape the durability layer
+/// logs and crash recovery re-executes verbatim.
+pub struct StatementEntry {
+    pub name: &'static str,
+    pub statement: Statement,
+    pub sql: String,
+}
+
+fn statement(name: &'static str, sql: &str) -> StatementEntry {
+    let statement =
+        pdm_sql::parser::parse_statement(sql).expect("statement corpus member must parse");
+    // Store the canonical rendering (what the WAL would log), not the
+    // hand-written source.
+    let sql = statement.to_string();
+    StatementEntry {
+        name,
+        statement,
+        sql,
+    }
+}
+
+/// The recovery replay path's statement shapes: one instance of every DML
+/// form the WAL records — the check-out flag UPDATEs (grant and check-in/
+/// sweep directions, single id and id list), and the workload DML mix the
+/// chaos harness commits. If recovery replays it, its shape is audited
+/// here.
+pub fn recovery_statement_corpus() -> Vec<StatementEntry> {
+    vec![
+        statement(
+            "checkout-flag-grant",
+            "UPDATE assy SET checkedout = TRUE WHERE obid IN (1, 4, 13)",
+        ),
+        statement(
+            "checkout-flag-grant-comp",
+            "UPDATE comp SET checkedout = TRUE WHERE obid IN (14, 15)",
+        ),
+        statement(
+            "recovery-sweep",
+            "UPDATE assy SET checkedout = FALSE WHERE obid IN (1, 4, 13)",
+        ),
+        statement(
+            "checkin-clear-comp",
+            "UPDATE comp SET checkedout = FALSE WHERE obid IN (14, 15)",
+        ),
+        statement(
+            "workload-payload-update",
+            "UPDATE assy SET payload = 'replayed' WHERE obid = 7",
+        ),
+        statement(
+            "workload-range-rename",
+            "UPDATE comp SET name = 'swept' WHERE obid >= 14 AND obid <= 16",
+        ),
+        statement(
+            "workload-spec-insert",
+            "INSERT INTO spec VALUES ('spec', 900001, 'chaos')",
+        ),
+        statement(
+            "workload-spec-delete",
+            "DELETE FROM spec WHERE obid = 900001",
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn statement_corpus_names_are_unique() {
+        let corpus = recovery_statement_corpus();
+        assert!(corpus.len() >= 8);
+        let mut names: Vec<_> = corpus.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), recovery_statement_corpus().len());
+    }
 
     #[test]
     fn corpus_covers_both_pipelines() {

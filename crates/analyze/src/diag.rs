@@ -94,11 +94,15 @@ pub enum Check {
     /// Rendering a query to SQL and re-parsing it did not reproduce the
     /// same AST (printer/parser drift).
     PrintParseDrift,
+    // --- statement-level DML (the recovery replay path) -------------------
+    /// An INSERT row's value count disagrees with its column list (or the
+    /// target table's arity).
+    DmlArityMismatch,
 }
 
 impl Check {
     /// Every check, in registry order.
-    pub const ALL: [Check; 25] = [
+    pub const ALL: [Check; 26] = [
         Check::UnknownTable,
         Check::UnknownColumn,
         Check::AmbiguousColumn,
@@ -124,6 +128,7 @@ impl Check {
         Check::SubsumedRule,
         Check::DuplicateRule,
         Check::PrintParseDrift,
+        Check::DmlArityMismatch,
     ];
 
     /// Stable kebab-case identifier (CI and JSON output key on these).
@@ -154,6 +159,7 @@ impl Check {
             Check::SubsumedRule => "subsumed-rule",
             Check::DuplicateRule => "duplicate-rule",
             Check::PrintParseDrift => "print-parse-drift",
+            Check::DmlArityMismatch => "dml-arity-mismatch",
         }
     }
 
@@ -185,6 +191,7 @@ impl Check {
             Check::SubsumedRule => "no rule is subsumed by another relevant rule",
             Check::DuplicateRule => "no two rules are identical",
             Check::PrintParseDrift => "rendered SQL re-parses to the identical AST",
+            Check::DmlArityMismatch => "INSERT rows match their column list / table arity",
         }
     }
 

@@ -32,6 +32,7 @@ pub mod recursion;
 pub mod resolve;
 pub mod rules;
 pub mod schema;
+pub mod statement;
 
 pub use diag::{Check, Diagnostic, Report, Severity};
 pub use schema::SchemaInfo;
@@ -39,7 +40,7 @@ pub use schema::SchemaInfo;
 use pdm_core::query::modificator::ModReport;
 use pdm_core::rules::table::RuleTable;
 use pdm_core::rules::ActionKind;
-use pdm_sql::ast::Query;
+use pdm_sql::ast::{Query, Statement};
 
 /// Facade bundling a schema environment with the per-query checks.
 pub struct Analyzer {
@@ -82,6 +83,15 @@ impl Analyzer {
     ) -> Report {
         let mut report = self.analyze(query);
         placement::check_placement(query, rules, user, action, mod_report, &mut report);
+        report
+    }
+
+    /// Statement-level checks (the DML shapes the recovery path replays):
+    /// target/column resolution, INSERT arity, expression analysis in the
+    /// target table's scope, and statement print→parse drift.
+    pub fn analyze_statement(&self, stmt: &Statement) -> Report {
+        let mut report = Report::new();
+        statement::check_statement(stmt, &self.schema, &mut report);
         report
     }
 
@@ -145,9 +155,42 @@ pub fn audit_corpus() -> Vec<(corpus::CorpusEntry, Report)> {
         .collect()
 }
 
+/// Audit the recovery-path statement corpus: every DML shape the WAL logs
+/// and recovery re-executes must be statically clean, including
+/// statement-level print→parse round-tripping (recovery replays the
+/// rendered SQL).
+pub fn audit_statement_corpus() -> Vec<(corpus::StatementEntry, Report)> {
+    let analyzer = Analyzer::paper();
+    corpus::recovery_statement_corpus()
+        .into_iter()
+        .map(|entry| {
+            let mut report = analyzer.analyze_statement(&entry.statement);
+            if entry.sql != entry.statement.to_string() {
+                report.emit(
+                    Check::PrintParseDrift,
+                    format!("statement corpus entry '{}' SQL text is stale", entry.name),
+                );
+            }
+            (entry, report)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn statement_corpus_audit_is_clean() {
+        for (entry, report) in audit_statement_corpus() {
+            assert!(
+                report.is_clean(),
+                "statement corpus entry '{}' has diagnostics:\n{report}\nSQL: {}",
+                entry.name,
+                entry.sql
+            );
+        }
+    }
 
     #[test]
     fn corpus_audit_is_clean() {

@@ -30,6 +30,13 @@ fn analyze_rules(rules: RuleTable) -> Report {
     Analyzer::paper().analyze_rule_table(&rules)
 }
 
+/// Run the statement-level analysis over a SQL string fixture (the
+/// recovery-replay DML path).
+fn analyze_statement_sql(sql: &str) -> Report {
+    let stmt = pdm_sql::parser::parse_statement(sql).unwrap();
+    Analyzer::paper().analyze_statement(&stmt)
+}
+
 fn row_rule(object_type: &str, pred: RowPredicate) -> Rule {
     Rule::for_all_users(ActionKind::Access, object_type, Condition::Row(pred))
 }
@@ -279,6 +286,20 @@ fn fixtures() -> Vec<(Check, Report)> {
         }),
         // -- pipeline integrity ---------------------------------------
         (Check::PrintParseDrift, drift_fixture()),
+        // -- statement-level DML (recovery replay path) ----------------
+        (
+            Check::DmlArityMismatch,
+            // spec has 3 columns; 2 values.
+            analyze_statement_sql("INSERT INTO spec VALUES ('spec', 1)"),
+        ),
+        (
+            Check::UnknownTable,
+            analyze_statement_sql("UPDATE nowhere SET obid = 1"),
+        ),
+        (
+            Check::UnknownColumn,
+            analyze_statement_sql("UPDATE assy SET checkedout = TRUE WHERE ghost = 3"),
+        ),
     ]
 }
 

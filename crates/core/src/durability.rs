@@ -1,0 +1,670 @@
+//! Durability policy for the shared PDM server: what gets logged when, how
+//! checkpoints are cut, and how a crashed server is rebuilt.
+//!
+//! The mechanism (simulated device, framing, checksums, checkpoint cell)
+//! lives in `pdm-wal`; this module decides the protocol:
+//!
+//! * **DML commits** are logged through the commit gate of
+//!   [`pdm_sql::SharedDatabase::execute_ast_gated`]: the record is appended
+//!   and fsynced *after* the statement has been applied to the copied
+//!   catalog but *before* the new snapshot is published. The WAL sync is
+//!   the commit point — a state change is visible only if durable, and a
+//!   crash between sync and publish costs nothing because replay
+//!   re-executes the logged statement.
+//! * **Check-out grants** are logged *before* the `checkedout` flag
+//!   UPDATEs. A crash anywhere inside the procedure therefore leaves a
+//!   durable grant record whose ids recovery sweeps back to `FALSE`; the
+//!   sweep is idempotent (it forces flags that may never have been set), so
+//!   every crash position inside the procedure converges to the same
+//!   recovered state: the check-out never happened.
+//! * **Token completions** are logged after the grant is promoted. On
+//!   recovery a completed token's outcome is restored into the idempotency
+//!   log without re-executing the procedure — a client replaying the token
+//!   gets its recorded rows (or recorded refusal) exactly once.
+//! * **Checkpoints** serialize the current snapshot plus the durability
+//!   aux state (outstanding grants, completed token outcomes) and truncate
+//!   the log. They are cut inside the write gate, so no DML commit can
+//!   interleave; grant/token records racing the checkpoint are safe because
+//!   the aux trackers are updated atomically with their log appends under
+//!   the store lock, and the sweep is idempotent.
+//!
+//! The recovery invariant the crash harness asserts: for any crash point,
+//! `recover` produces a state byte-identical to replaying the durable
+//! commit-log prefix serially and sweeping the outstanding grants.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Mutex, MutexGuard};
+
+use pdm_sql::persist::{
+    self, decode_snapshot, encode_snapshot, put_result_set, put_u32, put_u64, put_u8, Cursor,
+};
+use pdm_sql::shared::Snapshot;
+use pdm_sql::ResultSet;
+use pdm_wal::{CrashPlan, DeviceStats, DurableImage, DurableStore, LogDamage, WalError, WalRecord};
+
+use crate::product::ObjectId;
+
+/// Tuning knobs for the durability layer.
+#[derive(Debug, Clone, Copy)]
+pub struct DurabilityConfig {
+    /// Cut a checkpoint after this many logged DML commits. Small values
+    /// bound recovery replay at the cost of frequent snapshot writes.
+    pub checkpoint_interval: u64,
+    /// Crash schedule for the simulated log device.
+    pub crash_plan: CrashPlan,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            checkpoint_interval: 64,
+            crash_plan: CrashPlan::none(),
+        }
+    }
+}
+
+impl DurabilityConfig {
+    pub fn with_interval(mut self, n: u64) -> Self {
+        assert!(n > 0, "checkpoint interval must be positive");
+        self.checkpoint_interval = n;
+        self
+    }
+
+    pub fn with_crash_plan(mut self, plan: CrashPlan) -> Self {
+        self.crash_plan = plan;
+        self
+    }
+}
+
+/// The ids covered by one outstanding check-out grant.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GrantIds {
+    pub assy: Vec<ObjectId>,
+    pub comp: Vec<ObjectId>,
+}
+
+impl GrantIds {
+    fn is_empty(&self) -> bool {
+        self.assy.is_empty() && self.comp.is_empty()
+    }
+
+    fn remove(&mut self, ids: &[ObjectId]) {
+        self.assy.retain(|id| !ids.contains(id));
+        self.comp.retain(|id| !ids.contains(id));
+    }
+}
+
+#[derive(Debug)]
+struct DurState {
+    store: DurableStore,
+    /// Outstanding grants (token → ids), mirrored into checkpoints so a
+    /// truncated grant record is never forgotten. Updated atomically with
+    /// the corresponding log append.
+    grants: BTreeMap<u64, GrantIds>,
+    /// Completed token outcomes (`None` = recorded refusal), mirrored into
+    /// checkpoints for the same reason.
+    tokens: BTreeMap<u64, Option<ResultSet>>,
+    commits_since_checkpoint: u64,
+}
+
+/// The durability attachment of a [`crate::SharedServer`].
+#[derive(Debug)]
+pub struct Durability {
+    state: Mutex<DurState>,
+    interval: u64,
+}
+
+fn wal_to_sql(e: WalError) -> pdm_sql::Error {
+    pdm_sql::Error::Eval(format!("durability: {e}"))
+}
+
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl Durability {
+    /// Fresh durability state over an empty store.
+    pub fn new(cfg: &DurabilityConfig) -> Self {
+        Durability {
+            state: Mutex::new(DurState {
+                store: DurableStore::new(cfg.crash_plan),
+                grants: BTreeMap::new(),
+                tokens: BTreeMap::new(),
+                commits_since_checkpoint: 0,
+            }),
+            interval: cfg.checkpoint_interval,
+        }
+    }
+
+    fn from_parts(
+        store: DurableStore,
+        grants: BTreeMap<u64, GrantIds>,
+        tokens: BTreeMap<u64, Option<ResultSet>>,
+        interval: u64,
+    ) -> Self {
+        Durability {
+            state: Mutex::new(DurState {
+                store,
+                grants,
+                tokens,
+                commits_since_checkpoint: 0,
+            }),
+            interval,
+        }
+    }
+
+    /// The commit gate body: append + fsync one DML commit record. Called
+    /// with the version the statement will publish as.
+    pub fn log_commit(&self, version: u64, sql: &str) -> pdm_sql::Result<()> {
+        let mut st = lock_unpoisoned(&self.state);
+        st.store
+            .commit(&WalRecord::DmlCommit {
+                version,
+                sql: sql.to_string(),
+            })
+            .map_err(wal_to_sql)?;
+        st.commits_since_checkpoint += 1;
+        Ok(())
+    }
+
+    /// Whether the checkpoint interval has elapsed. The caller (holding the
+    /// write gate) follows up with [`Durability::checkpoint`].
+    pub fn checkpoint_due(&self) -> bool {
+        lock_unpoisoned(&self.state).commits_since_checkpoint >= self.interval
+    }
+
+    /// Log a check-out grant and track it for sweeping. Atomic with the
+    /// tracker update, so a checkpoint can never see the record without the
+    /// tracker entry or vice versa.
+    pub fn log_grant(
+        &self,
+        token: u64,
+        assy: &[ObjectId],
+        comp: &[ObjectId],
+    ) -> pdm_sql::Result<()> {
+        let mut st = lock_unpoisoned(&self.state);
+        st.store
+            .commit(&WalRecord::CheckoutGrant {
+                token,
+                assy_ids: assy.to_vec(),
+                comp_ids: comp.to_vec(),
+            })
+            .map_err(wal_to_sql)?;
+        st.grants.insert(
+            token,
+            GrantIds {
+                assy: assy.to_vec(),
+                comp: comp.to_vec(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Log a release covering `ids` and drop them from outstanding grants.
+    pub fn log_release(&self, ids: &[ObjectId]) -> pdm_sql::Result<()> {
+        let mut st = lock_unpoisoned(&self.state);
+        st.store
+            .commit(&WalRecord::CheckoutRelease { ids: ids.to_vec() })
+            .map_err(wal_to_sql)?;
+        for grant in st.grants.values_mut() {
+            grant.remove(ids);
+        }
+        st.grants.retain(|_, g| !g.is_empty());
+        Ok(())
+    }
+
+    /// Log a token completion and track its outcome for checkpointing.
+    pub fn log_token(&self, token: u64, rows: Option<&ResultSet>) -> pdm_sql::Result<()> {
+        let mut st = lock_unpoisoned(&self.state);
+        st.store
+            .commit(&WalRecord::TokenComplete {
+                token,
+                rows: rows.cloned(),
+            })
+            .map_err(wal_to_sql)?;
+        st.tokens.insert(token, rows.cloned());
+        Ok(())
+    }
+
+    /// Cut a checkpoint of `snapshot` plus the aux trackers and truncate
+    /// the log. Must be called from inside the write gate so no DML commit
+    /// interleaves between the snapshot read and the install.
+    pub fn checkpoint(&self, snapshot: &Snapshot) -> pdm_sql::Result<()> {
+        let mut st = lock_unpoisoned(&self.state);
+        let payload = encode_checkpoint(snapshot, &st.grants, &st.tokens);
+        st.store.install_checkpoint(&payload).map_err(wal_to_sql)?;
+        st.commits_since_checkpoint = 0;
+        Ok(())
+    }
+
+    /// The bytes that would survive if the process died right now.
+    pub fn image(&self) -> DurableImage {
+        lock_unpoisoned(&self.state).store.image()
+    }
+
+    /// Kill the device at the current boundary (harness hook).
+    pub fn crash_now(&self) {
+        lock_unpoisoned(&self.state).store.crash_now();
+    }
+
+    pub fn is_crashed(&self) -> bool {
+        lock_unpoisoned(&self.state).store.is_crashed()
+    }
+
+    /// Outstanding (unreleased) grants, for diagnostics and tests.
+    pub fn outstanding_grants(&self) -> BTreeMap<u64, GrantIds> {
+        lock_unpoisoned(&self.state).grants.clone()
+    }
+
+    /// Current log size in bytes (excludes the checkpoint cell).
+    pub fn log_len(&self) -> usize {
+        lock_unpoisoned(&self.state).store.log_len()
+    }
+
+    /// Current checkpoint cell size in bytes.
+    pub fn checkpoint_len(&self) -> usize {
+        lock_unpoisoned(&self.state).store.checkpoint_len()
+    }
+
+    pub fn device_stats(&self) -> DeviceStats {
+        lock_unpoisoned(&self.state).store.device_stats()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint payload codec
+// ---------------------------------------------------------------------------
+
+fn put_ids(out: &mut Vec<u8>, ids: &[ObjectId]) {
+    put_u32(out, ids.len() as u32);
+    for &id in ids {
+        persist::put_i64(out, id);
+    }
+}
+
+fn read_ids(cur: &mut Cursor<'_>, what: &str) -> pdm_sql::Result<Vec<ObjectId>> {
+    let n = cur.u32(what)? as usize;
+    let mut ids = Vec::with_capacity(n);
+    for _ in 0..n {
+        ids.push(cur.i64(what)?);
+    }
+    Ok(ids)
+}
+
+fn encode_checkpoint(
+    snapshot: &Snapshot,
+    grants: &BTreeMap<u64, GrantIds>,
+    tokens: &BTreeMap<u64, Option<ResultSet>>,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    let snap = encode_snapshot(snapshot);
+    put_u32(&mut out, snap.len() as u32);
+    out.extend_from_slice(&snap);
+    put_u32(&mut out, grants.len() as u32);
+    for (token, g) in grants {
+        put_u64(&mut out, *token);
+        put_ids(&mut out, &g.assy);
+        put_ids(&mut out, &g.comp);
+    }
+    put_u32(&mut out, tokens.len() as u32);
+    for (token, rows) in tokens {
+        put_u64(&mut out, *token);
+        match rows {
+            None => put_u8(&mut out, 0),
+            Some(rs) => {
+                put_u8(&mut out, 1);
+                put_result_set(&mut out, rs);
+            }
+        }
+    }
+    out
+}
+
+type CheckpointParts = (
+    Snapshot,
+    BTreeMap<u64, GrantIds>,
+    BTreeMap<u64, Option<ResultSet>>,
+);
+
+fn decode_checkpoint(payload: &[u8]) -> pdm_sql::Result<CheckpointParts> {
+    let mut cur = Cursor::new(payload);
+    let snap_len = cur.u32("checkpoint snapshot length")? as usize;
+    let snap_bytes = cur.take(snap_len, "checkpoint snapshot")?;
+    let snapshot = decode_snapshot(snap_bytes)?;
+    let n_grants = cur.u32("checkpoint grant count")? as usize;
+    let mut grants = BTreeMap::new();
+    for _ in 0..n_grants {
+        let token = cur.u64("grant token")?;
+        let assy = read_ids(&mut cur, "grant assy ids")?;
+        let comp = read_ids(&mut cur, "grant comp ids")?;
+        grants.insert(token, GrantIds { assy, comp });
+    }
+    let n_tokens = cur.u32("checkpoint token count")? as usize;
+    let mut tokens = BTreeMap::new();
+    for _ in 0..n_tokens {
+        let token = cur.u64("token id")?;
+        let rows = match cur.u8("token outcome tag")? {
+            0 => None,
+            1 => Some(persist::read_result_set(&mut cur)?),
+            other => {
+                return Err(pdm_sql::Error::Persist(format!(
+                    "invalid token outcome tag {other} at offset {}",
+                    cur.offset()
+                )))
+            }
+        };
+        tokens.insert(token, rows);
+    }
+    if !cur.is_empty() {
+        return Err(pdm_sql::Error::Persist(format!(
+            "{} trailing bytes after checkpoint",
+            cur.remaining()
+        )));
+    }
+    Ok((snapshot, grants, tokens))
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------------
+
+/// Why recovery could not rebuild a server from a surviving image. Unlike
+/// tail damage in the log (a normal crash artifact, truncated and
+/// reported), these are fatal: the durable state is self-inconsistent.
+#[derive(Debug)]
+pub enum RecoveryError {
+    /// The checkpoint blob failed its checksum — with the byte offset and
+    /// the expected vs found CRC for the diagnostic.
+    CorruptCheckpoint {
+        offset: usize,
+        expected: u32,
+        found: u32,
+    },
+    /// The checkpoint was structurally damaged or undecodable.
+    CheckpointDecode { detail: String },
+    /// No checkpoint survived; a durable store always writes one at attach,
+    /// so its absence means the image is not one of ours.
+    MissingCheckpoint,
+    /// A checksum-valid record failed logical decoding.
+    CorruptRecord { detail: String },
+    /// A replayed commit produced a different storage version than the one
+    /// it logged — the log is not the history of this checkpoint.
+    VersionChain {
+        seq: u64,
+        logged: u64,
+        produced: u64,
+        sql: String,
+    },
+    /// A logged statement failed to re-execute.
+    Replay {
+        seq: u64,
+        sql: String,
+        error: pdm_sql::Error,
+    },
+    /// Lower-level WAL failure (non-monotonic sequences, crashed device).
+    Wal(WalError),
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::CorruptCheckpoint {
+                offset,
+                expected,
+                found,
+            } => write!(
+                f,
+                "corrupt checkpoint at offset {offset}: expected crc {expected:#010x}, found {found:#010x}"
+            ),
+            RecoveryError::CheckpointDecode { detail } => {
+                write!(f, "checkpoint decode failed: {detail}")
+            }
+            RecoveryError::MissingCheckpoint => write!(f, "no checkpoint in durable image"),
+            RecoveryError::CorruptRecord { detail } => write!(f, "corrupt record: {detail}"),
+            RecoveryError::VersionChain {
+                seq,
+                logged,
+                produced,
+                sql,
+            } => write!(
+                f,
+                "version chain broken at seq {seq}: logged v{logged}, replay produced v{produced} ({sql})"
+            ),
+            RecoveryError::Replay { seq, sql, error } => {
+                write!(f, "replay failed at seq {seq} ({sql}): {error}")
+            }
+            RecoveryError::Wal(e) => write!(f, "wal error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+impl From<WalError> for RecoveryError {
+    fn from(e: WalError) -> Self {
+        match e {
+            WalError::Damage(LogDamage::ChecksumMismatch {
+                offset,
+                expected,
+                found,
+            }) => RecoveryError::CorruptCheckpoint {
+                offset,
+                expected,
+                found,
+            },
+            WalError::Damage(d) => RecoveryError::CheckpointDecode {
+                detail: d.to_string(),
+            },
+            WalError::Decode { offset, detail } => RecoveryError::CorruptRecord {
+                detail: format!("at offset {offset}: {detail}"),
+            },
+            WalError::DeviceCrashed => RecoveryError::Wal(e),
+        }
+    }
+}
+
+/// What recovery did, for logs, tests, and the chaos bench.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Storage version of the loaded checkpoint.
+    pub checkpoint_version: u64,
+    /// DML commits replayed from the log suffix.
+    pub replayed_commits: u64,
+    /// Completed token outcomes restored into the idempotency log.
+    pub restored_tokens: usize,
+    /// Tokens whose grants were outstanding at the crash and were swept.
+    pub swept_tokens: Vec<u64>,
+    /// Assembly / component ids the sweep reset to `checkedout = FALSE`.
+    pub swept_assy: Vec<ObjectId>,
+    pub swept_comp: Vec<ObjectId>,
+    /// Tail damage truncated from the log, if any (normal after a crash
+    /// mid-append; rendered for the report).
+    pub tail_damage: Option<String>,
+}
+
+/// Rebuild a server from a surviving image. See the module docs for the
+/// invariants; the crash harness in `tests/crash_recovery.rs` checks them
+/// across hundreds of seeded crash points.
+pub fn recover_server(
+    image: DurableImage,
+    cfg: &DurabilityConfig,
+) -> Result<(crate::SharedServer, RecoveryReport), RecoveryError> {
+    let (store, recovered) = DurableStore::from_image(image, cfg.crash_plan)?;
+
+    let (_cp_seq, cp_payload) = recovered
+        .checkpoint
+        .ok_or(RecoveryError::MissingCheckpoint)?;
+    let (mut snapshot, mut grants, mut tokens) =
+        decode_checkpoint(&cp_payload).map_err(|e| RecoveryError::CheckpointDecode {
+            detail: e.to_string(),
+        })?;
+
+    // The snapshot comes back with builtin functions only; restore the PDM
+    // stored functions before any replayed SQL can call them.
+    crate::functions::register_into(&mut snapshot.catalog.functions);
+
+    let mut report = RecoveryReport {
+        checkpoint_version: snapshot.version,
+        tail_damage: recovered.damage.map(|d| d.to_string()),
+        ..RecoveryReport::default()
+    };
+
+    let db = pdm_sql::SharedDatabase::from_snapshot(snapshot);
+
+    // Replay the log suffix in sequence order.
+    for (seq, record) in recovered.records {
+        match record {
+            WalRecord::DmlCommit { version, sql } => {
+                let stmt = pdm_sql::parser::parse_statement(&sql).map_err(|error| {
+                    RecoveryError::Replay {
+                        seq,
+                        sql: sql.clone(),
+                        error,
+                    }
+                })?;
+                let (_, produced) =
+                    db.execute_ast(&stmt)
+                        .map_err(|error| RecoveryError::Replay {
+                            seq,
+                            sql: sql.clone(),
+                            error,
+                        })?;
+                if produced != version {
+                    return Err(RecoveryError::VersionChain {
+                        seq,
+                        logged: version,
+                        produced,
+                        sql,
+                    });
+                }
+                report.replayed_commits += 1;
+            }
+            WalRecord::CheckoutGrant {
+                token,
+                assy_ids,
+                comp_ids,
+            } => {
+                grants.insert(
+                    token,
+                    GrantIds {
+                        assy: assy_ids,
+                        comp: comp_ids,
+                    },
+                );
+            }
+            WalRecord::CheckoutRelease { ids } => {
+                for grant in grants.values_mut() {
+                    grant.remove(&ids);
+                }
+                grants.retain(|_, g| !g.is_empty());
+            }
+            WalRecord::TokenComplete { token, rows } => {
+                tokens.insert(token, rows);
+            }
+        }
+    }
+
+    // Every session died with the process, so no grant survives recovery:
+    // sweep the outstanding ones back to FALSE (deterministically — sorted
+    // unions — so the harness can reproduce the exact recovered bytes).
+    let mut sweep_assy: Vec<ObjectId> = Vec::new();
+    let mut sweep_comp: Vec<ObjectId> = Vec::new();
+    for (token, g) in &grants {
+        report.swept_tokens.push(*token);
+        sweep_assy.extend(&g.assy);
+        sweep_comp.extend(&g.comp);
+    }
+    sweep_assy.sort_unstable();
+    sweep_assy.dedup();
+    sweep_comp.sort_unstable();
+    sweep_comp.dedup();
+
+    let next_token = tokens
+        .keys()
+        .chain(grants.keys())
+        .max()
+        .map(|t| t + 1)
+        .unwrap_or(1)
+        .max(1);
+    report.restored_tokens = tokens.len();
+
+    let durability = Durability::from_parts(store, grants, tokens.clone(), cfg.checkpoint_interval);
+    let server = crate::SharedServer::assemble(db, Some(durability), tokens, next_token);
+
+    // The sweep runs through the normal durable write path, so the reset
+    // UPDATEs are themselves logged and a re-crash during recovery replays
+    // them; the closing release record clears the grant trackers.
+    server
+        .sweep_stale_grants(&sweep_assy, &sweep_comp)
+        .map_err(|error| RecoveryError::Replay {
+            seq: 0,
+            sql: "recovery sweep".into(),
+            error,
+        })?;
+    report.swept_assy = sweep_assy;
+    report.swept_comp = sweep_comp;
+
+    Ok((server, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm_sql::Database;
+
+    fn snap() -> Snapshot {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE assy (obid INTEGER NOT NULL, checkedout BOOLEAN)")
+            .unwrap();
+        db.execute("INSERT INTO assy VALUES (1, FALSE), (2, TRUE)")
+            .unwrap();
+        Snapshot {
+            catalog: db.catalog,
+            config: db.config,
+            version: 3,
+        }
+    }
+
+    #[test]
+    fn checkpoint_payload_round_trip() {
+        let mut grants = BTreeMap::new();
+        grants.insert(
+            7,
+            GrantIds {
+                assy: vec![1, 2],
+                comp: vec![10],
+            },
+        );
+        let mut tokens = BTreeMap::new();
+        tokens.insert(7u64, None);
+        let payload = encode_checkpoint(&snap(), &grants, &tokens);
+        let (s, g, t) = decode_checkpoint(&payload).unwrap();
+        assert_eq!(s.version, 3);
+        assert_eq!(g, grants);
+        assert_eq!(t.len(), 1);
+        assert!(t[&7].is_none());
+    }
+
+    #[test]
+    fn checkpoint_decode_rejects_truncation() {
+        let payload = encode_checkpoint(&snap(), &BTreeMap::new(), &BTreeMap::new());
+        assert!(decode_checkpoint(&payload[..payload.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn release_trims_grants() {
+        let d = Durability::new(&DurabilityConfig::default());
+        d.log_grant(1, &[1, 2], &[10, 11]).unwrap();
+        d.log_grant(2, &[3], &[]).unwrap();
+        d.log_release(&[1, 2, 10]).unwrap();
+        let g = d.outstanding_grants();
+        assert_eq!(g.len(), 2);
+        assert_eq!(g[&1].comp, vec![11]);
+        d.log_release(&[11]).unwrap();
+        assert_eq!(d.outstanding_grants().len(), 1);
+    }
+}

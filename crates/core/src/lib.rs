@@ -28,6 +28,7 @@
 
 pub mod checkout;
 pub mod client;
+pub mod durability;
 pub mod federation;
 pub mod functions;
 pub mod product;
@@ -39,6 +40,9 @@ pub mod session;
 pub mod shared;
 
 pub use client::Strategy;
+pub use durability::{
+    recover_server, Durability, DurabilityConfig, GrantIds, RecoveryError, RecoveryReport,
+};
 pub use federation::{FederatedOutcome, Federation, MountPoint};
 pub use product::{ObjectId, ProductNode, ProductTree};
 pub use resilience::{DegradationController, RetryPolicy};

@@ -37,6 +37,20 @@ pub enum SessionError {
     LinkDown {
         until: f64,
     },
+    /// Durable server state failed its integrity check: a checksum mismatch
+    /// at the given byte offset. Carries expected vs found CRC so the
+    /// diagnostic pinpoints the damage.
+    CorruptLog {
+        offset: usize,
+        expected: u32,
+        found: u32,
+    },
+    /// Crash recovery could not rebuild the server (broken version chain,
+    /// failed replay, missing checkpoint, ...). The detail string carries
+    /// the specific inconsistency.
+    RecoveryFailed {
+        detail: String,
+    },
 }
 
 impl fmt::Display for SessionError {
@@ -53,6 +67,17 @@ impl fmt::Display for SessionError {
             }
             SessionError::LinkDown { until } => {
                 write!(f, "link down until t={until:.2}s")
+            }
+            SessionError::CorruptLog {
+                offset,
+                expected,
+                found,
+            } => write!(
+                f,
+                "corrupt durable log at offset {offset}: expected crc {expected:#010x}, found {found:#010x}"
+            ),
+            SessionError::RecoveryFailed { detail } => {
+                write!(f, "crash recovery failed: {detail}")
             }
         }
     }
@@ -96,6 +121,26 @@ impl SessionError {
 impl From<pdm_sql::Error> for SessionError {
     fn from(e: pdm_sql::Error) -> Self {
         SessionError::Sql(e)
+    }
+}
+
+impl From<crate::durability::RecoveryError> for SessionError {
+    fn from(e: crate::durability::RecoveryError) -> Self {
+        use crate::durability::RecoveryError;
+        match e {
+            RecoveryError::CorruptCheckpoint {
+                offset,
+                expected,
+                found,
+            } => SessionError::CorruptLog {
+                offset,
+                expected,
+                found,
+            },
+            other => SessionError::RecoveryFailed {
+                detail: other.to_string(),
+            },
+        }
     }
 }
 

@@ -26,6 +26,7 @@ use std::time::{Duration, Instant};
 
 use pdm_sql::{Database, ExecOutcome, ResultSet, SharedDatabase, Statement};
 
+use crate::durability::{Durability, DurabilityConfig};
 use crate::product::ObjectId;
 use crate::server::{id_list, split_ids, CheckoutProcedureResult};
 
@@ -340,22 +341,58 @@ pub struct SharedServer {
     /// execution.
     write_gate: Mutex<Vec<String>>,
     journal: AtomicBool,
+    /// Optional write-ahead log + checkpoint attachment. When present,
+    /// every DML commit, check-out grant/release, and token completion is
+    /// made durable before it takes effect (see [`crate::durability`]).
+    durability: Option<Durability>,
 }
 
 impl SharedServer {
     /// Wrap a populated database, installing the PDM stored functions.
     pub fn new(mut db: Database) -> Self {
         crate::functions::register_pdm_functions(&mut db);
+        Self::assemble(SharedDatabase::new(db), None, HashMap::new(), 1)
+    }
+
+    /// Wrap a populated database with a durability attachment: every commit
+    /// is write-ahead logged, and an initial checkpoint is cut immediately
+    /// so recovery of this store is always checkpoint-load + log-replay.
+    pub fn with_durability(mut db: Database, cfg: &DurabilityConfig) -> pdm_sql::Result<Self> {
+        crate::functions::register_pdm_functions(&mut db);
+        let shared = SharedDatabase::new(db);
+        let durability = Durability::new(cfg);
+        durability.checkpoint(&shared.snapshot())?;
+        Ok(Self::assemble(shared, Some(durability), HashMap::new(), 1))
+    }
+
+    /// Assemble a server from recovered (or fresh) parts. `tokens` seeds
+    /// the idempotency log; `next_token` must exceed every token in it.
+    pub(crate) fn assemble(
+        db: SharedDatabase,
+        durability: Option<Durability>,
+        tokens: impl IntoIterator<Item = (u64, Option<ResultSet>)>,
+        next_token: u64,
+    ) -> Self {
+        let checkout_log: HashMap<u64, Option<CheckoutProcedureResult>> = tokens
+            .into_iter()
+            .map(|(token, rows)| (token, Some(CheckoutProcedureResult { rows })))
+            .collect();
         SharedServer {
-            db: SharedDatabase::new(db),
+            db,
             locks: LockTable::default(),
             cache: QueryCache::default(),
-            checkout_log: Mutex::new(HashMap::new()),
+            checkout_log: Mutex::new(checkout_log),
             checkout_cv: Condvar::new(),
-            token_counter: AtomicU64::new(1),
+            token_counter: AtomicU64::new(next_token),
             write_gate: Mutex::new(Vec::new()),
             journal: AtomicBool::new(false),
+            durability,
         }
+    }
+
+    /// The durability attachment, if this server write-ahead logs.
+    pub fn durability(&self) -> Option<&Durability> {
+        self.durability.as_ref()
     }
 
     /// The underlying snapshot store.
@@ -465,13 +502,32 @@ impl SharedServer {
     }
 
     /// Like [`SharedServer::execute`] for a parsed statement.
+    ///
+    /// With durability attached, the write path runs the WAL commit gate:
+    /// the commit record is appended and fsynced after the statement is
+    /// applied to the copied catalog but before the snapshot is published,
+    /// so a state change is visible only once durable. The checkpoint
+    /// cadence is also driven from here, inside the write gate, so a
+    /// checkpoint can never interleave with a commit.
     pub fn execute_ast(&self, stmt: &Statement) -> pdm_sql::Result<ExecOutcome> {
         if matches!(stmt, Statement::Query(_)) {
             let (outcome, _) = self.db.execute_ast(stmt)?;
             return Ok(outcome);
         }
         let mut log = lock_unpoisoned(&self.write_gate);
-        let (outcome, _) = self.db.execute_ast(stmt)?;
+        let outcome = match &self.durability {
+            None => self.db.execute_ast(stmt)?.0,
+            Some(d) => {
+                let sql = stmt.to_string();
+                let (outcome, _) = self
+                    .db
+                    .execute_ast_gated(stmt, |version| d.log_commit(version, &sql))?;
+                if d.checkpoint_due() {
+                    d.checkpoint(&self.db.snapshot())?;
+                }
+                outcome
+            }
+        };
         if self.journal.load(Ordering::Relaxed) {
             log.push(stmt.to_string());
         }
@@ -537,7 +593,16 @@ impl SharedServer {
             }
         }
 
-        let result = self.checkout_procedure_inner(root, modified_sql, token, deadline);
+        let mut result = self.checkout_procedure_inner(root, modified_sql, token, deadline);
+        // Make the outcome durable before recording it: a crash after this
+        // point replays the token's recorded result instead of re-running
+        // the procedure; a crash before it sweeps the grant, as if the
+        // check-out never happened.
+        if let (Ok(outcome), Some(d)) = (&result, &self.durability) {
+            if let Err(e) = d.log_token(token, outcome.rows.as_ref()) {
+                result = Err(SharedServerError::Sql(e));
+            }
+        }
         let mut log = lock_unpoisoned(&self.checkout_log);
         match &result {
             Ok(outcome) => {
@@ -586,11 +651,55 @@ impl SharedServer {
             return Ok(CheckoutProcedureResult { rows: None });
         }
 
-        self.set_checked_out("assy", &all_assy, true)?;
-        self.set_checked_out("comp", &comp_ids, true)?;
+        // Durable-grant protocol: log the grant BEFORE the flag UPDATEs.
+        // Whatever happens next — crash between the two UPDATEs, crash
+        // before either — recovery sees the grant and sweeps its ids back
+        // to FALSE, so every crash position converges to "the check-out
+        // never happened".
+        if let Some(d) = &self.durability {
+            if let Err(e) = d.log_grant(token, &all_assy, &comp_ids) {
+                self.locks.abort(&lock_ids, token);
+                return Err(SharedServerError::Sql(e));
+            }
+        }
+
+        if let Err(e) = self
+            .set_checked_out("assy", &all_assy, true)
+            .and_then(|_| self.set_checked_out("comp", &comp_ids, true))
+        {
+            self.locks.abort(&lock_ids, token);
+            if let Some(d) = &self.durability {
+                // Best-effort: cancel the grant so it is not swept later;
+                // if the device is already dead, recovery sweeps instead.
+                let _ = d.log_release(&lock_ids);
+            }
+            return Err(e.into());
+        }
         self.locks.promote(&lock_ids, token);
 
         Ok(CheckoutProcedureResult { rows: Some(rows) })
+    }
+
+    /// Recovery hook: force `checkedout = FALSE` on the given ids (the
+    /// union of all stale grants) and log the closing release. Runs through
+    /// the normal durable write path so the sweep itself is replayable.
+    pub(crate) fn sweep_stale_grants(
+        &self,
+        assy_ids: &[ObjectId],
+        comp_ids: &[ObjectId],
+    ) -> pdm_sql::Result<()> {
+        self.set_checked_out("assy", assy_ids, false)?;
+        self.set_checked_out("comp", comp_ids, false)?;
+        if assy_ids.is_empty() && comp_ids.is_empty() {
+            return Ok(());
+        }
+        if let Some(d) = &self.durability {
+            let mut all: Vec<ObjectId> = Vec::with_capacity(assy_ids.len() + comp_ids.len());
+            all.extend(assy_ids);
+            all.extend(comp_ids);
+            d.log_release(&all)?;
+        }
+        Ok(())
     }
 
     /// Whether a check-out with this token has completed.
@@ -613,6 +722,12 @@ impl SharedServer {
         ids.extend(assy_ids);
         ids.extend(comp_ids);
         self.locks.release(&ids);
+        // The flag-clearing UPDATEs above are already durable; the release
+        // record retires the grant so recovery stops sweeping these ids. A
+        // crash between the two is safe: the sweep re-forces FALSE, a no-op.
+        if let Some(d) = &self.durability {
+            d.log_release(&ids)?;
+        }
         Ok(a + c)
     }
 

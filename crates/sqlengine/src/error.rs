@@ -24,6 +24,9 @@ pub enum Error {
     /// A recursive query exceeded the configured iteration limit; almost
     /// always a cycle in the data that UNION dedup could not close.
     RecursionLimit(usize),
+    /// Serialized state (snapshot, WAL payload) failed to decode. The
+    /// message carries the byte offset of the malformation.
+    Persist(String),
 }
 
 impl fmt::Display for Error {
@@ -38,6 +41,7 @@ impl fmt::Display for Error {
             Error::RecursionLimit(n) => {
                 write!(f, "recursive query exceeded {n} iterations (data cycle?)")
             }
+            Error::Persist(m) => write!(f, "persist error: {m}"),
         }
     }
 }

@@ -28,6 +28,7 @@ pub mod exec;
 pub mod functions;
 pub mod lexer;
 pub mod parser;
+pub mod persist;
 pub mod row;
 pub mod schema;
 pub mod shared;

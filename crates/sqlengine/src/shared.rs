@@ -86,6 +86,17 @@ impl SharedDatabase {
         }
     }
 
+    /// Publish a previously serialized snapshot (recovery path): the
+    /// version chain continues from `snapshot.version` instead of 0.
+    pub fn from_snapshot(snapshot: Snapshot) -> Self {
+        let version = snapshot.version;
+        SharedDatabase {
+            current: RwLock::new(Arc::new(snapshot)),
+            writer: Mutex::new(()),
+            version: AtomicU64::new(version),
+        }
+    }
+
     /// The currently published snapshot.
     pub fn snapshot(&self) -> Arc<Snapshot> {
         match self.current.read() {
@@ -117,6 +128,24 @@ impl SharedDatabase {
 
     /// Like [`SharedDatabase::execute`] for an already-parsed statement.
     pub fn execute_ast(&self, stmt: &Statement) -> Result<(ExecOutcome, u64)> {
+        self.execute_ast_gated(stmt, |_| Ok(()))
+    }
+
+    /// Execute a statement with a **commit gate**: for a write, `gate` runs
+    /// after the DML has been applied to the copied catalog but *before*
+    /// the new snapshot is published. This is the write-ahead-log hook —
+    /// the durability layer appends and fsyncs the commit record in the
+    /// gate, so a state change is only ever visible if it is already
+    /// durable. A gate error abandons the prepared snapshot: nothing is
+    /// published and the version does not advance.
+    ///
+    /// The gate receives the version the commit would publish as. Read
+    /// queries never invoke the gate.
+    pub fn execute_ast_gated(
+        &self,
+        stmt: &Statement,
+        gate: impl FnOnce(u64) -> Result<()>,
+    ) -> Result<(ExecOutcome, u64)> {
         if let Statement::Query(q) = stmt {
             let snap = self.snapshot();
             return Ok((ExecOutcome::Rows(snap.query_ast(q)?), snap.version));
@@ -129,6 +158,7 @@ impl SharedDatabase {
         let mut catalog = base.catalog.clone(); // cheap: Arc'ed tables
         let outcome = execute_statement(&mut catalog, &base.config, stmt)?;
         let version = base.version + 1;
+        gate(version)?;
         let next = Arc::new(Snapshot {
             catalog,
             config: base.config.clone(),

@@ -98,6 +98,15 @@ impl Table {
         self.indexes.contains_key(&col_idx)
     }
 
+    /// Names of the indexed columns (unordered). The persistence layer
+    /// stores these so indexes can be rebuilt on snapshot reload.
+    pub fn indexed_columns(&self) -> Vec<String> {
+        self.indexes
+            .keys()
+            .map(|&idx| self.schema.column(idx).name.clone())
+            .collect()
+    }
+
     /// Row ids matching `value` via the index on `col_idx`, if indexed.
     pub fn index_lookup(&self, col_idx: usize, value: &Value) -> Option<&[usize]> {
         self.indexes

@@ -1,0 +1,79 @@
+//! CRC-32 (IEEE 802.3 polynomial), hand-rolled because the workspace is
+//! offline and cannot pull a checksum crate. The table is computed at
+//! compile time; the byte-at-a-time loop is plenty fast for WAL records.
+
+/// Reflected polynomial of CRC-32/ISO-HDLC (the zlib/PNG/Ethernet CRC).
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC-32 of `bytes` (init `0xFFFF_FFFF`, final xor `0xFFFF_FFFF`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// CRC-32 over two concatenated slices without materializing the
+/// concatenation (the log checksums `seq || payload`).
+pub fn crc32_pair(a: &[u8], b: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in a.iter().chain(b) {
+        crc = (crc >> 8) ^ TABLE[((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn pair_matches_concatenation() {
+        let a = b"hello ";
+        let b = b"world";
+        assert_eq!(crc32_pair(a, b), crc32(b"hello world"));
+        assert_eq!(crc32_pair(b"", b"xyz"), crc32(b"xyz"));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let base = b"the quick brown fox".to_vec();
+        let c0 = crc32(&base);
+        for i in 0..base.len() * 8 {
+            let mut flipped = base.clone();
+            flipped[i / 8] ^= 1 << (i % 8);
+            assert_ne!(crc32(&flipped), c0, "bit {i} undetected");
+        }
+    }
+}
