@@ -171,9 +171,12 @@ struct CycleFailure {
     crash_op: u64,
     fault: TailFault,
     detail: String,
+    /// Server metrics snapshot at failure time — the post-mortem context
+    /// the journal carries alongside the reproducing seed.
+    metrics: String,
 }
 
-fn run_cycle(seed: u64, cycle: u64) -> Result<(u64, u64), CycleFailure> {
+fn run_cycle(seed: u64, cycle: u64) -> Result<(u64, u64, String), CycleFailure> {
     let mut rng = Prng::seed_from_u64(seed ^ cycle.wrapping_mul(0x9E37_79B9));
     let crash_op = rng.u64_inclusive(0, 90);
     let fault = match rng.index(3) {
@@ -181,17 +184,18 @@ fn run_cycle(seed: u64, cycle: u64) -> Result<(u64, u64), CycleFailure> {
         1 => TailFault::TornWrite,
         _ => TailFault::PartialSector,
     };
-    let fail = |detail: String| CycleFailure {
-        cycle,
-        crash_op,
-        fault,
-        detail,
-    };
 
     let plan = CrashPlan::at_op(crash_op)
         .with_fault(fault)
         .with_seed(rng.next_u64());
     let victim = durable_server(plan, NO_CHECKPOINTS);
+    let fail = |detail: String| CycleFailure {
+        cycle,
+        crash_op,
+        fault,
+        detail,
+        metrics: victim.metrics().snapshot().to_json(0),
+    };
     let tokens = scripted_workload(&victim, rng.next_u64(), 30);
     let durability = victim.shared().durability().unwrap();
     if !durability.is_crashed() {
@@ -230,7 +234,11 @@ fn run_cycle(seed: u64, cycle: u64) -> Result<(u64, u64), CycleFailure> {
             return Err(fail(format!("token {token} replay re-executed")));
         }
     }
-    Ok((report.replayed_commits, report.swept_tokens.len() as u64))
+    Ok((
+        report.replayed_commits,
+        report.swept_tokens.len() as u64,
+        victim.metrics().snapshot().to_json(2),
+    ))
 }
 
 /// One recovery-time sample: `commits` UPDATE commits at checkpoint
@@ -271,17 +279,21 @@ fn main() {
     println!("chaos: {cycles} crash/recovery cycles, seed {seed:#x}");
     let mut replayed_total = 0u64;
     let mut swept_total = 0u64;
+    // Metrics of the LAST completed cycle's victim server: one
+    // representative per-cycle workload snapshot for the bench report.
+    let mut cycle_metrics = String::from("{}");
     let start = Instant::now();
     for cycle in 0..cycles {
         match run_cycle(seed, cycle) {
-            Ok((replayed, swept)) => {
+            Ok((replayed, swept, metrics)) => {
                 replayed_total += replayed;
                 swept_total += swept;
+                cycle_metrics = metrics;
             }
             Err(f) => {
                 let journal = format!(
-                    "chaos failure\nseed: {seed:#x}\ncycle: {}\ncrash_op: {}\nfault: {:?}\ndetail: {}\nrerun: cargo run --release --bin chaos -- {seed} {cycles}\n",
-                    f.cycle, f.crash_op, f.fault, f.detail
+                    "chaos failure\nseed: {seed:#x}\ncycle: {}\ncrash_op: {}\nfault: {:?}\ndetail: {}\nrerun: cargo run --release --bin chaos -- {seed} {cycles}\nserver metrics at failure:\n{}\n",
+                    f.cycle, f.crash_op, f.fault, f.detail, f.metrics
                 );
                 std::fs::write("CHAOS_journal.txt", &journal).unwrap();
                 eprintln!("{journal}");
@@ -324,7 +336,8 @@ fn main() {
             "  \"cycle_wall_seconds\": {:.3},\n",
             "  \"replayed_commits\": {},\n",
             "  \"swept_grants\": {},\n",
-            "  \"profile\": [\n{}\n  ]\n",
+            "  \"profile\": [\n{}\n  ],\n",
+            "  \"metrics\": {}\n",
             "}}\n"
         ),
         seed,
@@ -332,7 +345,8 @@ fn main() {
         wall,
         replayed_total,
         swept_total,
-        rows.join(",\n")
+        rows.join(",\n"),
+        cycle_metrics.trim_end()
     );
     std::fs::write("BENCH_recovery.json", json).unwrap();
     println!("wrote BENCH_recovery.json");

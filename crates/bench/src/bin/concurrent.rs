@@ -35,6 +35,14 @@ struct WorkerOut {
     writes: usize,
 }
 
+/// `PDM_PROFILE=1` turns per-session span recording on (the CI obs job
+/// runs the bench both ways; results must not change).
+fn profiling() -> bool {
+    std::env::var("PDM_PROFILE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
 fn percentile(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
@@ -70,15 +78,22 @@ fn main() {
         let barrier = Arc::clone(&barrier);
         handles.push(std::thread::spawn(move || {
             let mut prng = Prng::seed_from_u64(SEED ^ (worker as u64).wrapping_mul(0x9E37));
+            // Most clients run the tuned recursive strategy; every fourth
+            // runs the late-eval baseline so the γ split (rows kept vs
+            // filtered after transfer) shows up in the metrics snapshot.
+            let strategy = if worker % 4 == 3 {
+                Strategy::LateEval
+            } else {
+                Strategy::Recursive
+            };
             let mut session = Session::attach(
                 server.clone(),
-                SessionConfig::new(
-                    format!("user{worker}"),
-                    Strategy::Recursive,
-                    LinkProfile::wan_256(),
-                ),
+                SessionConfig::new(format!("user{worker}"), strategy, LinkProfile::wan_256()),
                 visibility_rules(),
             );
+            if profiling() {
+                session.enable_profiling();
+            }
             let mut out = WorkerOut::default();
             barrier.wait();
             for _ in 0..ops_per_thread {
@@ -134,7 +149,16 @@ fn main() {
     let qps = total_ops as f64 / wall;
     let p50 = percentile(&latencies, 0.50);
     let p99 = percentile(&latencies, 0.99);
-    let cache = server.shared().cache_stats();
+    // Cache accounting now lives in the shared metrics registry (one
+    // source of truth); the hit rate is computed from its counters.
+    let metrics = server.metrics().snapshot();
+    let cache_hits = metrics.counter("cache.hits");
+    let cache_misses = metrics.counter("cache.misses");
+    let hit_rate = if cache_hits + cache_misses == 0 {
+        0.0
+    } else {
+        cache_hits as f64 / (cache_hits + cache_misses) as f64
+    };
     let grants: usize = outs.iter().map(|o| o.grants).sum();
     let refusals: usize = outs.iter().map(|o| o.refusals).sum();
     let expands: usize = outs.iter().map(|o| o.expands).sum();
@@ -149,11 +173,21 @@ fn main() {
     println!("{:<26}{:>12.0}", "throughput (ops/s)", qps);
     println!("{:<26}{:>12}", "p50 latency (us)", p50);
     println!("{:<26}{:>12}", "p99 latency (us)", p99);
-    println!("{:<26}{:>12.3}", "cache hit rate", cache.hit_rate());
+    println!("{:<26}{:>12.3}", "cache hit rate", hit_rate);
     println!(
         "{:<26}{:>12}",
         "cache hits/misses",
-        format!("{}/{}", cache.hits, cache.misses)
+        format!("{cache_hits}/{cache_misses}")
+    );
+    println!(
+        "{:<26}{:>12}",
+        "cache invalidations",
+        metrics.counter("cache.invalidations")
+    );
+    println!(
+        "{:<26}{:>12}",
+        "profiling",
+        if profiling() { "on" } else { "off" }
     );
     println!("{:<26}{:>12}", "checkouts granted", grants);
     println!("{:<26}{:>12}", "checkouts refused", refusals);
@@ -170,6 +204,7 @@ fn main() {
             "  \"bench\": \"concurrent\",\n",
             "  \"threads\": {},\n",
             "  \"ops_per_thread\": {},\n",
+            "  \"profiling\": {},\n",
             "  \"total_ops\": {},\n",
             "  \"wall_seconds\": {:.4},\n",
             "  \"qps\": {:.1},\n",
@@ -177,32 +212,35 @@ fn main() {
             "  \"cache\": {{ \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4} }},\n",
             "  \"ops\": {{ \"expand\": {}, \"query\": {}, \"checkout_granted\": {}, ",
             "\"checkout_refused\": {}, \"writes\": {} }},\n",
-            "  \"final_version\": {}\n",
+            "  \"final_version\": {},\n",
+            "  \"metrics\": {}\n",
             "}}\n"
         ),
         threads,
         ops_per_thread,
+        profiling(),
         total_ops,
         wall,
         qps,
         p50,
         p99,
-        cache.hits,
-        cache.misses,
-        cache.hit_rate(),
+        cache_hits,
+        cache_misses,
+        hit_rate,
         expands,
         queries,
         grants,
         refusals,
         writes,
         server.shared().version(),
+        metrics.to_json(2).trim_end(),
     );
     std::fs::write("BENCH_concurrent.json", json).unwrap();
     println!();
     println!("wrote BENCH_concurrent.json");
 
     assert!(
-        cache.hits > 0,
+        cache_hits > 0,
         "acceptance: the cross-session cache must serve hits under this workload"
     );
 }

@@ -34,7 +34,8 @@ impl Session {
     /// out (the paper's example-2 ∀rows condition), then flag every
     /// retrieved object in separate UPDATE round trips.
     pub fn check_out(&mut self, root: ObjectId) -> SessionResult<CheckoutOutcome> {
-        // Phase 1: retrieval (meters its own traffic, resets metering).
+        // Phase 1: retrieval (meters its own traffic, resets metering, and
+        // folds its own traffic into the registry as its own action).
         let expand = self.multi_level_expand(root)?;
         let mut stats = expand.stats.clone();
         let tree = expand.tree;
@@ -76,6 +77,10 @@ impl Session {
             self.metered_update_public(&sql)?;
             update_round_trips += 1;
         }
+        // Fold ONLY the post-reset UPDATE-phase traffic: phase 1 already
+        // folded itself inside multi_level_expand, and the absorbed total
+        // below is for the caller's outcome, not the registry.
+        self.fold_traffic();
         stats.absorb(self.stats());
 
         Ok(CheckoutOutcome {
@@ -98,19 +103,37 @@ impl Session {
         &mut self,
         root: ObjectId,
     ) -> SessionResult<CheckoutOutcome> {
-        self.reset_metering();
+        let action = self.begin_action("check_out_function_shipping");
+        let result = self.check_out_function_shipping_inner(root);
+        drop(action);
+        self.fold_traffic();
+        result
+    }
+
+    fn check_out_function_shipping_inner(
+        &mut self,
+        root: ObjectId,
+    ) -> SessionResult<CheckoutOutcome> {
         let mut q = recursive::mle_query(root);
         {
             let rules = self.rules().clone();
             let user = self.config().user.clone();
             let views = self.server().view_names();
+            let lookup = self
+                .recorder()
+                .span(pdm_obs::kinds::RULE_LOOKUP, "checkout_rules");
             let m = crate::query::modificator::Modificator::new(
                 &rules,
                 &user,
                 ActionKind::CheckOut,
                 &views,
             );
+            drop(lookup);
+            let span = self
+                .recorder()
+                .span(pdm_obs::kinds::QUERY_MODIFY, "recursive");
             m.modify_recursive(&mut q)?;
+            drop(span);
         }
         let sql = q.to_string();
         let token = self.next_checkout_token();
@@ -120,12 +143,13 @@ impl Session {
         // thread makes the server-side call WAIT; the session's per-action
         // deadline bounds that wait and surfaces as a Timeout.
         let lock_deadline = self.lock_deadline();
+        let obs = self.recorder().clone();
         let result = if self.channel_mut().fault_plan().is_none() {
             let elapsed = self.elapsed();
             let result = self
                 .server()
-                .checkout_procedure_with_deadline(root, &sql, token, lock_deadline)
-                .map_err(|e| SessionError::from_shared(e, elapsed))?;
+                .checkout_procedure_with_deadline_obs(root, &sql, token, lock_deadline, &obs)
+                .map_err(|e| SessionError::from_shared(e, elapsed, &obs))?;
             let response = procedure_response_size(&result);
             self.meter_round_trip(request_bytes, response);
             result
@@ -138,8 +162,14 @@ impl Session {
                         let elapsed = self.elapsed();
                         let result = self
                             .server()
-                            .checkout_procedure_with_deadline(root, &sql, token, lock_deadline)
-                            .map_err(|e| SessionError::from_shared(e, elapsed))?;
+                            .checkout_procedure_with_deadline_obs(
+                                root,
+                                &sql,
+                                token,
+                                lock_deadline,
+                                &obs,
+                            )
+                            .map_err(|e| SessionError::from_shared(e, elapsed, &obs))?;
                         let response = procedure_response_size(&result);
                         match self.channel_mut().try_receive_response(pending, response) {
                             Ok(_) => break result,
@@ -188,7 +218,14 @@ impl Session {
     /// Check a previously retrieved subtree back in (one UPDATE round trip
     /// per affected table).
     pub fn check_in(&mut self, tree: &ProductTree) -> SessionResult<usize> {
-        self.reset_metering();
+        let action = self.begin_action("check_in");
+        let result = self.check_in_inner(tree);
+        drop(action);
+        self.fold_traffic();
+        result
+    }
+
+    fn check_in_inner(&mut self, tree: &ProductTree) -> SessionResult<usize> {
         let mut assy_ids = Vec::new();
         let mut comp_ids = Vec::new();
         for node in tree.nodes() {
@@ -267,8 +304,9 @@ impl Session {
     /// faulty link every failure mode — including a lost confirmation after
     /// the server applied the update — is safe to replay.
     pub(crate) fn metered_update_public(&mut self, sql: &str) -> SessionResult<usize> {
+        let obs = self.recorder().clone();
         if self.channel_mut().fault_plan().is_none() {
-            let out = self.server_mut().execute(sql)?;
+            let out = self.server().execute_obs(sql, &obs)?;
             self.meter_round_trip(sql.len(), 16);
             return Ok(updated_rows(out));
         }
@@ -277,7 +315,7 @@ impl Session {
             self.check_deadline(attempt)?;
             let failure = match self.channel_mut().try_send_request(sql.len()) {
                 Ok(pending) => {
-                    let out = self.server_mut().execute(sql)?;
+                    let out = self.server().execute_obs(sql, &obs)?;
                     match self.channel_mut().try_receive_response(pending, 16) {
                         Ok(_) => return Ok(updated_rows(out)),
                         Err(e) => e,

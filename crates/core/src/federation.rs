@@ -200,6 +200,7 @@ impl Federation {
                     return Err(SessionError::Timeout {
                         attempts: attempt.saturating_sub(1),
                         elapsed: ch.elapsed(),
+                        context: pdm_obs::FlightDump::at("net.exchange"),
                     });
                 }
             }
@@ -218,7 +219,12 @@ impl Federation {
             };
             let ch = &mut self.sites[site].channel;
             if attempt >= self.retry.max_attempts {
-                return Err(SessionError::from_link(failure, attempt, ch.elapsed()));
+                return Err(SessionError::from_link(
+                    failure,
+                    attempt,
+                    ch.elapsed(),
+                    &pdm_obs::Recorder::disabled(),
+                ));
             }
             let mut wait = self.retry.backoff(attempt, ch.exchanges_attempted());
             if let LinkError::Outage { until, .. } = failure {
@@ -228,6 +234,7 @@ impl Federation {
                 return Err(SessionError::Timeout {
                     attempts: attempt,
                     elapsed: ch.elapsed(),
+                    context: pdm_obs::FlightDump::at("net.exchange"),
                 });
             }
             ch.wait(wait);

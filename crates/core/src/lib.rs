@@ -24,7 +24,12 @@
 //! * a **resilience layer** for faulty WANs: retry with deterministic
 //!   backoff, failure-atomic check-out via idempotency tokens, circuit-
 //!   breaker degradation from the recursive strategy to level-batched
-//!   navigation, and partial federated results over unreachable sites.
+//!   navigation, and partial federated results over unreachable sites;
+//! * end-to-end **observability** (`pdm-obs`): per-action span trees from
+//!   rule lookup down to engine operators, WAL appends and network
+//!   exchanges ([`Session::enable_profiling`]), a server-wide metrics
+//!   registry ([`SharedServer::metrics`]), and flight-recorder context on
+//!   timeout errors ([`SessionError::Timeout`]).
 
 pub mod checkout;
 pub mod client;
@@ -44,6 +49,10 @@ pub use durability::{
     recover_server, Durability, DurabilityConfig, GrantIds, RecoveryError, RecoveryReport,
 };
 pub use federation::{FederatedOutcome, Federation, MountPoint};
+pub use pdm_obs::{
+    FlightDump, FlightEvent, MetricsRegistry, MetricsSnapshot, QueryProfile, Recorder, SpanKind,
+    SpanRecord, Subsystem,
+};
 pub use product::{ObjectId, ProductNode, ProductTree};
 pub use resilience::{DegradationController, RetryPolicy};
 pub use rules::condition::{AggFunc, CmpOp, Condition, RowPredicate};

@@ -58,9 +58,20 @@ impl PdmServer {
         Ok((*self.shared.query_cached(sql)?).clone())
     }
 
+    /// [`PdmServer::query`] with span recording (parse, cache probe, engine
+    /// operators).
+    pub fn query_obs(&self, sql: &str, obs: &pdm_obs::Recorder) -> Result<ResultSet> {
+        Ok((*self.shared.query_cached_obs(sql, obs)?).clone())
+    }
+
     /// Execute any statement (the check-out UPDATE path).
     pub fn execute(&self, sql: &str) -> Result<ExecOutcome> {
         self.shared.execute(sql)
+    }
+
+    /// [`PdmServer::execute`] with span recording (parse, WAL commit).
+    pub fn execute_obs(&self, sql: &str, obs: &pdm_obs::Recorder) -> Result<ExecOutcome> {
+        self.shared.execute_obs(sql, obs)
     }
 
     /// Names of views defined at the server — schema knowledge the client's
@@ -119,6 +130,20 @@ impl PdmServer {
             .checkout_procedure_locked(root, modified_sql, token, deadline)
     }
 
+    /// [`PdmServer::checkout_procedure_with_deadline`] with span recording
+    /// (retrieval, lock wait, durable grant/token appends).
+    pub fn checkout_procedure_with_deadline_obs(
+        &self,
+        root: ObjectId,
+        modified_sql: &str,
+        token: u64,
+        deadline: Option<Duration>,
+        obs: &pdm_obs::Recorder,
+    ) -> std::result::Result<CheckoutProcedureResult, SharedServerError> {
+        self.shared
+            .checkout_procedure_locked_obs(root, modified_sql, token, deadline, obs)
+    }
+
     /// Whether a check-out with this idempotency token has already
     /// completed (test/diagnostic hook).
     pub fn checkout_recorded(&self, token: u64) -> bool {
@@ -129,6 +154,21 @@ impl PdmServer {
     /// release their lock-table entries.
     pub fn checkin_procedure(&self, assy_ids: &[ObjectId], comp_ids: &[ObjectId]) -> Result<usize> {
         self.shared.checkin_procedure(assy_ids, comp_ids)
+    }
+
+    /// [`PdmServer::checkin_procedure`] with span recording.
+    pub fn checkin_procedure_obs(
+        &self,
+        assy_ids: &[ObjectId],
+        comp_ids: &[ObjectId],
+        obs: &pdm_obs::Recorder,
+    ) -> Result<usize> {
+        self.shared.checkin_procedure_obs(assy_ids, comp_ids, obs)
+    }
+
+    /// The server-wide metrics registry (see [`SharedServer::metrics`]).
+    pub fn metrics(&self) -> &std::sync::Arc<pdm_obs::MetricsRegistry> {
+        self.shared.metrics()
     }
 
     /// Parse and execute a statement AST directly (bypasses re-parsing when

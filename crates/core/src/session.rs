@@ -5,8 +5,10 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
 use pdm_net::{FaultPlan, LinkError, LinkProfile, MeteredChannel, TrafficStats};
+use pdm_obs::{kinds, FlightDump, MetricsRegistry, QueryProfile, Recorder, SpanGuard};
 use pdm_sql::functions::FunctionRegistry;
 use pdm_sql::{Database, ResultSet, Value};
 
@@ -31,11 +33,18 @@ pub enum SessionError {
     Timeout {
         attempts: u32,
         elapsed: f64,
+        /// Flight-recorder dump: the span kind in which the deadline
+        /// expired (`"net.exchange"` for link stalls, `"locks.wait"` for
+        /// check-out lock waits) plus the most recent recorded events
+        /// (empty unless profiling is on).
+        context: FlightDump,
     },
     /// The link is in a scheduled outage window lasting (at least) until
     /// the given virtual time, and the retry budget ran out first.
     LinkDown {
         until: f64,
+        /// Flight-recorder dump (see [`SessionError::Timeout::context`]).
+        context: FlightDump,
     },
     /// Durable server state failed its integrity check: a checksum mismatch
     /// at the given byte offset. Carries expected vs found CRC so the
@@ -59,14 +68,26 @@ impl fmt::Display for SessionError {
             SessionError::Sql(e) => write!(f, "database error: {e}"),
             SessionError::Modification(e) => write!(f, "query modification failed: {e}"),
             SessionError::RootNotFound(id) => write!(f, "no object with obid {id}"),
-            SessionError::Timeout { attempts, elapsed } => {
+            SessionError::Timeout {
+                attempts,
+                elapsed,
+                context,
+            } => {
                 write!(
                     f,
                     "gave up after {attempts} attempts ({elapsed:.2}s elapsed)"
-                )
+                )?;
+                if !context.expired_in.is_empty() {
+                    write!(f, " [deadline expired in {}]", context.expired_in)?;
+                }
+                Ok(())
             }
-            SessionError::LinkDown { until } => {
-                write!(f, "link down until t={until:.2}s")
+            SessionError::LinkDown { until, context } => {
+                write!(f, "link down until t={until:.2}s")?;
+                if !context.expired_in.is_empty() {
+                    write!(f, " [deadline expired in {}]", context.expired_in)?;
+                }
+                Ok(())
             }
             SessionError::CorruptLog {
                 offset,
@@ -87,11 +108,28 @@ impl std::error::Error for SessionError {}
 
 impl SessionError {
     /// Classify a final link failure: outages map to [`SessionError::LinkDown`],
-    /// everything else to [`SessionError::Timeout`].
-    pub(crate) fn from_link(last: LinkError, attempts: u32, elapsed: f64) -> Self {
+    /// everything else to [`SessionError::Timeout`]. Either way the deadline
+    /// expired waiting on the network, so the context pins `net.exchange`
+    /// and carries the recorder's recent events.
+    pub(crate) fn from_link(last: LinkError, attempts: u32, elapsed: f64, obs: &Recorder) -> Self {
+        let context = FlightDump::at("net.exchange").with_events(obs);
         match last {
-            LinkError::Outage { until, .. } => SessionError::LinkDown { until },
-            _ => SessionError::Timeout { attempts, elapsed },
+            LinkError::Outage { until, .. } => SessionError::LinkDown { until, context },
+            _ => SessionError::Timeout {
+                attempts,
+                elapsed,
+                context,
+            },
+        }
+    }
+
+    /// The flight-recorder context attached to this error, if any.
+    pub fn context(&self) -> Option<&FlightDump> {
+        match self {
+            SessionError::Timeout { context, .. } | SessionError::LinkDown { context, .. } => {
+                Some(context)
+            }
+            _ => None,
         }
     }
 
@@ -106,13 +144,19 @@ impl SessionError {
 
     /// Classify a shared-server failure: a check-out lock wait that
     /// exceeded the per-action deadline surfaces as
-    /// [`SessionError::Timeout`], exactly like a link deadline.
-    pub(crate) fn from_shared(e: crate::shared::SharedServerError, elapsed: f64) -> Self {
+    /// [`SessionError::Timeout`], exactly like a link deadline — but its
+    /// context pins `locks.wait`, so the two are distinguishable.
+    pub(crate) fn from_shared(
+        e: crate::shared::SharedServerError,
+        elapsed: f64,
+        obs: &Recorder,
+    ) -> Self {
         match e {
             crate::shared::SharedServerError::Sql(e) => SessionError::Sql(e),
             crate::shared::SharedServerError::LockTimeout { waited } => SessionError::Timeout {
                 attempts: 1,
                 elapsed: elapsed + waited.as_secs_f64(),
+                context: FlightDump::at("locks.wait").with_events(obs),
             },
         }
     }
@@ -206,6 +250,13 @@ pub struct Session {
     fault_plan: Option<FaultPlan>,
     retry: RetryPolicy,
     degradation: DegradationController,
+    /// Span recorder, disabled (free no-ops) unless
+    /// [`Session::enable_profiling`] turns it on. The channel holds a clone
+    /// of the same recorder for its network spans.
+    obs: Recorder,
+    /// The shared server's metrics registry; this session folds its
+    /// per-action traffic (`net.*`) into it.
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl Session {
@@ -221,6 +272,7 @@ impl Session {
     /// lock table, and its cross-session result cache.
     pub fn attach(server: PdmServer, config: SessionConfig, rules: RuleTable) -> Self {
         let view_names = server.view_names();
+        let metrics = Arc::clone(server.shared().metrics());
         Session {
             channel: MeteredChannel::new(config.link),
             server,
@@ -232,7 +284,53 @@ impl Session {
             fault_plan: None,
             retry: RetryPolicy::none(),
             degradation: DegradationController::default(),
+            obs: Recorder::disabled(),
+            metrics,
         }
+    }
+
+    /// Turn on end-to-end span recording for this session: every action
+    /// records a hierarchical span tree — rule lookup, query modification,
+    /// parse, engine operators, cache probe, lock wait, WAL append, and
+    /// network exchange — readable via [`Session::last_profile`]. With
+    /// profiling off (the default), every recording call is a free no-op
+    /// and results are byte-identical.
+    pub fn enable_profiling(&mut self) {
+        self.obs = Recorder::new();
+        self.channel.attach_obs(self.obs.clone());
+    }
+
+    /// The session's span recorder (disabled unless
+    /// [`Session::enable_profiling`] was called).
+    pub fn recorder(&self) -> &Recorder {
+        &self.obs
+    }
+
+    /// The server-wide metrics registry this session reports into.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Span tree of the most recent action (`None` with profiling off or
+    /// before the first action).
+    pub fn last_profile(&self) -> Option<QueryProfile> {
+        QueryProfile::from_recorder(&self.obs)
+    }
+
+    /// Start a measured action: reset the traffic meter, reset the
+    /// recorder's per-action state, and open the root `session.action` span.
+    pub(crate) fn begin_action(&mut self, name: &'static str) -> SpanGuard {
+        self.reset_metering();
+        self.obs.begin_action();
+        self.obs.span(kinds::ACTION, name)
+    }
+
+    /// Fold the channel's traffic counters since the last meter reset into
+    /// the server-wide registry. This is the single writer of the `net.*`
+    /// metric family: called once per completed metering segment, so
+    /// retransmits and volumes are never double-counted.
+    pub(crate) fn fold_traffic(&self) {
+        pdm_net::record_traffic(&self.metrics, self.channel.stats());
     }
 
     /// A fresh idempotency token for a check-out attempt. Drawn from the
@@ -328,6 +426,9 @@ impl Session {
         if let Some(plan) = &self.fault_plan {
             self.channel.set_fault_plan(plan.clone());
         }
+        if self.obs.is_enabled() {
+            self.channel.attach_obs(self.obs.clone());
+        }
     }
 
     /// Accumulated traffic since the last reset.
@@ -374,7 +475,7 @@ impl Session {
     /// query — is safe to replay.
     fn metered_query(&mut self, sql: &str) -> SessionResult<ResultSet> {
         if self.channel.fault_plan().is_none() {
-            let rs = self.server.query(sql)?;
+            let rs = self.server.query_obs(sql, &self.obs)?;
             self.channel.round_trip(sql.len(), rs.wire_size());
             return Ok(rs);
         }
@@ -383,7 +484,7 @@ impl Session {
             self.check_deadline(attempt)?;
             let failure = match self.channel.try_send_request(sql.len()) {
                 Ok(pending) => {
-                    let rs = self.server.query(sql)?;
+                    let rs = self.server.query_obs(sql, &self.obs)?;
                     match self.channel.try_receive_response(pending, rs.wire_size()) {
                         Ok(_) => return Ok(rs),
                         Err(e) => e,
@@ -405,6 +506,7 @@ impl Session {
             return Err(SessionError::Timeout {
                 attempts: attempt.saturating_sub(1),
                 elapsed: self.channel.elapsed(),
+                context: FlightDump::at("net.exchange").with_events(&self.obs),
             });
         }
         Ok(())
@@ -423,6 +525,7 @@ impl Session {
                 failure,
                 attempt,
                 self.channel.elapsed(),
+                &self.obs,
             ));
         }
         let mut wait = self
@@ -436,6 +539,7 @@ impl Session {
             return Err(SessionError::Timeout {
                 attempts: attempt,
                 elapsed: self.channel.elapsed(),
+                context: FlightDump::at("net.exchange").with_events(&self.obs),
             });
         }
         self.channel.wait(wait);
@@ -458,7 +562,14 @@ impl Session {
 
     /// Single-level expand: the direct children of `parent`.
     pub fn single_level_expand(&mut self, parent: ObjectId) -> SessionResult<ExpandOutcome> {
-        self.reset_metering();
+        let action = self.begin_action("single_level_expand");
+        let result = self.single_level_expand_inner(parent);
+        drop(action);
+        self.fold_traffic();
+        result
+    }
+
+    fn single_level_expand_inner(&mut self, parent: ObjectId) -> SessionResult<ExpandOutcome> {
         let root_node = self.fetch_root_cached(parent)?;
         let mut tree = ProductTree::new();
         tree.insert(root_node);
@@ -480,7 +591,14 @@ impl Session {
     /// navigational expansion, whose smaller per-level exchanges ride out
     /// loss with cheap retries. The outcome is flagged `degraded`.
     pub fn multi_level_expand(&mut self, root: ObjectId) -> SessionResult<ExpandOutcome> {
-        self.reset_metering();
+        let action = self.begin_action("multi_level_expand");
+        let result = self.multi_level_expand_inner(root);
+        drop(action);
+        self.fold_traffic();
+        result
+    }
+
+    fn multi_level_expand_inner(&mut self, root: ObjectId) -> SessionResult<ExpandOutcome> {
         let root_node = self.fetch_root_cached(root)?;
         let mut tree = ProductTree::new();
         tree.insert(root_node);
@@ -532,8 +650,12 @@ impl Session {
         tree: &mut ProductTree,
     ) -> SessionResult<()> {
         let mut q = recursive::mle_query_in(root, &self.structure_table, false);
-        self.modificator(ActionKind::MultiLevelExpand)
-            .modify_recursive(&mut q)?;
+        {
+            let span = self.obs.span(kinds::QUERY_MODIFY, "recursive");
+            self.modificator(ActionKind::MultiLevelExpand)
+                .modify_recursive(&mut q)?;
+            drop(span);
+        }
         let sql = q.to_string();
         let rs = self.metered_query(&sql)?;
         for row in &rs.rows {
@@ -552,7 +674,14 @@ impl Session {
     /// packet effect. Rules follow the session strategy: early strategies
     /// inject them, late evaluation filters after transfer.
     pub fn multi_level_expand_batched(&mut self, root: ObjectId) -> SessionResult<ExpandOutcome> {
-        self.reset_metering();
+        let action = self.begin_action("multi_level_expand_batched");
+        let result = self.multi_level_expand_batched_inner(root);
+        drop(action);
+        self.fold_traffic();
+        result
+    }
+
+    fn multi_level_expand_batched_inner(&mut self, root: ObjectId) -> SessionResult<ExpandOutcome> {
         let root_node = self.fetch_root_cached(root)?;
         let mut tree = ProductTree::new();
         tree.insert(root_node);
@@ -570,6 +699,7 @@ impl Session {
     fn batched_levels(&mut self, root: ObjectId, tree: &mut ProductTree) -> SessionResult<()> {
         let structure_table = self.structure_table.clone();
         let rules = self.rules.clone();
+        let lookup = self.obs.span(kinds::RULE_LOOKUP, "permission_groups");
         let groups = client::permission_groups(
             &rules,
             &self.config.user,
@@ -580,16 +710,21 @@ impl Session {
                 crate::query::T_COMP,
             ],
         );
+        drop(lookup);
 
         let mut frontier: Vec<ObjectId> = vec![root];
         while !frontier.is_empty() {
             let mut q = navigational::expand_many_query(&frontier, &structure_table);
             if self.config.strategy.early_rules() {
+                let span = self.obs.span(kinds::QUERY_MODIFY, "navigational");
                 self.modificator(ActionKind::MultiLevelExpand)
                     .modify_navigational(&mut q)?;
+                drop(span);
             }
             let sql = q.to_string();
             let rs = self.metered_query(&sql)?;
+            let late = self.late_filter_span("batched_level");
+            let transferred = rs.len() as u64;
             let mut next = Vec::with_capacity(rs.len());
             for row in &rs.rows {
                 let attrs = client::row_attrs(&rs, row);
@@ -602,29 +737,67 @@ impl Session {
                 next.push(node.obid);
                 tree.insert(node);
             }
+            self.close_late_filter(late, transferred, next.len() as u64);
             frontier = next;
         }
         Ok(())
     }
 
+    /// Open a late-filter span when this session filters rules client-side
+    /// (late evaluation); `None` under early strategies, which never filter
+    /// after transfer.
+    fn late_filter_span(&self, label: &'static str) -> Option<SpanGuard> {
+        if self.config.strategy.early_rules() {
+            None
+        } else {
+            Some(self.obs.span(kinds::LATE_FILTER, label))
+        }
+    }
+
+    /// Close a late-filter span with the rows it saw, and account the
+    /// paper's γ split: how many transferred rows the client kept vs threw
+    /// away after paying for their transfer.
+    fn close_late_filter(&self, span: Option<SpanGuard>, transferred: u64, kept: u64) {
+        let Some(span) = span else { return };
+        span.set_rows(transferred, kept);
+        drop(span);
+        self.metrics.counter("session.rows_kept").add(kept);
+        self.metrics
+            .counter("session.rows_filtered_late")
+            .add(transferred.saturating_sub(kept));
+    }
+
     /// The set-oriented Query action: all (visible) nodes of the product,
     /// without structure information, in one query.
     pub fn query_all(&mut self, root: ObjectId) -> SessionResult<QueryOutcome> {
-        self.reset_metering();
+        let action = self.begin_action("query_all");
+        let result = self.query_all_inner(root);
+        drop(action);
+        self.fold_traffic();
+        result
+    }
+
+    fn query_all_inner(&mut self, root: ObjectId) -> SessionResult<QueryOutcome> {
         let mut q = navigational::query_all_query(root);
         if self.config.strategy.early_rules() {
+            let span = self.obs.span(kinds::QUERY_MODIFY, "navigational");
             self.modificator(ActionKind::Query)
                 .modify_navigational(&mut q)?;
+            drop(span);
         }
         let sql = q.to_string();
         let rs = self.metered_query(&sql)?;
 
+        let lookup = self.obs.span(kinds::RULE_LOOKUP, "permission_groups");
         let groups = client::permission_groups(
             &self.rules,
             &self.config.user,
             ActionKind::Query,
             &[crate::query::T_ASSY, crate::query::T_COMP],
         );
+        drop(lookup);
+        let late = self.late_filter_span("query_all");
+        let transferred = rs.len() as u64;
         let mut nodes = Vec::with_capacity(rs.len());
         for row in &rs.rows {
             let attrs = client::row_attrs(&rs, row);
@@ -635,6 +808,7 @@ impl Session {
             }
             nodes.push(node_from_attrs(attrs, None));
         }
+        self.close_late_filter(late, transferred, nodes.len() as u64);
         Ok(QueryOutcome {
             nodes,
             stats: self.channel.stats().clone(),
@@ -651,7 +825,9 @@ impl Session {
     ) -> SessionResult<Vec<ObjectId>> {
         let mut q = navigational::expand_query_in(parent, &self.structure_table);
         if self.config.strategy.early_rules() {
+            let span = self.obs.span(kinds::QUERY_MODIFY, "navigational");
             self.modificator(action).modify_navigational(&mut q)?;
+            drop(span);
         }
         let sql = q.to_string();
         let rs = self.metered_query(&sql)?;
@@ -659,6 +835,7 @@ impl Session {
         // Late evaluation filters after transfer: link rules plus node
         // rules, evaluated on the transferred attributes.
         let structure_table = self.structure_table.clone();
+        let lookup = self.obs.span(kinds::RULE_LOOKUP, "permission_groups");
         let groups = client::permission_groups(
             &self.rules,
             &self.config.user,
@@ -669,7 +846,10 @@ impl Session {
                 crate::query::T_COMP,
             ],
         );
+        drop(lookup);
 
+        let late = self.late_filter_span("expand");
+        let transferred = rs.len() as u64;
         let mut children = Vec::with_capacity(rs.len());
         for row in &rs.rows {
             let attrs = client::row_attrs(&rs, row);
@@ -682,6 +862,7 @@ impl Session {
             children.push(node.obid);
             tree.insert(node);
         }
+        self.close_late_filter(late, transferred, children.len() as u64);
         Ok(children)
     }
 }

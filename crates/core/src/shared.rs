@@ -24,6 +24,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
+use pdm_obs::{kinds, Counter, Histogram, MetricsRegistry, Recorder};
 use pdm_sql::{Database, ExecOutcome, ResultSet, SharedDatabase, Statement};
 
 use crate::durability::{Durability, DurabilityConfig};
@@ -300,22 +301,90 @@ impl CacheStats {
 /// entry) plus the storage version. DML bumps the version, which atomically
 /// invalidates every entry — a lookup only ever returns a result computed
 /// against the *current* storage.
-#[derive(Debug, Default)]
+///
+/// Hit/miss/invalidation counts live in the server's metrics registry
+/// (`cache.hits`, `cache.misses`, `cache.invalidations`), so they appear in
+/// the same snapshot as every other subsystem's counters.
+#[derive(Debug)]
 struct QueryCache {
     map: Mutex<HashMap<String, CacheEntry>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    /// Entries discarded because their storage version went stale — whether
+    /// replaced in place by a recomputation or removed by an eviction sweep.
+    invalidations: Counter,
 }
 
 /// Entries beyond this trigger an eviction sweep of stale versions.
 const CACHE_CAPACITY: usize = 4096;
 
 impl QueryCache {
+    fn new(registry: &MetricsRegistry) -> Self {
+        QueryCache {
+            map: Mutex::new(HashMap::new()),
+            hits: registry.counter("cache.hits"),
+            misses: registry.counter("cache.misses"),
+            invalidations: registry.counter("cache.invalidations"),
+        }
+    }
+
     fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server metric handles
+// ---------------------------------------------------------------------------
+
+/// Metric handles resolved once at server assembly (registry lookups are a
+/// mutex + map probe; the hot paths touch these pre-resolved atomics).
+#[derive(Debug)]
+struct ServerMetrics {
+    queries: Counter,
+    dml_commits: Counter,
+    wal_appends: Counter,
+    wal_fsync_ns: Histogram,
+    lock_wait_ns: Histogram,
+    lock_grants: Counter,
+    lock_refusals: Counter,
+    rows_scanned: Counter,
+    subquery_evals: Counter,
+    subquery_cache_hits: Counter,
+    recursion_iterations: Counter,
+    index_probes: Counter,
+}
+
+impl ServerMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        ServerMetrics {
+            queries: registry.counter("server.queries"),
+            dml_commits: registry.counter("server.dml_commits"),
+            wal_appends: registry.counter("wal.appends"),
+            wal_fsync_ns: registry.histogram("wal.fsync_ns"),
+            lock_wait_ns: registry.histogram("locks.wait_ns"),
+            lock_grants: registry.counter("locks.grants"),
+            lock_refusals: registry.counter("locks.refusals"),
+            rows_scanned: registry.counter("engine.rows_scanned"),
+            subquery_evals: registry.counter("engine.subquery_evals"),
+            subquery_cache_hits: registry.counter("engine.subquery_cache_hits"),
+            recursion_iterations: registry.counter("engine.recursion_iterations"),
+            index_probes: registry.counter("engine.index_probes"),
+        }
+    }
+
+    /// Fold one query's executor counters into the registry totals.
+    fn fold_exec(&self, stats: &pdm_sql::exec::ExecStats) {
+        self.rows_scanned.add(stats.rows_scanned as u64);
+        self.subquery_evals.add(stats.subquery_evals as u64);
+        self.subquery_cache_hits
+            .add(stats.subquery_cache_hits as u64);
+        self.recursion_iterations
+            .add(stats.recursion_iterations as u64);
+        self.index_probes.add(stats.index_probes as u64);
     }
 }
 
@@ -345,6 +414,12 @@ pub struct SharedServer {
     /// every DML commit, check-out grant/release, and token completion is
     /// made durable before it takes effect (see [`crate::durability`]).
     durability: Option<Durability>,
+    /// The server-wide metrics registry (cache, locks, WAL, engine, query
+    /// counters). Sessions merge their network metering into the same
+    /// registry so one snapshot covers the whole stack.
+    metrics: Arc<MetricsRegistry>,
+    /// Pre-resolved handles into `metrics` for the hot paths.
+    m: ServerMetrics,
 }
 
 impl SharedServer {
@@ -377,16 +452,21 @@ impl SharedServer {
             .into_iter()
             .map(|(token, rows)| (token, Some(CheckoutProcedureResult { rows })))
             .collect();
+        let metrics = Arc::new(MetricsRegistry::new());
+        let cache = QueryCache::new(&metrics);
+        let m = ServerMetrics::new(&metrics);
         SharedServer {
             db,
             locks: LockTable::default(),
-            cache: QueryCache::default(),
+            cache,
             checkout_log: Mutex::new(checkout_log),
             checkout_cv: Condvar::new(),
             token_counter: AtomicU64::new(next_token),
             write_gate: Mutex::new(Vec::new()),
             journal: AtomicBool::new(false),
             durability,
+            metrics,
+            m,
         }
     }
 
@@ -419,6 +499,16 @@ impl SharedServer {
     /// Hit/miss counters of the cross-session result cache.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// The server-wide metrics registry. Covers the cache
+    /// (`cache.hits/misses/invalidations`), lock table
+    /// (`locks.grants/refusals/wait_ns`), WAL (`wal.appends/fsync_ns`),
+    /// engine operator counters (`engine.*`), and query totals
+    /// (`server.queries`, `server.dml_commits`); sessions additionally fold
+    /// their network metering (`net.*`) into the same registry.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     /// Turn the operation journal on (DML commit log + lock events).
@@ -457,32 +547,59 @@ impl SharedServer {
     /// the cached version to equal the *current* version, so results can
     /// never be stale.
     pub fn query_cached(&self, sql: &str) -> pdm_sql::Result<Arc<ResultSet>> {
+        self.query_cached_obs(sql, &Recorder::disabled())
+    }
+
+    /// [`SharedServer::query_cached`] with span recording: the parse, the
+    /// cache probe (detail `hit`/`miss`), and — on a miss — the engine's
+    /// per-operator spans land in `obs`. With a disabled recorder this is
+    /// byte-identical to the unprofiled path.
+    pub fn query_cached_obs(&self, sql: &str, obs: &Recorder) -> pdm_sql::Result<Arc<ResultSet>> {
+        let parse_span = obs.span(kinds::PARSE, "query");
         let query = pdm_sql::parser::parse_query(sql)?;
+        drop(parse_span);
         let key = query.to_string();
         let snapshot = self.db.snapshot();
-        if let Some(entry) = lock_unpoisoned(&self.cache.map).get(&key) {
-            if entry.version == snapshot.version {
-                self.cache.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(Arc::clone(&entry.result));
+        self.m.queries.inc();
+        {
+            // Scope the probe span so engine spans are siblings, not
+            // children, of the probe.
+            let probe = obs.span(kinds::CACHE_PROBE, "lookup");
+            if let Some(entry) = lock_unpoisoned(&self.cache.map).get(&key) {
+                if entry.version == snapshot.version {
+                    self.cache.hits.inc();
+                    probe.set_detail("hit");
+                    return Ok(Arc::clone(&entry.result));
+                }
             }
+            probe.set_detail("miss");
         }
-        let result = Arc::new(snapshot.query_ast(&query)?);
-        self.cache.misses.fetch_add(1, Ordering::Relaxed);
+        let (rows, stats) = snapshot.query_ast_profiled(&query, obs)?;
+        let result = Arc::new(rows);
+        self.m.fold_exec(&stats);
+        self.cache.misses.inc();
         let mut map = lock_unpoisoned(&self.cache.map);
         if map.len() >= CACHE_CAPACITY {
             let current = snapshot.version;
+            let before = map.len();
             map.retain(|_, e| e.version == current);
+            self.cache.invalidations.add((before - map.len()) as u64);
             if map.len() >= CACHE_CAPACITY {
+                self.cache.invalidations.add(map.len() as u64);
                 map.clear();
             }
         }
-        map.insert(
+        if let Some(old) = map.insert(
             key,
             CacheEntry {
                 version: snapshot.version,
                 result: Arc::clone(&result),
             },
-        );
+        ) {
+            if old.version != snapshot.version {
+                self.cache.invalidations.inc();
+            }
+        }
         Ok(result)
     }
 
@@ -497,8 +614,15 @@ impl SharedServer {
     /// Execute any statement. Writes serialize on the commit gate so the
     /// DML journal order is exactly the storage commit order.
     pub fn execute(&self, sql: &str) -> pdm_sql::Result<ExecOutcome> {
+        self.execute_obs(sql, &Recorder::disabled())
+    }
+
+    /// [`SharedServer::execute`] with span recording (parse + WAL commit).
+    pub fn execute_obs(&self, sql: &str, obs: &Recorder) -> pdm_sql::Result<ExecOutcome> {
+        let parse_span = obs.span(kinds::PARSE, "statement");
         let stmt = pdm_sql::parser::parse_statement(sql)?;
-        self.execute_ast(&stmt)
+        drop(parse_span);
+        self.execute_ast_obs(&stmt, obs)
     }
 
     /// Like [`SharedServer::execute`] for a parsed statement.
@@ -510,6 +634,17 @@ impl SharedServer {
     /// cadence is also driven from here, inside the write gate, so a
     /// checkpoint can never interleave with a commit.
     pub fn execute_ast(&self, stmt: &Statement) -> pdm_sql::Result<ExecOutcome> {
+        self.execute_ast_obs(stmt, &Recorder::disabled())
+    }
+
+    /// [`SharedServer::execute_ast`] with span recording: with durability
+    /// attached, the WAL commit (append + fsync, inside the gate) gets a
+    /// `wal.append` span and feeds the `wal.fsync_ns` histogram.
+    pub fn execute_ast_obs(
+        &self,
+        stmt: &Statement,
+        obs: &Recorder,
+    ) -> pdm_sql::Result<ExecOutcome> {
         if matches!(stmt, Statement::Query(_)) {
             let (outcome, _) = self.db.execute_ast(stmt)?;
             return Ok(outcome);
@@ -519,19 +654,40 @@ impl SharedServer {
             None => self.db.execute_ast(stmt)?.0,
             Some(d) => {
                 let sql = stmt.to_string();
-                let (outcome, _) = self
-                    .db
-                    .execute_ast_gated(stmt, |version| d.log_commit(version, &sql))?;
+                let (outcome, _) = self.db.execute_ast_gated(stmt, |version| {
+                    self.wal_op(obs, "commit", || d.log_commit(version, &sql))
+                })?;
                 if d.checkpoint_due() {
                     d.checkpoint(&self.db.snapshot())?;
                 }
                 outcome
             }
         };
+        self.m.dml_commits.inc();
         if self.journal.load(Ordering::Relaxed) {
             log.push(stmt.to_string());
         }
         Ok(outcome)
+    }
+
+    /// Run one durable-log operation under a `wal.append` span, feeding the
+    /// WAL metrics. The store's `commit` is append + fsync under one lock,
+    /// so a single span per record is the honest granularity.
+    fn wal_op<T>(
+        &self,
+        obs: &Recorder,
+        label: &str,
+        f: impl FnOnce() -> pdm_sql::Result<T>,
+    ) -> pdm_sql::Result<T> {
+        let span = obs.span(kinds::WAL_APPEND, label);
+        let t0 = Instant::now();
+        let result = f();
+        self.m
+            .wal_fsync_ns
+            .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        self.m.wal_appends.inc();
+        drop(span);
+        result
     }
 
     // -- check-out / check-in --------------------------------------------
@@ -555,6 +711,27 @@ impl SharedServer {
         modified_sql: &str,
         token: u64,
         deadline: Option<Duration>,
+    ) -> Result<CheckoutProcedureResult, SharedServerError> {
+        self.checkout_procedure_locked_obs(
+            root,
+            modified_sql,
+            token,
+            deadline,
+            &Recorder::disabled(),
+        )
+    }
+
+    /// [`SharedServer::checkout_procedure_locked`] with span recording: the
+    /// retrieval's engine spans, the lock-table wait (`locks.wait`, fed into
+    /// the `locks.wait_ns` histogram even when it times out), and the
+    /// durable grant/token WAL appends all land in `obs`.
+    pub fn checkout_procedure_locked_obs(
+        &self,
+        root: ObjectId,
+        modified_sql: &str,
+        token: u64,
+        deadline: Option<Duration>,
+        obs: &Recorder,
     ) -> Result<CheckoutProcedureResult, SharedServerError> {
         // Claim the token, or adopt its outcome. A token executes AT MOST
         // ONCE: a concurrent call with the same token (an aggressive client
@@ -593,13 +770,14 @@ impl SharedServer {
             }
         }
 
-        let mut result = self.checkout_procedure_inner(root, modified_sql, token, deadline);
+        let mut result = self.checkout_procedure_inner(root, modified_sql, token, deadline, obs);
         // Make the outcome durable before recording it: a crash after this
         // point replays the token's recorded result instead of re-running
         // the procedure; a crash before it sweeps the grant, as if the
         // check-out never happened.
         if let (Ok(outcome), Some(d)) = (&result, &self.durability) {
-            if let Err(e) = d.log_token(token, outcome.rows.as_ref()) {
+            if let Err(e) = self.wal_op(obs, "token", || d.log_token(token, outcome.rows.as_ref()))
+            {
                 result = Err(SharedServerError::Sql(e));
             }
         }
@@ -625,8 +803,9 @@ impl SharedServer {
         modified_sql: &str,
         token: u64,
         deadline: Option<Duration>,
+        obs: &Recorder,
     ) -> Result<CheckoutProcedureResult, SharedServerError> {
-        let rows = (*self.query_cached(modified_sql)?).clone();
+        let rows = (*self.query_cached_obs(modified_sql, obs)?).clone();
         let (assy_ids, comp_ids) = split_ids(&rows)?;
         let mut all_assy = assy_ids.clone();
         all_assy.push(root);
@@ -635,8 +814,24 @@ impl SharedServer {
         lock_ids.extend(&all_assy);
         lock_ids.extend(&comp_ids);
 
-        match self.locks.acquire_in_flight(&lock_ids, token, deadline)? {
+        let waited = Instant::now();
+        let wait_span = obs.span(kinds::LOCK_WAIT, format!("token{token}"));
+        let acquired = self.locks.acquire_in_flight(&lock_ids, token, deadline);
+        self.m
+            .lock_wait_ns
+            .record(u64::try_from(waited.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        if let Ok(acq) = &acquired {
+            wait_span.set_detail(match acq {
+                Acquire::Granted => "granted",
+                Acquire::Busy => "busy",
+            });
+        } else {
+            wait_span.set_detail("timeout");
+        }
+        drop(wait_span);
+        match acquired? {
             Acquire::Busy => {
+                self.m.lock_refusals.inc();
                 return Ok(CheckoutProcedureResult { rows: None });
             }
             Acquire::Granted => {}
@@ -648,6 +843,7 @@ impl SharedServer {
             self.any_checked_out("assy", &all_assy)? || self.any_checked_out("comp", &comp_ids)?;
         if busy {
             self.locks.abort(&lock_ids, token);
+            self.m.lock_refusals.inc();
             return Ok(CheckoutProcedureResult { rows: None });
         }
 
@@ -657,15 +853,15 @@ impl SharedServer {
         // to FALSE, so every crash position converges to "the check-out
         // never happened".
         if let Some(d) = &self.durability {
-            if let Err(e) = d.log_grant(token, &all_assy, &comp_ids) {
+            if let Err(e) = self.wal_op(obs, "grant", || d.log_grant(token, &all_assy, &comp_ids)) {
                 self.locks.abort(&lock_ids, token);
                 return Err(SharedServerError::Sql(e));
             }
         }
 
         if let Err(e) = self
-            .set_checked_out("assy", &all_assy, true)
-            .and_then(|_| self.set_checked_out("comp", &comp_ids, true))
+            .set_checked_out("assy", &all_assy, true, obs)
+            .and_then(|_| self.set_checked_out("comp", &comp_ids, true, obs))
         {
             self.locks.abort(&lock_ids, token);
             if let Some(d) = &self.durability {
@@ -676,6 +872,7 @@ impl SharedServer {
             return Err(e.into());
         }
         self.locks.promote(&lock_ids, token);
+        self.m.lock_grants.inc();
 
         Ok(CheckoutProcedureResult { rows: Some(rows) })
     }
@@ -688,8 +885,9 @@ impl SharedServer {
         assy_ids: &[ObjectId],
         comp_ids: &[ObjectId],
     ) -> pdm_sql::Result<()> {
-        self.set_checked_out("assy", assy_ids, false)?;
-        self.set_checked_out("comp", comp_ids, false)?;
+        let obs = Recorder::disabled();
+        self.set_checked_out("assy", assy_ids, false, &obs)?;
+        self.set_checked_out("comp", comp_ids, false, &obs)?;
         if assy_ids.is_empty() && comp_ids.is_empty() {
             return Ok(());
         }
@@ -716,8 +914,18 @@ impl SharedServer {
         assy_ids: &[ObjectId],
         comp_ids: &[ObjectId],
     ) -> pdm_sql::Result<usize> {
-        let a = self.set_checked_out("assy", assy_ids, false)?;
-        let c = self.set_checked_out("comp", comp_ids, false)?;
+        self.checkin_procedure_obs(assy_ids, comp_ids, &Recorder::disabled())
+    }
+
+    /// [`SharedServer::checkin_procedure`] with span recording.
+    pub fn checkin_procedure_obs(
+        &self,
+        assy_ids: &[ObjectId],
+        comp_ids: &[ObjectId],
+        obs: &Recorder,
+    ) -> pdm_sql::Result<usize> {
+        let a = self.set_checked_out("assy", assy_ids, false, obs)?;
+        let c = self.set_checked_out("comp", comp_ids, false, obs)?;
         let mut ids: Vec<ObjectId> = Vec::with_capacity(assy_ids.len() + comp_ids.len());
         ids.extend(assy_ids);
         ids.extend(comp_ids);
@@ -726,7 +934,7 @@ impl SharedServer {
         // record retires the grant so recovery stops sweeping these ids. A
         // crash between the two is safe: the sweep re-forces FALSE, a no-op.
         if let Some(d) = &self.durability {
-            d.log_release(&ids)?;
+            self.wal_op(obs, "release", || d.log_release(&ids))?;
         }
         Ok(a + c)
     }
@@ -751,15 +959,17 @@ impl SharedServer {
         table: &str,
         ids: &[ObjectId],
         value: bool,
+        obs: &Recorder,
     ) -> pdm_sql::Result<usize> {
         if ids.is_empty() {
             return Ok(0);
         }
         let list = id_list(ids);
         let flag = if value { "TRUE" } else { "FALSE" };
-        match self.execute(&format!(
-            "UPDATE {table} SET checkedout = {flag} WHERE obid IN ({list})"
-        ))? {
+        match self.execute_obs(
+            &format!("UPDATE {table} SET checkedout = {flag} WHERE obid IN ({list})"),
+            obs,
+        )? {
             ExecOutcome::Dml(pdm_sql::DmlOutcome::Updated(n)) => Ok(n),
             other => Err(pdm_sql::Error::Eval(format!(
                 "UPDATE returned unexpected outcome {other:?}"

@@ -2,6 +2,8 @@
 //! server. Every exchange advances the virtual clock and updates traffic
 //! counters exactly per the paper's cost formulas.
 
+use pdm_obs::{kinds, Recorder};
+
 use crate::clock::VirtualClock;
 use crate::fault::{FaultEvent, FaultEventKind, FaultPlan, LinkError, ScriptedKind};
 use crate::link::LinkProfile;
@@ -43,6 +45,10 @@ pub struct MeteredChannel {
     clock: VirtualClock,
     stats: TrafficStats,
     trace: Option<crate::trace::Trace>,
+    /// Observability recorder (disabled by default — a free no-op handle).
+    /// The channel is the only component that advances the virtual clock,
+    /// so it is also the only emitter of virtually-wide spans.
+    obs: Recorder,
     faults: Option<FaultPlan>,
     /// Attempt counter across the channel's lifetime; indexes fault draws
     /// and scripted faults. Survives `reset()` so a scripted fault plan
@@ -84,6 +90,7 @@ impl MeteredChannel {
             clock: VirtualClock::new(),
             stats: TrafficStats::new(),
             trace: None,
+            obs: Recorder::disabled(),
             faults: None,
             exchange_index: 0,
         }
@@ -118,6 +125,18 @@ impl MeteredChannel {
         self.trace.as_ref()
     }
 
+    /// Attach an observability recorder: every exchange, fault charge, and
+    /// backoff wait is emitted as a span on the virtual timeline. Attaching
+    /// a disabled recorder (the default) costs nothing.
+    pub fn attach_obs(&mut self, obs: Recorder) {
+        self.obs = obs;
+    }
+
+    /// The attached observability recorder.
+    pub fn obs(&self) -> &Recorder {
+        &self.obs
+    }
+
     pub fn link(&self) -> &LinkProfile {
         &self.link
     }
@@ -143,6 +162,9 @@ impl MeteredChannel {
         if let Some(trace) = &mut self.trace {
             trace.clear();
         }
+        // The virtual clock restarts at 0; rebase the recorder so the
+        // action timeline stays monotonic.
+        self.obs.meter_reset();
     }
 
     /// Perform one metered request/response exchange on the reliable path
@@ -206,6 +228,24 @@ impl MeteredChannel {
                 cost,
             });
         }
+        // Exact per-exchange latency/transfer split: profiles summing these
+        // attributes in record order reproduce the TrafficStats totals
+        // bit-for-bit (same additions, same order).
+        self.obs.record_closed(
+            kinds::NET_EXCHANGE,
+            format!("q{}", self.stats.queries),
+            start,
+            self.clock.now(),
+            &[
+                ("latency_s", latency_time),
+                ("transfer_s", transfer_time),
+                ("volume_bytes", volume),
+                ("request_bytes", request_bytes as f64),
+                ("response_bytes", response_payload_bytes as f64),
+                ("retransmits", retransmits as f64),
+            ],
+            "",
+        );
         cost
     }
 
@@ -227,6 +267,14 @@ impl MeteredChannel {
         if let Some(trace) = &mut self.trace {
             trace.record_fault(FaultEvent { exchange, at, kind });
         }
+        self.obs.record_closed(
+            kinds::NET_FAULT,
+            format!("{kind:?} x{exchange}"),
+            at,
+            self.clock.now(),
+            &[("wait_s", waited)],
+            "",
+        );
     }
 
     fn record_fault(&mut self, exchange: u64, kind: FaultEventKind) {
@@ -414,7 +462,16 @@ impl MeteredChannel {
             return;
         }
         self.stats.fault_wait_time += seconds;
+        let start = self.clock.now();
         self.clock.advance(seconds);
+        self.obs.record_closed(
+            kinds::NET_BACKOFF,
+            "backoff",
+            start,
+            self.clock.now(),
+            &[("wait_s", seconds)],
+            "",
+        );
     }
 
     /// Exchange attempts started over the channel's lifetime (successful or

@@ -30,5 +30,5 @@ pub use fault::{
 };
 pub use link::LinkProfile;
 pub use packet::packet_count;
-pub use stats::TrafficStats;
+pub use stats::{record_traffic, TrafficStats};
 pub use trace::{Trace, TraceEntry};

@@ -72,6 +72,49 @@ impl TrafficStats {
     }
 }
 
+/// Fold one action's [`TrafficStats`] into a metrics registry — the single
+/// adapter unifying Table-1 quantities (`q`, `c`, `vol`, `T`) with the
+/// server-side metrics in one JSON snapshot.
+///
+/// **No double counting:** this function is the only writer of the `net.*`
+/// metric family (including `net.retransmits`). Callers invoke it exactly
+/// once per metering-reset segment (the session does so when an action
+/// completes), so registry totals equal the sum of per-action stats.
+pub fn record_traffic(registry: &pdm_obs::MetricsRegistry, stats: &TrafficStats) {
+    registry.counter("net.queries").add(stats.queries as u64);
+    registry
+        .counter("net.communications")
+        .add(stats.communications as u64);
+    registry
+        .counter("net.request_packets")
+        .add(stats.request_packets as u64);
+    registry
+        .counter("net.response_payload_bytes")
+        .add(stats.response_payload_bytes as u64);
+    registry.gauge("net.volume_bytes").add(stats.volume_bytes);
+    registry.gauge("net.latency_s").add(stats.latency_time);
+    registry.gauge("net.transfer_s").add(stats.transfer_time);
+    registry
+        .gauge("net.fault_wait_s")
+        .add(stats.fault_wait_time);
+    registry
+        .gauge("net.response_time_s")
+        .add(stats.response_time());
+    registry
+        .counter("net.retransmits")
+        .add(stats.retransmits as u64);
+    registry
+        .counter("net.failed_attempts")
+        .add(stats.failed_attempts as u64);
+    registry.counter("net.timeouts").add(stats.timeouts as u64);
+    registry
+        .counter("net.server_errors")
+        .add(stats.server_errors as u64);
+    registry
+        .counter("net.outage_hits")
+        .add(stats.outage_hits as u64);
+}
+
 impl fmt::Display for TrafficStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

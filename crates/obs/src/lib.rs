@@ -1,0 +1,37 @@
+//! `pdm-obs`: deterministic, zero-dependency observability for the PDM
+//! reproduction.
+//!
+//! The paper's whole argument (eqs. (1)–(6)) is a decomposition of response
+//! time into round-trips, latency, and volume; this crate extends that
+//! decomposition to the server side so every subsystem can answer "where
+//! did the seconds go". Four pieces:
+//!
+//! * [`span`] — hierarchical spans over a per-session [`Recorder`]. Every
+//!   span carries **two** clocks: the netsim virtual clock (primary — the
+//!   deterministic timeline the paper's equations live on) and the wall
+//!   clock (advisory — real CPU time, never used in assertions). Only the
+//!   network advances the virtual clock, so server-side spans have zero
+//!   virtual width and network spans partition the virtual timeline.
+//! * [`metrics`] — named counters, gauges, and log-linear histograms
+//!   (p50/p95/p99/max, exact merge across threads) in a [`MetricsRegistry`]
+//!   snapshotted to JSON.
+//! * [`profile`] — an `EXPLAIN ANALYZE`-style rendering of the recorded
+//!   span tree, returned alongside results when profiling is on.
+//! * [`flight`] — a bounded ring of recent events per session, dumped into
+//!   `SessionError` context and chaos-bench journals.
+//!
+//! Determinism rules (also DESIGN.md §11): virtual-clock first, wall clock
+//! advisory; a disabled recorder is a no-op handle so profiling off is
+//! byte-identical; metric updates are atomics only and never branch on
+//! observed values.
+
+pub mod flight;
+pub mod json;
+pub mod metrics;
+pub mod profile;
+pub mod span;
+
+pub use flight::{FlightDump, FlightEvent};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use profile::QueryProfile;
+pub use span::{kinds, Recorder, SpanGuard, SpanKind, SpanRecord, Subsystem};

@@ -155,6 +155,7 @@ fn scan_source(
     filters: &[Expr],
 ) -> Result<Vec<Vec<Value>>> {
     let bindings = Bindings::single(binding, schema.clone());
+    let span = ctx.obs.span(pdm_obs::kinds::SCAN, binding);
 
     match source {
         FactorSource::Table(name) => {
@@ -186,6 +187,7 @@ fn scan_source(
                 Ok(())
             };
 
+            let probed = probe.is_some();
             if let Some((col, value)) = probe {
                 ctx.stats.borrow_mut().index_probes += 1;
                 if let Some(row_ids) = table.index_lookup(col, &value) {
@@ -199,6 +201,8 @@ fn scan_source(
                 }
             }
             ctx.stats.borrow_mut().rows_scanned += out.len();
+            span.set_rows(0, out.len() as u64);
+            span.set_detail(if probed { "index probe" } else { "full scan" });
             Ok(out)
         }
         FactorSource::Rows(rel) => {
@@ -217,6 +221,8 @@ fn scan_source(
                 }
             }
             ctx.stats.borrow_mut().rows_scanned += out.len();
+            span.set_rows(0, out.len() as u64);
+            span.set_detail("rows");
             Ok(out)
         }
     }
@@ -443,6 +449,9 @@ fn try_index_join(
         return Ok(None);
     };
 
+    let span = ctx.obs.span(pdm_obs::kinds::JOIN, binding);
+    span.set_detail("index nested-loop");
+
     let mut combined = left.bindings.clone();
     combined.push(binding, schema.clone());
     let width = combined.width();
@@ -484,6 +493,7 @@ fn try_index_join(
         }
     }
     ctx.stats.borrow_mut().rows_scanned += out_rows.len();
+    span.set_rows(left.rows.len() as u64, out_rows.len() as u64);
 
     Ok(Some(Relation {
         bindings: combined,
@@ -534,6 +544,14 @@ fn join_step(
         }
         residual.push(c);
     }
+
+    let span = ctx.obs.span(pdm_obs::kinds::JOIN, binding);
+    span.set_detail(if keys.is_empty() {
+        "nested loop"
+    } else {
+        "hash join"
+    });
+    let rows_in = (left.rows.len() + right_rows.len()) as u64;
 
     let mut out_rows: Vec<Vec<Value>> = Vec::new();
 
@@ -600,6 +618,8 @@ fn join_step(
             }
         }
     }
+
+    span.set_rows(rows_in, out_rows.len() as u64);
 
     Ok(Relation {
         bindings: combined,

@@ -249,6 +249,9 @@ pub struct ExecContext<'a> {
     pub catalog: &'a Catalog,
     pub config: &'a ExecConfig,
     pub stats: &'a RefCell<ExecStats>,
+    /// Observability recorder for per-operator spans. Disabled by default
+    /// (a free no-op handle), so profiling off changes nothing.
+    pub obs: pdm_obs::Recorder,
     ctes: HashMap<String, Arc<RelRows>>,
     parent: Option<&'a ExecContext<'a>>,
     cache: RefCell<SubqueryCache>,
@@ -269,12 +272,27 @@ impl<'a> ExecContext<'a> {
             catalog,
             config,
             stats,
+            obs: pdm_obs::Recorder::disabled(),
             ctes: HashMap::new(),
             parent: None,
             cache: RefCell::new(SubqueryCache::default()),
             outer_access: Cell::new(false),
             depth: Cell::new(0),
         }
+    }
+
+    /// Like [`ExecContext::new`] with an observability recorder attached:
+    /// operators (scans, joins, recursion rounds, subqueries) emit spans
+    /// into it as they run.
+    pub fn with_recorder(
+        catalog: &'a Catalog,
+        config: &'a ExecConfig,
+        stats: &'a RefCell<ExecStats>,
+        obs: pdm_obs::Recorder,
+    ) -> Self {
+        let mut ctx = ExecContext::new(catalog, config, stats);
+        ctx.obs = obs;
+        ctx
     }
 
     /// Child layer: sees the parent's CTEs, adds its own, gets a fresh
@@ -285,6 +303,7 @@ impl<'a> ExecContext<'a> {
             catalog: self.catalog,
             config: self.config,
             stats: self.stats,
+            obs: self.obs.clone(),
             ctes: HashMap::new(),
             parent: Some(self),
             cache: RefCell::new(SubqueryCache::default()),
@@ -550,6 +569,12 @@ pub fn eval_select(
     let bindings = relation.bindings;
 
     // 2. WHERE: residual conjuncts not already pushed into scans.
+    let filter_span = if residual.is_empty() {
+        None
+    } else {
+        Some(ctx.obs.span(pdm_obs::kinds::FILTER, "where"))
+    };
+    let rows_in = rows.len() as u64;
     let mut filtered = Vec::with_capacity(rows.len());
     for row in rows {
         let env = Env::with_outer(&bindings, &row, outer);
@@ -563,6 +588,9 @@ pub fn eval_select(
         if keep {
             filtered.push(row);
         }
+    }
+    if let Some(span) = filter_span {
+        span.set_rows(rows_in, filtered.len() as u64);
     }
 
     // 3. Aggregation or plain projection.

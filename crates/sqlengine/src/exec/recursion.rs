@@ -134,6 +134,7 @@ pub fn eval_recursive_cte(ctx: &ExecContext<'_>, cte: &Cte) -> Result<RelRows> {
     let schema = schema.expect("at least one seed");
 
     // Iterate.
+    let rec_span = ctx.obs.span(pdm_obs::kinds::RECURSION, &cte.name);
     let limit = ctx.config.recursion_limit;
     let mut iterations = 0usize;
     while !delta.is_empty() {
@@ -141,6 +142,11 @@ pub fn eval_recursive_cte(ctx: &ExecContext<'_>, cte: &Cte) -> Result<RelRows> {
         if iterations > limit {
             return Err(Error::RecursionLimit(limit));
         }
+        let round_span = ctx.obs.span(
+            pdm_obs::kinds::RECURSION_ROUND,
+            format!("round{iterations}"),
+        );
+        let delta_in = delta.len() as u64;
 
         // Bind the CTE name to the delta for this round, in a fresh child
         // layer (fresh subquery cache — cached results against the previous
@@ -176,11 +182,14 @@ pub fn eval_recursive_cte(ctx: &ExecContext<'_>, cte: &Cte) -> Result<RelRows> {
             }
         }
 
+        round_span.set_rows(delta_in, produced.len() as u64);
         total.extend(produced.iter().cloned());
         delta = produced;
     }
 
     ctx.stats.borrow_mut().recursion_iterations += iterations;
+    rec_span.set_rows(0, total.len() as u64);
+    rec_span.set_detail(format!("{iterations} rounds"));
     Ok(RelRows {
         schema,
         rows: total,

@@ -35,12 +35,20 @@ fn eval_detecting(
     env: &Env<'_>,
     query: &Query,
 ) -> Result<(ResultSet, bool)> {
+    let span = ctx.obs.span(pdm_obs::kinds::SUBQUERY, "eval");
     let saved = ctx.outer_access.replace(false);
     let result = eval_query(ctx, query, Some(env));
     let correlated = ctx.outer_access.get();
     ctx.outer_access.set(saved || correlated);
     ctx.stats.borrow_mut().subquery_evals += 1;
-    Ok((result?, correlated))
+    let rs = result?;
+    span.set_rows(0, rs.len() as u64);
+    span.set_detail(if correlated {
+        "correlated"
+    } else {
+        "uncorrelated"
+    });
+    Ok((rs, correlated))
 }
 
 // ---------------------------------------------------------------------------

@@ -53,9 +53,31 @@ impl Snapshot {
 
     /// Run an already-parsed query against this snapshot.
     pub fn query_ast(&self, query: &crate::ast::Query) -> Result<ResultSet> {
+        self.query_ast_profiled(query, &pdm_obs::Recorder::disabled())
+            .map(|(rs, _)| rs)
+    }
+
+    /// Run an already-parsed query with per-operator span recording, and
+    /// return the execution counters alongside the rows. With a disabled
+    /// recorder this is exactly [`Snapshot::query_ast`] — same context,
+    /// same evaluation — so results are byte-identical either way.
+    pub fn query_ast_profiled(
+        &self,
+        query: &crate::ast::Query,
+        obs: &pdm_obs::Recorder,
+    ) -> Result<(ResultSet, crate::exec::ExecStats)> {
         let stats = std::cell::RefCell::new(crate::exec::ExecStats::default());
-        let ctx = crate::exec::ExecContext::new(&self.catalog, &self.config, &stats);
-        crate::exec::eval_query(&ctx, query, None)
+        let ctx = crate::exec::ExecContext::with_recorder(
+            &self.catalog,
+            &self.config,
+            &stats,
+            obs.clone(),
+        );
+        let span = obs.span(pdm_obs::kinds::ENGINE_QUERY, "eval");
+        let rs = crate::exec::eval_query(&ctx, query, None)?;
+        span.set_rows(0, rs.len() as u64);
+        drop(span);
+        Ok((rs, stats.into_inner()))
     }
 }
 

@@ -1,0 +1,114 @@
+#![allow(clippy::unwrap_used)]
+
+//! EXPLAIN ANALYZE for the paper's flagship action: a profiled recursive
+//! multi-level expand over the Figure-2 schema, reconciled against the
+//! closed-form response-time model (eq. (5)).
+//!
+//! Three independent accountings of the SAME action must agree:
+//!
+//! 1. the span tree's virtual total (what the profiler says),
+//! 2. the channel's `TrafficStats` (what the WAN simulator metered),
+//! 3. the model's `Breakdown` (what eq. (5) predicts from δ, β, γ).
+//!
+//! ```sh
+//! cargo run --release --example profile_expand
+//! ```
+
+use pdm_repro::core::rules::condition::{CmpOp, Condition, RowPredicate};
+use pdm_repro::core::rules::{ActionKind, Rule};
+use pdm_repro::core::{RuleTable, Session, SessionConfig, Strategy, Subsystem};
+use pdm_repro::model::response::response;
+use pdm_repro::model::{Action, KaryTree, Strategy as ModelStrategy};
+use pdm_repro::net::LinkProfile;
+use pdm_repro::workload::{build_database, TreeSpec};
+
+const NODE: usize = 512;
+const DEPTH: u32 = 4;
+const BRANCH: u32 = 5;
+const GAMMA: f64 = 0.6;
+
+fn rules() -> RuleTable {
+    let mut t = RuleTable::new();
+    for table in ["link", "assy", "comp"] {
+        t.add(Rule::for_all_users(
+            ActionKind::Access,
+            table,
+            Condition::Row(RowPredicate::compare("strc_opt", CmpOp::Eq, "OPTA")),
+        ));
+    }
+    t
+}
+
+fn main() {
+    let spec = TreeSpec::new(DEPTH, BRANCH, GAMMA).with_node_size(NODE);
+    let (db, _) = build_database(&spec).unwrap();
+    let mut session = Session::new(
+        db,
+        SessionConfig::new("scott", Strategy::Recursive, LinkProfile::wan_256()),
+        rules(),
+    );
+    session.enable_profiling();
+
+    let out = session.multi_level_expand(1).unwrap();
+    let profile = session.last_profile().unwrap();
+
+    println!(
+        "profiled multi-level expand: δ={DEPTH} β={BRANCH} γ={GAMMA}, node {NODE}B, WAN 256 kbit/s"
+    );
+    println!(
+        "{} nodes retrieved in {} query\n",
+        out.tree.len(),
+        out.stats.queries
+    );
+    // Wall-free render: the example's output must be byte-identical
+    // across runs (repo-wide determinism invariant for binaries).
+    print!("{}", profile.render_virtual());
+
+    // Accounting 1 vs 2: the profiler against the channel's metering.
+    let latency = profile.sum_attr(Subsystem::Network, "latency_s");
+    let transfer = profile.sum_attr(Subsystem::Network, "transfer_s");
+    println!("\nprofiler vs channel (bit-exact):");
+    println!(
+        "  latency   {latency:.6}s == {:.6}s  ({})",
+        out.stats.latency_time,
+        if latency.to_bits() == out.stats.latency_time.to_bits() {
+            "ok"
+        } else {
+            "MISMATCH"
+        }
+    );
+    println!(
+        "  transfer  {transfer:.6}s == {:.6}s  ({})",
+        out.stats.transfer_time,
+        if transfer.to_bits() == out.stats.transfer_time.to_bits() {
+            "ok"
+        } else {
+            "MISMATCH"
+        }
+    );
+    println!(
+        "  total     {:.6}s virtual (leaf sum {:.6}s)",
+        profile.virtual_total(),
+        profile.leaf_virtual_sum()
+    );
+
+    // Accounting 3: eq. (5) from the idealized tree profile.
+    let m = response(
+        &KaryTree::new(DEPTH, BRANCH, GAMMA),
+        Action::MultiLevelExpand,
+        ModelStrategy::Recursive,
+        &LinkProfile::wan_256(),
+        NODE,
+        0,
+    );
+    let measured = out.stats.response_time();
+    let rel = 100.0 * (measured - m.total()).abs() / m.total();
+    println!(
+        "\neq. (5) model: T = {:.3}s, measured {measured:.3}s (Δ {rel:.2}%)",
+        m.total()
+    );
+    assert!(
+        rel < 1.0,
+        "profiled MLE must reconcile with eq. (5) within 1%"
+    );
+}

@@ -40,5 +40,6 @@
 pub use pdm_core as core;
 pub use pdm_model as model;
 pub use pdm_net as net;
+pub use pdm_obs as obs;
 pub use pdm_sql as sql;
 pub use pdm_workload as workload;

@@ -156,8 +156,13 @@ fn lock_wait_past_deadline_is_session_timeout() {
     s.set_retry_policy(RetryPolicy::none().with_deadline(0.05));
     let err = s.check_out_function_shipping(1).unwrap_err();
     match err {
-        SessionError::Timeout { elapsed, .. } => {
+        SessionError::Timeout {
+            elapsed, context, ..
+        } => {
             assert!(elapsed >= 0.05, "the lock wait must be accounted");
+            // The context distinguishes WHERE the deadline expired: in the
+            // server-side lock wait, not in a network stall.
+            assert_eq!(context.expired_in, "locks.wait");
         }
         other => panic!("expected Timeout, got {other:?}"),
     }

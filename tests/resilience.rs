@@ -298,13 +298,40 @@ fn timeout_error_reports_attempts_and_elapsed() {
     s.set_fault_plan(FaultPlan::none().with_stall_rate(1.0).with_timeout(3.0));
     s.set_retry_policy(RetryPolicy::default_wan().with_max_attempts(3));
     match s.multi_level_expand(1) {
-        Err(SessionError::Timeout { attempts, elapsed }) => {
+        Err(SessionError::Timeout {
+            attempts,
+            elapsed,
+            context,
+        }) => {
             assert_eq!(attempts, 3);
             assert!(
                 elapsed >= 9.0,
                 "three 3 s timeouts plus backoff, got {elapsed}"
             );
+            // The context pins the span kind where the deadline expired: a
+            // network stall, not a lock wait.
+            assert_eq!(context.expired_in, "net.exchange");
         }
         other => panic!("expected Timeout, got {other:?}"),
     }
+}
+
+#[test]
+fn timeout_context_carries_flight_events_when_profiling() {
+    let sp = spec();
+    let mut s = session(Strategy::LateEval, &sp);
+    s.enable_profiling();
+    s.set_fault_plan(FaultPlan::none().with_stall_rate(1.0).with_timeout(3.0));
+    s.set_retry_policy(RetryPolicy::default_wan().with_max_attempts(3));
+    let err = s.multi_level_expand(1).unwrap_err();
+    let context = err.context().expect("timeout carries context");
+    assert_eq!(context.expired_in, "net.exchange");
+    assert!(
+        !context.events.is_empty(),
+        "profiling on: the flight ring must carry the failed exchanges"
+    );
+    // The dump renders the expiry site for journals.
+    assert!(context
+        .render()
+        .contains("deadline expired in: net.exchange"));
 }
