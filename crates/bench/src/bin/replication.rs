@@ -1,0 +1,454 @@
+#![allow(clippy::unwrap_used)]
+
+//! Replication bench: the paper's Table-2 topology question, re-asked for
+//! a worldwide deployment — **remote everything** (every action crosses
+//! the WAN to the one central server, the paper's Fig. 1) versus **local
+//! replica** (reads served by a WAL-shipped replica on the client's LAN,
+//! writes forwarded to the primary).
+//!
+//! Both topologies replay the SAME seeded multi-site op plan, so the
+//! per-action p50/p99 virtual seconds are directly comparable, and the
+//! fault-free cluster run must leave the primary **byte-identical** to the
+//! single-site engine run (replication may not change SQL semantics).
+//! Also measured: the replica-lag distribution under continuous shipping
+//! and the failover-time distribution over seeded promotion points, each
+//! verified against the serial-replay oracle.
+//!
+//! Any acceptance violation writes `REPLICATION_journal.txt` with the
+//! reproducing seed and dies non-zero — the CI replication job uploads
+//! that file as an artifact.
+//!
+//! Usage: `replication [seed] [steps]` (also honors `REPL_SEED`).
+
+use std::collections::BTreeMap;
+
+use pdm_core::{
+    replay_prefix, Cluster, ClusterConfig, PdmServer, ProductTree, RoutedSession, RuleTable,
+    Session, SessionConfig, Strategy,
+};
+use pdm_net::{FaultPlan, LinkProfile};
+use pdm_prng::splitmix64;
+use pdm_sql::persist::database_fingerprint;
+use pdm_sql::{Database, Value};
+use pdm_workload::{build_database, multisite_plan, SiteOp, SiteStep, TreeSpec};
+
+const SITES: usize = 3;
+
+fn initial_database() -> Database {
+    build_database(&TreeSpec::new(3, 3, 1.0).with_node_size(64))
+        .unwrap()
+        .0
+}
+
+fn roots_of(server: &PdmServer) -> Vec<i64> {
+    server
+        .query("SELECT obid FROM assy ORDER BY obid")
+        .unwrap()
+        .rows
+        .iter()
+        .filter_map(|r| match r.get(0) {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        })
+        .collect()
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+#[derive(Default)]
+struct Latencies(BTreeMap<&'static str, Vec<f64>>);
+
+impl Latencies {
+    fn push(&mut self, action: &'static str, seconds: f64) {
+        self.0.entry(action).or_default().push(seconds);
+    }
+
+    fn summary(&self, action: &str) -> (f64, f64, usize) {
+        match self.0.get(action) {
+            Some(v) => {
+                let mut s = v.clone();
+                s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                (percentile(&s, 0.50), percentile(&s, 0.99), s.len())
+            }
+            None => (0.0, 0.0, 0),
+        }
+    }
+
+    fn json(&self) -> String {
+        let mut parts = Vec::new();
+        for action in ["expand", "query", "update", "checkout", "checkin"] {
+            let (p50, p99, n) = self.summary(action);
+            parts.push(format!(
+                "\"{action}\": {{ \"p50_s\": {p50:.6}, \"p99_s\": {p99:.6}, \"n\": {n} }}"
+            ));
+        }
+        format!("{{ {} }}", parts.join(", "))
+    }
+
+    fn read_p50(&self) -> f64 {
+        let (e50, _, _) = self.summary("expand");
+        let (q50, _, _) = self.summary("query");
+        if e50 > 0.0 {
+            e50
+        } else {
+            q50
+        }
+    }
+}
+
+fn action_name(op: &SiteOp) -> &'static str {
+    match op {
+        SiteOp::Expand { .. } => "expand",
+        SiteOp::QueryAll { .. } => "query",
+        SiteOp::Update { .. } => "update",
+        SiteOp::CheckOut { .. } => "checkout",
+        SiteOp::CheckIn => "checkin",
+    }
+}
+
+/// Topology A: every session talks to the one central server over the WAN.
+fn run_remote_everything(plan: &[SiteStep]) -> (Latencies, Vec<u8>) {
+    let server = PdmServer::new(initial_database());
+    let mut sessions: Vec<Session> = (0..SITES)
+        .map(|_| {
+            Session::attach(
+                server.clone(),
+                SessionConfig::new("scott", Strategy::Recursive, LinkProfile::wan_512()),
+                RuleTable::new(),
+            )
+        })
+        .collect();
+    let mut held: Vec<Option<ProductTree>> = vec![None; SITES];
+    let mut lat = Latencies::default();
+    for step in plan {
+        let s = &mut sessions[step.site];
+        let ran = match &step.op {
+            SiteOp::Expand { root } => {
+                s.multi_level_expand(*root).unwrap();
+                true
+            }
+            SiteOp::QueryAll { root } => {
+                s.query_all(*root).unwrap();
+                true
+            }
+            SiteOp::Update { root, payload } => {
+                s.execute_update(&format!(
+                    "UPDATE assy SET payload = '{payload}' WHERE obid = {root}"
+                ))
+                .unwrap();
+                true
+            }
+            SiteOp::CheckOut { root } => {
+                let out = s.check_out_function_shipping(*root).unwrap();
+                if let Some(tree) = out.tree {
+                    held[step.site] = Some(tree);
+                }
+                true
+            }
+            SiteOp::CheckIn => match held[step.site].take() {
+                Some(tree) => {
+                    s.check_in(&tree).unwrap();
+                    true
+                }
+                None => false,
+            },
+        };
+        if ran {
+            lat.push(action_name(&step.op), sessions[step.site].elapsed());
+        }
+    }
+    (lat, database_fingerprint(server.database()))
+}
+
+/// Topology B: reads at the site's replica, writes forwarded to the
+/// primary. Returns latencies, per-step lag samples, the converged
+/// primary fingerprint, and the cluster metrics JSON.
+fn run_local_replica(
+    plan: &[SiteStep],
+    faults: FaultPlan,
+) -> (Latencies, Vec<u64>, Vec<u8>, String) {
+    let cfg = ClusterConfig::default()
+        .with_replicas(SITES)
+        .with_ship_faults(faults)
+        .with_max_pump_rounds(512);
+    let mut cluster = Cluster::new(initial_database(), cfg).unwrap();
+    let sites = cluster.replica_sites();
+    let mut sessions: Vec<RoutedSession> = sites
+        .iter()
+        .map(|s| {
+            RoutedSession::connect(
+                &cluster,
+                *s,
+                SessionConfig::new("scott", Strategy::Recursive, LinkProfile::wan_512()),
+                RuleTable::new(),
+            )
+        })
+        .collect();
+    let mut held: Vec<Option<ProductTree>> = vec![None; sessions.len()];
+    let mut lat = Latencies::default();
+    let mut lag_samples = Vec::new();
+    for step in plan {
+        let i = step.site;
+        let ran = match &step.op {
+            SiteOp::Expand { root } => {
+                sessions[i].multi_level_expand(&mut cluster, *root).unwrap();
+                true
+            }
+            SiteOp::QueryAll { root } => {
+                sessions[i].query_all(&mut cluster, *root).unwrap();
+                true
+            }
+            SiteOp::Update { root, payload } => {
+                sessions[i]
+                    .execute_dml(
+                        &mut cluster,
+                        &format!("UPDATE assy SET payload = '{payload}' WHERE obid = {root}"),
+                    )
+                    .unwrap();
+                true
+            }
+            SiteOp::CheckOut { root } => {
+                let (out, _) = sessions[i].check_out(&mut cluster, *root).unwrap();
+                if let Some(tree) = out.tree {
+                    held[i] = Some(tree);
+                }
+                true
+            }
+            SiteOp::CheckIn => match held[i].take() {
+                Some(tree) => {
+                    sessions[i].check_in(&mut cluster, &tree).unwrap();
+                    true
+                }
+                None => false,
+            },
+        };
+        if ran {
+            let elapsed = if step.op.is_write() {
+                sessions[i].write_session().elapsed()
+            } else {
+                sessions[i].read_session().elapsed()
+            };
+            lat.push(action_name(&step.op), elapsed);
+        }
+        for site in &sites {
+            lag_samples.push(cluster.lag(*site));
+        }
+    }
+    // Converge every replica so the fingerprints can be compared.
+    for _ in 0..4096 {
+        if cluster.replica_sites().iter().all(|s| cluster.lag(*s) == 0) {
+            break;
+        }
+        cluster.pump().unwrap();
+    }
+    for s in cluster.replica_sites() {
+        assert_eq!(cluster.lag(s), 0, "site {s} never converged");
+    }
+    let metrics = cluster.metrics().snapshot().to_json(2);
+    (lat, lag_samples, cluster.primary_fingerprint(), metrics)
+}
+
+/// Seeded failover points: run a short write workload under lossy ship
+/// links, force promotion, verify the serial-replay oracle, and return the
+/// promotion durations.
+fn failover_distribution(seed: u64, points: usize) -> Result<Vec<f64>, String> {
+    let mut durations = Vec::new();
+    for k in 0..points {
+        let faults = FaultPlan::lossy(splitmix64(seed ^ k as u64), 0.15).with_stall_rate(0.05);
+        let cfg = ClusterConfig::default()
+            .with_replicas(SITES)
+            .with_ship_faults(faults)
+            .with_max_pump_rounds(512);
+        let mut cluster = Cluster::new(initial_database(), cfg).unwrap();
+        let roots = roots_of(cluster.primary());
+        let sites = cluster.replica_sites();
+        let mut sessions: Vec<RoutedSession> = sites
+            .iter()
+            .map(|s| {
+                RoutedSession::connect(
+                    &cluster,
+                    *s,
+                    SessionConfig::new("scott", Strategy::Recursive, LinkProfile::wan_512()),
+                    RuleTable::new(),
+                )
+            })
+            .collect();
+        let mut held: Vec<Option<ProductTree>> = vec![None; sessions.len()];
+        let plan = multisite_plan(splitmix64(seed).wrapping_add(k as u64), SITES, 10, &roots);
+        for step in &plan {
+            match &step.op {
+                SiteOp::Update { root, payload } => {
+                    sessions[step.site]
+                        .execute_dml(
+                            &mut cluster,
+                            &format!("UPDATE assy SET payload = '{payload}' WHERE obid = {root}"),
+                        )
+                        .unwrap();
+                }
+                SiteOp::CheckOut { root } => {
+                    let (out, _) = sessions[step.site].check_out(&mut cluster, *root).unwrap();
+                    if let Some(tree) = out.tree {
+                        held[step.site] = Some(tree);
+                    }
+                }
+                SiteOp::CheckIn => {
+                    if let Some(tree) = held[step.site].take() {
+                        sessions[step.site].check_in(&mut cluster, &tree).unwrap();
+                    }
+                }
+                _ => {}
+            }
+        }
+        cluster.promote().map_err(|e| format!("point {k}: {e}"))?;
+        let report = &cluster.failovers()[0];
+        let oracle = replay_prefix(&report.epoch_base, &report.prefix)
+            .map_err(|e| format!("point {k}: oracle replay failed: {e}"))?;
+        if oracle != report.promoted_fingerprint {
+            return Err(format!(
+                "point {k}: promoted site {} at seq {} diverged from serial replay",
+                report.promoted_site, report.promoted_seq
+            ));
+        }
+        durations.push(report.duration);
+    }
+    Ok(durations)
+}
+
+fn die(journal: String) -> ! {
+    std::fs::write("REPLICATION_journal.txt", &journal).unwrap();
+    eprintln!("{journal}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed: u64 = args
+        .get(1)
+        .cloned()
+        .or_else(|| std::env::var("REPL_SEED").ok())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0FFEE);
+    let steps: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(240);
+
+    let probe = PdmServer::new(initial_database());
+    let roots = roots_of(&probe);
+    drop(probe);
+    let plan = multisite_plan(seed, SITES, steps, &roots);
+
+    let (remote, remote_fp) = run_remote_everything(&plan);
+    let (local, _, local_fp, metrics_json) = run_local_replica(&plan, FaultPlan::none());
+
+    // Acceptance: a fault-free replicated run is semantically invisible —
+    // the primary ends byte-identical to the single-site engine.
+    if remote_fp != local_fp {
+        die(format!(
+            "REPLICATION FAILURE seed={seed} steps={steps}\n\
+             fault-free cluster primary diverged from single-site engine\n"
+        ));
+    }
+
+    // A lossy-link pass for the lag distribution (fault-free shipping
+    // catches every replica up at ack time, so its lag is trivially 0).
+    // Convergence still lands on the same bytes: lost acks leave effects
+    // applied and re-delivery is idempotent.
+    let lossy = FaultPlan::lossy(splitmix64(seed ^ 0x1A6), 0.3).with_stall_rate(0.1);
+    let (_, mut lag_samples, lossy_fp, _) = run_local_replica(&plan, lossy);
+    if lossy_fp != remote_fp {
+        die(format!(
+            "REPLICATION FAILURE seed={seed} steps={steps}\n\
+             lossy-link cluster converged to different bytes than single-site engine\n"
+        ));
+    }
+
+    let failover_s = match failover_distribution(seed, 16) {
+        Ok(d) => d,
+        Err(detail) => die(format!(
+            "REPLICATION FAILURE seed={seed} steps={steps}\nfailover sweep: {detail}\n"
+        )),
+    };
+
+    // Acceptance: local-replica reads must beat remote-everything reads —
+    // the whole point of shipping the WAL across the world.
+    if local.read_p50() >= remote.read_p50() {
+        die(format!(
+            "REPLICATION FAILURE seed={seed} steps={steps}\n\
+             local-replica read p50 {:.6}s not below remote-everything {:.6}s\n",
+            local.read_p50(),
+            remote.read_p50()
+        ));
+    }
+
+    lag_samples.sort_unstable();
+    let lag_f: Vec<f64> = lag_samples.iter().map(|l| *l as f64).collect();
+    let mut fo = failover_s.clone();
+    fo.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+    println!("replication bench: seed={seed}, {steps} ops over {SITES} sites, δ=3 β=3");
+    println!();
+    println!(
+        "{:<12}{:>18}{:>18}",
+        "action", "remote p50 (s)", "replica p50 (s)"
+    );
+    for action in ["expand", "query", "update", "checkout", "checkin"] {
+        let (r50, _, rn) = remote.summary(action);
+        let (l50, _, _) = local.summary(action);
+        if rn > 0 {
+            println!("{action:<12}{r50:>18.4}{l50:>18.4}");
+        }
+    }
+    println!();
+    println!(
+        "replica lag   p50 {} seqs, p99 {} seqs, max {} seqs",
+        percentile(&lag_f, 0.5) as u64,
+        percentile(&lag_f, 0.99) as u64,
+        lag_samples.last().copied().unwrap_or(0)
+    );
+    println!(
+        "failover      p50 {:.4}s, p99 {:.4}s over {} points (oracle-verified)",
+        percentile(&fo, 0.5),
+        percentile(&fo, 0.99),
+        fo.len()
+    );
+    println!("fault-free byte-identity: ok");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"replication\",\n",
+            "  \"seed\": {},\n",
+            "  \"steps\": {},\n",
+            "  \"sites\": {},\n",
+            "  \"replicas\": {},\n",
+            "  \"remote_everything\": {},\n",
+            "  \"local_replica\": {},\n",
+            "  \"replica_lag_seqs\": {{ \"p50\": {}, \"p99\": {}, \"max\": {}, \"n\": {} }},\n",
+            "  \"failover_s\": {{ \"p50\": {:.6}, \"p99\": {:.6}, \"n\": {} }},\n",
+            "  \"fault_free_byte_identical\": true,\n",
+            "  \"metrics\": {}\n",
+            "}}\n"
+        ),
+        seed,
+        steps,
+        SITES,
+        SITES,
+        remote.json(),
+        local.json(),
+        percentile(&lag_f, 0.5) as u64,
+        percentile(&lag_f, 0.99) as u64,
+        lag_samples.last().copied().unwrap_or(0),
+        lag_samples.len(),
+        percentile(&fo, 0.5),
+        percentile(&fo, 0.99),
+        fo.len(),
+        metrics_json.trim_end(),
+    );
+    std::fs::write("BENCH_replication.json", json).unwrap();
+    println!();
+    println!("wrote BENCH_replication.json");
+}

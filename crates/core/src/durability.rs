@@ -34,7 +34,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use pdm_sql::persist::{
     self, decode_snapshot, encode_snapshot, put_result_set, put_u32, put_u64, put_u8, Cursor,
@@ -44,6 +44,7 @@ use pdm_sql::ResultSet;
 use pdm_wal::{CrashPlan, DeviceStats, DurableImage, DurableStore, LogDamage, WalError, WalRecord};
 
 use crate::product::ObjectId;
+use crate::repl::ReplicationFeed;
 
 /// Tuning knobs for the durability layer.
 #[derive(Debug, Clone, Copy)]
@@ -85,11 +86,11 @@ pub struct GrantIds {
 }
 
 impl GrantIds {
-    fn is_empty(&self) -> bool {
+    pub(crate) fn is_empty(&self) -> bool {
         self.assy.is_empty() && self.comp.is_empty()
     }
 
-    fn remove(&mut self, ids: &[ObjectId]) {
+    pub(crate) fn remove(&mut self, ids: &[ObjectId]) {
         self.assy.retain(|id| !ids.contains(id));
         self.comp.retain(|id| !ids.contains(id));
     }
@@ -106,6 +107,11 @@ struct DurState {
     /// checkpoints for the same reason.
     tokens: BTreeMap<u64, Option<ResultSet>>,
     commits_since_checkpoint: u64,
+    /// Replication tap: every durably committed record is republished here
+    /// (same seq the store assigned) for shipping to replica sites. The
+    /// feed retains records across checkpoint truncation — replicas replay
+    /// the logical history, not the physical log.
+    feed: Option<Arc<ReplicationFeed>>,
 }
 
 /// The durability attachment of a [`crate::SharedServer`].
@@ -135,12 +141,13 @@ impl Durability {
                 grants: BTreeMap::new(),
                 tokens: BTreeMap::new(),
                 commits_since_checkpoint: 0,
+                feed: None,
             }),
             interval: cfg.checkpoint_interval,
         }
     }
 
-    fn from_parts(
+    pub(crate) fn from_parts(
         store: DurableStore,
         grants: BTreeMap<u64, GrantIds>,
         tokens: BTreeMap<u64, Option<ResultSet>>,
@@ -152,22 +159,32 @@ impl Durability {
                 grants,
                 tokens,
                 commits_since_checkpoint: 0,
+                feed: None,
             }),
             interval,
         }
+    }
+
+    /// Attach a replication feed: every subsequent durable append is
+    /// republished to it under the store-assigned sequence number, in
+    /// commit order (the publish happens under the store lock).
+    pub fn attach_feed(&self, feed: Arc<ReplicationFeed>) {
+        lock_unpoisoned(&self.state).feed = Some(feed);
     }
 
     /// The commit gate body: append + fsync one DML commit record. Called
     /// with the version the statement will publish as.
     pub fn log_commit(&self, version: u64, sql: &str) -> pdm_sql::Result<()> {
         let mut st = lock_unpoisoned(&self.state);
-        st.store
-            .commit(&WalRecord::DmlCommit {
-                version,
-                sql: sql.to_string(),
-            })
-            .map_err(wal_to_sql)?;
+        let record = WalRecord::DmlCommit {
+            version,
+            sql: sql.to_string(),
+        };
+        let seq = st.store.commit(&record).map_err(wal_to_sql)?;
         st.commits_since_checkpoint += 1;
+        if let Some(feed) = &st.feed {
+            feed.publish(seq, record);
+        }
         Ok(())
     }
 
@@ -187,13 +204,12 @@ impl Durability {
         comp: &[ObjectId],
     ) -> pdm_sql::Result<()> {
         let mut st = lock_unpoisoned(&self.state);
-        st.store
-            .commit(&WalRecord::CheckoutGrant {
-                token,
-                assy_ids: assy.to_vec(),
-                comp_ids: comp.to_vec(),
-            })
-            .map_err(wal_to_sql)?;
+        let record = WalRecord::CheckoutGrant {
+            token,
+            assy_ids: assy.to_vec(),
+            comp_ids: comp.to_vec(),
+        };
+        let seq = st.store.commit(&record).map_err(wal_to_sql)?;
         st.grants.insert(
             token,
             GrantIds {
@@ -201,32 +217,39 @@ impl Durability {
                 comp: comp.to_vec(),
             },
         );
+        if let Some(feed) = &st.feed {
+            feed.publish(seq, record);
+        }
         Ok(())
     }
 
     /// Log a release covering `ids` and drop them from outstanding grants.
     pub fn log_release(&self, ids: &[ObjectId]) -> pdm_sql::Result<()> {
         let mut st = lock_unpoisoned(&self.state);
-        st.store
-            .commit(&WalRecord::CheckoutRelease { ids: ids.to_vec() })
-            .map_err(wal_to_sql)?;
+        let record = WalRecord::CheckoutRelease { ids: ids.to_vec() };
+        let seq = st.store.commit(&record).map_err(wal_to_sql)?;
         for grant in st.grants.values_mut() {
             grant.remove(ids);
         }
         st.grants.retain(|_, g| !g.is_empty());
+        if let Some(feed) = &st.feed {
+            feed.publish(seq, record);
+        }
         Ok(())
     }
 
     /// Log a token completion and track its outcome for checkpointing.
     pub fn log_token(&self, token: u64, rows: Option<&ResultSet>) -> pdm_sql::Result<()> {
         let mut st = lock_unpoisoned(&self.state);
-        st.store
-            .commit(&WalRecord::TokenComplete {
-                token,
-                rows: rows.cloned(),
-            })
-            .map_err(wal_to_sql)?;
+        let record = WalRecord::TokenComplete {
+            token,
+            rows: rows.cloned(),
+        };
+        let seq = st.store.commit(&record).map_err(wal_to_sql)?;
         st.tokens.insert(token, rows.cloned());
+        if let Some(feed) = &st.feed {
+            feed.publish(seq, record);
+        }
         Ok(())
     }
 
@@ -258,6 +281,12 @@ impl Durability {
     /// Outstanding (unreleased) grants, for diagnostics and tests.
     pub fn outstanding_grants(&self) -> BTreeMap<u64, GrantIds> {
         lock_unpoisoned(&self.state).grants.clone()
+    }
+
+    /// Completed token outcomes (replication bootstrap carries these so a
+    /// re-seeded site replays idempotent check-outs correctly).
+    pub(crate) fn completed_tokens(&self) -> BTreeMap<u64, Option<ResultSet>> {
+        lock_unpoisoned(&self.state).tokens.clone()
     }
 
     /// Current log size in bytes (excludes the checkpoint cell).

@@ -38,6 +38,7 @@ pub mod federation;
 pub mod functions;
 pub mod product;
 pub mod query;
+pub mod repl;
 pub mod resilience;
 pub mod rules;
 pub mod server;
@@ -54,6 +55,10 @@ pub use pdm_obs::{
     SpanRecord, Subsystem,
 };
 pub use product::{ObjectId, ProductNode, ProductTree};
+pub use repl::{
+    replay_prefix, AckedWrite, Cluster, ClusterConfig, FailoverReport, ReplError, ReplicaSite,
+    ReplicationFeed, RoutedRead, RoutedSession, Staleness, WriteReceipt,
+};
 pub use resilience::{DegradationController, RetryPolicy};
 pub use rules::condition::{AggFunc, CmpOp, Condition, RowPredicate};
 pub use rules::table::RuleTable;

@@ -1,0 +1,863 @@
+//! The replication coordinator: one primary, N replicas, deterministic
+//! shipping, semi-synchronous acknowledgement, and lease-based failover.
+//!
+//! # Acknowledgement and failover safety
+//!
+//! A write is *acknowledged* only after it is durable on the primary AND
+//! applied by at least `ack_replicas` replicas. Promotion picks the
+//! replica with the highest watermark; because replay is strictly
+//! sequential, that watermark is at least the sequence of every
+//! acknowledged write — **no acknowledged commit is ever lost** to a
+//! failover. Unacknowledged commits beyond the promoted watermark are
+//! discarded (the client never got its ack), exactly as a crash discards
+//! an unpublished commit.
+//!
+//! # Lease and fencing
+//!
+//! The primary holds a lease of `lease` virtual seconds. A writer that
+//! finds the primary inside an outage window waits the outage out if it
+//! ends before the lease expires; otherwise it waits to lease expiry and
+//! the coordinator promotes. Promotion bumps the epoch; ship batches carry
+//! their epoch and replicas reject stale ones ([`super::ReplError::Fenced`]),
+//! so the deposed primary cannot re-assert itself — when its outage ends
+//! it heals by re-bootstrapping from the new primary's snapshot.
+//!
+//! # Promotion = crash recovery
+//!
+//! The promoted replica's state is, by construction, the serial replay of
+//! a prefix of the old primary's durable log — the same oracle as crash
+//! recovery. Promotion therefore finishes exactly like recovery does:
+//! outstanding check-out grants are swept back to `FALSE` through the new
+//! primary's durable write path (every session at the old primary is
+//! presumed lost), and [`FailoverReport`] retains the epoch base and the
+//! replayed prefix so tests can verify byte-identity independently.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use pdm_net::{FaultPlan, LinkProfile, MeteredChannel, OutageWindow};
+use pdm_obs::{kinds, Counter, FlightDump, Gauge, Histogram, MetricsRegistry, Recorder};
+use pdm_sql::persist::{database_digest, database_fingerprint, encode_snapshot};
+use pdm_sql::Database;
+use pdm_wal::{DurableStore, WalRecord};
+
+use super::replica::{ReplicaSite, ACK_BYTES, RECORD_FRAME_BYTES};
+use super::{ReplError, ReplicationFeed};
+use crate::durability::{Durability, DurabilityConfig};
+use crate::product::ObjectId;
+use crate::resilience::RetryPolicy;
+use crate::server::PdmServer;
+use crate::session::{SessionError, SessionResult};
+use crate::shared::SharedServer;
+
+/// Tuning knobs for a replicated cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of replica sites (sites 1..=N; the primary is site 0).
+    pub replicas: usize,
+    /// Link profile of every primary→replica ship link.
+    pub ship_link: LinkProfile,
+    /// Fault plan template for the ship links; each site derives its own
+    /// seeded stream via [`FaultPlan::for_site`].
+    pub ship_faults: FaultPlan,
+    /// Primary lease in virtual seconds: an outage outliving it triggers
+    /// failover promotion.
+    pub lease: f64,
+    /// Replicas that must apply a write before it is acknowledged
+    /// (semi-synchronous; clamped to the replica count).
+    pub ack_replicas: usize,
+    /// Ship rounds a single wait (ack or watermark) may pump before it
+    /// gives up — the backstop against a dead ship link with an infinite
+    /// deadline.
+    pub max_pump_rounds: u32,
+    /// Durability configuration of the primary (and of promoted primaries).
+    pub durability: DurabilityConfig,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            replicas: 3,
+            ship_link: LinkProfile::wan_512(),
+            ship_faults: FaultPlan::none(),
+            lease: 30.0,
+            ack_replicas: 1,
+            max_pump_rounds: 64,
+            durability: DurabilityConfig::default(),
+        }
+    }
+}
+
+impl ClusterConfig {
+    pub fn with_replicas(mut self, n: usize) -> Self {
+        assert!(n >= 1, "a cluster needs at least one replica");
+        self.replicas = n;
+        self
+    }
+
+    pub fn with_ship_link(mut self, link: LinkProfile) -> Self {
+        self.ship_link = link;
+        self
+    }
+
+    pub fn with_ship_faults(mut self, plan: FaultPlan) -> Self {
+        self.ship_faults = plan;
+        self
+    }
+
+    pub fn with_lease(mut self, seconds: f64) -> Self {
+        assert!(seconds > 0.0);
+        self.lease = seconds;
+        self
+    }
+
+    pub fn with_ack_replicas(mut self, n: usize) -> Self {
+        self.ack_replicas = n;
+        self
+    }
+
+    pub fn with_max_pump_rounds(mut self, n: u32) -> Self {
+        assert!(n >= 1);
+        self.max_pump_rounds = n;
+        self
+    }
+
+    pub fn with_durability(mut self, cfg: DurabilityConfig) -> Self {
+        self.durability = cfg;
+        self
+    }
+}
+
+/// Receipt for an acknowledged write: what a session must remember to get
+/// read-your-writes from a replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteReceipt {
+    pub epoch: u64,
+    /// Highest durable sequence at acknowledgement time.
+    pub seq: u64,
+    /// Storage version the write published.
+    pub version: u64,
+}
+
+/// One acknowledged write, retained by the cluster as the loss oracle: a
+/// failover must carry every one of these into the new epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AckedWrite {
+    pub epoch: u64,
+    pub seq: u64,
+    pub version: u64,
+}
+
+/// What one failover promotion did — self-contained, so tests can verify
+/// the promoted state against serial replay without touching the cluster.
+#[derive(Debug, Clone)]
+pub struct FailoverReport {
+    pub old_epoch: u64,
+    pub new_epoch: u64,
+    pub promoted_site: usize,
+    /// The promoted replica's watermark (the surviving log prefix).
+    pub promoted_seq: u64,
+    /// Records shipped to catch lagging replicas up to the prefix.
+    pub catchup_records: u64,
+    /// Stale grants swept by promotion (tokens and the id unions).
+    pub swept_tokens: Vec<u64>,
+    pub swept_assy: Vec<ObjectId>,
+    pub swept_comp: Vec<ObjectId>,
+    /// Virtual time the promotion started and how long it took.
+    pub started_at: f64,
+    pub duration: f64,
+    /// State fingerprint of the promoted replica BEFORE the sweep — the
+    /// value serial replay of `prefix` onto `epoch_base` must reproduce.
+    pub promoted_fingerprint: Vec<u8>,
+    /// Encoded snapshot the old epoch's replicas bootstrapped from.
+    pub epoch_base: Vec<u8>,
+    /// The old epoch's durable-log prefix through `promoted_seq`.
+    pub prefix: Vec<(u64, WalRecord)>,
+}
+
+/// Pre-resolved handles for the `repl.*` metric families (resolved at
+/// cluster assembly so every family exists in a snapshot even before it
+/// first fires).
+#[derive(Debug)]
+struct ReplMetrics {
+    ship_batches: Counter,
+    records_shipped: Counter,
+    ship_failures: Counter,
+    acked_writes: Counter,
+    watermark_waits: Counter,
+    watermark_timeouts: Counter,
+    stale_reads: Counter,
+    failovers: Counter,
+    lag_seqs: Gauge,
+    ship_us: Histogram,
+    failover_us: Histogram,
+    watermark_wait_us: Histogram,
+}
+
+impl ReplMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        ReplMetrics {
+            ship_batches: registry.counter("repl.ship_batches"),
+            records_shipped: registry.counter("repl.records_shipped"),
+            ship_failures: registry.counter("repl.ship_failures"),
+            acked_writes: registry.counter("repl.acked_writes"),
+            watermark_waits: registry.counter("repl.watermark_waits"),
+            watermark_timeouts: registry.counter("repl.watermark_timeouts"),
+            stale_reads: registry.counter("repl.stale_reads"),
+            failovers: registry.counter("repl.failovers"),
+            lag_seqs: registry.gauge("repl.lag_seqs"),
+            ship_us: registry.histogram("repl.ship_us"),
+            failover_us: registry.histogram("repl.failover_us"),
+            watermark_wait_us: registry.histogram("repl.watermark_wait_us"),
+        }
+    }
+}
+
+/// The replicated cluster. See the module docs.
+#[derive(Debug)]
+pub struct Cluster {
+    cfg: ClusterConfig,
+    epoch: u64,
+    /// Topology generation: bumped on promotion and on heal, so routed
+    /// sessions know to re-resolve their server handles.
+    generation: u64,
+    primary: PdmServer,
+    /// Site index currently acting as primary (0 at birth; the promoted
+    /// replica's site after a failover).
+    primary_site: usize,
+    feed: Arc<ReplicationFeed>,
+    replicas: BTreeMap<usize, ReplicaSite>,
+    /// The cluster's virtual clock: ship-link time plus session time folded
+    /// in via [`Cluster::advance`].
+    clock: f64,
+    /// Scheduled primary-site outage windows on the cluster clock.
+    outages: Vec<OutageWindow>,
+    acked: Vec<AckedWrite>,
+    metrics: Arc<MetricsRegistry>,
+    m: ReplMetrics,
+    obs: Recorder,
+    failovers: Vec<FailoverReport>,
+    /// A deposed primary site waiting for its outage to end before it
+    /// re-bootstraps as a replica: `(site, heal_at)`.
+    pending_heal: Option<(usize, f64)>,
+    /// Encoded snapshot the current epoch's replicas bootstrapped from.
+    epoch_base: Vec<u8>,
+}
+
+impl Cluster {
+    /// Publish a populated database as the primary of a replicated cluster
+    /// and seed every replica from its initial snapshot.
+    pub fn new(db: Database, cfg: ClusterConfig) -> pdm_sql::Result<Cluster> {
+        let epoch = 1;
+        let shared = SharedServer::with_durability(db, &cfg.durability)?;
+        let feed = Arc::new(ReplicationFeed::new(epoch));
+        if let Some(d) = shared.durability() {
+            d.attach_feed(Arc::clone(&feed));
+        }
+        let primary = PdmServer::from_shared(Arc::new(shared));
+        let epoch_base = encode_snapshot(&primary.database().snapshot());
+        let mut replicas = BTreeMap::new();
+        for site in 1..=cfg.replicas {
+            let plan = cfg.ship_faults.clone().for_site(site as u64);
+            let replica = ReplicaSite::bootstrap(
+                site,
+                &epoch_base,
+                epoch,
+                0,
+                BTreeMap::new(),
+                BTreeMap::new(),
+                cfg.ship_link,
+                plan,
+            )
+            .map_err(|e| pdm_sql::Error::Eval(format!("replica bootstrap: {e}")))?;
+            replicas.insert(site, replica);
+        }
+        let metrics = Arc::new(MetricsRegistry::new());
+        let m = ReplMetrics::new(&metrics);
+        Ok(Cluster {
+            cfg,
+            epoch,
+            generation: 0,
+            primary,
+            primary_site: 0,
+            feed,
+            replicas,
+            clock: 0.0,
+            outages: Vec::new(),
+            acked: Vec::new(),
+            metrics,
+            m,
+            obs: Recorder::new(),
+            failovers: Vec::new(),
+            pending_heal: None,
+            epoch_base,
+        })
+    }
+
+    // -- accessors ---------------------------------------------------------
+
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The cluster's virtual clock.
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Fold externally burned virtual time (a session's metered action)
+    /// into the cluster clock.
+    pub fn advance(&mut self, seconds: f64) {
+        debug_assert!(seconds >= 0.0);
+        self.clock += seconds;
+    }
+
+    pub fn primary(&self) -> &PdmServer {
+        &self.primary
+    }
+
+    pub fn primary_site(&self) -> usize {
+        self.primary_site
+    }
+
+    pub fn replica(&self, site: usize) -> Option<&ReplicaSite> {
+        self.replicas.get(&site)
+    }
+
+    pub fn replica_sites(&self) -> Vec<usize> {
+        self.replicas.keys().copied().collect()
+    }
+
+    pub fn feed(&self) -> &Arc<ReplicationFeed> {
+        &self.feed
+    }
+
+    /// Encoded snapshot the current epoch's replicas bootstrapped from —
+    /// the base state [`super::replay_prefix`] replays the feed onto.
+    pub fn epoch_base(&self) -> &[u8] {
+        &self.epoch_base
+    }
+
+    /// Cluster-level metrics (`repl.*` families).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// The cluster's flight recorder (ship / promote spans).
+    pub fn recorder(&self) -> &Recorder {
+        &self.obs
+    }
+
+    pub fn failovers(&self) -> &[FailoverReport] {
+        &self.failovers
+    }
+
+    pub fn acked_writes(&self) -> &[AckedWrite] {
+        &self.acked
+    }
+
+    /// Schedule a primary-site outage window on the cluster clock.
+    pub fn schedule_outage(&mut self, window: OutageWindow) {
+        self.outages.push(window);
+    }
+
+    /// The server a site's reads should run against: the local replica, or
+    /// the primary when the site IS the primary (or is still healing).
+    pub fn read_server(&self, site: usize) -> PdmServer {
+        if site == self.primary_site {
+            return self.primary.clone();
+        }
+        match self.replicas.get(&site) {
+            Some(r) => r.server().clone(),
+            None => self.primary.clone(),
+        }
+    }
+
+    /// The server writes must be forwarded to.
+    pub fn write_server(&self) -> PdmServer {
+        self.primary.clone()
+    }
+
+    /// How many sequences site trails the primary by.
+    pub fn lag(&self, site: usize) -> u64 {
+        match self.replicas.get(&site) {
+            Some(r) => self.feed.last_seq().saturating_sub(r.applied_seq()),
+            None => 0,
+        }
+    }
+
+    pub(crate) fn note_stale_read(&self) {
+        self.m.stale_reads.inc();
+    }
+
+    // -- shipping ----------------------------------------------------------
+
+    /// Ship the outstanding suffix to one replica over its fault-injected
+    /// link. Link failures are counted and absorbed (shipping is
+    /// idempotent and retried next round); consistency violations
+    /// propagate. Returns the number of records the replica acknowledged.
+    pub fn ship_once(&mut self, site: usize) -> Result<u64, ReplError> {
+        self.maybe_heal();
+        let epoch = self.epoch;
+        let last = self.feed.last_seq();
+        let Some(replica) = self.replicas.get_mut(&site) else {
+            return Ok(0); // the site is the primary or still healing
+        };
+        let batch = self.feed.since(replica.applied_seq());
+        if batch.is_empty() {
+            self.m.lag_seqs.set(0.0);
+            return Ok(0);
+        }
+        let bytes: usize = batch
+            .iter()
+            .map(|(_, r)| r.encode().len() + RECORD_FRAME_BYTES)
+            .sum();
+        let start = self.clock;
+        let before = replica.elapsed();
+        let result = replica.receive_ship(epoch, &batch, bytes);
+        let delta = replica.elapsed() - before;
+        self.clock += delta;
+        match result {
+            Ok(applied) => {
+                self.m.ship_batches.inc();
+                self.m.records_shipped.add(applied);
+                self.m.ship_us.record((delta * 1e6) as u64);
+                self.m
+                    .lag_seqs
+                    .set(last.saturating_sub(replica.applied_seq()) as f64);
+                self.obs.record_closed(
+                    kinds::REPL_SHIP,
+                    format!("site{site}"),
+                    start,
+                    start + delta,
+                    &[("records", applied as f64), ("bytes", bytes as f64)],
+                    "",
+                );
+                // A fully caught-up replica must be byte-equivalent to the
+                // primary — the continuous divergence check.
+                if replica.applied_seq() == last {
+                    let rd = replica.digest();
+                    let pd = database_digest(self.primary.database());
+                    if rd != pd {
+                        return Err(ReplError::Diverged { site, seq: last });
+                    }
+                }
+                Ok(applied)
+            }
+            Err(ReplError::Link(e)) => {
+                self.m.ship_failures.inc();
+                self.obs.record_closed(
+                    kinds::REPL_SHIP,
+                    format!("site{site}"),
+                    start,
+                    start + delta,
+                    &[("bytes", bytes as f64)],
+                    e.to_string(),
+                );
+                Ok(0)
+            }
+            Err(fatal) => Err(fatal),
+        }
+    }
+
+    /// One ship round across every replica.
+    pub fn pump(&mut self) -> Result<u64, ReplError> {
+        let sites: Vec<usize> = self.replicas.keys().copied().collect();
+        let mut total = 0;
+        for site in sites {
+            total += self.ship_once(site)?;
+        }
+        Ok(total)
+    }
+
+    // -- write acknowledgement --------------------------------------------
+
+    /// Semi-synchronously acknowledge the primary's latest durable state:
+    /// pump the ship links until `ack_replicas` replicas have applied it,
+    /// then issue the receipt a session needs for read-your-writes.
+    pub fn acknowledge_write(&mut self, obs: &Recorder) -> SessionResult<WriteReceipt> {
+        let seq = self.feed.last_seq();
+        let version = self.primary.shared().version();
+        let epoch = self.epoch;
+        let need = self.cfg.ack_replicas.min(self.replicas.len());
+        let start = self.clock;
+        let mut rounds = 0u32;
+        loop {
+            let caught = self
+                .replicas
+                .values()
+                .filter(|r| r.applied_seq() >= seq)
+                .count();
+            if caught >= need {
+                break;
+            }
+            if rounds >= self.cfg.max_pump_rounds {
+                return Err(SessionError::Timeout {
+                    attempts: rounds,
+                    elapsed: self.clock - start,
+                    context: FlightDump::at("repl.ship").with_events(obs),
+                });
+            }
+            rounds += 1;
+            self.pump().map_err(|e| SessionError::RecoveryFailed {
+                detail: format!("replication: {e}"),
+            })?;
+        }
+        self.acked.push(AckedWrite {
+            epoch,
+            seq,
+            version,
+        });
+        self.m.acked_writes.inc();
+        Ok(WriteReceipt {
+            epoch,
+            seq,
+            version,
+        })
+    }
+
+    // -- read-your-writes --------------------------------------------------
+
+    /// Block (pumping the ship link) until `site`'s watermark reaches the
+    /// receipt's sequence, bounded by the session's retry deadline. A
+    /// receipt from an older epoch needs no wait: acknowledged writes are,
+    /// by the promotion invariant, part of the new epoch's baseline.
+    pub fn wait_watermark(
+        &mut self,
+        site: usize,
+        receipt: &WriteReceipt,
+        policy: &RetryPolicy,
+        obs: &Recorder,
+    ) -> SessionResult<u64> {
+        self.maybe_heal();
+        if receipt.epoch < self.epoch {
+            return Ok(0);
+        }
+        if site == self.primary_site || !self.replicas.contains_key(&site) {
+            return Ok(0); // reads run at the primary: trivially fresh
+        }
+        let start = self.clock;
+        let mut rounds = 0u32;
+        loop {
+            let applied = match self.replicas.get(&site) {
+                Some(r) => r.applied_seq(),
+                None => return Ok(0),
+            };
+            if applied >= receipt.seq {
+                let waited = self.clock - start;
+                self.m.watermark_waits.inc();
+                self.m.watermark_wait_us.record((waited * 1e6) as u64);
+                self.obs.record_closed(
+                    kinds::REPL_WAIT_WATERMARK,
+                    format!("site{site}"),
+                    start,
+                    self.clock,
+                    &[("seq", receipt.seq as f64), ("rounds", rounds as f64)],
+                    "",
+                );
+                return Ok(applied);
+            }
+            let waited = self.clock - start;
+            if waited >= policy.deadline || rounds >= self.cfg.max_pump_rounds {
+                self.m.watermark_timeouts.inc();
+                obs.event(kinds::REPL_WAIT_WATERMARK, format!("site{site} deadline"));
+                return Err(SessionError::ReplicaLagTimeout {
+                    seq: receipt.seq,
+                    applied,
+                    elapsed: waited,
+                    context: FlightDump::at("repl.wait_watermark").with_events(obs),
+                });
+            }
+            rounds += 1;
+            self.ship_once(site)
+                .map_err(|e| SessionError::RecoveryFailed {
+                    detail: format!("replication: {e}"),
+                })?;
+        }
+    }
+
+    // -- failover ----------------------------------------------------------
+
+    /// Gate a write on primary availability. Inside an outage window the
+    /// writer waits the outage out when it ends before the lease expires;
+    /// otherwise it waits to lease expiry and the coordinator promotes the
+    /// most caught-up replica. Waits exceeding `max_wait` fail with
+    /// [`SessionError::PrimaryUnavailable`].
+    pub fn ensure_primary(&mut self, max_wait: f64, obs: &Recorder) -> SessionResult<()> {
+        self.maybe_heal();
+        let Some(w) = self
+            .outages
+            .iter()
+            .copied()
+            .find(|w| w.contains(self.clock))
+        else {
+            return Ok(());
+        };
+        let lease_expires = w.start + self.cfg.lease;
+        if w.end <= lease_expires {
+            // Outage shorter than the lease: wait it out.
+            let wait = w.end - self.clock;
+            if wait > max_wait {
+                return Err(SessionError::PrimaryUnavailable {
+                    until: w.end,
+                    context: FlightDump::at("net.exchange").with_events(obs),
+                });
+            }
+            self.clock = w.end;
+            self.maybe_heal();
+            Ok(())
+        } else {
+            let wait = (lease_expires - self.clock).max(0.0);
+            if wait > max_wait {
+                return Err(SessionError::PrimaryUnavailable {
+                    until: lease_expires,
+                    context: FlightDump::at("net.exchange").with_events(obs),
+                });
+            }
+            self.clock = self.clock.max(lease_expires);
+            self.outages.retain(|o| *o != w);
+            self.promote_inner(Some(w.end))
+                .map_err(|e| SessionError::RecoveryFailed {
+                    detail: format!("failover promotion: {e}"),
+                })?;
+            Ok(())
+        }
+    }
+
+    /// Promote the most caught-up replica to primary (test/admin hook; the
+    /// deposed primary is abandoned rather than healed).
+    pub fn promote(&mut self) -> Result<(), ReplError> {
+        self.promote_inner(None)
+    }
+
+    fn promote_inner(&mut self, heal_at: Option<f64>) -> Result<(), ReplError> {
+        let started = self.clock;
+        let old_epoch = self.epoch;
+        let new_epoch = old_epoch + 1;
+
+        // Deterministic choice: highest watermark, ties to the lowest site.
+        let promoted_site = self
+            .replicas
+            .iter()
+            .max_by(|(sa, ra), (sb, rb)| ra.applied_seq().cmp(&rb.applied_seq()).then(sb.cmp(sa)))
+            .map(|(s, _)| *s)
+            .ok_or_else(|| ReplError::Bootstrap("no replica to promote".into()))?;
+        let promoted_seq = match self.replicas.get(&promoted_site) {
+            Some(r) => r.applied_seq(),
+            None => 0,
+        };
+
+        // Catch every lagging replica up to the promoted prefix, shipping
+        // from the promoted site over a clean coordinator link (the old
+        // primary — and its faulty links — are out of the picture).
+        let mut coord = MeteredChannel::new(self.cfg.ship_link);
+        let mut catchup_records = 0u64;
+        let lagging: Vec<usize> = self
+            .replicas
+            .iter()
+            .filter(|(s, r)| **s != promoted_site && r.applied_seq() < promoted_seq)
+            .map(|(s, _)| *s)
+            .collect();
+        for site in lagging {
+            let Some(replica) = self.replicas.get_mut(&site) else {
+                continue;
+            };
+            let batch: Vec<(u64, WalRecord)> = self
+                .feed
+                .since(replica.applied_seq())
+                .into_iter()
+                .filter(|(s, _)| *s <= promoted_seq)
+                .collect();
+            if batch.is_empty() {
+                continue;
+            }
+            let bytes: usize = batch
+                .iter()
+                .map(|(_, r)| r.encode().len() + RECORD_FRAME_BYTES)
+                .sum();
+            coord.round_trip(bytes, ACK_BYTES);
+            catchup_records += replica.apply_batch(old_epoch, &batch)?;
+        }
+
+        // The promoted replica's pre-sweep state is the new epoch's base.
+        let promoted = self
+            .replicas
+            .remove(&promoted_site)
+            .ok_or_else(|| ReplError::Bootstrap("promoted replica vanished".into()))?;
+        let promoted_fingerprint = promoted.fingerprint();
+        let prefix = self.feed.prefix_through(promoted_seq);
+        let old_base = std::mem::take(&mut self.epoch_base);
+        let base_bytes = encode_snapshot(&promoted.server().database().snapshot());
+        coord.round_trip(64, 32); // epoch-bump coordination round
+
+        // Rebuild the promoted state as a durable primary: fresh store,
+        // grant/token trackers carried over, initial checkpoint, new feed.
+        let grants = promoted.grants_clone();
+        let tokens = promoted.tokens_clone();
+        let mut snapshot = pdm_sql::persist::decode_snapshot(&base_bytes)
+            .map_err(|e| ReplError::Bootstrap(e.to_string()))?;
+        crate::functions::register_into(&mut snapshot.catalog.functions);
+        let db = pdm_sql::SharedDatabase::from_snapshot(snapshot);
+        let durability = Durability::from_parts(
+            DurableStore::new(self.cfg.durability.crash_plan),
+            grants.clone(),
+            tokens.clone(),
+            self.cfg.durability.checkpoint_interval,
+        );
+        durability
+            .checkpoint(&db.snapshot())
+            .map_err(|e| ReplError::Bootstrap(format!("promotion checkpoint: {e}")))?;
+        let feed = Arc::new(ReplicationFeed::new(new_epoch));
+        durability.attach_feed(Arc::clone(&feed));
+        let next_token = tokens
+            .keys()
+            .chain(grants.keys())
+            .max()
+            .map(|t| t + 1)
+            .unwrap_or(1)
+            .max(1);
+        let shared = SharedServer::assemble(db, Some(durability), tokens, next_token);
+        let new_primary = PdmServer::from_shared(Arc::new(shared));
+
+        // Sweep stale grants exactly as crash recovery does: every session
+        // at the old primary died with it, so no grant survives. The sweep
+        // runs through the durable write path — its UPDATEs and closing
+        // release flow into the new feed for the remaining replicas.
+        let mut swept_tokens: Vec<u64> = Vec::new();
+        let mut sweep_assy: Vec<ObjectId> = Vec::new();
+        let mut sweep_comp: Vec<ObjectId> = Vec::new();
+        for (token, g) in &grants {
+            swept_tokens.push(*token);
+            sweep_assy.extend(&g.assy);
+            sweep_comp.extend(&g.comp);
+        }
+        sweep_assy.sort_unstable();
+        sweep_assy.dedup();
+        sweep_comp.sort_unstable();
+        sweep_comp.dedup();
+        new_primary
+            .shared()
+            .sweep_stale_grants(&sweep_assy, &sweep_comp)
+            .map_err(|e| ReplError::Replay {
+                seq: 0,
+                detail: format!("failover sweep: {e}"),
+            })?;
+
+        // Install the new topology and fence the survivors onto the new
+        // epoch. They are all caught up to the promoted prefix, i.e. their
+        // state equals the new epoch base; the new feed's sequences restart
+        // at 1, so their watermarks reset to 0.
+        let old_primary_site = self.primary_site;
+        self.primary = new_primary;
+        self.primary_site = promoted_site;
+        self.feed = feed;
+        self.epoch = new_epoch;
+        self.epoch_base = base_bytes;
+        self.generation += 1;
+        for replica in self.replicas.values_mut() {
+            replica.set_epoch(new_epoch);
+            replica.reset_applied(0);
+        }
+        self.pending_heal = heal_at.map(|t| (old_primary_site, t));
+
+        let duration = coord.elapsed();
+        self.clock += duration;
+        self.m.failovers.inc();
+        self.m.failover_us.record((duration * 1e6) as u64);
+        self.obs.record_closed(
+            kinds::REPL_PROMOTE,
+            format!("epoch{new_epoch}"),
+            started,
+            self.clock,
+            &[
+                ("promoted_site", promoted_site as f64),
+                ("promoted_seq", promoted_seq as f64),
+                ("catchup_records", catchup_records as f64),
+            ],
+            "",
+        );
+        self.failovers.push(FailoverReport {
+            old_epoch,
+            new_epoch,
+            promoted_site,
+            promoted_seq,
+            catchup_records,
+            swept_tokens,
+            swept_assy: sweep_assy,
+            swept_comp: sweep_comp,
+            started_at: started,
+            duration,
+            promoted_fingerprint,
+            epoch_base: old_base,
+            prefix,
+        });
+        Ok(())
+    }
+
+    /// Heal a deposed primary whose outage has ended: re-bootstrap it from
+    /// the current primary's snapshot as an ordinary replica.
+    fn maybe_heal(&mut self) {
+        let Some((site, at)) = self.pending_heal else {
+            return;
+        };
+        if self.clock < at {
+            return;
+        }
+        self.pending_heal = None;
+        let snapshot_bytes = encode_snapshot(&self.primary.database().snapshot());
+        let (grants, tokens) = match self.primary.shared().durability() {
+            Some(d) => (d.outstanding_grants(), d.completed_tokens()),
+            None => (BTreeMap::new(), BTreeMap::new()),
+        };
+        let base_seq = self.feed.last_seq();
+        // A fresh fault stream for the healed link (epoch-mixed so it does
+        // not replay the pre-failover faults).
+        let plan = self
+            .cfg
+            .ship_faults
+            .clone()
+            .for_site(site as u64 + 1000 * self.epoch);
+        match ReplicaSite::bootstrap(
+            site,
+            &snapshot_bytes,
+            self.epoch,
+            base_seq,
+            grants,
+            tokens,
+            self.cfg.ship_link,
+            plan,
+        ) {
+            Ok(mut replica) => {
+                // Charge the snapshot transfer to the healed site's link.
+                let before = replica.elapsed();
+                replica
+                    .channel_mut()
+                    .round_trip(snapshot_bytes.len() + 64, ACK_BYTES);
+                self.clock += replica.elapsed() - before;
+                self.replicas.insert(site, replica);
+                self.generation += 1;
+                self.obs
+                    .event(kinds::REPL_APPLY, format!("site{site} healed"));
+            }
+            Err(e) => {
+                // A heal that cannot decode the primary snapshot is fatal
+                // for the site; leave it out of the topology.
+                self.obs
+                    .event(kinds::REPL_APPLY, format!("site{site} heal failed: {e}"));
+            }
+        }
+    }
+
+    /// State fingerprint of the current primary.
+    pub fn primary_fingerprint(&self) -> Vec<u8> {
+        database_fingerprint(self.primary.database())
+    }
+}

@@ -1,0 +1,275 @@
+//! A site-routed client session over a replicated cluster.
+//!
+//! A [`RoutedSession`] holds TWO metered sessions: a `read` session over a
+//! LAN link to its nearest replica (the whole point of replication — the
+//! paper's Table 2 "remote everything" latencies collapse when reads stay
+//! local) and a `write` session over the configured WAN link to the
+//! primary.
+//!
+//! **Read-your-writes contract**: the session remembers the
+//! [`WriteReceipt`] of its last acknowledged write. Before any read it
+//! waits (pumping the ship link) until the local replica's watermark
+//! reaches that sequence, bounded by the session's [`RetryPolicy`]
+//! deadline. A receipt from an older epoch needs no wait — promotion
+//! guarantees acknowledged writes are part of the new epoch's baseline.
+//! When the wait times out repeatedly, the session's
+//! [`DegradationController`] staleness rung opens and reads are served
+//! from the lagging replica with an explicit [`Staleness`] annotation
+//! instead of failing the action outright.
+
+use pdm_net::LinkProfile;
+
+use super::{Cluster, WriteReceipt};
+use crate::checkout::CheckoutOutcome;
+use crate::product::{ObjectId, ProductTree};
+use crate::resilience::RetryPolicy;
+use crate::rules::table::RuleTable;
+use crate::session::{
+    ExpandOutcome, QueryOutcome, Session, SessionConfig, SessionError, SessionResult,
+};
+
+/// Explicit staleness annotation on a degraded read: the replica served it
+/// from a state behind the session's own last write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Staleness {
+    /// The sequence read-your-writes required.
+    pub required_seq: u64,
+    /// The replica's watermark when the read was served.
+    pub applied_seq: u64,
+}
+
+/// A read outcome plus its freshness: `staleness: None` means the
+/// read-your-writes guarantee held.
+#[derive(Debug)]
+pub struct RoutedRead<T> {
+    pub value: T,
+    pub staleness: Option<Staleness>,
+}
+
+/// A client session pinned to one site of a replicated cluster. See the
+/// module docs.
+pub struct RoutedSession {
+    site: usize,
+    config: SessionConfig,
+    rules: RuleTable,
+    read: Session,
+    write: Session,
+    generation: u64,
+    epoch: u64,
+    last_write: Option<WriteReceipt>,
+    policy: RetryPolicy,
+}
+
+impl RoutedSession {
+    /// Attach a session at `site`: reads go to the site's replica over a
+    /// LAN profile, writes to the primary over `config.link`.
+    pub fn connect(
+        cluster: &Cluster,
+        site: usize,
+        config: SessionConfig,
+        rules: RuleTable,
+    ) -> Self {
+        let read_cfg = SessionConfig {
+            link: LinkProfile::lan(),
+            ..config.clone()
+        };
+        let read = Session::attach(cluster.read_server(site), read_cfg, rules.clone());
+        let write = Session::attach(cluster.write_server(), config.clone(), rules.clone());
+        RoutedSession {
+            site,
+            config,
+            rules,
+            read,
+            write,
+            generation: cluster.generation(),
+            epoch: cluster.epoch(),
+            last_write: None,
+            policy: RetryPolicy::default_wan(),
+        }
+    }
+
+    pub fn site(&self) -> usize {
+        self.site
+    }
+
+    /// Receipt of this session's last acknowledged write, if any.
+    pub fn last_write(&self) -> Option<WriteReceipt> {
+        self.last_write
+    }
+
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Bound watermark waits and primary-outage waits by this policy's
+    /// deadline.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.policy = policy;
+    }
+
+    /// The local read session (stats, degradation state, recorder).
+    pub fn read_session(&self) -> &Session {
+        &self.read
+    }
+
+    pub fn read_session_mut(&mut self) -> &mut Session {
+        &mut self.read
+    }
+
+    /// The primary-bound write session.
+    pub fn write_session(&self) -> &Session {
+        &self.write
+    }
+
+    /// Re-resolve server handles after a topology change (promotion or
+    /// heal). Degradation state survives the re-attach — a lag breaker
+    /// tripped against the old topology half-opens normally.
+    fn resync(&mut self, cluster: &Cluster) {
+        if self.generation == cluster.generation() && self.epoch == cluster.epoch() {
+            return;
+        }
+        self.generation = cluster.generation();
+        self.epoch = cluster.epoch();
+        let read_cfg = SessionConfig {
+            link: LinkProfile::lan(),
+            ..self.config.clone()
+        };
+        let degradation = self.read.degradation().clone();
+        self.read = Session::attach(cluster.read_server(self.site), read_cfg, self.rules.clone());
+        *self.read.degradation_mut() = degradation;
+        self.write = Session::attach(
+            cluster.write_server(),
+            self.config.clone(),
+            self.rules.clone(),
+        );
+    }
+
+    /// Enforce read-your-writes before a read, degrading to an annotated
+    /// stale read when the staleness rung is open.
+    fn sync_reads(&mut self, cluster: &mut Cluster) -> SessionResult<Option<Staleness>> {
+        let Some(receipt) = self.last_write else {
+            return Ok(None);
+        };
+        if receipt.epoch < cluster.epoch() {
+            return Ok(None); // acked write survived into the promoted baseline
+        }
+        match cluster.wait_watermark(self.site, &receipt, &self.policy, self.read.recorder()) {
+            Ok(_) => {
+                self.read.degradation_mut().record_lag_success();
+                Ok(None)
+            }
+            Err(SessionError::ReplicaLagTimeout {
+                seq,
+                applied,
+                elapsed,
+                context,
+            }) => {
+                self.read.degradation_mut().record_lag_failure();
+                if self.read.degradation_mut().should_read_stale() {
+                    cluster.note_stale_read();
+                    Ok(Some(Staleness {
+                        required_seq: seq,
+                        applied_seq: applied,
+                    }))
+                } else {
+                    Err(SessionError::ReplicaLagTimeout {
+                        seq,
+                        applied,
+                        elapsed,
+                        context,
+                    })
+                }
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Run one read action on the local session, folding its metered time
+    /// into the cluster clock.
+    fn read_action<T>(
+        &mut self,
+        cluster: &mut Cluster,
+        action: impl FnOnce(&mut Session) -> SessionResult<T>,
+    ) -> SessionResult<RoutedRead<T>> {
+        self.resync(cluster);
+        let staleness = self.sync_reads(cluster)?;
+        let result = action(&mut self.read);
+        // Session metering resets per action, so post-action elapsed IS the
+        // action's virtual time.
+        cluster.advance(self.read.elapsed());
+        Ok(RoutedRead {
+            value: result?,
+            staleness,
+        })
+    }
+
+    /// Run one write action against the primary, gated on availability
+    /// (which may trigger failover promotion), then acknowledge it.
+    fn write_action<T>(
+        &mut self,
+        cluster: &mut Cluster,
+        action: impl FnOnce(&mut Session) -> SessionResult<T>,
+    ) -> SessionResult<(T, WriteReceipt)> {
+        self.resync(cluster);
+        let deadline = self.policy.deadline;
+        cluster.ensure_primary(deadline, self.write.recorder())?;
+        self.resync(cluster); // the primary may have moved
+        let result = action(&mut self.write);
+        cluster.advance(self.write.elapsed());
+        let value = result?;
+        let receipt = cluster.acknowledge_write(self.write.recorder())?;
+        self.last_write = Some(receipt);
+        Ok((value, receipt))
+    }
+
+    // -- reads -------------------------------------------------------------
+
+    /// Multi-level expand against the local replica (read-your-writes
+    /// enforced).
+    pub fn multi_level_expand(
+        &mut self,
+        cluster: &mut Cluster,
+        root: ObjectId,
+    ) -> SessionResult<RoutedRead<ExpandOutcome>> {
+        self.read_action(cluster, |s| s.multi_level_expand(root))
+    }
+
+    /// Recursive single-query retrieval against the local replica.
+    pub fn query_all(
+        &mut self,
+        cluster: &mut Cluster,
+        root: ObjectId,
+    ) -> SessionResult<RoutedRead<QueryOutcome>> {
+        self.read_action(cluster, |s| s.query_all(root))
+    }
+
+    // -- writes ------------------------------------------------------------
+
+    /// Forward one DML statement to the primary and acknowledge it.
+    pub fn execute_dml(
+        &mut self,
+        cluster: &mut Cluster,
+        sql: &str,
+    ) -> SessionResult<(usize, WriteReceipt)> {
+        let sql = sql.to_string();
+        self.write_action(cluster, move |s| s.execute_update(&sql))
+    }
+
+    /// Function-shipping check-out at the primary.
+    pub fn check_out(
+        &mut self,
+        cluster: &mut Cluster,
+        root: ObjectId,
+    ) -> SessionResult<(CheckoutOutcome, WriteReceipt)> {
+        self.write_action(cluster, |s| s.check_out_function_shipping(root))
+    }
+
+    /// Check-in at the primary.
+    pub fn check_in(
+        &mut self,
+        cluster: &mut Cluster,
+        tree: &ProductTree,
+    ) -> SessionResult<(usize, WriteReceipt)> {
+        self.write_action(cluster, |s| s.check_in(tree))
+    }
+}

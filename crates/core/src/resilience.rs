@@ -85,10 +85,17 @@ impl RetryPolicy {
     }
 }
 
-/// Circuit breaker for strategy degradation: after `failure_threshold`
-/// consecutive recursive-query failures the breaker trips and the session
-/// falls back to level-batched navigational expansion; after `cooldown`
-/// degraded actions it half-opens and lets one recursive probe through.
+/// Circuit breaker for strategy degradation, with two independent rungs:
+///
+/// 1. **Strategy rung** — after `failure_threshold` consecutive
+///    recursive-query failures the breaker trips and the session falls
+///    back to level-batched navigational expansion; after `cooldown`
+///    degraded actions it half-opens and lets one recursive probe through.
+/// 2. **Staleness rung** — after `failure_threshold` consecutive
+///    read-your-writes watermark timeouts against a lagging replica, the
+///    breaker stops failing reads outright and serves them from the stale
+///    replica with an explicit staleness annotation; after `cooldown`
+///    stale reads it half-opens and lets one watermark wait through.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DegradationController {
     failure_threshold: u32,
@@ -96,6 +103,10 @@ pub struct DegradationController {
     consecutive_failures: u32,
     tripped: bool,
     skipped: u32,
+    lag_failures: u32,
+    lag_tripped: bool,
+    lag_skipped: u32,
+    stale_reads_served: u64,
 }
 
 impl Default for DegradationController {
@@ -113,6 +124,10 @@ impl DegradationController {
             consecutive_failures: 0,
             tripped: false,
             skipped: 0,
+            lag_failures: 0,
+            lag_tripped: false,
+            lag_skipped: 0,
+            stale_reads_served: 0,
         }
     }
 
@@ -161,6 +176,56 @@ impl DegradationController {
     /// Manually close the breaker.
     pub fn reset(&mut self) {
         self.record_success();
+    }
+
+    // -- staleness rung -----------------------------------------------------
+
+    /// Whether the staleness rung is open: reads are currently served from
+    /// the lagging replica (annotated) instead of failing on the watermark.
+    pub fn is_stale_open(&self) -> bool {
+        self.lag_tripped
+    }
+
+    /// Decide whether the next read should be served stale instead of
+    /// failing. Mutates the half-open bookkeeping: while tripped, every
+    /// `cooldown` stale reads one full watermark wait is allowed through
+    /// (returns `false`). Counts the stale reads it grants.
+    pub fn should_read_stale(&mut self) -> bool {
+        if !self.lag_tripped {
+            return false;
+        }
+        if self.lag_skipped >= self.cooldown {
+            self.lag_skipped = 0; // half-open: allow one watermark probe
+            false
+        } else {
+            self.lag_skipped += 1;
+            self.stale_reads_served += 1;
+            true
+        }
+    }
+
+    /// A watermark wait completed in time: close the staleness rung.
+    pub fn record_lag_success(&mut self) {
+        self.lag_failures = 0;
+        self.lag_tripped = false;
+        self.lag_skipped = 0;
+    }
+
+    /// A watermark wait timed out (after its own retries). Unlike the
+    /// strategy rung, the wait always runs before the stale decision, so
+    /// failures keep arriving while tripped — only a FRESH trip resets the
+    /// half-open counter, or the cooldown probe could never come due.
+    pub fn record_lag_failure(&mut self) {
+        self.lag_failures += 1;
+        if self.lag_failures >= self.failure_threshold && !self.lag_tripped {
+            self.lag_tripped = true;
+            self.lag_skipped = 0;
+        }
+    }
+
+    /// Stale reads served while the staleness rung was open.
+    pub fn stale_reads_served(&self) -> u64 {
+        self.stale_reads_served
     }
 }
 
@@ -213,6 +278,46 @@ mod tests {
         b.record_success();
         assert!(!b.is_open());
         assert!(!b.should_degrade());
+    }
+
+    #[test]
+    fn staleness_rung_trips_and_half_opens_independently() {
+        let mut b = DegradationController::new(2, 3);
+        // lag failures do not touch the strategy rung
+        b.record_lag_failure();
+        assert!(!b.is_stale_open());
+        assert!(!b.should_read_stale());
+        b.record_lag_failure();
+        assert!(b.is_stale_open());
+        assert!(!b.is_open(), "lag rung must not trip the strategy rung");
+        // stale reads are granted and counted for `cooldown` reads…
+        assert!(b.should_read_stale());
+        assert!(b.should_read_stale());
+        assert!(b.should_read_stale());
+        assert_eq!(b.stale_reads_served(), 3);
+        // …then one watermark probe is allowed through
+        assert!(!b.should_read_stale());
+        assert_eq!(b.stale_reads_served(), 3);
+        // a caught-up probe closes the rung
+        b.record_lag_success();
+        assert!(!b.is_stale_open());
+        assert!(!b.should_read_stale());
+        // the counter is cumulative across trips
+        b.record_lag_failure();
+        b.record_lag_failure();
+        assert!(b.should_read_stale());
+        assert_eq!(b.stale_reads_served(), 4);
+    }
+
+    #[test]
+    fn strategy_rung_does_not_trip_staleness_rung() {
+        let mut b = DegradationController::new(1, 2);
+        b.record_failure();
+        assert!(b.is_open());
+        assert!(!b.is_stale_open());
+        assert!(!b.should_read_stale());
+        b.record_lag_success();
+        assert!(b.is_open(), "lag success must not close the strategy rung");
     }
 
     #[test]

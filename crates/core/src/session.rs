@@ -60,6 +60,30 @@ pub enum SessionError {
     RecoveryFailed {
         detail: String,
     },
+    /// A read-your-writes wait gave up: the local replica's applied-seq
+    /// watermark did not reach the session's last write before the retry
+    /// deadline. The context pins `repl.wait_watermark`.
+    ReplicaLagTimeout {
+        /// The commit seq the session's last write published.
+        seq: u64,
+        /// The replica's watermark when the session gave up.
+        applied: u64,
+        /// Virtual seconds spent waiting.
+        elapsed: f64,
+        /// Flight-recorder dump (see [`SessionError::Timeout::context`]).
+        context: FlightDump,
+    },
+    /// The primary site is inside an outage window and neither waiting it
+    /// out nor lease-expiry promotion fit inside the session's deadline.
+    /// The context pins `net.exchange` (the write never left the client).
+    PrimaryUnavailable {
+        /// Virtual time at which the primary is expected back (or at which
+        /// the failover lease expires, whichever the coordinator was
+        /// waiting on).
+        until: f64,
+        /// Flight-recorder dump (see [`SessionError::Timeout::context`]).
+        context: FlightDump,
+    },
 }
 
 impl fmt::Display for SessionError {
@@ -100,6 +124,28 @@ impl fmt::Display for SessionError {
             SessionError::RecoveryFailed { detail } => {
                 write!(f, "crash recovery failed: {detail}")
             }
+            SessionError::ReplicaLagTimeout {
+                seq,
+                applied,
+                elapsed,
+                context,
+            } => {
+                write!(
+                    f,
+                    "replica lag: watermark {applied} never reached write seq {seq} ({elapsed:.2}s elapsed)"
+                )?;
+                if !context.expired_in.is_empty() {
+                    write!(f, " [deadline expired in {}]", context.expired_in)?;
+                }
+                Ok(())
+            }
+            SessionError::PrimaryUnavailable { until, context } => {
+                write!(f, "primary unavailable until t={until:.2}s")?;
+                if !context.expired_in.is_empty() {
+                    write!(f, " [deadline expired in {}]", context.expired_in)?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -126,9 +172,10 @@ impl SessionError {
     /// The flight-recorder context attached to this error, if any.
     pub fn context(&self) -> Option<&FlightDump> {
         match self {
-            SessionError::Timeout { context, .. } | SessionError::LinkDown { context, .. } => {
-                Some(context)
-            }
+            SessionError::Timeout { context, .. }
+            | SessionError::LinkDown { context, .. }
+            | SessionError::ReplicaLagTimeout { context, .. }
+            | SessionError::PrimaryUnavailable { context, .. } => Some(context),
             _ => None,
         }
     }
@@ -138,7 +185,10 @@ impl SessionError {
     pub fn is_link_failure(&self) -> bool {
         matches!(
             self,
-            SessionError::Timeout { .. } | SessionError::LinkDown { .. }
+            SessionError::Timeout { .. }
+                | SessionError::LinkDown { .. }
+                | SessionError::ReplicaLagTimeout { .. }
+                | SessionError::PrimaryUnavailable { .. }
         )
     }
 
@@ -765,6 +815,17 @@ impl Session {
         self.metrics
             .counter("session.rows_filtered_late")
             .add(transferred.saturating_sub(kept));
+    }
+
+    /// One standalone metered DML statement as its own measured action
+    /// (retried per the session's policy like any other exchange). The
+    /// write path replicated clusters forward to the primary.
+    pub fn execute_update(&mut self, sql: &str) -> SessionResult<usize> {
+        let action = self.begin_action("execute_update");
+        let result = self.metered_update_public(sql);
+        drop(action);
+        self.fold_traffic();
+        result
     }
 
     /// The set-oriented Query action: all (visible) nodes of the product,

@@ -1,0 +1,170 @@
+#![allow(clippy::unwrap_used)]
+
+//! Property tests on the replication layer. The load-bearing property is
+//! the crash-recovery equivalence the failover design rests on: **serially
+//! replaying any durable-log prefix onto the epoch-base snapshot
+//! reproduces the primary's state fingerprint at that sequence**, for any
+//! seeded interleaving of DML, check-outs, and check-ins, under any seeded
+//! ship-link fault stream.
+//!
+//! Uses the in-repo `pdm_prng::check` harness (explicit generator loops)
+//! instead of proptest, which the offline build cannot fetch.
+
+use pdm_core::{
+    replay_prefix, Cluster, ClusterConfig, RoutedSession, RuleTable, SessionConfig, Strategy,
+};
+use pdm_net::{FaultPlan, LinkProfile};
+use pdm_prng::check::cases;
+use pdm_prng::Prng;
+use pdm_sql::Value;
+use pdm_workload::{build_database, multisite_plan, SiteOp, TreeSpec};
+
+fn roots_of(cluster: &Cluster) -> Vec<i64> {
+    cluster
+        .primary()
+        .query("SELECT obid FROM assy ORDER BY obid")
+        .unwrap()
+        .rows
+        .iter()
+        .filter_map(|r| match r.get(0) {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        })
+        .collect()
+}
+
+fn arb_cluster(rng: &mut Prng) -> Cluster {
+    let depth = rng.u32_inclusive(2, 3);
+    let branching = rng.u32_inclusive(2, 3);
+    let (db, _) = build_database(&TreeSpec::new(depth, branching, 1.0).with_node_size(64)).unwrap();
+    let faults = if rng.bool() {
+        FaultPlan::lossy(rng.u64_inclusive(1, 1 << 40), rng.f64_range(0.0, 0.25))
+            .with_stall_rate(rng.f64_range(0.0, 0.15))
+    } else {
+        FaultPlan::none()
+    };
+    let cfg = ClusterConfig::default()
+        .with_replicas(rng.usize_inclusive(2, 4))
+        .with_ship_faults(faults)
+        .with_max_pump_rounds(256);
+    Cluster::new(db, cfg).unwrap()
+}
+
+fn connect(cluster: &Cluster, site: usize) -> RoutedSession {
+    RoutedSession::connect(
+        cluster,
+        site,
+        SessionConfig::new("scott", Strategy::Recursive, LinkProfile::wan_512()),
+        RuleTable::new(),
+    )
+}
+
+/// Replaying any recorded prefix of the durable log onto the epoch base
+/// reproduces the primary fingerprint observed at that sequence.
+#[test]
+fn prefix_replay_matches_primary_at_seq() {
+    cases(
+        "prefix_replay_matches_primary_at_seq",
+        10,
+        0x5EED_0001,
+        |rng| {
+            let mut cluster = arb_cluster(rng);
+            let base = cluster.epoch_base().to_vec();
+            let roots = roots_of(&cluster);
+            let sites = cluster.replica_sites();
+            let mut sessions: Vec<RoutedSession> =
+                sites.iter().map(|s| connect(&cluster, *s)).collect();
+            let mut held: Vec<Option<pdm_core::ProductTree>> = vec![None; sessions.len()];
+
+            // Drive a seeded interleaving of writes from every site, recording
+            // the primary's fingerprint after each acknowledged write.
+            let plan = multisite_plan(rng.u64_inclusive(0, 1 << 40), sessions.len(), 24, &roots);
+            let mut observed: Vec<(u64, Vec<u8>)> = Vec::new();
+            for step in plan {
+                let i = step.site;
+                match step.op {
+                    SiteOp::Update { root, payload } => {
+                        let sql =
+                            format!("UPDATE assy SET payload = '{payload}' WHERE obid = {root}");
+                        sessions[i].execute_dml(&mut cluster, &sql).unwrap();
+                    }
+                    SiteOp::CheckOut { root } => {
+                        let (out, _) = sessions[i].check_out(&mut cluster, root).unwrap();
+                        if let Some(tree) = out.tree {
+                            held[i] = Some(tree);
+                        }
+                    }
+                    SiteOp::CheckIn => {
+                        if let Some(tree) = held[i].take() {
+                            sessions[i].check_in(&mut cluster, &tree).unwrap();
+                        } else {
+                            continue;
+                        }
+                    }
+                    // Reads don't extend the log; skip them here.
+                    SiteOp::Expand { .. } | SiteOp::QueryAll { .. } => continue,
+                }
+                observed.push((cluster.feed().last_seq(), cluster.primary_fingerprint()));
+            }
+            assert!(!observed.is_empty(), "plan produced no writes");
+
+            // Any recorded cut point replays byte-identically.
+            let (seq, fp) = &observed[rng.index(observed.len())];
+            let prefix = cluster.feed().prefix_through(*seq);
+            assert_eq!(
+                &replay_prefix(&base, &prefix).unwrap(),
+                fp,
+                "prefix replay through seq {seq} diverged from primary"
+            );
+
+            // The full log replays to the primary's current state.
+            let full = cluster.feed().prefix_through(cluster.feed().last_seq());
+            assert_eq!(
+                replay_prefix(&base, &full).unwrap(),
+                cluster.primary_fingerprint(),
+                "full replay diverged from primary"
+            );
+        },
+    );
+}
+
+/// Every replica that catches up — through whatever seeded fault stream
+/// its ship link inflicted — lands on the primary's exact state.
+#[test]
+fn caught_up_replicas_are_byte_identical() {
+    cases(
+        "caught_up_replicas_are_byte_identical",
+        8,
+        0x5EED_0002,
+        |rng| {
+            let mut cluster = arb_cluster(rng);
+            let roots = roots_of(&cluster);
+            let site = cluster.replica_sites()[0];
+            let mut session = connect(&cluster, site);
+            for _ in 0..10 {
+                let root = roots[rng.index(roots.len())];
+                let payload = rng.ident(4, 10);
+                let sql = format!("UPDATE assy SET payload = '{payload}' WHERE obid = {root}");
+                session.execute_dml(&mut cluster, &sql).unwrap();
+            }
+            // Pump until every site is caught up; ship_once embeds the
+            // divergence check, so reaching lag 0 IS the assertion — but
+            // compare fingerprints explicitly anyway.
+            for _ in 0..512 {
+                if cluster.replica_sites().iter().all(|s| cluster.lag(*s) == 0) {
+                    break;
+                }
+                cluster.pump().unwrap();
+            }
+            let primary_fp = cluster.primary_fingerprint();
+            for s in cluster.replica_sites() {
+                assert_eq!(cluster.lag(s), 0, "site {s} never caught up");
+                assert_eq!(
+                    cluster.replica(s).unwrap().fingerprint(),
+                    primary_fp,
+                    "site {s} caught up to a different state"
+                );
+            }
+        },
+    );
+}

@@ -155,6 +155,14 @@ impl FaultPlan {
         self
     }
 
+    /// Derive a per-site variant of this plan: same rates and windows, but
+    /// a site-mixed seed so every replication ship link draws its own
+    /// independent (still deterministic) fault stream.
+    pub fn for_site(mut self, site: u64) -> Self {
+        self.seed = splitmix64(self.seed ^ site.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        self
+    }
+
     /// True when the plan can never produce a fault — the channel then
     /// skips fault drawing entirely.
     pub fn is_none(&self) -> bool {

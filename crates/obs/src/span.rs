@@ -38,10 +38,13 @@ pub enum Subsystem {
     Wal,
     /// Simulated WAN exchanges, faults, and backoff waits.
     Network,
+    /// Multi-site replication: WAL shipping, replica replay, watermark
+    /// waits, failover promotion.
+    Repl,
 }
 
 impl Subsystem {
-    pub const ALL: [Subsystem; 7] = [
+    pub const ALL: [Subsystem; 8] = [
         Subsystem::Session,
         Subsystem::Compile,
         Subsystem::Engine,
@@ -49,6 +52,7 @@ impl Subsystem {
         Subsystem::Locks,
         Subsystem::Wal,
         Subsystem::Network,
+        Subsystem::Repl,
     ];
 
     /// The naming prefix used in span full names (`net.exchange`) and
@@ -62,6 +66,7 @@ impl Subsystem {
             Subsystem::Locks => "locks",
             Subsystem::Wal => "wal",
             Subsystem::Network => "net",
+            Subsystem::Repl => "repl",
         }
     }
 }
@@ -119,6 +124,11 @@ pub mod kinds {
     pub const NET_FAULT: SpanKind = SpanKind::new(Subsystem::Network, "fault");
     pub const NET_BACKOFF: SpanKind = SpanKind::new(Subsystem::Network, "backoff");
 
+    pub const REPL_SHIP: SpanKind = SpanKind::new(Subsystem::Repl, "ship");
+    pub const REPL_APPLY: SpanKind = SpanKind::new(Subsystem::Repl, "apply");
+    pub const REPL_WAIT_WATERMARK: SpanKind = SpanKind::new(Subsystem::Repl, "wait_watermark");
+    pub const REPL_PROMOTE: SpanKind = SpanKind::new(Subsystem::Repl, "promote");
+
     /// All declared kinds, the registry the meta-test walks.
     pub const ALL: &[SpanKind] = &[
         ACTION,
@@ -140,6 +150,10 @@ pub mod kinds {
         NET_EXCHANGE,
         NET_FAULT,
         NET_BACKOFF,
+        REPL_SHIP,
+        REPL_APPLY,
+        REPL_WAIT_WATERMARK,
+        REPL_PROMOTE,
     ];
 }
 

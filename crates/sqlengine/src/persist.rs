@@ -427,6 +427,23 @@ pub fn database_fingerprint(db: &crate::SharedDatabase) -> Vec<u8> {
     state_fingerprint(Arc::as_ref(&db.snapshot()))
 }
 
+/// Compact 64-bit digest (FNV-1a) of a fingerprint byte image — cheap
+/// enough to ride in every replication ship ack for cross-site state
+/// comparison without shipping the full catalog image back.
+pub fn fingerprint_digest(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Digest of a shared database's current state, for watermark acks.
+pub fn database_digest(db: &crate::SharedDatabase) -> u64 {
+    fingerprint_digest(&database_fingerprint(db))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

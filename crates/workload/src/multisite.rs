@@ -1,0 +1,102 @@
+//! Deterministic multi-site operation plans for replication tests and the
+//! replication bench.
+//!
+//! A plan is a seeded interleaving of read actions (expands, recursive
+//! queries) and write actions (DML, check-out, check-in) across N client
+//! sites. The same `(seed, sites, steps, roots)` always yields the same
+//! plan, so a read-your-writes violation or failover anomaly replays from
+//! the integers in its report.
+//!
+//! The op mix is read-heavy (the paper's workload is navigation-dominated)
+//! so a local replica has something to win on; writes are frequent enough
+//! that every site exercises the watermark wait.
+
+use pdm_prng::Prng;
+
+/// One operation a site performs against the cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SiteOp {
+    /// Multi-level expand from `root` (read; served by the local replica).
+    Expand { root: i64 },
+    /// Single recursive retrieval from `root` (read).
+    QueryAll { root: i64 },
+    /// Payload UPDATE on one assembly (write; forwarded to the primary).
+    Update { root: i64, payload: String },
+    /// Function-shipping check-out of `root` (write).
+    CheckOut { root: i64 },
+    /// Check-in of this site's most recent successful check-out, if any
+    /// (write; harnesses skip it when the site holds nothing).
+    CheckIn,
+}
+
+/// One step of a multi-site plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteStep {
+    /// Global step index (the serial order the harness drives).
+    pub step: usize,
+    /// Site performing the op (0 = the primary's own site).
+    pub site: usize,
+    pub op: SiteOp,
+}
+
+impl SiteOp {
+    /// Whether the op is forwarded to the primary.
+    pub fn is_write(&self) -> bool {
+        matches!(
+            self,
+            SiteOp::Update { .. } | SiteOp::CheckOut { .. } | SiteOp::CheckIn
+        )
+    }
+}
+
+/// Build a seeded plan of `steps` operations spread over `sites` client
+/// sites, drawing roots from `roots` (assembly object ids).
+pub fn multisite_plan(seed: u64, sites: usize, steps: usize, roots: &[i64]) -> Vec<SiteStep> {
+    assert!(sites >= 1, "need at least one site");
+    assert!(!roots.is_empty(), "need at least one root");
+    let mut rng = Prng::seed_from_u64(seed);
+    let mut plan = Vec::with_capacity(steps);
+    for step in 0..steps {
+        let site = rng.index(sites);
+        let root = roots[rng.index(roots.len())];
+        let op = match rng.index(8) {
+            0..=2 => SiteOp::Expand { root },
+            3..=4 => SiteOp::QueryAll { root },
+            5 => SiteOp::Update {
+                root,
+                payload: rng.ident(4, 12),
+            },
+            6 => SiteOp::CheckOut { root },
+            _ => SiteOp::CheckIn,
+        };
+        plan.push(SiteStep { step, site, op });
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_deterministic() {
+        let roots = [1i64, 2, 3];
+        let a = multisite_plan(7, 4, 64, &roots);
+        let b = multisite_plan(7, 4, 64, &roots);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 64);
+        assert!(a.iter().all(|s| s.site < 4));
+        let c = multisite_plan(8, 4, 64, &roots);
+        assert_ne!(a, c, "different seeds must draw different plans");
+    }
+
+    #[test]
+    fn mix_contains_reads_and_writes() {
+        let roots = [1i64, 2, 3, 4];
+        let plan = multisite_plan(42, 4, 200, &roots);
+        let writes = plan.iter().filter(|s| s.op.is_write()).count();
+        let reads = plan.len() - writes;
+        assert!(reads > writes, "plan should be read-heavy");
+        assert!(writes > 0, "plan must exercise the write path");
+    }
+}

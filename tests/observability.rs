@@ -275,7 +275,7 @@ fn declared_kind_registry_is_consistent() {
     }
     assert_eq!(
         subsystems.len(),
-        7,
+        8,
         "every instrumented subsystem declares at least one kind"
     );
 }

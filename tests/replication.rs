@@ -1,0 +1,520 @@
+#![allow(clippy::unwrap_used)]
+
+//! End-to-end replication suite (the tentpole invariants of the
+//! replication PR).
+//!
+//! * **Failover sweep** — ≥100 enumerated seeded points: a scripted
+//!   multi-site workload runs against a cluster with lossy ship links and
+//!   the primary is killed (promotion forced) after EVERY workload step,
+//!   across several fault seeds. At every point the promoted primary must
+//!   be byte-identical to a serial replay of the old primary's durable-log
+//!   prefix ([`pdm_core::replay_prefix`] — the crash-recovery oracle), no
+//!   acknowledged commit may be lost, and no stale check-out grant may
+//!   survive promotion.
+//! * **Read-your-writes stress** — ≥4 sites over lossy links: every
+//!   un-annotated read observes the session's last acknowledged write.
+//! * **Lease failover through the writer path** — an outage outliving the
+//!   lease promotes, redirects writers to the new epoch, and heals the
+//!   deposed primary back in as a replica once its outage ends.
+//! * **Timeout taxonomy** — [`SessionError::ReplicaLagTimeout`] names
+//!   `repl.wait_watermark` as the expiring span and
+//!   [`SessionError::PrimaryUnavailable`] names `net.exchange`; the
+//!   degradation controller's staleness rung converts repeated lag
+//!   timeouts into explicitly annotated stale reads.
+
+use pdm_core::{
+    replay_prefix, Cluster, ClusterConfig, ProductTree, RetryPolicy, RoutedSession, RuleTable,
+    SessionConfig, SessionError, Strategy,
+};
+use pdm_net::{FaultPlan, LinkProfile, OutageWindow};
+use pdm_prng::splitmix64;
+use pdm_sql::Value;
+use pdm_workload::{build_database, multisite_plan, SiteOp, TreeSpec};
+
+fn small_cluster(cfg: ClusterConfig) -> Cluster {
+    let (db, _) = build_database(&TreeSpec::new(2, 2, 1.0).with_node_size(64)).unwrap();
+    Cluster::new(db, cfg).unwrap()
+}
+
+fn connect(cluster: &Cluster, site: usize) -> RoutedSession {
+    RoutedSession::connect(
+        cluster,
+        site,
+        SessionConfig::new("scott", Strategy::Recursive, LinkProfile::wan_512()),
+        RuleTable::new(),
+    )
+}
+
+fn roots_of(cluster: &Cluster) -> Vec<i64> {
+    int_column(
+        &cluster
+            .primary()
+            .query("SELECT obid FROM assy ORDER BY obid")
+            .unwrap(),
+    )
+}
+
+fn int_column(rows: &pdm_sql::ResultSet) -> Vec<i64> {
+    rows.rows
+        .iter()
+        .filter_map(|r| match r.get(0) {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        })
+        .collect()
+}
+
+fn flagged_ids(cluster: &Cluster, table: &str) -> Vec<i64> {
+    int_column(
+        &cluster
+            .primary()
+            .query(&format!(
+                "SELECT obid FROM {table} WHERE checkedout = TRUE ORDER BY obid"
+            ))
+            .unwrap(),
+    )
+}
+
+/// Drive one plan step through its site's session; reads are skipped when
+/// `writes_only`. Returns whether the step extended the log.
+fn drive_step(
+    cluster: &mut Cluster,
+    sessions: &mut [RoutedSession],
+    held: &mut [Option<ProductTree>],
+    site: usize,
+    op: &SiteOp,
+    writes_only: bool,
+) -> bool {
+    match op {
+        SiteOp::Update { root, payload } => {
+            let sql = format!("UPDATE assy SET payload = '{payload}' WHERE obid = {root}");
+            sessions[site].execute_dml(cluster, &sql).unwrap();
+            true
+        }
+        SiteOp::CheckOut { root } => {
+            let (out, _) = sessions[site].check_out(cluster, *root).unwrap();
+            if let Some(tree) = out.tree {
+                held[site] = Some(tree);
+            }
+            true
+        }
+        SiteOp::CheckIn => match held[site].take() {
+            Some(tree) => {
+                sessions[site].check_in(cluster, &tree).unwrap();
+                true
+            }
+            None => false,
+        },
+        SiteOp::Expand { root } => {
+            if !writes_only {
+                sessions[site].multi_level_expand(cluster, *root).unwrap();
+            }
+            false
+        }
+        SiteOp::QueryAll { root } => {
+            if !writes_only {
+                sessions[site].query_all(cluster, *root).unwrap();
+            }
+            false
+        }
+    }
+}
+
+/// One enumerated failover point: run `cut + 1` workload steps, force
+/// promotion, verify the failover invariants, then keep writing in the new
+/// epoch and converge every survivor.
+fn failover_point(seed: u64, cut: usize) {
+    let faults = FaultPlan::lossy(splitmix64(seed ^ cut as u64), 0.2).with_stall_rate(0.1);
+    let cfg = ClusterConfig::default()
+        .with_replicas(3)
+        .with_ship_faults(faults)
+        .with_max_pump_rounds(512);
+    let mut cluster = small_cluster(cfg);
+    let roots = roots_of(&cluster);
+    let sites = cluster.replica_sites();
+    let mut sessions: Vec<RoutedSession> = sites.iter().map(|s| connect(&cluster, *s)).collect();
+    let mut held: Vec<Option<ProductTree>> = vec![None; sessions.len()];
+
+    let plan = multisite_plan(seed, sessions.len(), cut + 1, &roots);
+    for step in &plan {
+        drive_step(
+            &mut cluster,
+            &mut sessions,
+            &mut held,
+            step.site,
+            &step.op,
+            true,
+        );
+    }
+
+    // Kill the primary: promote the most caught-up replica.
+    cluster.promote().unwrap();
+    assert_eq!(cluster.failovers().len(), 1);
+    let report = cluster.failovers()[0].clone();
+    assert_eq!(report.old_epoch, 1);
+    assert_eq!(report.new_epoch, 2);
+    assert_eq!(cluster.epoch(), 2);
+
+    // Oracle: the promoted state is the serial replay of the durable-log
+    // prefix through its watermark, byte for byte.
+    let oracle = replay_prefix(&report.epoch_base, &report.prefix).unwrap();
+    assert_eq!(
+        oracle, report.promoted_fingerprint,
+        "seed {seed} cut {cut}: promoted site {} at seq {} diverged from serial replay",
+        report.promoted_site, report.promoted_seq
+    );
+    assert!(report
+        .prefix
+        .iter()
+        .all(|(seq, _)| *seq <= report.promoted_seq));
+
+    // No acknowledged commit of the old epoch is beyond the surviving
+    // prefix — semi-synchronous ack means promotion never loses one.
+    for acked in cluster.acked_writes() {
+        if acked.epoch == report.old_epoch {
+            assert!(
+                acked.seq <= report.promoted_seq,
+                "seed {seed} cut {cut}: acked seq {} lost (promoted seq {})",
+                acked.seq,
+                report.promoted_seq
+            );
+        }
+    }
+
+    // Zero stale grants: promotion sweeps exactly like crash recovery.
+    let d = cluster.primary().shared().durability().unwrap();
+    assert!(
+        d.outstanding_grants().is_empty(),
+        "seed {seed} cut {cut}: grants survived promotion"
+    );
+    assert!(flagged_ids(&cluster, "assy").is_empty());
+    assert!(flagged_ids(&cluster, "comp").is_empty());
+
+    // Writers continue against the new epoch.
+    let post = multisite_plan(splitmix64(seed) ^ 0xF0, sessions.len(), 6, &roots);
+    for step in &post {
+        drive_step(
+            &mut cluster,
+            &mut sessions,
+            &mut held,
+            step.site,
+            &step.op,
+            true,
+        );
+    }
+    for s in &sessions {
+        if let Some(receipt) = s.last_write() {
+            assert!(receipt.epoch <= 2);
+        }
+    }
+
+    // Every survivor converges onto the new primary (ship_once runs the
+    // divergence digest check on the way).
+    for _ in 0..2048 {
+        if cluster.replica_sites().iter().all(|s| cluster.lag(*s) == 0) {
+            break;
+        }
+        cluster.pump().unwrap();
+    }
+    let fp = cluster.primary_fingerprint();
+    for s in cluster.replica_sites() {
+        assert_eq!(cluster.lag(s), 0, "seed {seed} cut {cut}: site {s} stuck");
+        assert_eq!(cluster.replica(s).unwrap().fingerprint(), fp);
+    }
+}
+
+/// ≥100 enumerated failover points: every workload cut × several fault
+/// seeds.
+#[test]
+fn failover_sweep_matches_serial_replay_oracle() {
+    let mut points = 0;
+    for seed in [0xA1, 0xB2, 0xC3] {
+        for cut in 0..35 {
+            failover_point(seed, cut);
+            points += 1;
+        }
+    }
+    assert!(points >= 100, "sweep must cover at least 100 points");
+}
+
+/// Read-your-writes over 4 sites with lossy ship links: every read that
+/// comes back un-annotated observes the session's last acknowledged write.
+#[test]
+fn read_your_writes_holds_across_four_sites() {
+    let faults = FaultPlan::lossy(0xD00D, 0.3).with_stall_rate(0.15);
+    let cfg = ClusterConfig::default()
+        .with_replicas(4)
+        .with_ship_faults(faults)
+        .with_max_pump_rounds(512);
+    let mut cluster = small_cluster(cfg);
+    let roots = roots_of(&cluster);
+    let sites = cluster.replica_sites();
+    assert!(sites.len() >= 4);
+    let mut sessions: Vec<RoutedSession> = sites.iter().map(|s| connect(&cluster, *s)).collect();
+    let mut held: Vec<Option<ProductTree>> = vec![None; sessions.len()];
+
+    let plan = multisite_plan(0x0512_D00D, sessions.len(), 80, &roots);
+    let mut reads = 0;
+    for step in &plan {
+        let i = step.site;
+        match &step.op {
+            SiteOp::Expand { root } => {
+                let out = sessions[i].multi_level_expand(&mut cluster, *root).unwrap();
+                assert!(
+                    out.staleness.is_none(),
+                    "unbounded wait must never go stale"
+                );
+                reads += 1;
+            }
+            SiteOp::QueryAll { root } => {
+                let out = sessions[i].query_all(&mut cluster, *root).unwrap();
+                assert!(out.staleness.is_none());
+                reads += 1;
+            }
+            op => {
+                drive_step(&mut cluster, &mut sessions, &mut held, i, op, false);
+            }
+        }
+        // The watermark invariant behind the guarantee: after an
+        // un-annotated read, the site's replica is at or past the
+        // session's last acknowledged write.
+        if let Some(receipt) = sessions[i].last_write() {
+            if receipt.epoch == cluster.epoch() {
+                if let Some(replica) = cluster.replica(sites[i]) {
+                    if matches!(step.op, SiteOp::Expand { .. } | SiteOp::QueryAll { .. }) {
+                        assert!(
+                            replica.applied_seq() >= receipt.seq,
+                            "site {} read below its own write: applied {} < seq {}",
+                            sites[i],
+                            replica.applied_seq(),
+                            receipt.seq
+                        );
+                    }
+                }
+            }
+        }
+    }
+    assert!(reads > 10, "plan exercised too few reads");
+
+    let snap = cluster.metrics().snapshot();
+    assert!(snap.counter("repl.acked_writes") > 0);
+    assert!(snap.counter("repl.ship_batches") > 0);
+    assert!(
+        snap.counter("repl.watermark_waits") > 0,
+        "no watermark wait ever ran"
+    );
+    assert_eq!(snap.counter("repl.stale_reads"), 0);
+}
+
+/// An outage outliving the lease promotes through the writer path: the
+/// writer waits out the lease, the cluster fences the old epoch, and the
+/// deposed primary heals back in as a replica when its outage ends.
+#[test]
+fn lease_expiry_promotes_and_heals_deposed_primary() {
+    let cfg = ClusterConfig::default().with_replicas(2).with_lease(30.0);
+    let mut cluster = small_cluster(cfg);
+    let roots = roots_of(&cluster);
+    let mut session = connect(&cluster, 1);
+
+    // Seed some replicated history first.
+    session
+        .execute_dml(
+            &mut cluster,
+            &format!(
+                "UPDATE assy SET payload = 'before' WHERE obid = {}",
+                roots[0]
+            ),
+        )
+        .unwrap();
+    assert_eq!(session.last_write().unwrap().epoch, 1);
+
+    // Outage far outliving the lease: the next write waits to lease
+    // expiry, promotes, and lands in epoch 2.
+    let start = cluster.clock();
+    cluster.schedule_outage(OutageWindow::new(start, start + 1000.0));
+    let (_, receipt) = session
+        .execute_dml(
+            &mut cluster,
+            &format!(
+                "UPDATE assy SET payload = 'after' WHERE obid = {}",
+                roots[0]
+            ),
+        )
+        .unwrap();
+    assert_eq!(receipt.epoch, 2);
+    assert_eq!(cluster.epoch(), 2);
+    assert_eq!(cluster.failovers().len(), 1);
+    let report = &cluster.failovers()[0];
+    assert_eq!(
+        replay_prefix(&report.epoch_base, &report.prefix).unwrap(),
+        report.promoted_fingerprint
+    );
+    assert!(
+        !cluster.replica_sites().contains(&0),
+        "deposed primary must be out of the topology while down"
+    );
+
+    // Burn virtual time past the outage end; the deposed site re-bootstraps
+    // from the new primary's snapshot and converges.
+    while cluster.clock() < start + 1000.0 {
+        session
+            .execute_dml(
+                &mut cluster,
+                &format!("UPDATE assy SET payload = 'tick' WHERE obid = {}", roots[0]),
+            )
+            .unwrap();
+        cluster.advance(50.0);
+    }
+    cluster.pump().unwrap();
+    assert!(
+        cluster.replica_sites().contains(&0),
+        "deposed primary never healed back in"
+    );
+    for _ in 0..512 {
+        if cluster.replica_sites().iter().all(|s| cluster.lag(*s) == 0) {
+            break;
+        }
+        cluster.pump().unwrap();
+    }
+    assert_eq!(
+        cluster.replica(0).unwrap().fingerprint(),
+        cluster.primary_fingerprint()
+    );
+    assert_eq!(cluster.replica(0).unwrap().epoch(), 2);
+}
+
+/// A watermark wait that cannot make progress fails with
+/// [`SessionError::ReplicaLagTimeout`] whose flight dump names
+/// `repl.wait_watermark` as the expiring span.
+#[test]
+fn replica_lag_timeout_names_the_expiring_span() {
+    // Dead ship links (every exchange stalls) + async ack so the write
+    // itself succeeds.
+    let cfg = ClusterConfig::default()
+        .with_replicas(2)
+        .with_ship_faults(FaultPlan::none().with_stall_rate(1.0).with_seed(7))
+        .with_ack_replicas(0);
+    let mut cluster = small_cluster(cfg);
+    let roots = roots_of(&cluster);
+    let mut session = connect(&cluster, 1);
+    session.set_retry_policy(RetryPolicy::none().with_deadline(0.05));
+
+    session
+        .execute_dml(
+            &mut cluster,
+            &format!("UPDATE assy SET payload = 'w' WHERE obid = {}", roots[0]),
+        )
+        .unwrap();
+
+    let err = session
+        .multi_level_expand(&mut cluster, roots[0])
+        .unwrap_err();
+    match &err {
+        SessionError::ReplicaLagTimeout {
+            seq,
+            applied,
+            context,
+            ..
+        } => {
+            assert!(*seq > *applied);
+            assert_eq!(context.expired_in, "repl.wait_watermark");
+        }
+        other => panic!("expected ReplicaLagTimeout, got {other}"),
+    }
+    assert_eq!(err.context().unwrap().expired_in, "repl.wait_watermark");
+    assert!(err.is_link_failure());
+    assert!(format!("{err}").contains("repl.wait_watermark"));
+    assert!(
+        cluster
+            .metrics()
+            .snapshot()
+            .counter("repl.watermark_timeouts")
+            >= 1
+    );
+}
+
+/// A primary outage that outlives the session's patience fails with
+/// [`SessionError::PrimaryUnavailable`] whose flight dump names
+/// `net.exchange` as the expiring span.
+#[test]
+fn primary_unavailable_names_the_expiring_span() {
+    let cfg = ClusterConfig::default().with_replicas(2).with_lease(30.0);
+    let mut cluster = small_cluster(cfg);
+    let roots = roots_of(&cluster);
+    let mut session = connect(&cluster, 1);
+    session.set_retry_policy(RetryPolicy::none().with_deadline(1.0));
+
+    // Outage shorter than the lease (no failover) but longer than the
+    // session is willing to wait.
+    let start = cluster.clock();
+    cluster.schedule_outage(OutageWindow::new(start, start + 5.0));
+    let err = session
+        .execute_dml(
+            &mut cluster,
+            &format!("UPDATE assy SET payload = 'x' WHERE obid = {}", roots[0]),
+        )
+        .unwrap_err();
+    match &err {
+        SessionError::PrimaryUnavailable { until, context } => {
+            assert!((*until - (start + 5.0)).abs() < 1e-9);
+            assert_eq!(context.expired_in, "net.exchange");
+        }
+        other => panic!("expected PrimaryUnavailable, got {other}"),
+    }
+    assert!(err.is_link_failure());
+    assert_eq!(cluster.epoch(), 1, "short outage must not promote");
+}
+
+/// Repeated lag timeouts open the staleness rung: reads degrade to the
+/// lagging replica with an explicit annotation instead of failing, and a
+/// half-open probe re-checks the watermark every cooldown.
+#[test]
+fn staleness_rung_serves_annotated_reads() {
+    let cfg = ClusterConfig::default()
+        .with_replicas(2)
+        .with_ship_faults(FaultPlan::none().with_stall_rate(1.0).with_seed(9))
+        .with_ack_replicas(0);
+    let mut cluster = small_cluster(cfg);
+    let roots = roots_of(&cluster);
+    let mut session = connect(&cluster, 1);
+    session.set_retry_policy(RetryPolicy::none().with_deadline(0.05));
+
+    let (_, receipt) = session
+        .execute_dml(
+            &mut cluster,
+            &format!("UPDATE assy SET payload = 'w' WHERE obid = {}", roots[0]),
+        )
+        .unwrap();
+
+    // Default controller trips after 2 consecutive lag failures; the
+    // second failure trips the rung and that same read degrades to an
+    // annotated stale read instead of surfacing the error.
+    let err = session
+        .multi_level_expand(&mut cluster, roots[0])
+        .unwrap_err();
+    assert!(matches!(err, SessionError::ReplicaLagTimeout { .. }));
+    assert!(!session.read_session().degradation().is_stale_open());
+
+    let out = session.multi_level_expand(&mut cluster, roots[0]).unwrap();
+    assert!(session.read_session().degradation().is_stale_open());
+    let staleness = out.staleness.expect("read must carry its annotation");
+    assert_eq!(staleness.required_seq, receipt.seq);
+    assert!(staleness.applied_seq < staleness.required_seq);
+    assert!(cluster.metrics().snapshot().counter("repl.stale_reads") >= 1);
+    assert!(session.read_session().degradation().stale_reads_served() >= 1);
+
+    // Every `cooldown` (default 8) stale reads, one probe retries the full
+    // watermark wait — the link is still dead, so it fails again.
+    let mut probe_failed = false;
+    for _ in 0..12 {
+        match session.multi_level_expand(&mut cluster, roots[0]) {
+            Ok(out) => assert!(out.staleness.is_some()),
+            Err(SessionError::ReplicaLagTimeout { .. }) => {
+                probe_failed = true;
+                break;
+            }
+            Err(other) => panic!("unexpected error {other}"),
+        }
+    }
+    assert!(probe_failed, "half-open probe never ran");
+}
