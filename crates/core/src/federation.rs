@@ -9,6 +9,10 @@
 //! "distributed vault" catalogs are client/middleware metadata) and
 //! continues the expansion at the owning site.
 //!
+// lint:allow-file(unchecked-index): `self.sites[site]` throughout — a
+// site id is a handle validated at federation construction; panicking on
+// a forged id is the intended contract, as with slice indexing.
+//
 //! The interesting measured consequence: the recursive strategy degrades
 //! from 1 round trip to *one round trip per visited site* — still orders of
 //! magnitude below navigational access, but no longer constant. The

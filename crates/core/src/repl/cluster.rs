@@ -641,7 +641,9 @@ impl Cluster {
     fn promote_inner(&mut self, heal_at: Option<f64>) -> Result<(), ReplError> {
         let started = self.clock;
         let old_epoch = self.epoch;
-        let new_epoch = old_epoch + 1;
+        let new_epoch = old_epoch
+            .checked_add(1)
+            .ok_or_else(|| ReplError::Bootstrap("epoch counter exhausted".into()))?;
 
         // Deterministic choice: highest watermark, ties to the lowest site.
         let promoted_site = self
@@ -721,7 +723,7 @@ impl Cluster {
             .keys()
             .chain(grants.keys())
             .max()
-            .map(|t| t + 1)
+            .map(|t| t.saturating_add(1))
             .unwrap_or(1)
             .max(1);
         let shared = SharedServer::assemble(db, Some(durability), tokens, next_token);

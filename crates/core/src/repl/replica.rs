@@ -69,7 +69,7 @@ impl ReplicaSite {
             .keys()
             .chain(grants.keys())
             .max()
-            .map(|t| t + 1)
+            .map(|t| t.saturating_add(1))
             .unwrap_or(1)
             .max(1);
         let shared = SharedServer::assemble(db, None, tokens.clone(), next_token);

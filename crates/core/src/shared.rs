@@ -140,6 +140,8 @@ impl LockTable {
         token: u64,
         deadline: Option<Duration>,
     ) -> Result<Acquire, SharedServerError> {
+        // lint:allow(wall-clock): condvar waits are real-OS blocking; their
+        // deadline must be measured on the OS clock, not the virtual one.
         let start = Instant::now();
         let mut guard = lock_unpoisoned(&self.state);
         loop {
@@ -649,6 +651,9 @@ impl SharedServer {
             let (outcome, _) = self.db.execute_ast(stmt)?;
             return Ok(outcome);
         }
+        // lint:allow(lock-across-boundary): the write gate serializes DML
+        // so the WAL fsync lands before the new version is published
+        // (fsync-before-publish, DESIGN.md §9).
         let mut log = lock_unpoisoned(&self.write_gate);
         let outcome = match &self.durability {
             None => self.db.execute_ast(stmt)?.0,
@@ -680,6 +685,8 @@ impl SharedServer {
         f: impl FnOnce() -> pdm_sql::Result<T>,
     ) -> pdm_sql::Result<T> {
         let span = obs.span(kinds::WAL_APPEND, label);
+        // lint:allow(wall-clock): wal.fsync_ns is an advisory wall-time
+        // histogram (device cost), never part of the deterministic timeline.
         let t0 = Instant::now();
         let result = f();
         self.m
@@ -737,6 +744,8 @@ impl SharedServer {
         // ONCE: a concurrent call with the same token (an aggressive client
         // retry racing its own original) waits here for the recorded
         // outcome rather than running the procedure a second time.
+        // lint:allow(wall-clock): real-OS condvar wait deadline (see
+        // acquire_in_flight).
         let start = Instant::now();
         {
             let mut log = lock_unpoisoned(&self.checkout_log);
@@ -814,6 +823,8 @@ impl SharedServer {
         lock_ids.extend(&all_assy);
         lock_ids.extend(&comp_ids);
 
+        // lint:allow(wall-clock): locks.wait_ns is an advisory wall-time
+        // histogram of real-OS condvar blocking.
         let waited = Instant::now();
         let wait_span = obs.span(kinds::LOCK_WAIT, format!("token{token}"));
         let acquired = self.locks.acquire_in_flight(&lock_ids, token, deadline);

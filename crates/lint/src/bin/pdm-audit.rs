@@ -1,0 +1,125 @@
+//! pdm-audit: the combined static-analysis gate — the SQL-level corpus
+//! audit (`pdm-analyze`) and the source-level protocol lints
+//! (`pdm-lint`) in one run with one exit code.
+//!
+//! ```text
+//! pdm-audit [--json] [ROOT]
+//! ```
+
+#![allow(clippy::unwrap_used)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pdm_analyze::diag::Severity;
+use pdm_lint::lint_workspace;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!("usage: pdm-audit [--json] [ROOT]");
+                return ExitCode::from(2);
+            }
+            other if !other.starts_with('-') && root.is_none() => {
+                root = Some(PathBuf::from(other));
+            }
+            _ => {
+                eprintln!("usage: pdm-audit [--json] [ROOT]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| {
+        let cwd = PathBuf::from(".");
+        if cwd.join("crates").is_dir() {
+            cwd
+        } else {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+        }
+    });
+
+    // SQL-level: the paper's tuning rules over the query corpus. The
+    // corpus intentionally includes anti-pattern exemplars, so only
+    // error-severity diagnostics gate.
+    let mut sql_errors = 0usize;
+    let mut sql_diags = 0usize;
+    let mut sql_queries = 0usize;
+    for (_, report) in pdm_analyze::audit_corpus() {
+        sql_queries += 1;
+        for d in &report.diagnostics {
+            sql_diags += 1;
+            if d.severity == Severity::Error {
+                sql_errors += 1;
+            }
+        }
+    }
+    for (_, report) in pdm_analyze::audit_statement_corpus() {
+        sql_queries += 1;
+        for d in &report.diagnostics {
+            sql_diags += 1;
+            if d.severity == Severity::Error {
+                sql_errors += 1;
+            }
+        }
+    }
+
+    // Source-level: the protocol lints.
+    let lint_report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pdm-audit: cannot walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{{");
+        println!(
+            "  \"sql\": {{\"queries\": {sql_queries}, \"diagnostics\": {sql_diags}, \"errors\": {sql_errors}}},"
+        );
+        let lint_json = lint_report.to_json();
+        let indented: String = lint_json
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                if i == 0 {
+                    format!("  \"source\": {l}")
+                } else {
+                    format!("  {l}")
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        println!("{indented}");
+        println!("}}");
+    } else {
+        println!(
+            "sql: {sql_queries} corpus queries, {sql_diags} diagnostics ({sql_errors} errors)"
+        );
+        for f in &lint_report.findings {
+            println!(
+                "source: {}: {} [{}] {}",
+                f.lint.severity(),
+                f.location(),
+                f.lint.id(),
+                f.message
+            );
+        }
+        println!(
+            "source: {} files, {} finding(s), {} suppressed",
+            lint_report.files,
+            lint_report.findings.len(),
+            lint_report.suppressed
+        );
+    }
+
+    if sql_errors == 0 && lint_report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,168 @@
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+//! pdm-lint: workspace-wide protocol-invariant static analyzer.
+//!
+//! Where `pdm-analyze` audits the *SQL corpus* against the paper's
+//! tuning rules, this crate audits the *Rust source* against the
+//! simulator's own protocol invariants — the properties every other
+//! test suite assumes but nothing enforced statically:
+//!
+//! - **determinism**: no wall clock, no ambient randomness, no hash
+//!   iteration order reaching serialized output;
+//! - **lock discipline**: acyclic lock-acquisition order, no guard held
+//!   across network/durability boundaries, no self-reacquire;
+//! - **replay exhaustiveness**: every `WalRecord` match names every
+//!   variant; record-applying functions fence their epoch;
+//! - **observability closure**: metric families and span kinds are
+//!   members of closed registries; timeout-shaped errors carry flight
+//!   dumps;
+//! - **panic surface**: no unchecked indexing or bare counter
+//!   arithmetic in protocol crates.
+//!
+//! The analyzer is token-level (a hand-rolled lexer plus structural
+//! recovery — no external parser), which keeps it dependency-free and
+//! fast, at the price of being a conservative approximation. Intended
+//! deviations are annotated in-source with
+//! `// lint:allow(<lint-id>): <reason>` markers (or, for framing-style
+//! files where per-site markers would dominate,
+//! `// lint:allow-file(<lint-id>): <reason>`), which the tool itself
+//! audits: a marker with an unknown id, an empty reason, or nothing to
+//! suppress is a finding.
+
+pub mod fixtures;
+pub mod lex;
+pub mod lints;
+pub mod registry;
+pub mod schema;
+pub mod source;
+
+use std::io;
+use std::path::Path;
+
+use registry::{Finding, Lint, LintReport};
+use schema::Registries;
+use source::LintFile;
+
+/// How many lines below its comment line an allow marker covers. Two
+/// lines of comment above the annotated expression is the common shape.
+const ALLOW_WINDOW: u32 = 3;
+
+/// Lint a set of already-loaded sources against `reg`.
+pub fn lint_sources(inputs: &[(String, String)], reg: &Registries) -> LintReport {
+    let files: Vec<LintFile> = inputs.iter().map(|(p, s)| LintFile::parse(p, s)).collect();
+    run_passes(&files, reg)
+}
+
+/// Lint a single source text — the fixture entry point.
+pub fn lint_source(path: &str, text: &str, reg: &Registries) -> LintReport {
+    lint_sources(&[(path.to_string(), text.to_string())], reg)
+}
+
+/// Lint the workspace rooted at `root`: collect `crates/*/src`, extract
+/// the closed registries from the source itself, run every pass.
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let inputs = source::collect_workspace(root)?;
+    let files: Vec<LintFile> = inputs.iter().map(|(p, s)| LintFile::parse(p, s)).collect();
+    let reg = Registries::from_files(&files);
+    let mut report = run_passes(&files, &reg);
+    // The registries are load-bearing: if extraction found nothing, the
+    // dependent lints silently pass, so report that as a finding.
+    if reg.wal_variants.is_empty() {
+        report.findings.push(Finding::new(
+            Lint::ReplayMissingVariant,
+            "crates/wal/src/record.rs",
+            1,
+            "could not extract the WalRecord variant registry from source",
+        ));
+    }
+    if reg.metric_families.is_empty() {
+        report.findings.push(Finding::new(
+            Lint::MetricFamilyUnknown,
+            "crates/obs/src/metrics.rs",
+            1,
+            "could not extract the metric family registry (mod families) from source",
+        ));
+    }
+    if reg.timeout_variants.is_empty() {
+        report.findings.push(Finding::new(
+            Lint::TimeoutWithoutFlight,
+            "crates/core/src/session.rs",
+            1,
+            "could not extract the flight-carrying SessionError variants from source",
+        ));
+    }
+    Ok(report)
+}
+
+fn run_passes(files: &[LintFile], reg: &Registries) -> LintReport {
+    let mut raw: Vec<Finding> = Vec::new();
+    lints::determinism::run(files, &mut raw);
+    lints::locks::run(files, &mut raw);
+    lints::replay::run(files, reg, &mut raw);
+    lints::obs::run(files, reg, &mut raw);
+    lints::panics::run(files, &mut raw);
+    apply_allows(files, raw)
+}
+
+/// Suppress raw findings covered by valid allow markers and emit the
+/// hygiene findings for the markers themselves.
+fn apply_allows(files: &[LintFile], raw: Vec<Finding>) -> LintReport {
+    let mut report = LintReport {
+        files: files.len(),
+        ..LintReport::default()
+    };
+    // marker index parallel to files[i].allows: usage count.
+    let mut used: Vec<Vec<usize>> = files.iter().map(|f| vec![0; f.allows.len()]).collect();
+
+    'findings: for finding in raw {
+        for (fi, f) in files.iter().enumerate() {
+            if f.path != finding.file {
+                continue;
+            }
+            for (mi, m) in f.allows.iter().enumerate() {
+                let covers = m.file_scope
+                    || (finding.line >= m.line && finding.line <= m.line + ALLOW_WINDOW);
+                if covers && m.id == finding.lint.id() && !m.reason.trim().is_empty() {
+                    used[fi][mi] += 1;
+                    report.suppressed += 1;
+                    continue 'findings;
+                }
+            }
+        }
+        report.findings.push(finding);
+    }
+
+    // Marker hygiene: unknown id, empty reason, or suppressed nothing.
+    for (fi, f) in files.iter().enumerate() {
+        let test_lines = f.test_lines();
+        for (mi, m) in f.allows.iter().enumerate() {
+            if test_lines.contains(&m.line) || test_lines.contains(&(m.line + 1)) {
+                continue;
+            }
+            let message = if Lint::from_id(&m.id).is_none() {
+                Some(format!("allow marker names unknown lint `{}`", m.id))
+            } else if m.reason.trim().is_empty() {
+                Some(format!(
+                    "allow marker for `{}` has no reason — justify the deviation",
+                    m.id
+                ))
+            } else if used[fi][mi] == 0 {
+                Some(format!(
+                    "allow marker for `{}` suppresses nothing — remove it",
+                    m.id
+                ))
+            } else {
+                None
+            };
+            if let Some(message) = message {
+                report
+                    .findings
+                    .push(Finding::new(Lint::AllowHygiene, &f.path, m.line, message));
+            }
+        }
+    }
+
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.lint.id()).cmp(&(&b.file, b.line, b.lint.id())));
+    report
+}

@@ -1,0 +1,7 @@
+//! The lint passes, one module per family.
+
+pub mod determinism;
+pub mod locks;
+pub mod obs;
+pub mod panics;
+pub mod replay;

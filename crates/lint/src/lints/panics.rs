@@ -1,0 +1,112 @@
+//! Panic-surface lints: unchecked indexing and bare counter arithmetic
+//! in the protocol crates, where a panic means losing a server or
+//! corrupting a replication epoch rather than failing one query.
+
+use crate::lex::TokKind;
+use crate::registry::{Finding, Lint};
+use crate::source::{is_keyword, matching_brace_like, LintFile};
+
+/// Crates where a panic is a protocol failure. The SQL engine returns
+/// typed errors per statement and is covered by unchecked-protocol-arith
+/// only.
+const INDEX_SCOPE: &[&str] = &[
+    "crates/core/",
+    "crates/wal/",
+    "crates/obs/",
+    "crates/netsim/",
+    "crates/prng/",
+];
+
+pub fn run(files: &[LintFile], out: &mut Vec<Finding>) {
+    for f in files {
+        if INDEX_SCOPE.iter().any(|p| f.path.starts_with(p)) {
+            unchecked_index(f, out);
+        }
+        unchecked_protocol_arith(f, out);
+    }
+}
+
+/// `expr[i]` / `expr[a..b]` with a non-literal index. Literal-only
+/// indices and ranges (`buf[0]`, `&frame[4..]`) are in-bounds by
+/// construction against checked lengths and stay allowed.
+fn unchecked_index(f: &LintFile, out: &mut Vec<Finding>) {
+    let toks = &f.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if f.test_mask[i] || !t.is_punct("[") || i == 0 {
+            continue;
+        }
+        let prev = &toks[i - 1];
+        let indexable = match prev.kind {
+            TokKind::Ident => !is_keyword(&prev.text),
+            TokKind::Punct => prev.is_punct(")") || prev.is_punct("]"),
+            _ => false,
+        };
+        if !indexable {
+            continue;
+        }
+        let close = matching_brace_like(toks, i, "[", "]");
+        let has_ident = toks[i + 1..close]
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && !is_keyword(&t.text));
+        if has_ident {
+            out.push(Finding::new(
+                Lint::UncheckedIndex,
+                &f.path,
+                t.line,
+                "non-literal index/slice — prefer .get()/.get_mut() or a checked \
+                 length guard with a lint:allow justification",
+            ));
+        }
+    }
+}
+
+/// Identifier names whose arithmetic is protocol state.
+fn is_protocol_counter(name: &str) -> bool {
+    let n = name;
+    n == "seq"
+        || n == "epoch"
+        || n == "version"
+        || n == "token"
+        || n == "next_seq"
+        || n == "next_token"
+        || n == "applied_seq"
+        || n == "base_seq"
+        || n == "promoted_seq"
+        || n.ends_with("_seq")
+        || n.ends_with("_epoch")
+        || n.ends_with("_version")
+        || n.ends_with("_token")
+}
+
+const ARITH_OPS: &[&str] = &["+", "-", "+=", "-="];
+
+fn unchecked_protocol_arith(f: &LintFile, out: &mut Vec<Finding>) {
+    let toks = &f.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if f.test_mask[i] || t.kind != TokKind::Punct || !ARITH_OPS.contains(&t.text.as_str()) {
+            continue;
+        }
+        let prev_hit =
+            i > 0 && toks[i - 1].kind == TokKind::Ident && is_protocol_counter(&toks[i - 1].text);
+        let next_hit = toks
+            .get(i + 1)
+            .is_some_and(|n| n.kind == TokKind::Ident && is_protocol_counter(&n.text));
+        if prev_hit || next_hit {
+            let name = if prev_hit {
+                &toks[i - 1].text
+            } else {
+                &toks[i + 1].text
+            };
+            out.push(Finding::new(
+                Lint::UncheckedProtocolArith,
+                &f.path,
+                t.line,
+                format!(
+                    "bare `{}` on protocol counter `{}` — use checked_/saturating_ \
+                     arithmetic so overflow cannot corrupt ordering",
+                    t.text, name
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Closed registries the lints check membership against, extracted from
+//! the workspace source itself so the tool never drifts from the code:
+//! the `WalRecord` variant list, the metric family registry, and the
+//! timeout-shaped `SessionError` variants that must carry flight context.
+
+use std::collections::BTreeSet;
+
+use crate::lex::TokKind;
+use crate::source::{matching_brace, LintFile};
+
+/// The extracted registries. Empty collections mean the defining file
+/// was not part of the input (fixture runs) or extraction failed —
+/// `lint_workspace` reports the latter as a finding rather than
+/// silently passing.
+#[derive(Debug, Default, Clone)]
+pub struct Registries {
+    /// Variants of `pdm_wal::WalRecord`, in declaration order.
+    pub wal_variants: Vec<String>,
+    /// Closed metric family names (`pdm_obs::metrics::families::ALL`).
+    pub metric_families: BTreeSet<String>,
+    /// `SessionError` variants that carry a `context: FlightDump` field.
+    pub timeout_variants: Vec<String>,
+}
+
+impl Registries {
+    /// Extract all registries from the parsed workspace.
+    pub fn from_files(files: &[LintFile]) -> Registries {
+        let mut reg = Registries::default();
+        for f in files {
+            if f.path.ends_with("crates/wal/src/record.rs") || f.path == "crates/wal/src/record.rs"
+            {
+                reg.wal_variants = enum_variants(f, "WalRecord")
+                    .into_iter()
+                    .map(|(name, _)| name)
+                    .collect();
+            }
+            if f.path.ends_with("crates/obs/src/metrics.rs") {
+                reg.metric_families = families_strings(f);
+            }
+            if f.path.ends_with("crates/core/src/session.rs") {
+                reg.timeout_variants = enum_variants(f, "SessionError")
+                    .into_iter()
+                    .filter(|(_, fields)| fields.iter().any(|fld| fld == "context"))
+                    .map(|(name, _)| name)
+                    .collect();
+            }
+        }
+        reg
+    }
+
+    /// The fixture registry used by the meta-tests: a stable stand-in
+    /// mirroring the real workspace's shape.
+    pub fn fixture() -> Registries {
+        Registries {
+            wal_variants: [
+                "DmlCommit",
+                "CheckoutGrant",
+                "CheckoutRelease",
+                "TokenComplete",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+            metric_families: ["cache.hits", "wal.appends", "server.queries"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            timeout_variants: [
+                "Timeout",
+                "LinkDown",
+                "ReplicaLagTimeout",
+                "PrimaryUnavailable",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        }
+    }
+}
+
+/// Variants of `enum <name>` in `f`, each with the field names of its
+/// brace body (empty for tuple/unit variants).
+fn enum_variants(f: &LintFile, name: &str) -> Vec<(String, Vec<String>)> {
+    let toks = &f.toks;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 2 < toks.len() {
+        if toks[i].is_ident("enum") && toks[i + 1].is_ident(name) {
+            // Skip generics to the opening brace.
+            let mut open = i + 2;
+            while open < toks.len() && !toks[open].is_punct("{") {
+                open += 1;
+            }
+            let close = matching_brace(toks, open);
+            let mut depth = 0i64;
+            let mut expecting_variant = true;
+            let mut j = open;
+            while j <= close {
+                let t = &toks[j];
+                if t.is_punct("{") || t.is_punct("(") || t.is_punct("[") {
+                    depth += 1;
+                } else if t.is_punct("}") || t.is_punct(")") || t.is_punct("]") {
+                    depth -= 1;
+                } else if depth == 1 {
+                    if t.is_punct(",") {
+                        expecting_variant = true;
+                    } else if t.is_punct("#") {
+                        // Attribute on the next variant; skip its brackets.
+                        if toks.get(j + 1).is_some_and(|t| t.is_punct("[")) {
+                            let end = matching_delim(toks, j + 1, "[", "]");
+                            j = end;
+                        }
+                    } else if expecting_variant && t.kind == TokKind::Ident {
+                        let vname = t.text.clone();
+                        let mut fields = Vec::new();
+                        if toks.get(j + 1).is_some_and(|t| t.is_punct("{")) {
+                            let fend = matching_brace(toks, j + 1);
+                            let mut d = 0i64;
+                            for k in (j + 1)..=fend {
+                                if toks[k].is_punct("{") || toks[k].is_punct("<") {
+                                    d += 1;
+                                } else if toks[k].is_punct("}") || toks[k].is_punct(">") {
+                                    d -= 1;
+                                } else if d == 1
+                                    && toks[k].kind == TokKind::Ident
+                                    && toks.get(k + 1).is_some_and(|t| t.is_punct(":"))
+                                {
+                                    fields.push(toks[k].text.clone());
+                                }
+                            }
+                            j = fend;
+                        }
+                        out.push((vname, fields));
+                        expecting_variant = false;
+                    }
+                }
+                j += 1;
+            }
+            return out;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// All string literals inside `mod families { .. }` — the closed metric
+/// family registry.
+fn families_strings(f: &LintFile) -> BTreeSet<String> {
+    let toks = &f.toks;
+    let mut out = BTreeSet::new();
+    let mut i = 0usize;
+    while i + 2 < toks.len() {
+        if toks[i].is_ident("mod") && toks[i + 1].is_ident("families") && toks[i + 2].is_punct("{")
+        {
+            let close = matching_brace(toks, i + 2);
+            for t in &toks[i + 2..=close] {
+                if t.kind == TokKind::Str && !t.text.is_empty() {
+                    out.insert(t.text.clone());
+                }
+            }
+            return out;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Matching close delimiter for the open one at `open`.
+fn matching_delim(toks: &[crate::lex::Tok], open: usize, o: &str, c: &str) -> usize {
+    let mut depth = 0i64;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct(o) {
+            depth += 1;
+        } else if t.is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::LintFile;
+
+    #[test]
+    fn enum_variants_with_brace_fields() {
+        let src = "pub enum SessionError {\n  #[doc = \"x\"]\n  Timeout { waited_s: f64, context: FlightDump },\n  Parse(String),\n  LinkDown { context: FlightDump },\n  Other,\n}\n";
+        let f = LintFile::parse("crates/core/src/session.rs", src);
+        let vars = enum_variants(&f, "SessionError");
+        let names: Vec<&str> = vars.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["Timeout", "Parse", "LinkDown", "Other"]);
+        let reg = Registries::from_files(&[f]);
+        assert_eq!(reg.timeout_variants, vec!["Timeout", "LinkDown"]);
+    }
+
+    #[test]
+    fn families_registry_is_collected() {
+        let src = "pub mod families {\n pub const ALL: &[&str] = &[\"cache.hits\", \"wal.appends\"];\n}\n";
+        let f = LintFile::parse("crates/obs/src/metrics.rs", src);
+        let reg = Registries::from_files(&[f]);
+        assert!(reg.metric_families.contains("cache.hits"));
+        assert!(reg.metric_families.contains("wal.appends"));
+        assert_eq!(reg.metric_families.len(), 2);
+    }
+
+    #[test]
+    fn wal_variants_in_declaration_order() {
+        let src = "pub enum WalRecord {\n DmlCommit { version: u64, sql: String },\n CheckoutGrant { token: u64, assy_ids: Vec<u64>, comp_ids: Vec<u64> },\n CheckoutRelease { ids: Vec<u64> },\n TokenComplete { token: u64, rows: Option<ResultSet> },\n}\n";
+        let f = LintFile::parse("crates/wal/src/record.rs", src);
+        let reg = Registries::from_files(&[f]);
+        assert_eq!(
+            reg.wal_variants,
+            vec![
+                "DmlCommit",
+                "CheckoutGrant",
+                "CheckoutRelease",
+                "TokenComplete"
+            ]
+        );
+    }
+}

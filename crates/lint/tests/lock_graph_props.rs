@@ -1,0 +1,114 @@
+//! Property tests for the lock-order cycle detector: on random directed
+//! graphs, `find_cycle` must agree with an independent reference
+//! (Kahn's topological sort), and any cycle it reports must be a real
+//! closed walk in the graph.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use pdm_lint::lints::locks::find_cycle;
+use pdm_prng::check::cases;
+use pdm_prng::Prng;
+
+fn random_graph(prng: &mut Prng) -> BTreeMap<String, BTreeSet<String>> {
+    let n = 2 + (prng.next_u64() % 9) as usize; // 2..=10 nodes
+    let edge_permille = prng.next_u64() % 400; // density 0..40%
+    let mut g: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for a in 0..n {
+        for b in 0..n {
+            if a == b {
+                continue;
+            }
+            if prng.next_u64() % 1000 < edge_permille {
+                g.entry(format!("L{a}"))
+                    .or_default()
+                    .insert(format!("L{b}"));
+            }
+        }
+    }
+    g
+}
+
+/// Reference detector: Kahn's algorithm — the graph is acyclic iff a
+/// topological order covers every node.
+fn has_cycle_reference(g: &BTreeMap<String, BTreeSet<String>>) -> bool {
+    let mut nodes: BTreeSet<&String> = g.keys().collect();
+    for vs in g.values() {
+        nodes.extend(vs.iter());
+    }
+    let mut indeg: BTreeMap<&String, usize> = nodes.iter().map(|n| (*n, 0)).collect();
+    for vs in g.values() {
+        for v in vs {
+            *indeg.get_mut(v).expect("node") += 1;
+        }
+    }
+    let mut queue: Vec<&String> = indeg
+        .iter()
+        .filter(|(_, d)| **d == 0)
+        .map(|(n, _)| *n)
+        .collect();
+    let mut removed = 0usize;
+    while let Some(n) = queue.pop() {
+        removed += 1;
+        if let Some(vs) = g.get(n) {
+            for v in vs {
+                let d = indeg.get_mut(v).expect("node");
+                *d -= 1;
+                if *d == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+    }
+    removed != nodes.len()
+}
+
+#[test]
+fn detector_agrees_with_kahn_reference() {
+    cases("lock-graph-vs-kahn", 300, 0x5eed_10c4, |prng| {
+        let g = random_graph(prng);
+        let found = find_cycle(&g).is_some();
+        let reference = has_cycle_reference(&g);
+        assert_eq!(
+            found, reference,
+            "detector and Kahn reference disagree on {g:?}"
+        );
+    });
+}
+
+#[test]
+fn reported_cycles_are_real_closed_walks() {
+    cases("lock-graph-cycle-validity", 300, 0xc0de_600d, |prng| {
+        let g = random_graph(prng);
+        if let Some(cycle) = find_cycle(&g) {
+            assert!(cycle.len() >= 2, "cycle too short: {cycle:?}");
+            assert_eq!(
+                cycle.first(),
+                cycle.last(),
+                "cycle is not closed: {cycle:?}"
+            );
+            for w in cycle.windows(2) {
+                assert!(
+                    g.get(&w[0]).is_some_and(|vs| vs.contains(&w[1])),
+                    "edge {} -> {} not in graph {g:?}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn known_small_graphs() {
+    let mut g: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    g.entry("a".into()).or_default().insert("b".into());
+    g.entry("b".into()).or_default().insert("c".into());
+    assert!(find_cycle(&g).is_none(), "a chain has no cycle");
+    g.entry("c".into()).or_default().insert("a".into());
+    let cycle = find_cycle(&g).expect("3-cycle");
+    assert_eq!(cycle.first(), cycle.last());
+    // Self-loop.
+    let mut s: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    s.entry("x".into()).or_default().insert("x".into());
+    assert!(find_cycle(&s).is_some(), "self-loop is a cycle");
+}

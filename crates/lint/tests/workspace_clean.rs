@@ -1,0 +1,43 @@
+//! The tree must lint clean: every true positive has been fixed or
+//! carries a reasoned `lint:allow` marker. This is the same gate CI
+//! runs via the `pdm-lint` binary.
+
+use std::path::PathBuf;
+
+use pdm_lint::lint_workspace;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root resolves")
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let report = lint_workspace(&repo_root()).expect("workspace walk succeeds");
+    assert!(
+        report.files > 30,
+        "walker found too few files: {}",
+        report.files
+    );
+    if !report.is_clean() {
+        let mut msg = String::new();
+        for f in &report.findings {
+            msg.push_str(&format!(
+                "  {} [{}] {}\n",
+                f.location(),
+                f.lint.id(),
+                f.message
+            ));
+        }
+        panic!(
+            "workspace has {} lint finding(s):\n{msg}",
+            report.findings.len()
+        );
+    }
+    assert!(
+        report.suppressed > 0,
+        "the annotated advisory wall-clock sites should register as suppressions"
+    );
+}

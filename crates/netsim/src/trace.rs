@@ -102,6 +102,8 @@ impl Trace {
         let mut costs: Vec<f64> = self.entries.iter().map(|e| e.cost.total_time()).collect();
         costs.sort_by(f64::total_cmp);
         let rank = ((p / 100.0) * costs.len() as f64).ceil().max(1.0) as usize - 1;
+        // lint:allow(unchecked-index): rank is clamped to len-1 and the
+        // empty case returned None above.
         Some(costs[rank.min(costs.len() - 1)])
     }
 }

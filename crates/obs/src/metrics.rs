@@ -152,6 +152,8 @@ impl Histogram {
 
     pub fn record(&self, v: u64) {
         let inner = &self.0;
+        // lint:allow(unchecked-index): bucket_index returns < BUCKETS by
+        // construction (tested in bucket_layout_is_monotone_and_tight).
         inner.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         inner.count.fetch_add(1, Ordering::Relaxed);
         inner.sum.fetch_add(v, Ordering::Relaxed);
@@ -373,9 +375,107 @@ impl MetricsSnapshot {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Closed metric-family registry
+// ---------------------------------------------------------------------------
+
+/// The closed registry of metric families. Every `counter`/`gauge`/
+/// `histogram` name constructed anywhere in the stack must be a member —
+/// `pdm-lint`'s `metric-family-unknown` check parses this list straight out
+/// of the source and flags any registration site that names a family not
+/// declared here, so a typo'd metric name can never silently fork a family.
+/// The CI schema check on the bench reports asserts the converse subset
+/// (mandatory families actually present in snapshots).
+pub mod families {
+    /// Every declared metric family, grouped by subsystem prefix.
+    pub const ALL: &[&str] = &[
+        // server totals
+        "server.queries",
+        "server.dml_commits",
+        // cross-session query-result cache
+        "cache.hits",
+        "cache.misses",
+        "cache.invalidations",
+        // check-out lock table
+        "locks.grants",
+        "locks.refusals",
+        "locks.wait_ns",
+        // write-ahead log
+        "wal.appends",
+        "wal.fsync_ns",
+        // engine operator counters
+        "engine.rows_scanned",
+        "engine.subquery_evals",
+        "engine.subquery_cache_hits",
+        "engine.recursion_iterations",
+        "engine.index_probes",
+        // session-side late filtering
+        "session.rows_kept",
+        "session.rows_filtered_late",
+        // simulated WAN
+        "net.queries",
+        "net.communications",
+        "net.request_packets",
+        "net.response_payload_bytes",
+        "net.volume_bytes",
+        "net.latency_s",
+        "net.transfer_s",
+        "net.fault_wait_s",
+        "net.response_time_s",
+        "net.retransmits",
+        "net.failed_attempts",
+        "net.timeouts",
+        "net.server_errors",
+        "net.outage_hits",
+        // multi-site replication
+        "repl.ship_batches",
+        "repl.records_shipped",
+        "repl.ship_failures",
+        "repl.acked_writes",
+        "repl.watermark_waits",
+        "repl.watermark_timeouts",
+        "repl.stale_reads",
+        "repl.failovers",
+        "repl.lag_seqs",
+        "repl.ship_us",
+        "repl.failover_us",
+        "repl.watermark_wait_us",
+    ];
+
+    /// Whether `name` is a declared family.
+    pub fn is_known(name: &str) -> bool {
+        ALL.contains(&name)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn family_registry_is_closed_and_well_formed() {
+        let mut seen = std::collections::BTreeSet::new();
+        for name in families::ALL {
+            assert!(seen.insert(*name), "duplicate family {name}");
+            let (prefix, rest) = name.split_once('.').expect("families are prefix.name");
+            assert!(
+                prefix == "server"
+                    || crate::span::Subsystem::ALL
+                        .iter()
+                        .any(|s| s.prefix() == prefix),
+                "family {name} uses undeclared subsystem prefix {prefix}"
+            );
+            assert!(
+                !rest.is_empty()
+                    && rest
+                        .chars()
+                        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "family {name} is not snake_case"
+            );
+            assert!(families::is_known(name));
+        }
+        assert!(!families::is_known("server.typo"));
+    }
 
     #[test]
     fn counter_and_gauge_roundtrip() {

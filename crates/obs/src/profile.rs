@@ -71,6 +71,8 @@ impl QueryProfile {
         }
         self.spans
             .iter()
+            // lint:allow(unchecked-index): span ids are dense indices into
+            // self.spans, and has_child was sized to match above.
             .filter(|s| !has_child[s.id])
             .map(|s| s.v_duration())
             .sum()
@@ -140,6 +142,8 @@ impl QueryProfile {
             out.push_str(&format!("  {k}={v:.9}"));
         }
         out.push('\n');
+        // lint:allow(unchecked-index): children is sized to spans.len()
+        // and id is a dense span id.
         for &c in &children[id] {
             self.render_span(c, children, depth + 1, wall, out);
         }

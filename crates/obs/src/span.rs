@@ -233,6 +233,9 @@ impl Recorder {
     pub fn new() -> Self {
         Recorder {
             inner: Some(Arc::new(RecorderInner {
+                // lint:allow(wall-clock): the wall interval of a span is
+                // advisory by design (DESIGN.md §11); the virtual clock is
+                // the sole measured-time authority.
                 epoch: Instant::now(),
                 state: Mutex::new(RecState::default()),
             })),

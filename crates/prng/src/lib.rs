@@ -138,6 +138,7 @@ impl Prng {
                 b'a' + self.index(26) as u8
             } else {
                 const TAIL: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+                // lint:allow(unchecked-index): index(n) < n by contract.
                 TAIL[self.index(TAIL.len())]
             };
             s.push(c as char);

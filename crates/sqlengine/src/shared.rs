@@ -179,7 +179,7 @@ impl SharedDatabase {
         let base = self.snapshot();
         let mut catalog = base.catalog.clone(); // cheap: Arc'ed tables
         let outcome = execute_statement(&mut catalog, &base.config, stmt)?;
-        let version = base.version + 1;
+        let version = base.version.saturating_add(1);
         gate(version)?;
         let next = Arc::new(Snapshot {
             catalog,
@@ -218,7 +218,7 @@ impl SharedDatabase {
         for row in rows {
             t.insert(row)?;
         }
-        let version = base.version + 1;
+        let version = base.version.saturating_add(1);
         let next = Arc::new(Snapshot {
             catalog,
             config: base.config.clone(),

@@ -72,6 +72,9 @@ impl Table {
             })?);
         }
         let row_id = self.rows.len();
+        // lint:allow(unordered-iter): each index is keyed by a distinct
+        // column and updated independently; visit order cannot change the
+        // resulting postings.
         for (&col_idx, index) in self.indexes.iter_mut() {
             index
                 .entry(coerced[col_idx].clone())
@@ -98,13 +101,17 @@ impl Table {
         self.indexes.contains_key(&col_idx)
     }
 
-    /// Names of the indexed columns (unordered). The persistence layer
-    /// stores these so indexes can be rebuilt on snapshot reload.
+    /// Names of the indexed columns, sorted so the list is stable across
+    /// runs. The persistence layer stores these so indexes can be rebuilt
+    /// on snapshot reload.
     pub fn indexed_columns(&self) -> Vec<String> {
-        self.indexes
+        let mut names: Vec<String> = self
+            .indexes
             .keys()
             .map(|&idx| self.schema.column(idx).name.clone())
-            .collect()
+            .collect();
+        names.sort_unstable();
+        names
     }
 
     /// Row ids matching `value` via the index on `col_idx`, if indexed.
@@ -173,10 +180,11 @@ impl Table {
                 touched.insert(*col_idx);
             }
         }
-        let indexed: Vec<usize> = touched
+        let mut indexed: Vec<usize> = touched
             .into_iter()
             .filter(|c| self.indexes.contains_key(c))
             .collect();
+        indexed.sort_unstable();
         for col_idx in indexed {
             let mut map: HashMap<Value, Vec<usize>> = HashMap::new();
             for (row_id, row) in self.rows.iter().enumerate() {
@@ -204,7 +212,8 @@ impl Table {
             }
         }
         self.rows = kept;
-        let indexed: Vec<usize> = self.indexes.keys().copied().collect();
+        let mut indexed: Vec<usize> = self.indexes.keys().copied().collect();
+        indexed.sort_unstable();
         for col_idx in indexed {
             let mut map: HashMap<Value, Vec<usize>> = HashMap::new();
             for (row_id, row) in self.rows.iter().enumerate() {

@@ -1,6 +1,10 @@
 //! CRC-32 (IEEE 802.3 polynomial), hand-rolled because the workspace is
 //! offline and cannot pull a checksum crate. The table is computed at
 //! compile time; the byte-at-a-time loop is plenty fast for WAL records.
+//
+// lint:allow-file(unchecked-index): table lookups are indexed by a byte
+// (or a byte-derived value masked to 8 bits) into a 256-entry table —
+// in-bounds by construction.
 
 /// Reflected polynomial of CRC-32/ISO-HDLC (the zlib/PNG/Ethernet CRC).
 const POLY: u32 = 0xEDB8_8320;

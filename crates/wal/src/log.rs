@@ -1,4 +1,8 @@
 //! Log framing: length-prefixed, checksummed records over a byte device.
+//
+// lint:allow-file(unchecked-index): framing code — every slice read is
+// preceded by an explicit remaining-length guard; a panic here would mean
+// the guard logic itself is wrong, which the torn-tail tests cover.
 //!
 //! Frame layout (all integers little-endian):
 //!

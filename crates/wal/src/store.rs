@@ -120,9 +120,11 @@ impl DurableStore {
         }
 
         let store = DurableStore {
+            // lint:allow(unchecked-index): valid_len was produced by the
+            // frame scanner and is ≤ image.log.len() by construction.
             log: SimDevice::with_contents(image.log[..valid_len].to_vec()).with_plan(plan),
             checkpoint: image.checkpoint,
-            next_seq: max_seq + 1,
+            next_seq: max_seq.saturating_add(1),
         };
         Ok((
             store,
@@ -138,7 +140,7 @@ impl DurableStore {
     pub fn append(&mut self, rec: &WalRecord) -> Result<u64, WalError> {
         let seq = self.next_seq;
         log::append_record(&mut self.log, seq, &rec.encode())?;
-        self.next_seq += 1;
+        self.next_seq = self.next_seq.saturating_add(1);
         Ok(seq)
     }
 
@@ -162,7 +164,7 @@ impl DurableStore {
         if self.log.is_crashed() {
             return Err(WalError::DeviceCrashed);
         }
-        let covered = self.next_seq - 1;
+        let covered = self.next_seq.saturating_sub(1);
         self.checkpoint = log::frame(covered, payload);
         self.log = SimDevice::with_contents(Vec::new()).with_plan_of(&self.log);
         Ok(covered)
