@@ -114,6 +114,10 @@ impl Session {
         &mut self,
         root: ObjectId,
     ) -> SessionResult<CheckoutOutcome> {
+        // Admission control: a check-out holds a lock-table slot and a WAL
+        // append, so it rides the Checkout priority class (sheds before
+        // interactive queries as the token bucket drains).
+        let _permit = self.admit(crate::overload::Priority::Checkout)?;
         let mut q = recursive::mle_query(root);
         {
             let rules = self.rules().clone();
@@ -304,9 +308,17 @@ impl Session {
     /// faulty link every failure mode — including a lost confirmation after
     /// the server applied the update — is safe to replay.
     pub(crate) fn metered_update_public(&mut self, sql: &str) -> SessionResult<usize> {
+        let _permit = self.admit(crate::overload::Priority::Checkout)?;
         let obs = self.recorder().clone();
         if self.channel_mut().fault_plan().is_none() {
-            let out = self.server().execute_obs(sql, &obs)?;
+            self.check_deadline(1)?;
+            let deadline = self.lock_deadline();
+            let elapsed = self.elapsed();
+            let out = self
+                .server()
+                .shared()
+                .execute_deadline_obs(sql, deadline, &obs)
+                .map_err(|e| SessionError::from_shared(e, elapsed, &obs))?;
             self.meter_round_trip(sql.len(), 16);
             return Ok(updated_rows(out));
         }

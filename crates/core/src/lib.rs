@@ -36,6 +36,7 @@ pub mod client;
 pub mod durability;
 pub mod federation;
 pub mod functions;
+pub mod overload;
 pub mod product;
 pub mod query;
 pub mod repl;
@@ -50,6 +51,7 @@ pub use durability::{
     recover_server, Durability, DurabilityConfig, GrantIds, RecoveryError, RecoveryReport,
 };
 pub use federation::{FederatedOutcome, Federation, MountPoint};
+pub use overload::{OverloadConfig, OverloadGate, Permit, Priority, Rejection, RetryBudget};
 pub use pdm_obs::{
     FlightDump, FlightEvent, MetricsRegistry, MetricsSnapshot, QueryProfile, Recorder, SpanKind,
     SpanRecord, Subsystem,

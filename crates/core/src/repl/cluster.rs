@@ -530,6 +530,12 @@ impl Cluster {
     /// receipt's sequence, bounded by the session's retry deadline. A
     /// receipt from an older epoch needs no wait: acknowledged writes are,
     /// by the promotion invariant, part of the new epoch's baseline.
+    ///
+    /// Deadline propagation (overload robustness): this wait is already
+    /// bounded by `policy.deadline` — the same per-action deadline the
+    /// lock-queue, WAL-commit, and single-flight waits observe — plus the
+    /// `max_pump_rounds` backstop, so a saturated ship link cannot pin a
+    /// reader for unbounded virtual time.
     pub fn wait_watermark(
         &mut self,
         site: usize,

@@ -111,9 +111,10 @@ impl PdmServer {
         {
             Ok(r) => Ok(r),
             Err(SharedServerError::Sql(e)) => Err(e),
-            Err(SharedServerError::LockTimeout { waited }) => Err(pdm_sql::Error::Eval(format!(
-                "check-out lock wait timed out after {waited:?}"
-            ))),
+            // Without a deadline only Sql can occur; the overload-era
+            // variants (timeout, queue-full, deadline-abandon) are mapped
+            // for totality.
+            Err(other) => Err(pdm_sql::Error::Eval(format!("check-out failed: {other}"))),
         }
     }
 

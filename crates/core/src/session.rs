@@ -84,6 +84,15 @@ pub enum SessionError {
         /// Flight-recorder dump (see [`SessionError::Timeout::context`]).
         context: FlightDump,
     },
+    /// The server's admission gate shed this request (or its lock-wait
+    /// queue was full): the server is saturated and rejected fast rather
+    /// than queuing work it cannot serve in time. Retry after
+    /// `retry_after` (virtual) seconds — and only out of a retry budget.
+    Overloaded {
+        /// Earliest delay (virtual seconds) after which a retry could be
+        /// admitted, assuming no competing arrivals.
+        retry_after: f64,
+    },
 }
 
 impl fmt::Display for SessionError {
@@ -145,6 +154,9 @@ impl fmt::Display for SessionError {
                     write!(f, " [deadline expired in {}]", context.expired_in)?;
                 }
                 Ok(())
+            }
+            SessionError::Overloaded { retry_after } => {
+                write!(f, "server overloaded; retry after {retry_after:.3}s")
             }
         }
     }
@@ -208,6 +220,19 @@ impl SessionError {
                 elapsed: elapsed + waited.as_secs_f64(),
                 context: FlightDump::at("locks.wait").with_events(obs),
             },
+            // A doomed call abandoned at a server blocking point looks the
+            // same to the client as a lock timeout, but its context pins
+            // the abandon point.
+            crate::shared::SharedServerError::DeadlineExpired { waited } => SessionError::Timeout {
+                attempts: 1,
+                elapsed: elapsed + waited.as_secs_f64(),
+                context: FlightDump::at("overload.abandon").with_events(obs),
+            },
+            // A full lock queue is a saturation signal: surface it as a
+            // fast overload rejection, retryable out of the budget.
+            crate::shared::SharedServerError::QueueFull { .. } => {
+                SessionError::Overloaded { retry_after: 0.1 }
+            }
         }
     }
 }
@@ -299,6 +324,13 @@ pub struct Session {
     /// it to the rebuilt channel.
     fault_plan: Option<FaultPlan>,
     retry: RetryPolicy,
+    /// Leaky-bucket retry budget (None — the default — retries are
+    /// limited only by [`RetryPolicy`], exactly the pre-budget behaviour).
+    retry_budget: Option<crate::overload::RetryBudget>,
+    /// Admission priority override: `None` uses the per-dispatch default
+    /// (interactive for queries, checkout for writes/check-outs); batch
+    /// sessions set `Some(Priority::Batch)` so all their work sheds first.
+    priority_override: Option<crate::overload::Priority>,
     degradation: DegradationController,
     /// Span recorder, disabled (free no-ops) unless
     /// [`Session::enable_profiling`] turns it on. The channel holds a clone
@@ -333,6 +365,8 @@ impl Session {
             structure_table: crate::query::T_LINK.to_string(),
             fault_plan: None,
             retry: RetryPolicy::none(),
+            retry_budget: None,
+            priority_override: None,
             degradation: DegradationController::default(),
             obs: Recorder::disabled(),
             metrics,
@@ -369,7 +403,12 @@ impl Session {
 
     /// Start a measured action: reset the traffic meter, reset the
     /// recorder's per-action state, and open the root `session.action` span.
+    /// Each action also credits the retry budget (a fresh request earns
+    /// its fraction of a retry token).
     pub(crate) fn begin_action(&mut self, name: &'static str) -> SpanGuard {
+        if let Some(b) = &mut self.retry_budget {
+            b.on_request();
+        }
         self.reset_metering();
         self.obs.begin_action();
         self.obs.span(kinds::ACTION, name)
@@ -410,6 +449,60 @@ impl Session {
 
     pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
         self.retry = policy;
+    }
+
+    /// Install a client-side retry budget: retries (link-failure backoffs)
+    /// are allowed only while the leaky bucket has tokens, so this
+    /// session's retries converge to the budget's earn ratio of its
+    /// requests. Without one (the default), retries are bounded only by
+    /// the [`RetryPolicy`].
+    pub fn enable_retry_budget(&mut self, budget: crate::overload::RetryBudget) {
+        self.retry_budget = Some(budget);
+    }
+
+    /// The installed retry budget, if any (drivers that retry
+    /// [`SessionError::Overloaded`] rejections themselves draw from the
+    /// same bucket).
+    pub fn retry_budget_mut(&mut self) -> Option<&mut crate::overload::RetryBudget> {
+        self.retry_budget.as_mut()
+    }
+
+    /// Override the admission priority class for every dispatch of this
+    /// session (batch/rollup sessions mark themselves
+    /// [`crate::overload::Priority::Batch`] so they shed first).
+    pub fn set_priority_class(&mut self, prio: crate::overload::Priority) {
+        self.priority_override = Some(prio);
+    }
+
+    /// Consult the server's admission gate (if one is installed) for one
+    /// dispatch of class `default_prio`. `Ok(None)` = no gate, admitted by
+    /// construction; `Ok(Some(permit))` holds a concurrency slot for the
+    /// dispatch; `Err(Overloaded)` = shed, with a `retry_after` hint.
+    pub(crate) fn admit(
+        &mut self,
+        default_prio: crate::overload::Priority,
+    ) -> SessionResult<Option<crate::overload::Permit>> {
+        let Some(gate) = self.server.shared().overload_gate() else {
+            return Ok(None);
+        };
+        let prio = self.priority_override.unwrap_or(default_prio);
+        let span = self.obs.span(kinds::ADMIT, prio.label());
+        match gate.admit(prio) {
+            Ok(permit) => {
+                span.set_detail("admitted");
+                Ok(Some(permit))
+            }
+            Err(rejection) => {
+                span.set_detail("shed");
+                drop(span);
+                let shed = self.obs.span(kinds::OVERLOAD_SHED, prio.label());
+                shed.set_detail("admission");
+                drop(shed);
+                Err(SessionError::Overloaded {
+                    retry_after: rejection.retry_after,
+                })
+            }
+        }
     }
 
     /// The per-action deadline as a real-time bound for check-out lock
@@ -524,8 +617,18 @@ impl Session {
     /// failure — even a lost response, after which the server *did* run the
     /// query — is safe to replay.
     fn metered_query(&mut self, sql: &str) -> SessionResult<ResultSet> {
+        let _permit = self.admit(crate::overload::Priority::Interactive)?;
         if self.channel.fault_plan().is_none() {
-            let rs = self.server.query_obs(sql, &self.obs)?;
+            // Deadline propagation on the reliable path too: a doomed
+            // dispatch (deadline already spent by earlier work in this
+            // action) is abandoned before the server does anything. A
+            // no-deadline policy makes this a free no-op.
+            self.check_deadline(1)?;
+            let rs = self
+                .server
+                .shared()
+                .query_cached_deadline_obs(sql, self.lock_deadline(), &self.obs)
+                .map(|r| (*r).clone())?;
             self.channel.round_trip(sql.len(), rs.wire_size());
             return Ok(rs);
         }
@@ -577,6 +680,21 @@ impl Session {
                 self.channel.elapsed(),
                 &self.obs,
             ));
+        }
+        // Retry budget: a retry may only proceed out of the leaky bucket.
+        // An exhausted budget surfaces the underlying failure immediately —
+        // under a brown-out this is what keeps aggregate offered load
+        // converging instead of amplifying (DESIGN.md §14).
+        if let Some(budget) = &mut self.retry_budget {
+            if !budget.try_spend() {
+                self.channel.note_budget_denied();
+                return Err(SessionError::from_link(
+                    failure,
+                    attempt,
+                    self.channel.elapsed(),
+                    &self.obs,
+                ));
+            }
         }
         let mut wait = self
             .retry

@@ -19,15 +19,16 @@
 //!   shared so tokens are unique across sessions, plus an optional
 //!   **operation journal** the deterministic concurrency tests replay.
 
-use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
 
 use pdm_obs::{kinds, Counter, Histogram, MetricsRegistry, Recorder};
 use pdm_sql::{Database, ExecOutcome, ResultSet, SharedDatabase, Statement};
 
 use crate::durability::{Durability, DurabilityConfig};
+use crate::overload::{OverloadConfig, OverloadGate};
 use crate::product::ObjectId;
 use crate::server::{id_list, split_ids, CheckoutProcedureResult};
 
@@ -51,6 +52,17 @@ pub enum SharedServerError {
     LockTimeout {
         waited: Duration,
     },
+    /// The bounded lock wait queue is at capacity — the server sheds the
+    /// waiter instead of queuing unboundedly (DESIGN.md §14).
+    QueueFull {
+        depth: usize,
+    },
+    /// The caller's propagated deadline was already spent when the work
+    /// reached this blocking point; the doomed work was abandoned instead
+    /// of completed uselessly.
+    DeadlineExpired {
+        waited: Duration,
+    },
 }
 
 impl std::fmt::Display for SharedServerError {
@@ -59,6 +71,12 @@ impl std::fmt::Display for SharedServerError {
             SharedServerError::Sql(e) => write!(f, "database error: {e}"),
             SharedServerError::LockTimeout { waited } => {
                 write!(f, "lock wait timed out after {waited:?}")
+            }
+            SharedServerError::QueueFull { depth } => {
+                write!(f, "lock wait queue full ({depth} waiters)")
+            }
+            SharedServerError::DeadlineExpired { waited } => {
+                write!(f, "deadline expired after {waited:?}; work abandoned")
             }
         }
     }
@@ -107,29 +125,120 @@ pub enum LockEvent {
     Released { ids: Vec<ObjectId> },
 }
 
+/// One queued lock waiter. Tickets are granted in `seq` (arrival) order
+/// *per conflict class*: a ticket only yields to earlier tickets whose id
+/// sets intersect its own, so disjoint check-outs never head-of-line
+/// block each other while same-object contenders are served strictly
+/// FIFO — the starvation fix over the old unordered condvar wakeup.
+#[derive(Debug)]
+struct Ticket {
+    seq: u64,
+    token: u64,
+    ids: Vec<ObjectId>,
+}
+
 #[derive(Debug, Default)]
 struct LockTableState {
     locks: HashMap<ObjectId, LockState>,
+    /// FIFO wait queue of blocked acquisitions (see [`Ticket`]).
+    queue: VecDeque<Ticket>,
+    next_seq: u64,
     /// Lock-event journal (only appended when journaling is enabled).
     /// Appended inside the same critical section that mutates `locks`, so
     /// the recorded order IS the serialization order.
     events: Vec<LockEvent>,
 }
 
-/// The check-out lock table: object id → lock state, with condvar-based
-/// waiting on in-flight conflicts.
-#[derive(Debug, Default)]
+/// Waiters sleep in bounded slices even with no deadline, so a missed
+/// wakeup can only cost one slice, never a hang.
+const WAIT_SLICE: Duration = Duration::from_millis(25);
+
+/// The check-out lock table: object id → lock state, with a ticketed
+/// FIFO wait queue for in-flight conflicts (bounded depth, arrival-order
+/// grants per conflict class).
+#[derive(Debug)]
 pub struct LockTable {
     state: Mutex<LockTableState>,
     cv: Condvar,
     journal: AtomicBool,
+    /// Maximum queued waiters; past it new waiters are rejected with
+    /// [`SharedServerError::QueueFull`] instead of queuing unboundedly.
+    queue_bound: AtomicUsize,
+    /// Count of queue-full rejections (registered as
+    /// `overload.lock_queue_rejections` when owned by a server).
+    rejections: Counter,
+}
+
+impl Default for LockTable {
+    fn default() -> Self {
+        LockTable {
+            state: Mutex::new(LockTableState::default()),
+            cv: Condvar::new(),
+            journal: AtomicBool::new(false),
+            queue_bound: AtomicUsize::new(usize::MAX),
+            rejections: Counter::new(),
+        }
+    }
 }
 
 impl LockTable {
+    /// Any id held by a completed check-out of another token?
+    fn is_busy(state: &LockTableState, ids: &[ObjectId], token: u64) -> bool {
+        ids.iter().any(
+            |id| matches!(state.locks.get(id), Some(LockState::Held(owner)) if *owner != token),
+        )
+    }
+
+    /// Any id in flight for another token?
+    fn is_blocked(state: &LockTableState, ids: &[ObjectId], token: u64) -> bool {
+        ids.iter().any(
+            |id| matches!(state.locks.get(id), Some(LockState::InFlight(owner)) if *owner != token),
+        )
+    }
+
+    /// Any *earlier* queued ticket (strictly before `before_seq`, or any
+    /// ticket when `None`) of another token whose ids intersect ours?
+    fn queue_conflicts(
+        state: &LockTableState,
+        ids: &[ObjectId],
+        token: u64,
+        before_seq: Option<u64>,
+    ) -> bool {
+        state.queue.iter().any(|t| {
+            t.token != token
+                && before_seq.is_none_or(|s| t.seq < s)
+                && t.ids.iter().any(|id| ids.contains(id))
+        })
+    }
+
+    fn grant(state: &mut LockTableState, ids: &[ObjectId], token: u64) {
+        for id in ids {
+            state.locks.entry(*id).or_insert(LockState::InFlight(token));
+        }
+    }
+
+    fn journal_refused(&self, state: &mut LockTableState, ids: &[ObjectId], token: u64) {
+        if self.journal.load(Ordering::Relaxed) {
+            state.events.push(LockEvent::Refused {
+                token,
+                ids: ids.to_vec(),
+            });
+        }
+    }
+
+    fn remove_ticket(state: &mut LockTableState, seq: u64) {
+        state.queue.retain(|t| t.seq != seq);
+    }
+
     /// All-or-nothing: mark every id in-flight for `token`, waiting (up to
     /// `deadline`) while any id is in-flight for another token. Ids held by
     /// a *completed* check-out produce [`Acquire::Busy`] immediately — that
     /// conflict is resolved by check-in, not by waiting.
+    ///
+    /// Blocked acquisitions join a FIFO ticket queue and are granted in
+    /// strict arrival order among conflicting tickets; a full queue (see
+    /// [`LockTable::set_queue_bound`]) rejects the waiter with
+    /// [`SharedServerError::QueueFull`].
     ///
     /// Re-entrancy: ids already in-flight or held by `token` itself count
     /// as satisfied, so a retry of the same idempotent check-out never
@@ -144,49 +253,87 @@ impl LockTable {
         // deadline must be measured on the OS clock, not the virtual one.
         let start = Instant::now();
         let mut guard = lock_unpoisoned(&self.state);
+        if Self::is_busy(&guard, ids, token) {
+            self.journal_refused(&mut guard, ids, token);
+            return Ok(Acquire::Busy);
+        }
+        if !Self::is_blocked(&guard, ids, token) && !Self::queue_conflicts(&guard, ids, token, None)
+        {
+            Self::grant(&mut guard, ids, token);
+            return Ok(Acquire::Granted);
+        }
+        // Blocked: take a ticket (bounded queue).
+        let depth = guard.queue.len();
+        if depth >= self.queue_bound.load(Ordering::Relaxed) {
+            self.rejections.inc();
+            return Err(SharedServerError::QueueFull { depth });
+        }
+        let seq = guard.next_seq;
+        guard.next_seq = guard.next_seq.saturating_add(1);
+        guard.queue.push_back(Ticket {
+            seq,
+            token,
+            ids: ids.to_vec(),
+        });
         loop {
-            let mut blocked = false;
-            let mut busy = false;
-            for id in ids {
-                match guard.locks.get(id) {
-                    Some(LockState::Held(owner)) if *owner != token => busy = true,
-                    Some(LockState::InFlight(owner)) if *owner != token => blocked = true,
-                    _ => {}
-                }
-            }
-            if busy {
-                if self.journal.load(Ordering::Relaxed) {
-                    guard.events.push(LockEvent::Refused {
-                        token,
-                        ids: ids.to_vec(),
-                    });
-                }
-                return Ok(Acquire::Busy);
-            }
-            if !blocked {
-                for id in ids {
-                    guard.locks.entry(*id).or_insert(LockState::InFlight(token));
-                }
-                return Ok(Acquire::Granted);
-            }
-            guard = match deadline {
-                None => match self.cv.wait(guard) {
-                    Ok(g) => g,
-                    Err(poisoned) => poisoned.into_inner(),
-                },
+            let slice = match deadline {
+                None => WAIT_SLICE,
                 Some(d) => {
                     let Some(remaining) = d.checked_sub(start.elapsed()) else {
+                        Self::remove_ticket(&mut guard, seq);
+                        drop(guard);
+                        // Our departure may unblock tickets queued behind us.
+                        self.cv.notify_all();
                         return Err(SharedServerError::LockTimeout {
                             waited: start.elapsed(),
                         });
                     };
-                    match self.cv.wait_timeout(guard, remaining) {
-                        Ok((g, _)) => g,
-                        Err(poisoned) => poisoned.into_inner().0,
-                    }
+                    remaining.min(WAIT_SLICE)
                 }
             };
+            guard = match self.cv.wait_timeout(guard, slice) {
+                Ok((g, _)) => g,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+            if Self::is_busy(&guard, ids, token) {
+                Self::remove_ticket(&mut guard, seq);
+                self.journal_refused(&mut guard, ids, token);
+                drop(guard);
+                self.cv.notify_all();
+                return Ok(Acquire::Busy);
+            }
+            if !Self::is_blocked(&guard, ids, token)
+                && !Self::queue_conflicts(&guard, ids, token, Some(seq))
+            {
+                Self::remove_ticket(&mut guard, seq);
+                Self::grant(&mut guard, ids, token);
+                drop(guard);
+                self.cv.notify_all();
+                return Ok(Acquire::Granted);
+            }
         }
+    }
+
+    /// Bound the wait queue: at most `n` queued waiters, further ones are
+    /// rejected with [`SharedServerError::QueueFull`]. Default: unbounded.
+    pub fn set_queue_bound(&self, n: usize) {
+        self.queue_bound.store(n, Ordering::Relaxed);
+    }
+
+    /// Current number of queued waiters.
+    pub fn queue_depth(&self) -> usize {
+        lock_unpoisoned(&self.state).queue.len()
+    }
+
+    /// Queue-full rejections so far.
+    pub fn queue_rejections(&self) -> u64 {
+        self.rejections.get()
+    }
+
+    /// Register the rejection counter under the server's registry (called
+    /// once at server assembly).
+    fn set_rejection_counter(&mut self, counter: Counter) {
+        self.rejections = counter;
     }
 
     /// Promote this token's in-flight marks to held (check-out committed)
@@ -310,11 +457,22 @@ impl CacheStats {
 #[derive(Debug)]
 struct QueryCache {
     map: Mutex<HashMap<String, CacheEntry>>,
+    /// Canonical keys currently being computed by a single-flight leader.
+    /// Concurrent misses on the same key wait (bounded by their deadline)
+    /// on `sf_cv` and re-probe instead of compiling + executing the same
+    /// query N times — the cache-stampede (dogpile) fix.
+    inflight: Mutex<HashSet<String>>,
+    sf_cv: Condvar,
     hits: Counter,
     misses: Counter,
     /// Entries discarded because their storage version went stale — whether
     /// replaced in place by a recomputation or removed by an eviction sweep.
     invalidations: Counter,
+    /// Computations that took single-flight leadership for their key.
+    singleflight_leaders: Counter,
+    /// Lookups served by another session's in-flight computation (waited,
+    /// then hit the freshly published entry).
+    singleflight_hits: Counter,
 }
 
 /// Entries beyond this trigger an eviction sweep of stale versions.
@@ -324,9 +482,13 @@ impl QueryCache {
     fn new(registry: &MetricsRegistry) -> Self {
         QueryCache {
             map: Mutex::new(HashMap::new()),
+            inflight: Mutex::new(HashSet::new()),
+            sf_cv: Condvar::new(),
             hits: registry.counter("cache.hits"),
             misses: registry.counter("cache.misses"),
             invalidations: registry.counter("cache.invalidations"),
+            singleflight_leaders: registry.counter("cache.singleflight_leaders"),
+            singleflight_hits: registry.counter("cache.singleflight_hits"),
         }
     }
 
@@ -358,6 +520,9 @@ struct ServerMetrics {
     subquery_cache_hits: Counter,
     recursion_iterations: Counter,
     index_probes: Counter,
+    /// Work abandoned at a blocking point because the caller's propagated
+    /// deadline was already spent (DESIGN.md §14).
+    deadline_abandons: Counter,
 }
 
 impl ServerMetrics {
@@ -375,6 +540,7 @@ impl ServerMetrics {
             subquery_cache_hits: registry.counter("engine.subquery_cache_hits"),
             recursion_iterations: registry.counter("engine.recursion_iterations"),
             index_probes: registry.counter("engine.index_probes"),
+            deadline_abandons: registry.counter("overload.deadline_abandons"),
         }
     }
 
@@ -422,6 +588,10 @@ pub struct SharedServer {
     metrics: Arc<MetricsRegistry>,
     /// Pre-resolved handles into `metrics` for the hot paths.
     m: ServerMetrics,
+    /// Optional admission gate (overload protection). Absent — the
+    /// default — every request is admitted and the server behaves exactly
+    /// as it did before overload protection existed.
+    overload: OnceLock<Arc<OverloadGate>>,
 }
 
 impl SharedServer {
@@ -457,9 +627,11 @@ impl SharedServer {
         let metrics = Arc::new(MetricsRegistry::new());
         let cache = QueryCache::new(&metrics);
         let m = ServerMetrics::new(&metrics);
+        let mut locks = LockTable::default();
+        locks.set_rejection_counter(metrics.counter("overload.lock_queue_rejections"));
         SharedServer {
             db,
-            locks: LockTable::default(),
+            locks,
             cache,
             checkout_log: Mutex::new(checkout_log),
             checkout_cv: Condvar::new(),
@@ -469,7 +641,23 @@ impl SharedServer {
             durability,
             metrics,
             m,
+            overload: OnceLock::new(),
         }
+    }
+
+    /// Install an admission gate (idempotent: the first installation
+    /// wins). Returns the gate in effect.
+    pub fn install_overload_gate(&self, cfg: OverloadConfig) -> Arc<OverloadGate> {
+        let gate = OverloadGate::new(cfg, &self.metrics);
+        match self.overload.set(Arc::clone(&gate)) {
+            Ok(()) => gate,
+            Err(_) => self.overload_gate().unwrap_or(gate),
+        }
+    }
+
+    /// The admission gate, if one is installed.
+    pub fn overload_gate(&self) -> Option<Arc<OverloadGate>> {
+        self.overload.get().cloned()
     }
 
     /// The durability attachment, if this server write-ahead logs.
@@ -557,26 +745,97 @@ impl SharedServer {
     /// per-operator spans land in `obs`. With a disabled recorder this is
     /// byte-identical to the unprofiled path.
     pub fn query_cached_obs(&self, sql: &str, obs: &Recorder) -> pdm_sql::Result<Arc<ResultSet>> {
+        self.query_cached_deadline_obs(sql, None, obs)
+    }
+
+    /// [`SharedServer::query_cached_obs`] with deadline-bounded
+    /// single-flight: concurrent misses on the same canonical key wait for
+    /// the first computation (up to `deadline`) and share its result
+    /// instead of stampeding the engine. A waiter whose deadline runs out
+    /// falls back to computing for itself — never worse than no
+    /// single-flight. With no concurrency this path is identical to the
+    /// pre-single-flight behaviour.
+    pub fn query_cached_deadline_obs(
+        &self,
+        sql: &str,
+        deadline: Option<Duration>,
+        obs: &Recorder,
+    ) -> pdm_sql::Result<Arc<ResultSet>> {
         let parse_span = obs.span(kinds::PARSE, "query");
         let query = pdm_sql::parser::parse_query(sql)?;
         drop(parse_span);
         let key = query.to_string();
-        let snapshot = self.db.snapshot();
+        // lint:allow(wall-clock): the single-flight wait is real-OS
+        // blocking, bounded on the OS clock like every condvar wait here.
+        let started = Instant::now();
         self.m.queries.inc();
-        {
-            // Scope the probe span so engine spans are siblings, not
-            // children, of the probe.
-            let probe = obs.span(kinds::CACHE_PROBE, "lookup");
-            if let Some(entry) = lock_unpoisoned(&self.cache.map).get(&key) {
-                if entry.version == snapshot.version {
-                    self.cache.hits.inc();
-                    probe.set_detail("hit");
-                    return Ok(Arc::clone(&entry.result));
+        let mut waited_sf = false;
+        let mut leader = false;
+        let snapshot = loop {
+            let snapshot = self.db.snapshot();
+            {
+                // Scope the probe span so engine spans are siblings, not
+                // children, of the probe.
+                let probe = obs.span(kinds::CACHE_PROBE, "lookup");
+                if let Some(entry) = lock_unpoisoned(&self.cache.map).get(&key) {
+                    if entry.version == snapshot.version {
+                        self.cache.hits.inc();
+                        if waited_sf {
+                            self.cache.singleflight_hits.inc();
+                        }
+                        probe.set_detail("hit");
+                        return Ok(Arc::clone(&entry.result));
+                    }
                 }
+                probe.set_detail("miss");
             }
-            probe.set_detail("miss");
-        }
-        let (rows, stats) = snapshot.query_ast_profiled(&query, obs)?;
+            let mut infl = lock_unpoisoned(&self.cache.inflight);
+            if !infl.contains(&key) {
+                // Double-check the cache before claiming leadership: the
+                // previous leader may have published and left between our
+                // probe above and taking the in-flight lock. (Lock order
+                // inflight→map is safe: no path holds map while taking
+                // inflight.)
+                if let Some(entry) = lock_unpoisoned(&self.cache.map).get(&key) {
+                    if entry.version == snapshot.version {
+                        self.cache.hits.inc();
+                        if waited_sf {
+                            self.cache.singleflight_hits.inc();
+                        }
+                        return Ok(Arc::clone(&entry.result));
+                    }
+                }
+                infl.insert(key.clone());
+                leader = true;
+                self.cache.singleflight_leaders.inc();
+                break snapshot;
+            }
+            // Another session is computing this key: wait for it, bounded
+            // by our propagated deadline, then re-probe.
+            let slice = match deadline {
+                None => WAIT_SLICE,
+                Some(d) => match d.checked_sub(started.elapsed()) {
+                    // Deadline spent: stop waiting and compute for
+                    // ourselves rather than returning empty-handed.
+                    None => break snapshot,
+                    Some(remaining) => remaining.min(WAIT_SLICE),
+                },
+            };
+            waited_sf = true;
+            let (g, _) = match self.cache.sf_cv.wait_timeout(infl, slice) {
+                Ok(pair) => pair,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            drop(g);
+        };
+        let computed = snapshot.query_ast_profiled(&query, obs);
+        let (rows, stats) = match computed {
+            Ok(v) => v,
+            Err(e) => {
+                self.finish_singleflight(&key, leader);
+                return Err(e);
+            }
+        };
         let result = Arc::new(rows);
         self.m.fold_exec(&stats);
         self.cache.misses.inc();
@@ -592,7 +851,7 @@ impl SharedServer {
             }
         }
         if let Some(old) = map.insert(
-            key,
+            key.clone(),
             CacheEntry {
                 version: snapshot.version,
                 result: Arc::clone(&result),
@@ -602,7 +861,19 @@ impl SharedServer {
                 self.cache.invalidations.inc();
             }
         }
+        drop(map);
+        self.finish_singleflight(&key, leader);
         Ok(result)
+    }
+
+    /// Release single-flight leadership of `key` (publishing already
+    /// happened) and wake the waiters so they re-probe.
+    fn finish_singleflight(&self, key: &str, leader: bool) {
+        if !leader {
+            return;
+        }
+        lock_unpoisoned(&self.cache.inflight).remove(key);
+        self.cache.sf_cv.notify_all();
     }
 
     /// Execute a read query bypassing the cache (cold path; the cache
@@ -647,14 +918,55 @@ impl SharedServer {
         stmt: &Statement,
         obs: &Recorder,
     ) -> pdm_sql::Result<ExecOutcome> {
+        match self.execute_ast_deadline_obs(stmt, None, obs) {
+            Ok(outcome) => Ok(outcome),
+            Err(SharedServerError::Sql(e)) => Err(e),
+            // Unreachable with deadline = None; mapped for totality.
+            Err(other) => Err(pdm_sql::Error::Eval(other.to_string())),
+        }
+    }
+
+    /// Deadline-aware write: parse-and-execute `sql`, abandoning the work
+    /// at the commit gate if the caller's propagated `deadline` (measured
+    /// from entry) is already spent — once before waiting on the gate, and
+    /// once after acquiring it (before the WAL fsync), so a doomed commit
+    /// never pays for an fsync whose result the client gave up on.
+    pub fn execute_deadline_obs(
+        &self,
+        sql: &str,
+        deadline: Option<Duration>,
+        obs: &Recorder,
+    ) -> Result<ExecOutcome, SharedServerError> {
+        let parse_span = obs.span(kinds::PARSE, "statement");
+        let stmt = pdm_sql::parser::parse_statement(sql).map_err(SharedServerError::Sql)?;
+        drop(parse_span);
+        self.execute_ast_deadline_obs(&stmt, deadline, obs)
+    }
+
+    /// [`SharedServer::execute_deadline_obs`] for a parsed statement.
+    /// With `deadline = None` this is byte-identical to the pre-deadline
+    /// write path.
+    pub fn execute_ast_deadline_obs(
+        &self,
+        stmt: &Statement,
+        deadline: Option<Duration>,
+        obs: &Recorder,
+    ) -> Result<ExecOutcome, SharedServerError> {
         if matches!(stmt, Statement::Query(_)) {
             let (outcome, _) = self.db.execute_ast(stmt)?;
             return Ok(outcome);
         }
+        // lint:allow(wall-clock): gate/fsync deadline checks bound real-OS
+        // blocking, measured on the OS clock (see acquire_in_flight).
+        let started = Instant::now();
+        self.check_deadline(deadline, started, "write_gate", obs)?;
         // lint:allow(lock-across-boundary): the write gate serializes DML
         // so the WAL fsync lands before the new version is published
         // (fsync-before-publish, DESIGN.md §9).
         let mut log = lock_unpoisoned(&self.write_gate);
+        // The gate wait itself may have consumed the deadline: abandon
+        // before the fsync, while nothing has been applied yet.
+        self.check_deadline(deadline, started, "wal_commit", obs)?;
         let outcome = match &self.durability {
             None => self.db.execute_ast(stmt)?.0,
             Some(d) => {
@@ -695,6 +1007,29 @@ impl SharedServer {
         self.m.wal_appends.inc();
         drop(span);
         result
+    }
+
+    /// Deadline-propagation checkpoint: if the caller's remaining
+    /// `deadline` (measured from `started`) is spent, record the abandon
+    /// (`overload.deadline_abandons` + an `overload.abandon` span) and
+    /// fail fast instead of doing the doomed work.
+    fn check_deadline(
+        &self,
+        deadline: Option<Duration>,
+        started: Instant,
+        label: &str,
+        obs: &Recorder,
+    ) -> Result<(), SharedServerError> {
+        let Some(d) = deadline else { return Ok(()) };
+        let waited = started.elapsed();
+        if waited < d {
+            return Ok(());
+        }
+        self.m.deadline_abandons.inc();
+        let span = obs.span(kinds::OVERLOAD_ABANDON, label.to_string());
+        span.set_detail("deadline");
+        drop(span);
+        Err(SharedServerError::DeadlineExpired { waited })
     }
 
     // -- check-out / check-in --------------------------------------------
@@ -753,22 +1088,22 @@ impl SharedServer {
                 match log.get(&token) {
                     Some(Some(done)) => return Ok(done.clone()),
                     Some(None) => {
-                        log = match deadline {
-                            None => match self.checkout_cv.wait(log) {
-                                Ok(g) => g,
-                                Err(poisoned) => poisoned.into_inner(),
-                            },
+                        // Bounded slices even without a deadline, so a
+                        // missed wakeup costs one slice, never a hang.
+                        let slice = match deadline {
+                            None => WAIT_SLICE,
                             Some(d) => {
                                 let Some(remaining) = d.checked_sub(start.elapsed()) else {
                                     return Err(SharedServerError::LockTimeout {
                                         waited: start.elapsed(),
                                     });
                                 };
-                                match self.checkout_cv.wait_timeout(log, remaining) {
-                                    Ok((g, _)) => g,
-                                    Err(poisoned) => poisoned.into_inner().0,
-                                }
+                                remaining.min(WAIT_SLICE)
                             }
+                        };
+                        log = match self.checkout_cv.wait_timeout(log, slice) {
+                            Ok((g, _)) => g,
+                            Err(poisoned) => poisoned.into_inner().0,
                         };
                     }
                     None => {
@@ -779,7 +1114,8 @@ impl SharedServer {
             }
         }
 
-        let mut result = self.checkout_procedure_inner(root, modified_sql, token, deadline, obs);
+        let mut result =
+            self.checkout_procedure_inner(root, modified_sql, token, deadline, start, obs);
         // Make the outcome durable before recording it: a crash after this
         // point replays the token's recorded result instead of re-running
         // the procedure; a crash before it sweeps the grant, as if the
@@ -805,16 +1141,31 @@ impl SharedServer {
         result
     }
 
-    /// The procedure body, entered by exactly one call per token.
+    /// The procedure body, entered by exactly one call per token. The
+    /// deadline is measured from `start` (the moment the check-out call
+    /// entered the server) and re-checked at every blocking point: the
+    /// retrieval's single-flight wait, the lock queue, and again before
+    /// the durable grant — doomed work is abandoned at the next blocking
+    /// point, not completed uselessly.
     fn checkout_procedure_inner(
         &self,
         root: ObjectId,
         modified_sql: &str,
         token: u64,
         deadline: Option<Duration>,
+        start: Instant,
         obs: &Recorder,
     ) -> Result<CheckoutProcedureResult, SharedServerError> {
-        let rows = (*self.query_cached_obs(modified_sql, obs)?).clone();
+        let remaining = |waited: Duration| match deadline {
+            None => Ok(None),
+            Some(d) => match d.checked_sub(waited) {
+                Some(rem) if !rem.is_zero() => Ok(Some(rem)),
+                _ => Err(SharedServerError::DeadlineExpired { waited }),
+            },
+        };
+        let rows =
+            (*self.query_cached_deadline_obs(modified_sql, remaining(start.elapsed())?, obs)?)
+                .clone();
         let (assy_ids, comp_ids) = split_ids(&rows)?;
         let mut all_assy = assy_ids.clone();
         all_assy.push(root);
@@ -827,7 +1178,9 @@ impl SharedServer {
         // histogram of real-OS condvar blocking.
         let waited = Instant::now();
         let wait_span = obs.span(kinds::LOCK_WAIT, format!("token{token}"));
-        let acquired = self.locks.acquire_in_flight(&lock_ids, token, deadline);
+        let acquired = self
+            .locks
+            .acquire_in_flight(&lock_ids, token, remaining(start.elapsed())?);
         self.m
             .lock_wait_ns
             .record(u64::try_from(waited.elapsed().as_nanos()).unwrap_or(u64::MAX));
@@ -840,6 +1193,15 @@ impl SharedServer {
             wait_span.set_detail("timeout");
         }
         drop(wait_span);
+        // The lock table only saw the deadline REMAINING after the earlier
+        // procedure phases; account the whole procedure in the timeout so
+        // the caller's reported wait covers its full deadline window.
+        let acquired = acquired.map_err(|e| match e {
+            SharedServerError::LockTimeout { .. } => SharedServerError::LockTimeout {
+                waited: start.elapsed(),
+            },
+            other => other,
+        });
         match acquired? {
             Acquire::Busy => {
                 self.m.lock_refusals.inc();
@@ -856,6 +1218,14 @@ impl SharedServer {
             self.locks.abort(&lock_ids, token);
             self.m.lock_refusals.inc();
             return Ok(CheckoutProcedureResult { rows: None });
+        }
+
+        // Deadline checkpoint: the retrieval and lock wait may have spent
+        // the caller's budget. Abandon now — before the durable grant's
+        // fsync and the flag UPDATEs — while backing out is still free.
+        if let Err(e) = self.check_deadline(deadline, start, "checkout_grant", obs) {
+            self.locks.abort(&lock_ids, token);
+            return Err(e);
         }
 
         // Durable-grant protocol: log the grant BEFORE the flag UPDATEs.

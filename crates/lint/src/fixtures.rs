@@ -40,6 +40,10 @@ pub fn pair(lint: Lint) -> (&'static str, &'static str) {
             "impl S {\n    fn bump(&self) {\n        let g = self.state.lock();\n        let h = self.state.lock();\n    }\n}\n",
             "impl S {\n    fn bump(&self) {\n        let g = self.state.lock();\n        drop(g);\n        let h = self.state.lock();\n    }\n}\n",
         ),
+        Lint::UnboundedWait => (
+            "impl S {\n    fn wait_ready(&self) {\n    let mut g = self.state.lock();\n        while !g.ready {\n            g = self.ready_cv.wait(g).into_inner();\n        }\n    }\n}\n",
+            "impl S {\n    fn wait_ready(&self) {\n    let mut g = self.state.lock();\n        while !g.ready {\n            g = self.ready_cv.wait_timeout(g, WAIT_SLICE).into_inner().0;\n        }\n    }\n}\n",
+        ),
         Lint::ReplayCatchall => (
             "fn replay(&mut self, record: &WalRecord) {\n    match record {\n        WalRecord::DmlCommit { version, sql } => self.dml(version, sql),\n        _ => {}\n    }\n}\n",
             FULL_REPLAY_MATCH,

@@ -52,6 +52,10 @@ pub enum Lint {
     /// Re-acquiring a lock while a guard for the same lock is live in
     /// the same function — self-deadlock with `std::sync::Mutex`.
     NestedLockReacquire,
+    /// A bare `Condvar::wait` on a condition variable: waits must be
+    /// sliced with `wait_timeout` so deadlines and shutdown can
+    /// interrupt them (the overload layer's no-unbounded-block rule).
+    UnboundedWait,
     /// A `match` over `WalRecord` with a wildcard/binding catch-all arm:
     /// new record types would silently skip replay.
     ReplayCatchall,
@@ -86,6 +90,7 @@ impl Lint {
         Lint::LockOrderCycle,
         Lint::LockAcrossBoundary,
         Lint::NestedLockReacquire,
+        Lint::UnboundedWait,
         Lint::ReplayCatchall,
         Lint::ReplayMissingVariant,
         Lint::UnfencedApply,
@@ -105,6 +110,7 @@ impl Lint {
             Lint::LockOrderCycle => "lock-order-cycle",
             Lint::LockAcrossBoundary => "lock-across-boundary",
             Lint::NestedLockReacquire => "nested-lock-reacquire",
+            Lint::UnboundedWait => "unbounded-wait",
             Lint::ReplayCatchall => "replay-catchall",
             Lint::ReplayMissingVariant => "replay-missing-variant",
             Lint::UnfencedApply => "unfenced-apply",
@@ -120,9 +126,10 @@ impl Lint {
     pub fn family(&self) -> Family {
         match self {
             Lint::WallClock | Lint::AmbientRandomness | Lint::UnorderedIter => Family::Determinism,
-            Lint::LockOrderCycle | Lint::LockAcrossBoundary | Lint::NestedLockReacquire => {
-                Family::LockDiscipline
-            }
+            Lint::LockOrderCycle
+            | Lint::LockAcrossBoundary
+            | Lint::NestedLockReacquire
+            | Lint::UnboundedWait => Family::LockDiscipline,
             Lint::ReplayCatchall | Lint::ReplayMissingVariant | Lint::UnfencedApply => {
                 Family::Replay
             }
@@ -158,6 +165,9 @@ impl Lint {
             }
             Lint::NestedLockReacquire => {
                 "re-acquiring a std::sync::Mutex while its guard is live (self-deadlock)"
+            }
+            Lint::UnboundedWait => {
+                "bare Condvar::wait; waits must be wait_timeout slices so deadlines can interrupt"
             }
             Lint::ReplayCatchall => "wildcard arm in a WalRecord replay match",
             Lint::ReplayMissingVariant => "WalRecord replay match does not name every variant",

@@ -145,6 +145,13 @@ impl MeteredChannel {
         &self.stats
     }
 
+    /// Record that a retry was refused by the client's leaky-bucket retry
+    /// budget (the failure was surfaced instead of re-offered to the
+    /// server). Counted into `net.budget_denied_retries`.
+    pub fn note_budget_denied(&mut self) {
+        self.stats.budget_denied_retries += 1;
+    }
+
     pub fn clock(&self) -> &VirtualClock {
         &self.clock
     }

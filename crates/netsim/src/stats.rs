@@ -40,6 +40,10 @@ pub struct TrafficStats {
     /// `latency_time`/`transfer_time` so the paper's eq. (4)/(6) identities
     /// still hold for the successful traffic.
     pub fault_wait_time: f64,
+    /// Retries the client's leaky-bucket retry budget refused: the
+    /// underlying failure was surfaced immediately instead of amplifying
+    /// offered load (see `pdm_core::overload::RetryBudget`).
+    pub budget_denied_retries: usize,
 }
 
 impl TrafficStats {
@@ -69,6 +73,7 @@ impl TrafficStats {
         self.server_errors += other.server_errors;
         self.outage_hits += other.outage_hits;
         self.fault_wait_time += other.fault_wait_time;
+        self.budget_denied_retries += other.budget_denied_retries;
     }
 }
 
@@ -113,6 +118,9 @@ pub fn record_traffic(registry: &pdm_obs::MetricsRegistry, stats: &TrafficStats)
     registry
         .counter("net.outage_hits")
         .add(stats.outage_hits as u64);
+    registry
+        .counter("net.budget_denied_retries")
+        .add(stats.budget_denied_retries as u64);
 }
 
 impl fmt::Display for TrafficStats {
@@ -168,6 +176,7 @@ mod tests {
             server_errors: 1,
             outage_hits: 0,
             fault_wait_time: 30.0,
+            budget_denied_retries: 1,
         };
         let b = a.clone();
         a.absorb(&b);
@@ -180,6 +189,7 @@ mod tests {
         assert_eq!(a.timeouts, 2);
         assert_eq!(a.server_errors, 2);
         assert!((a.fault_wait_time - 60.0).abs() < 1e-12);
+        assert_eq!(a.budget_denied_retries, 2);
     }
 
     #[test]

@@ -440,6 +440,23 @@ pub mod families {
         "repl.ship_us",
         "repl.failover_us",
         "repl.watermark_wait_us",
+        // admission control (token-bucket gate, see pdm-core overload)
+        "admission.admitted",
+        "admission.rejected",
+        "admission.inflight",
+        // overload protection: sheds by class, deadline abandons,
+        // retry-budget denials, bounded-queue rejections
+        "overload.shed_interactive",
+        "overload.shed_checkout",
+        "overload.shed_batch",
+        "overload.deadline_abandons",
+        "overload.retry_budget_denials",
+        "overload.lock_queue_rejections",
+        // cross-session cache single-flight (dogpile protection)
+        "cache.singleflight_leaders",
+        "cache.singleflight_hits",
+        // client retry budget accounting folded with the WAN metering
+        "net.budget_denied_retries",
     ];
 
     /// Whether `name` is a declared family.

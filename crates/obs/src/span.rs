@@ -41,10 +41,17 @@ pub enum Subsystem {
     /// Multi-site replication: WAL shipping, replica replay, watermark
     /// waits, failover promotion.
     Repl,
+    /// Admission control: the per-server token-bucket gate deciding
+    /// whether an arriving action may run at all.
+    Admission,
+    /// Overload protection: sheds, deadline abandons, retry-budget
+    /// denials — everything that happens when offered load exceeds
+    /// capacity.
+    Overload,
 }
 
 impl Subsystem {
-    pub const ALL: [Subsystem; 8] = [
+    pub const ALL: [Subsystem; 10] = [
         Subsystem::Session,
         Subsystem::Compile,
         Subsystem::Engine,
@@ -53,6 +60,8 @@ impl Subsystem {
         Subsystem::Wal,
         Subsystem::Network,
         Subsystem::Repl,
+        Subsystem::Admission,
+        Subsystem::Overload,
     ];
 
     /// The naming prefix used in span full names (`net.exchange`) and
@@ -67,6 +76,8 @@ impl Subsystem {
             Subsystem::Wal => "wal",
             Subsystem::Network => "net",
             Subsystem::Repl => "repl",
+            Subsystem::Admission => "admission",
+            Subsystem::Overload => "overload",
         }
     }
 }
@@ -129,6 +140,11 @@ pub mod kinds {
     pub const REPL_WAIT_WATERMARK: SpanKind = SpanKind::new(Subsystem::Repl, "wait_watermark");
     pub const REPL_PROMOTE: SpanKind = SpanKind::new(Subsystem::Repl, "promote");
 
+    pub const ADMIT: SpanKind = SpanKind::new(Subsystem::Admission, "admit");
+
+    pub const OVERLOAD_SHED: SpanKind = SpanKind::new(Subsystem::Overload, "shed");
+    pub const OVERLOAD_ABANDON: SpanKind = SpanKind::new(Subsystem::Overload, "abandon");
+
     /// All declared kinds, the registry the meta-test walks.
     pub const ALL: &[SpanKind] = &[
         ACTION,
@@ -154,6 +170,9 @@ pub mod kinds {
         REPL_APPLY,
         REPL_WAIT_WATERMARK,
         REPL_PROMOTE,
+        ADMIT,
+        OVERLOAD_SHED,
+        OVERLOAD_ABANDON,
     ];
 }
 

@@ -16,6 +16,7 @@
 pub mod generator;
 pub mod irregular;
 pub mod multisite;
+pub mod openloop;
 pub mod partition;
 pub mod populate;
 pub mod spec;
@@ -24,6 +25,7 @@ pub mod views;
 pub use generator::{generate, GeneratedLink, GeneratedNode, NodeKind, ProductData};
 pub use irregular::{build_irregular_database, generate_irregular, IrregularSpec};
 pub use multisite::{multisite_plan, SiteOp, SiteStep};
+pub use openloop::{Arrival, ArrivalClass, ClassMix, OpenLoop};
 pub use partition::{partition, Mount, PartitionInfo};
 pub use populate::{build_database, populate};
 pub use spec::{TreeSpec, VisibilityMode};

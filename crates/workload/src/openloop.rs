@@ -1,0 +1,215 @@
+//! Open-loop arrival generation for overload experiments.
+//!
+//! Closed-loop drivers (a fixed set of clients, each issuing the next
+//! request when the previous one returns) self-throttle: offered load can
+//! never exceed `clients / response_time`, so saturation is invisible. The
+//! overload bench needs the opposite — an **open-loop** source whose
+//! arrival times are drawn independently of the server's state, so offered
+//! load λ can be swept past capacity and the metastable retry-storm regime
+//! becomes reachable.
+//!
+//! Arrivals form a Poisson process (i.i.d. exponential inter-arrival times
+//! with mean 1/λ), the standard model for a worldwide population of
+//! independent PDM users (§1: many sites, uncoordinated engineers). Each
+//! arrival carries a priority class drawn from a fixed mix, matching the
+//! admission gate's shed order.
+
+use pdm_prng::Prng;
+
+/// Priority class of one arrival — mirrors `pdm_core::overload::Priority`
+/// without depending on pdm-core (the workload crate stays a leaf).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalClass {
+    /// Interactive expand/query traffic (shed last).
+    Interactive,
+    /// Check-out / check-in actions.
+    Checkout,
+    /// Batch rollups and reports (shed first).
+    Batch,
+}
+
+/// One generated arrival: when it enters the system and what it wants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arrival {
+    /// Arrival time in virtual seconds from the start of the run.
+    pub at: f64,
+    /// Priority class for the admission gate.
+    pub class: ArrivalClass,
+    /// Root object the action targets (picked uniformly by the caller's
+    /// id range so cache hits/misses are seed-deterministic).
+    pub root_index: usize,
+}
+
+/// Traffic mix: fractions of each class (must sum to ≤ 1; the remainder
+/// goes to Batch).
+#[derive(Debug, Clone, Copy)]
+pub struct ClassMix {
+    pub interactive: f64,
+    pub checkout: f64,
+}
+
+impl ClassMix {
+    /// The default PDM mix: mostly interactive structure browsing, a
+    /// minority of check-outs, a tail of batch work.
+    pub fn pdm_default() -> Self {
+        ClassMix {
+            interactive: 0.70,
+            checkout: 0.20,
+        }
+    }
+
+    fn classify(&self, u: f64) -> ArrivalClass {
+        if u < self.interactive {
+            ArrivalClass::Interactive
+        } else if u < self.interactive + self.checkout {
+            ArrivalClass::Checkout
+        } else {
+            ArrivalClass::Batch
+        }
+    }
+}
+
+/// Seed-deterministic open-loop Poisson arrival source.
+#[derive(Debug)]
+pub struct OpenLoop {
+    rng: Prng,
+    mix: ClassMix,
+    roots: usize,
+    clock: f64,
+}
+
+impl OpenLoop {
+    /// New source; `roots` is the size of the target-id universe.
+    pub fn new(seed: u64, mix: ClassMix, roots: usize) -> Self {
+        OpenLoop {
+            rng: Prng::seed_from_u64(seed),
+            mix,
+            roots: roots.max(1),
+            clock: 0.0,
+        }
+    }
+
+    /// Draw the next arrival at rate `lambda` (arrivals per virtual
+    /// second). Exponential inter-arrival via inverse transform; the
+    /// `1 - u` keeps `ln` away from 0.
+    pub fn next_arrival(&mut self, lambda: f64) -> Arrival {
+        let u = self.rng.f64();
+        let dt = -(1.0 - u).ln() / lambda.max(f64::MIN_POSITIVE);
+        self.clock += dt;
+        let class = self.mix.classify(self.rng.f64());
+        let root_index = self.rng.index(self.roots);
+        Arrival {
+            at: self.clock,
+            class,
+            root_index,
+        }
+    }
+
+    /// Generate every arrival in `[0, horizon)` at constant rate `lambda`.
+    pub fn arrivals_until(&mut self, lambda: f64, horizon: f64) -> Vec<Arrival> {
+        let mut out = Vec::new();
+        loop {
+            let a = self.next_arrival(lambda);
+            if a.at >= horizon {
+                break;
+            }
+            out.push(a);
+        }
+        out
+    }
+
+    /// Generate arrivals over `[0, horizon)` with a time-varying rate given
+    /// by `rate_at(t)` — the retry-storm scenario's load spike. Uses
+    /// thinning (accept with probability rate/peak) so the draw count, and
+    /// hence determinism, depends only on the seed and `peak`.
+    pub fn arrivals_with_spike(
+        &mut self,
+        peak: f64,
+        horizon: f64,
+        rate_at: impl Fn(f64) -> f64,
+    ) -> Vec<Arrival> {
+        let mut out = Vec::new();
+        loop {
+            let a = self.next_arrival(peak);
+            if a.at >= horizon {
+                break;
+            }
+            let r = rate_at(a.at);
+            if self.rng.f64() < (r / peak).clamp(0.0, 1.0) {
+                out.push(a);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_rate_matches_lambda() {
+        let mut src = OpenLoop::new(193, ClassMix::pdm_default(), 8);
+        let arrivals = src.arrivals_until(50.0, 100.0);
+        // 5000 expected; Poisson sd ~71, allow 5 sigma.
+        let n = arrivals.len() as f64;
+        assert!((n - 5000.0).abs() < 360.0, "got {n} arrivals");
+        // strictly increasing times inside the horizon
+        for w in arrivals.windows(2) {
+            assert!(w[0].at < w[1].at);
+        }
+    }
+
+    #[test]
+    fn class_mix_matches_fractions() {
+        let mut src = OpenLoop::new(7, ClassMix::pdm_default(), 4);
+        let arrivals = src.arrivals_until(100.0, 100.0);
+        let n = arrivals.len() as f64;
+        let inter = arrivals
+            .iter()
+            .filter(|a| a.class == ArrivalClass::Interactive)
+            .count() as f64;
+        let batch = arrivals
+            .iter()
+            .filter(|a| a.class == ArrivalClass::Batch)
+            .count() as f64;
+        assert!((inter / n - 0.70).abs() < 0.05);
+        assert!((batch / n - 0.10).abs() < 0.05);
+    }
+
+    #[test]
+    fn same_seed_same_arrivals() {
+        let a = OpenLoop::new(42, ClassMix::pdm_default(), 16).arrivals_until(10.0, 20.0);
+        let b = OpenLoop::new(42, ClassMix::pdm_default(), 16).arrivals_until(10.0, 20.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn spike_thinning_doubles_rate_inside_window() {
+        let mut src = OpenLoop::new(11, ClassMix::pdm_default(), 8);
+        let arrivals = src.arrivals_with_spike(20.0, 200.0, |t| {
+            if (50.0..100.0).contains(&t) {
+                20.0
+            } else {
+                10.0
+            }
+        });
+        let inside = arrivals
+            .iter()
+            .filter(|a| (50.0..100.0).contains(&a.at))
+            .count() as f64;
+        let outside = arrivals.len() as f64 - inside;
+        // inside: 50 s at 20/s = 1000 expected; outside: 150 s at 10/s = 1500
+        assert!((inside - 1000.0).abs() < 180.0, "inside {inside}");
+        assert!((outside - 1500.0).abs() < 220.0, "outside {outside}");
+    }
+
+    #[test]
+    fn root_indices_stay_in_range() {
+        let mut src = OpenLoop::new(3, ClassMix::pdm_default(), 5);
+        for _ in 0..1000 {
+            let a = src.next_arrival(10.0);
+            assert!(a.root_index < 5);
+        }
+    }
+}

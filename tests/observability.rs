@@ -275,7 +275,7 @@ fn declared_kind_registry_is_consistent() {
     }
     assert_eq!(
         subsystems.len(),
-        8,
+        10,
         "every instrumented subsystem declares at least one kind"
     );
 }
