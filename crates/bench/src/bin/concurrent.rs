@@ -18,7 +18,10 @@ use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 use pdm_bench::visibility_rules;
-use pdm_core::{PdmServer, Session, SessionConfig, Strategy};
+use pdm_core::{
+    chrome_trace_json, AttributionTable, PdmServer, Session, SessionConfig, Strategy, TailSampler,
+    TraceTree,
+};
 use pdm_net::LinkProfile;
 use pdm_prng::Prng;
 use pdm_workload::{build_database, TreeSpec};
@@ -49,6 +52,56 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     }
     let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
     sorted[idx]
+}
+
+/// Traced side-pass (DESIGN.md §15): a single seeded session replays each
+/// action class with cross-site tracing ON, feeding the per-class
+/// attribution table and the tail-exemplar sampler. It runs AFTER the
+/// measured phase on separate sessions — tracing changes the modeled
+/// request volume, so the headline numbers above must never see it.
+fn traced_side_pass(
+    server: &PdmServer,
+    roots: &[i64],
+) -> (AttributionTable, TailSampler, Option<TraceTree>) {
+    let mut session = Session::attach(
+        server.clone(),
+        SessionConfig::new("tracer", Strategy::Recursive, LinkProfile::wan_256()),
+        visibility_rules(),
+    );
+    session.enable_tracing(SEED);
+    let mut attr = AttributionTable::new();
+    let mut trees: Vec<(&'static str, TraceTree)> = Vec::new();
+    let grab = |class: &'static str, s: &Session, trees: &mut Vec<(&'static str, TraceTree)>| {
+        let tree = s.last_trace().expect("traced action left no tree").clone();
+        tree.validate().expect("bench trace failed validation");
+        trees.push((class, tree));
+    };
+    for (i, root) in roots.iter().cycle().take(12).enumerate() {
+        session.multi_level_expand(*root).unwrap();
+        grab("expand", &session, &mut trees);
+        session.query_all(roots[0]).unwrap();
+        grab("query", &session, &mut trees);
+        if i % 3 == 0 {
+            let co = session.check_out_function_shipping(*root).unwrap();
+            grab("checkout", &session, &mut trees);
+            if let Some(tree) = co.tree {
+                session.check_in(&tree).unwrap();
+                grab("checkin", &session, &mut trees);
+            }
+        }
+    }
+    // Tail threshold: the p90 of the traced pass's own virtual latencies,
+    // so only genuinely slow actions are retained in full.
+    let mut totals: Vec<f64> = trees.iter().map(|(_, t)| t.total_v).collect();
+    totals.sort_by(|a, b| a.total_cmp(b));
+    let threshold = totals[(totals.len() - 1) * 9 / 10];
+    let mut sampler = TailSampler::new(threshold, 4);
+    for (class, tree) in &trees {
+        attr.add(class, tree);
+        sampler.offer(tree.clone());
+    }
+    let slowest = sampler.slowest().cloned();
+    (attr, sampler, slowest)
 }
 
 fn main() {
@@ -198,6 +251,22 @@ fn main() {
         server.shared().version()
     );
 
+    let (attr, sampler, exemplar) = traced_side_pass(&server, &roots);
+    let exemplar = exemplar.expect("traced side-pass retained no exemplar");
+    std::fs::write(
+        "BENCH_trace_exemplar.json",
+        chrome_trace_json(std::slice::from_ref(&exemplar)),
+    )
+    .unwrap();
+    println!(
+        "tail exemplar: trace_id={} action={} total_v={:.6}s spans={} sites={:?}",
+        exemplar.trace_id,
+        exemplar.action,
+        exemplar.total_v,
+        exemplar.spans.len(),
+        exemplar.sites()
+    );
+
     let json = format!(
         concat!(
             "{{\n",
@@ -213,6 +282,10 @@ fn main() {
             "  \"ops\": {{ \"expand\": {}, \"query\": {}, \"checkout_granted\": {}, ",
             "\"checkout_refused\": {}, \"writes\": {} }},\n",
             "  \"final_version\": {},\n",
+            "  \"attribution\": {},\n",
+            "  \"tail_exemplar\": {{ \"file\": \"BENCH_trace_exemplar.json\", ",
+            "\"trace_id\": {}, \"action\": \"{}\", \"outcome\": \"{}\", \"total_v_s\": {:.9}, ",
+            "\"spans\": {}, \"offered\": {}, \"retained\": {} }},\n",
             "  \"metrics\": {}\n",
             "}}\n"
         ),
@@ -233,11 +306,19 @@ fn main() {
         refusals,
         writes,
         server.shared().version(),
+        attr.to_json(2),
+        exemplar.trace_id,
+        exemplar.action,
+        exemplar.outcome,
+        exemplar.total_v,
+        exemplar.spans.len(),
+        sampler.offered,
+        sampler.retained,
         metrics.to_json(2).trim_end(),
     );
     std::fs::write("BENCH_concurrent.json", json).unwrap();
     println!();
-    println!("wrote BENCH_concurrent.json");
+    println!("wrote BENCH_concurrent.json and BENCH_trace_exemplar.json");
 
     assert!(
         cache_hits > 0,

@@ -23,8 +23,9 @@
 use std::collections::BTreeMap;
 
 use pdm_core::{
-    replay_prefix, Cluster, ClusterConfig, PdmServer, ProductTree, RoutedSession, RuleTable,
-    Session, SessionConfig, Strategy,
+    chrome_trace_json, replay_prefix, AttributionTable, Cluster, ClusterConfig, PdmServer,
+    ProductTree, RoutedSession, RuleTable, Session, SessionConfig, Strategy, TailSampler,
+    TraceTree,
 };
 use pdm_net::{FaultPlan, LinkProfile};
 use pdm_prng::splitmix64;
@@ -254,6 +255,138 @@ fn run_local_replica(
     (lat, lag_samples, cluster.primary_fingerprint(), metrics)
 }
 
+/// Traced side-pass (DESIGN.md §15): replay a short prefix of the SAME
+/// plan through both topologies with cross-site tracing ON, so the
+/// attribution tables answer the paper's question per action class —
+/// remote everything vs local replica, where did the time go. Tail
+/// exemplars are sampled from the 4-site (primary + 3 replicas) cluster
+/// pass, whose trees span client, primary, and replica sites.
+fn traced_side_pass(
+    plan: &[SiteStep],
+    seed: u64,
+) -> (AttributionTable, AttributionTable, TailSampler, TraceTree) {
+    let prefix: Vec<&SiteStep> = plan.iter().take(40).collect();
+
+    // Topology A, traced: one WAN session against the central server.
+    let server = PdmServer::new(initial_database());
+    let mut session = Session::attach(
+        server.clone(),
+        SessionConfig::new("scott", Strategy::Recursive, LinkProfile::wan_512()),
+        RuleTable::new(),
+    );
+    session.enable_tracing(seed);
+    let mut remote_attr = AttributionTable::new();
+    let mut held: Option<ProductTree> = None;
+    for step in &prefix {
+        let ran = match &step.op {
+            SiteOp::Expand { root } => session.multi_level_expand(*root).map(|_| true),
+            SiteOp::QueryAll { root } => session.query_all(*root).map(|_| true),
+            SiteOp::Update { root, payload } => session
+                .execute_update(&format!(
+                    "UPDATE assy SET payload = '{payload}' WHERE obid = {root}"
+                ))
+                .map(|_| true),
+            SiteOp::CheckOut { root } => session.check_out_function_shipping(*root).map(|out| {
+                if let Some(tree) = out.tree {
+                    held = Some(tree);
+                }
+                true
+            }),
+            SiteOp::CheckIn => match held.take() {
+                Some(tree) => session.check_in(&tree).map(|_| true),
+                None => Ok(false),
+            },
+        };
+        if ran.unwrap() {
+            let tree = session.last_trace().expect("untraced remote action");
+            tree.validate().expect("remote trace failed validation");
+            remote_attr.add(action_name(&step.op), tree);
+        }
+    }
+
+    // Topology B, traced: one routed session per replica site of a 4-site
+    // cluster (primary + SITES replicas), reads local, writes forwarded.
+    let cfg = ClusterConfig::default()
+        .with_replicas(SITES)
+        .with_max_pump_rounds(512);
+    let mut cluster = Cluster::new(initial_database(), cfg).unwrap();
+    let sites = cluster.replica_sites();
+    let mut sessions: Vec<RoutedSession> = sites
+        .iter()
+        .map(|s| {
+            RoutedSession::connect(
+                &cluster,
+                *s,
+                SessionConfig::new("scott", Strategy::Recursive, LinkProfile::wan_512()),
+                RuleTable::new(),
+            )
+        })
+        .collect();
+    for s in &mut sessions {
+        s.enable_tracing(seed);
+    }
+    let mut local_attr = AttributionTable::new();
+    let mut trees: Vec<TraceTree> = Vec::new();
+    let mut held: Vec<Option<ProductTree>> = vec![None; sessions.len()];
+    for step in &prefix {
+        let i = step.site;
+        let ran = match &step.op {
+            SiteOp::Expand { root } => sessions[i]
+                .multi_level_expand(&mut cluster, *root)
+                .map(|_| true),
+            SiteOp::QueryAll { root } => sessions[i].query_all(&mut cluster, *root).map(|_| true),
+            SiteOp::Update { root, payload } => sessions[i]
+                .execute_dml(
+                    &mut cluster,
+                    &format!("UPDATE assy SET payload = '{payload}' WHERE obid = {root}"),
+                )
+                .map(|_| true),
+            SiteOp::CheckOut { root } => {
+                sessions[i].check_out(&mut cluster, *root).map(|(out, _)| {
+                    if let Some(tree) = out.tree {
+                        held[i] = Some(tree);
+                    }
+                    true
+                })
+            }
+            SiteOp::CheckIn => match held[i].take() {
+                Some(tree) => sessions[i].check_in(&mut cluster, &tree).map(|_| true),
+                None => Ok(false),
+            },
+        };
+        if ran.unwrap() {
+            let tree = sessions[i].last_trace().expect("untraced routed action");
+            tree.validate().expect("routed trace failed validation");
+            local_attr.add(action_name(&step.op), tree);
+            trees.push(tree.clone());
+        }
+    }
+
+    // Tail threshold at the traced pass's own p90; failure outcomes (none
+    // expected fault-free) would be retained regardless.
+    let mut totals: Vec<f64> = trees.iter().map(|t| t.total_v).collect();
+    totals.sort_by(|a, b| a.total_cmp(b));
+    let threshold = totals[(totals.len() - 1) * 9 / 10];
+    let mut sampler = TailSampler::new(threshold, 4);
+    for t in &trees {
+        sampler.offer(t.clone());
+    }
+    // Prefer an exemplar that covers all three tiers from one trace_id.
+    let exemplar = sampler
+        .exemplars()
+        .iter()
+        .find(|t| {
+            let s = t.sites();
+            s.iter().any(|x| x.starts_with("client"))
+                && s.contains(&"primary")
+                && s.iter().any(|x| x.starts_with("replica"))
+        })
+        .or_else(|| sampler.slowest())
+        .expect("traced side-pass retained no exemplar")
+        .clone();
+    (remote_attr, local_attr, sampler, exemplar)
+}
+
 /// Seeded failover points: run a short write workload under lossy ship
 /// links, force promotion, verify the serial-replay oracle, and return the
 /// promotion durations.
@@ -417,6 +550,21 @@ fn main() {
     );
     println!("fault-free byte-identity: ok");
 
+    let (remote_attr, local_attr, sampler, exemplar) = traced_side_pass(&plan, seed);
+    std::fs::write(
+        "BENCH_replication_exemplar.json",
+        chrome_trace_json(std::slice::from_ref(&exemplar)),
+    )
+    .unwrap();
+    println!(
+        "tail exemplar: trace_id={} action={} total_v={:.6}s spans={} sites={:?}",
+        exemplar.trace_id,
+        exemplar.action,
+        exemplar.total_v,
+        exemplar.spans.len(),
+        exemplar.sites()
+    );
+
     let json = format!(
         concat!(
             "{{\n",
@@ -430,6 +578,13 @@ fn main() {
             "  \"replica_lag_seqs\": {{ \"p50\": {}, \"p99\": {}, \"max\": {}, \"n\": {} }},\n",
             "  \"failover_s\": {{ \"p50\": {:.6}, \"p99\": {:.6}, \"n\": {} }},\n",
             "  \"fault_free_byte_identical\": true,\n",
+            "  \"attribution\": {{\n",
+            "    \"remote_everything\": {},\n",
+            "    \"local_replica\": {}\n",
+            "  }},\n",
+            "  \"tail_exemplar\": {{ \"file\": \"BENCH_replication_exemplar.json\", ",
+            "\"trace_id\": {}, \"action\": \"{}\", \"outcome\": \"{}\", \"total_v_s\": {:.9}, ",
+            "\"spans\": {}, \"sites\": [{}], \"offered\": {}, \"retained\": {} }},\n",
             "  \"metrics\": {}\n",
             "}}\n"
         ),
@@ -446,9 +601,24 @@ fn main() {
         percentile(&fo, 0.5),
         percentile(&fo, 0.99),
         fo.len(),
+        remote_attr.to_json(4),
+        local_attr.to_json(4),
+        exemplar.trace_id,
+        exemplar.action,
+        exemplar.outcome,
+        exemplar.total_v,
+        exemplar.spans.len(),
+        exemplar
+            .sites()
+            .iter()
+            .map(|s| format!("\"{s}\""))
+            .collect::<Vec<_>>()
+            .join(", "),
+        sampler.offered,
+        sampler.retained,
         metrics_json.trim_end(),
     );
     std::fs::write("BENCH_replication.json", json).unwrap();
     println!();
-    println!("wrote BENCH_replication.json");
+    println!("wrote BENCH_replication.json and BENCH_replication_exemplar.json");
 }

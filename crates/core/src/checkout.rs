@@ -107,7 +107,7 @@ impl Session {
         let result = self.check_out_function_shipping_inner(root);
         drop(action);
         self.fold_traffic();
-        result
+        self.trace_result(result)
     }
 
     fn check_out_function_shipping_inner(
@@ -226,7 +226,7 @@ impl Session {
         let result = self.check_in_inner(tree);
         drop(action);
         self.fold_traffic();
-        result
+        self.trace_result(result)
     }
 
     fn check_in_inner(&mut self, tree: &ProductTree) -> SessionResult<usize> {

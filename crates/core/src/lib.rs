@@ -53,8 +53,9 @@ pub use durability::{
 pub use federation::{FederatedOutcome, Federation, MountPoint};
 pub use overload::{OverloadConfig, OverloadGate, Permit, Priority, Rejection, RetryBudget};
 pub use pdm_obs::{
-    FlightDump, FlightEvent, MetricsRegistry, MetricsSnapshot, QueryProfile, Recorder, SpanKind,
-    SpanRecord, Subsystem,
+    attribution, chrome_trace_json, Attribution, AttributionTable, FlightDump, FlightEvent,
+    MetricsRegistry, MetricsSnapshot, QueryProfile, Recorder, SpanKind, SpanRecord, Subsystem,
+    TailSampler, TraceContext, TraceTree,
 };
 pub use product::{ObjectId, ProductNode, ProductTree};
 pub use repl::{

@@ -36,7 +36,9 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use pdm_net::{FaultPlan, LinkProfile, MeteredChannel, OutageWindow};
-use pdm_obs::{kinds, Counter, FlightDump, Gauge, Histogram, MetricsRegistry, Recorder};
+use pdm_obs::{
+    kinds, Counter, FlightDump, Gauge, Histogram, MetricsRegistry, Recorder, SpanKind, TraceContext,
+};
 use pdm_sql::persist::{database_digest, database_fingerprint, encode_snapshot};
 use pdm_sql::Database;
 use pdm_wal::{DurableStore, WalRecord};
@@ -213,6 +215,46 @@ impl ReplMetrics {
     }
 }
 
+/// One cluster-side contribution to a traced action's causal tree,
+/// recorded in occurrence order and replayed into a `TraceAssembler` by
+/// `RoutedSession` when the action completes (DESIGN.md §15).
+#[derive(Debug, Clone)]
+pub(crate) enum TraceOp {
+    /// Exclusive segment; `v_excl` is the exact clock-advance amount.
+    Segment {
+        site: String,
+        kind: SpanKind,
+        label: String,
+        v_excl: f64,
+        attrs: Vec<(&'static str, f64)>,
+        detail: String,
+    },
+    /// Zero-width child of the immediately preceding segment (e.g. the
+    /// replica-side apply of a ship batch).
+    Mark {
+        site: String,
+        kind: SpanKind,
+        label: String,
+        attrs: Vec<(&'static str, f64)>,
+    },
+    /// Open a grouping span (watermark wait); segments until the matching
+    /// close are its children and attribute to its class.
+    OpenGroup {
+        site: String,
+        kind: SpanKind,
+        label: String,
+    },
+    CloseGroup,
+}
+
+/// Per-action collection of [`TraceOp`]s plus the propagated context, so
+/// even replicas (re)bootstrapped mid-action get the piggyback installed.
+#[derive(Debug)]
+struct ActionTraceBuf {
+    ctx: TraceContext,
+    ops: Vec<TraceOp>,
+}
+
 /// The replicated cluster. See the module docs.
 #[derive(Debug)]
 pub struct Cluster {
@@ -240,6 +282,9 @@ pub struct Cluster {
     /// A deposed primary site waiting for its outage to end before it
     /// re-bootstraps as a replica: `(site, heal_at)`.
     pending_heal: Option<(usize, f64)>,
+    /// Cross-site tracing: segments collected for the in-flight traced
+    /// action (`None` when tracing is off — zero work, zero wire bytes).
+    action_trace: Option<ActionTraceBuf>,
     /// Encoded snapshot the current epoch's replicas bootstrapped from.
     epoch_base: Vec<u8>,
 }
@@ -290,8 +335,39 @@ impl Cluster {
             obs: Recorder::new(),
             failovers: Vec::new(),
             pending_heal: None,
+            action_trace: None,
             epoch_base,
         })
+    }
+
+    // -- cross-site tracing ------------------------------------------------
+
+    /// Begin collecting this cluster's contributions to a traced action:
+    /// stamp `ctx` onto every replica ship link (each ship request grows by
+    /// [`TraceContext::WIRE_BYTES`]) and start the per-action op buffer.
+    pub(crate) fn begin_action_trace(&mut self, ctx: TraceContext) {
+        self.action_trace = Some(ActionTraceBuf {
+            ctx,
+            ops: Vec::new(),
+        });
+        for replica in self.replicas.values_mut() {
+            replica.channel_mut().set_trace_context(Some(ctx));
+        }
+    }
+
+    /// Stop collecting: clear the piggyback from the ship links and return
+    /// the recorded ops in occurrence order.
+    pub(crate) fn take_action_trace(&mut self) -> Vec<TraceOp> {
+        for replica in self.replicas.values_mut() {
+            replica.channel_mut().set_trace_context(None);
+        }
+        self.action_trace.take().map(|b| b.ops).unwrap_or_default()
+    }
+
+    /// Ops recorded so far for the in-flight traced action (lets the
+    /// routed session split pre-action from post-action contributions).
+    pub(crate) fn action_trace_len(&self) -> usize {
+        self.action_trace.as_ref().map_or(0, |b| b.ops.len())
     }
 
     // -- accessors ---------------------------------------------------------
@@ -426,7 +502,7 @@ impl Cluster {
         let delta = replica.elapsed() - before;
         self.clock += delta;
         match result {
-            Ok(applied) => {
+            Ok((applied, advance)) => {
                 self.m.ship_batches.inc();
                 self.m.records_shipped.add(applied);
                 self.m.ship_us.record((delta * 1e6) as u64);
@@ -438,9 +514,31 @@ impl Cluster {
                     format!("site{site}"),
                     start,
                     start + delta,
-                    &[("records", applied as f64), ("bytes", bytes as f64)],
+                    &[
+                        ("records", applied as f64),
+                        ("bytes", bytes as f64),
+                        ("v_s", advance),
+                    ],
                     "",
                 );
+                if let Some(buf) = &mut self.action_trace {
+                    // Primary-side ship segment with the EXACT advance, and
+                    // the replica-side apply as its zero-width child.
+                    buf.ops.push(TraceOp::Segment {
+                        site: "primary".into(),
+                        kind: kinds::REPL_SHIP,
+                        label: format!("site{site}"),
+                        v_excl: advance,
+                        attrs: vec![("records", applied as f64), ("bytes", bytes as f64)],
+                        detail: String::new(),
+                    });
+                    buf.ops.push(TraceOp::Mark {
+                        site: format!("replica{site}"),
+                        kind: kinds::REPL_APPLY,
+                        label: format!("{applied} records"),
+                        attrs: vec![("records", applied as f64)],
+                    });
+                }
                 // A fully caught-up replica must be byte-equivalent to the
                 // primary — the continuous divergence check.
                 if replica.applied_seq() == last {
@@ -453,15 +551,26 @@ impl Cluster {
                 Ok(applied)
             }
             Err(ReplError::Link(e)) => {
+                let advance = e.waited();
                 self.m.ship_failures.inc();
                 self.obs.record_closed(
                     kinds::REPL_SHIP,
                     format!("site{site}"),
                     start,
                     start + delta,
-                    &[("bytes", bytes as f64)],
+                    &[("bytes", bytes as f64), ("v_s", advance)],
                     e.to_string(),
                 );
+                if let Some(buf) = &mut self.action_trace {
+                    buf.ops.push(TraceOp::Segment {
+                        site: "primary".into(),
+                        kind: kinds::REPL_SHIP,
+                        label: format!("site{site}"),
+                        v_excl: advance,
+                        attrs: vec![("bytes", bytes as f64)],
+                        detail: e.to_string(),
+                    });
+                }
                 Ok(0)
             }
             Err(fatal) => Err(fatal),
@@ -551,11 +660,26 @@ impl Cluster {
             return Ok(0); // reads run at the primary: trivially fresh
         }
         let start = self.clock;
+        // Ship pumps issued while this wait is open are children of the
+        // watermark group, so their time attributes to repl.wait_watermark
+        // (the class a reader actually experiences) rather than repl.ship.
+        if let Some(buf) = &mut self.action_trace {
+            buf.ops.push(TraceOp::OpenGroup {
+                site: "primary".into(),
+                kind: kinds::REPL_WAIT_WATERMARK,
+                label: format!("site{site} seq{}", receipt.seq),
+            });
+        }
         let mut rounds = 0u32;
         loop {
             let applied = match self.replicas.get(&site) {
                 Some(r) => r.applied_seq(),
-                None => return Ok(0),
+                None => {
+                    if let Some(buf) = &mut self.action_trace {
+                        buf.ops.push(TraceOp::CloseGroup);
+                    }
+                    return Ok(0);
+                }
             };
             if applied >= receipt.seq {
                 let waited = self.clock - start;
@@ -569,12 +693,18 @@ impl Cluster {
                     &[("seq", receipt.seq as f64), ("rounds", rounds as f64)],
                     "",
                 );
+                if let Some(buf) = &mut self.action_trace {
+                    buf.ops.push(TraceOp::CloseGroup);
+                }
                 return Ok(applied);
             }
             let waited = self.clock - start;
             if waited >= policy.deadline || rounds >= self.cfg.max_pump_rounds {
                 self.m.watermark_timeouts.inc();
                 obs.event(kinds::REPL_WAIT_WATERMARK, format!("site{site} deadline"));
+                if let Some(buf) = &mut self.action_trace {
+                    buf.ops.push(TraceOp::CloseGroup);
+                }
                 return Err(SessionError::ReplicaLagTimeout {
                     seq: receipt.seq,
                     applied,
@@ -618,6 +748,16 @@ impl Cluster {
                 });
             }
             self.clock = w.end;
+            if let Some(buf) = &mut self.action_trace {
+                buf.ops.push(TraceOp::Segment {
+                    site: "primary".into(),
+                    kind: kinds::NET_BACKOFF,
+                    label: "outage wait".into(),
+                    v_excl: wait,
+                    attrs: vec![("wait_s", wait)],
+                    detail: String::new(),
+                });
+            }
             self.maybe_heal();
             Ok(())
         } else {
@@ -629,6 +769,16 @@ impl Cluster {
                 });
             }
             self.clock = self.clock.max(lease_expires);
+            if let Some(buf) = &mut self.action_trace {
+                buf.ops.push(TraceOp::Segment {
+                    site: "primary".into(),
+                    kind: kinds::NET_BACKOFF,
+                    label: "lease wait".into(),
+                    v_excl: wait,
+                    attrs: vec![("wait_s", wait)],
+                    detail: String::new(),
+                });
+            }
             self.outages.retain(|o| *o != w);
             self.promote_inner(Some(w.end))
                 .map_err(|e| SessionError::RecoveryFailed {
@@ -789,9 +939,24 @@ impl Cluster {
                 ("promoted_site", promoted_site as f64),
                 ("promoted_seq", promoted_seq as f64),
                 ("catchup_records", catchup_records as f64),
+                ("v_s", duration),
             ],
             "",
         );
+        if let Some(buf) = &mut self.action_trace {
+            buf.ops.push(TraceOp::Segment {
+                site: "primary".into(),
+                kind: kinds::REPL_PROMOTE,
+                label: format!("epoch{new_epoch}"),
+                v_excl: duration,
+                attrs: vec![
+                    ("promoted_site", promoted_site as f64),
+                    ("promoted_seq", promoted_seq as f64),
+                    ("catchup_records", catchup_records as f64),
+                ],
+                detail: String::new(),
+            });
+        }
         self.failovers.push(FailoverReport {
             old_epoch,
             new_epoch,
@@ -844,12 +1009,28 @@ impl Cluster {
             plan,
         ) {
             Ok(mut replica) => {
+                // A heal inside a traced action carries the piggyback too:
+                // the snapshot frame grows by the context bytes and the
+                // transfer shows up as a primary-side ship segment.
+                if let Some(buf) = &self.action_trace {
+                    replica.channel_mut().set_trace_context(Some(buf.ctx));
+                }
                 // Charge the snapshot transfer to the healed site's link.
                 let before = replica.elapsed();
-                replica
+                let rt = replica
                     .channel_mut()
                     .round_trip(snapshot_bytes.len() + 64, ACK_BYTES);
                 self.clock += replica.elapsed() - before;
+                if let Some(buf) = &mut self.action_trace {
+                    buf.ops.push(TraceOp::Segment {
+                        site: "primary".into(),
+                        kind: kinds::REPL_SHIP,
+                        label: format!("heal site{site}"),
+                        v_excl: rt.total_time(),
+                        attrs: vec![("bytes", (snapshot_bytes.len() + 64) as f64)],
+                        detail: String::new(),
+                    });
+                }
                 self.replicas.insert(site, replica);
                 self.generation += 1;
                 self.obs

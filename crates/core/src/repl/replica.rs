@@ -165,21 +165,28 @@ impl ReplicaSite {
     /// ([`pdm_net::LinkError::ResponseLost`]) leaves the records applied —
     /// the watermark has advanced and re-delivery is skipped — mirroring
     /// "server effects happened" semantics everywhere else in the stack.
+    ///
+    /// Returns `(applied, advance)` where `advance` is the **exact**
+    /// virtual-clock seconds this exchange advanced the replica's channel
+    /// (the same two-term sum the channel added to its own clock, so trace
+    /// segments built from it reconcile bit-for-bit; a telescoped
+    /// `elapsed()` difference would not).
     pub(crate) fn receive_ship(
         &mut self,
         epoch: u64,
         records: &[(u64, WalRecord)],
         request_bytes: usize,
-    ) -> Result<u64, ReplError> {
+    ) -> Result<(u64, f64), ReplError> {
         let pending = self
             .channel
             .try_send_request(request_bytes)
             .map_err(ReplError::Link)?;
         let applied = self.apply_batch(epoch, records)?;
-        self.channel
+        let rt = self
+            .channel
             .try_receive_response(pending, ACK_BYTES)
             .map_err(ReplError::Link)?;
-        Ok(applied)
+        Ok((applied, rt.total_time()))
     }
 
     pub fn site(&self) -> usize {

@@ -18,7 +18,9 @@
 //! instead of failing the action outright.
 
 use pdm_net::LinkProfile;
+use pdm_obs::{TraceAssembler, TraceContext, TraceIdGen, TraceTree, ROOT_GID};
 
+use super::cluster::TraceOp;
 use super::{Cluster, WriteReceipt};
 use crate::checkout::CheckoutOutcome;
 use crate::product::{ObjectId, ProductTree};
@@ -46,6 +48,14 @@ pub struct RoutedRead<T> {
     pub staleness: Option<Staleness>,
 }
 
+/// Routed-session tracing state: one deterministic id stream shared by
+/// reads and writes, so client spans AND cluster-side segments (ship,
+/// watermark waits, promotion) assemble under a single trace id per action.
+struct RoutedTrace {
+    gen: TraceIdGen,
+    seed: u64,
+}
+
 /// A client session pinned to one site of a replicated cluster. See the
 /// module docs.
 pub struct RoutedSession {
@@ -58,6 +68,8 @@ pub struct RoutedSession {
     epoch: u64,
     last_write: Option<WriteReceipt>,
     policy: RetryPolicy,
+    trace: Option<RoutedTrace>,
+    last_trace: Option<TraceTree>,
 }
 
 impl RoutedSession {
@@ -85,7 +97,40 @@ impl RoutedSession {
             epoch: cluster.epoch(),
             last_write: None,
             policy: RetryPolicy::default_wan(),
+            trace: None,
+            last_trace: None,
         }
+    }
+
+    /// Turn on cross-site causal tracing for every action of this routed
+    /// session (implies profiling on both underlying sessions). Each action
+    /// draws one trace id; the client exchange spans, the primary's ship /
+    /// watermark / promotion segments, and the replica-side applies all
+    /// assemble into one [`TraceTree`] readable via
+    /// [`RoutedSession::last_trace`].
+    pub fn enable_tracing(&mut self, seed: u64) {
+        self.trace = Some(RoutedTrace {
+            gen: TraceIdGen::new(seed),
+            seed,
+        });
+        self.apply_tracing();
+    }
+
+    /// The causal tree of the most recent traced action.
+    pub fn last_trace(&self) -> Option<&TraceTree> {
+        self.last_trace.as_ref()
+    }
+
+    /// (Re-)apply tracing to the underlying sessions — needed after
+    /// [`RoutedSession::resync`] rebuilds them on a topology change.
+    fn apply_tracing(&mut self) {
+        let Some(t) = &self.trace else { return };
+        let seed = t.seed;
+        let site = format!("client{}", self.site);
+        self.read.enable_tracing(seed);
+        self.read.set_trace_site(site.clone());
+        self.write.enable_tracing(seed);
+        self.write.set_trace_site(site);
     }
 
     pub fn site(&self) -> usize {
@@ -142,6 +187,7 @@ impl RoutedSession {
             self.config.clone(),
             self.rules.clone(),
         );
+        self.apply_tracing();
     }
 
     /// Enforce read-your-writes before a read, degrading to an annotated
@@ -184,23 +230,126 @@ impl RoutedSession {
         }
     }
 
+    /// Draw this action's trace id, stamp the context onto the cluster's
+    /// ship links, and force it onto both sessions so whichever one runs
+    /// the action records under the same trace.
+    fn begin_routed_trace(&mut self, cluster: &mut Cluster) -> Option<TraceContext> {
+        let t = self.trace.as_mut()?;
+        let ctx = TraceContext::new(t.gen.next_id(), ROOT_GID);
+        cluster.begin_action_trace(ctx);
+        self.read.force_next_trace_id(ctx.trace_id);
+        self.write.force_next_trace_id(ctx.trace_id);
+        Some(ctx)
+    }
+
+    /// Replay cluster-collected [`TraceOp`]s into the assembler: marks hang
+    /// off the segment recorded immediately before them (the replica apply
+    /// under its ship), groups nest exactly as they occurred.
+    fn replay_ops(asm: &mut TraceAssembler, ops: &[TraceOp]) {
+        let mut last_seg = ROOT_GID;
+        for op in ops {
+            match op {
+                TraceOp::Segment {
+                    site,
+                    kind,
+                    label,
+                    v_excl,
+                    attrs,
+                    detail,
+                } => {
+                    last_seg = asm.push_segment(
+                        site.clone(),
+                        *kind,
+                        label.clone(),
+                        *v_excl,
+                        attrs,
+                        detail.clone(),
+                    );
+                }
+                TraceOp::Mark {
+                    site,
+                    kind,
+                    label,
+                    attrs,
+                } => {
+                    asm.push_mark(last_seg, site.clone(), *kind, label.clone(), attrs);
+                }
+                TraceOp::OpenGroup { site, kind, label } => {
+                    asm.open_group(site.clone(), *kind, label.clone());
+                }
+                TraceOp::CloseGroup => asm.close_group(),
+            }
+        }
+    }
+
+    /// Assemble the combined causal tree of a finished routed action:
+    /// cluster ops recorded before the session action (watermark waits,
+    /// availability gates), then the session's own recorder block, then the
+    /// post-action ops (acknowledgement ship pumps). On a failure carrying
+    /// a flight dump, the tree is spliced into it.
+    fn finish_routed_trace<T>(
+        &mut self,
+        cluster: &mut Cluster,
+        ctx: Option<TraceContext>,
+        name: &'static str,
+        pre_len: usize,
+        read_side: bool,
+        mut result: SessionResult<T>,
+    ) -> SessionResult<T> {
+        let Some(ctx) = ctx else { return result };
+        let ops = cluster.take_action_trace();
+        let (pre, post) = ops.split_at(pre_len.min(ops.len()));
+        let session = if read_side { &self.read } else { &self.write };
+        // Only splice the recorder block in if the session actually began
+        // the forced action (a pre-action failure leaves stale spans).
+        let spans = if session.current_trace_id() == Some(ctx.trace_id) {
+            session.recorder().spans()
+        } else {
+            Vec::new()
+        };
+        let site = format!("client{}", self.site);
+        let mut asm = TraceAssembler::new(ctx.trace_id, name, site.clone());
+        Self::replay_ops(&mut asm, pre);
+        asm.add_recorder_block(&site, &spans);
+        Self::replay_ops(&mut asm, post);
+        asm.set_outcome(match &result {
+            Ok(_) => "ok",
+            Err(e) => e.kind_name(),
+        });
+        let tree = asm.finish();
+        if let Err(e) = &mut result {
+            if let Some(dump) = e.context_mut() {
+                dump.trace = Some(Box::new(tree.clone()));
+            }
+        }
+        self.last_trace = Some(tree);
+        result
+    }
+
     /// Run one read action on the local session, folding its metered time
     /// into the cluster clock.
     fn read_action<T>(
         &mut self,
         cluster: &mut Cluster,
+        name: &'static str,
         action: impl FnOnce(&mut Session) -> SessionResult<T>,
     ) -> SessionResult<RoutedRead<T>> {
         self.resync(cluster);
-        let staleness = self.sync_reads(cluster)?;
-        let result = action(&mut self.read);
-        // Session metering resets per action, so post-action elapsed IS the
-        // action's virtual time.
-        cluster.advance(self.read.elapsed());
-        Ok(RoutedRead {
-            value: result?,
-            staleness,
-        })
+        let ctx = self.begin_routed_trace(cluster);
+        let mut pre_len = 0;
+        let result = (|| {
+            let staleness = self.sync_reads(cluster)?;
+            pre_len = cluster.action_trace_len();
+            let result = action(&mut self.read);
+            // Session metering resets per action, so post-action elapsed IS
+            // the action's virtual time.
+            cluster.advance(self.read.elapsed());
+            Ok(RoutedRead {
+                value: result?,
+                staleness,
+            })
+        })();
+        self.finish_routed_trace(cluster, ctx, name, pre_len, true, result)
     }
 
     /// Run one write action against the primary, gated on availability
@@ -208,18 +357,30 @@ impl RoutedSession {
     fn write_action<T>(
         &mut self,
         cluster: &mut Cluster,
+        name: &'static str,
         action: impl FnOnce(&mut Session) -> SessionResult<T>,
     ) -> SessionResult<(T, WriteReceipt)> {
         self.resync(cluster);
-        let deadline = self.policy.deadline;
-        cluster.ensure_primary(deadline, self.write.recorder())?;
-        self.resync(cluster); // the primary may have moved
-        let result = action(&mut self.write);
-        cluster.advance(self.write.elapsed());
-        let value = result?;
-        let receipt = cluster.acknowledge_write(self.write.recorder())?;
-        self.last_write = Some(receipt);
-        Ok((value, receipt))
+        let ctx = self.begin_routed_trace(cluster);
+        let mut pre_len = 0;
+        let result = (|| {
+            let deadline = self.policy.deadline;
+            cluster.ensure_primary(deadline, self.write.recorder())?;
+            self.resync(cluster); // the primary may have moved
+            if let Some(ctx) = ctx {
+                // resync rebuilds the sessions; re-force the action's id.
+                self.write.force_next_trace_id(ctx.trace_id);
+                self.read.force_next_trace_id(ctx.trace_id);
+            }
+            pre_len = cluster.action_trace_len();
+            let result = action(&mut self.write);
+            cluster.advance(self.write.elapsed());
+            let value = result?;
+            let receipt = cluster.acknowledge_write(self.write.recorder())?;
+            self.last_write = Some(receipt);
+            Ok((value, receipt))
+        })();
+        self.finish_routed_trace(cluster, ctx, name, pre_len, false, result)
     }
 
     // -- reads -------------------------------------------------------------
@@ -231,7 +392,9 @@ impl RoutedSession {
         cluster: &mut Cluster,
         root: ObjectId,
     ) -> SessionResult<RoutedRead<ExpandOutcome>> {
-        self.read_action(cluster, |s| s.multi_level_expand(root))
+        self.read_action(cluster, "multi_level_expand", |s| {
+            s.multi_level_expand(root)
+        })
     }
 
     /// Recursive single-query retrieval against the local replica.
@@ -240,7 +403,7 @@ impl RoutedSession {
         cluster: &mut Cluster,
         root: ObjectId,
     ) -> SessionResult<RoutedRead<QueryOutcome>> {
-        self.read_action(cluster, |s| s.query_all(root))
+        self.read_action(cluster, "query_all", |s| s.query_all(root))
     }
 
     // -- writes ------------------------------------------------------------
@@ -252,7 +415,7 @@ impl RoutedSession {
         sql: &str,
     ) -> SessionResult<(usize, WriteReceipt)> {
         let sql = sql.to_string();
-        self.write_action(cluster, move |s| s.execute_update(&sql))
+        self.write_action(cluster, "execute_dml", move |s| s.execute_update(&sql))
     }
 
     /// Function-shipping check-out at the primary.
@@ -261,7 +424,9 @@ impl RoutedSession {
         cluster: &mut Cluster,
         root: ObjectId,
     ) -> SessionResult<(CheckoutOutcome, WriteReceipt)> {
-        self.write_action(cluster, |s| s.check_out_function_shipping(root))
+        self.write_action(cluster, "check_out", |s| {
+            s.check_out_function_shipping(root)
+        })
     }
 
     /// Check-in at the primary.
@@ -270,6 +435,6 @@ impl RoutedSession {
         cluster: &mut Cluster,
         tree: &ProductTree,
     ) -> SessionResult<(usize, WriteReceipt)> {
-        self.write_action(cluster, |s| s.check_in(tree))
+        self.write_action(cluster, "check_in", |s| s.check_in(tree))
     }
 }

@@ -8,7 +8,10 @@ use std::fmt;
 use std::sync::Arc;
 
 use pdm_net::{FaultPlan, LinkError, LinkProfile, MeteredChannel, TrafficStats};
-use pdm_obs::{kinds, FlightDump, MetricsRegistry, QueryProfile, Recorder, SpanGuard};
+use pdm_obs::{
+    kinds, FlightDump, MetricsRegistry, QueryProfile, Recorder, SpanGuard, TraceAssembler,
+    TraceContext, TraceIdGen, TraceTree, ROOT_GID,
+};
 use pdm_sql::functions::FunctionRegistry;
 use pdm_sql::{Database, ResultSet, Value};
 
@@ -192,6 +195,35 @@ impl SessionError {
         }
     }
 
+    /// Mutable access to the attached context (used by the tracing layer
+    /// to splice the assembled causal tree into a failing action's dump).
+    pub(crate) fn context_mut(&mut self) -> Option<&mut FlightDump> {
+        match self {
+            SessionError::Timeout { context, .. }
+            | SessionError::LinkDown { context, .. }
+            | SessionError::ReplicaLagTimeout { context, .. }
+            | SessionError::PrimaryUnavailable { context, .. } => Some(context),
+            _ => None,
+        }
+    }
+
+    /// The variant name, e.g. `"Timeout"` — the outcome label trace trees
+    /// and tail samplers key on.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            SessionError::Sql(_) => "Sql",
+            SessionError::Modification(_) => "Modification",
+            SessionError::RootNotFound(_) => "RootNotFound",
+            SessionError::Timeout { .. } => "Timeout",
+            SessionError::LinkDown { .. } => "LinkDown",
+            SessionError::CorruptLog { .. } => "CorruptLog",
+            SessionError::RecoveryFailed { .. } => "RecoveryFailed",
+            SessionError::ReplicaLagTimeout { .. } => "ReplicaLagTimeout",
+            SessionError::PrimaryUnavailable { .. } => "PrimaryUnavailable",
+            SessionError::Overloaded { .. } => "Overloaded",
+        }
+    }
+
     /// Whether this error came from the link (retryable territory) rather
     /// than from SQL processing or a bad request.
     pub fn is_link_failure(&self) -> bool {
@@ -308,6 +340,18 @@ pub struct QueryOutcome {
     pub stats: TrafficStats,
 }
 
+/// Per-session cross-site tracing state (DESIGN.md §15): the deterministic
+/// id stream, this session's site label in assembled trees, the context of
+/// the in-flight action, and an optional externally-forced next id (routed
+/// sessions draw ids from their own stream so client and cluster spans
+/// share one trace).
+struct TraceState {
+    gen: TraceIdGen,
+    site: String,
+    current: Option<TraceContext>,
+    next_id: Option<u64>,
+}
+
 /// A PDM client session bound to a server and a WAN profile.
 pub struct Session {
     server: PdmServer,
@@ -339,6 +383,11 @@ pub struct Session {
     /// The shared server's metrics registry; this session folds its
     /// per-action traffic (`net.*`) into it.
     metrics: Arc<MetricsRegistry>,
+    /// Cross-site tracing, `None` (zero cost, zero wire bytes) unless
+    /// [`Session::enable_tracing`] turns it on.
+    tracing: Option<TraceState>,
+    /// Assembled causal tree of the most recent traced action.
+    last_trace: Option<TraceTree>,
 }
 
 impl Session {
@@ -370,6 +419,8 @@ impl Session {
             degradation: DegradationController::default(),
             obs: Recorder::disabled(),
             metrics,
+            tracing: None,
+            last_trace: None,
         }
     }
 
@@ -401,6 +452,104 @@ impl Session {
         QueryProfile::from_recorder(&self.obs)
     }
 
+    /// Turn on cross-site causal tracing (implies profiling): every action
+    /// draws a deterministic trace id from `seed`, piggybacks a
+    /// [`TraceContext`] on each exchange ([`TraceContext::WIRE_BYTES`]
+    /// request bytes — the volume model sees the real wire cost), and
+    /// assembles its spans into a [`TraceTree`] readable via
+    /// [`Session::last_trace`]. Off by default: zero work, zero wire bytes,
+    /// results byte-identical.
+    pub fn enable_tracing(&mut self, seed: u64) {
+        if !self.obs.is_enabled() {
+            self.enable_profiling();
+        }
+        self.tracing = Some(TraceState {
+            gen: TraceIdGen::new(seed),
+            site: "client".into(),
+            current: None,
+            next_id: None,
+        });
+    }
+
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracing.is_some()
+    }
+
+    /// Site label this session's spans carry in assembled trees (default
+    /// `"client"`; routed sessions label themselves `client<site>`).
+    pub fn set_trace_site(&mut self, site: impl Into<String>) {
+        if let Some(t) = &mut self.tracing {
+            t.site = site.into();
+        }
+    }
+
+    /// Force the next action's trace id (routed sessions draw ids from
+    /// their own stream so client and cluster spans share one trace).
+    pub(crate) fn force_next_trace_id(&mut self, id: u64) {
+        if let Some(t) = &mut self.tracing {
+            t.next_id = Some(id);
+        }
+    }
+
+    /// Trace id of the in-flight (or just-finished) traced action.
+    pub(crate) fn current_trace_id(&self) -> Option<u64> {
+        self.tracing
+            .as_ref()
+            .and_then(|t| t.current)
+            .map(|c| c.trace_id)
+    }
+
+    /// The causal tree of the most recent traced action (`None` with
+    /// tracing off or before the first action).
+    pub fn last_trace(&self) -> Option<&TraceTree> {
+        self.last_trace.as_ref()
+    }
+
+    /// Assemble this session's recorder spans into a causal tree for the
+    /// just-finished action. The root total reconciles bit-exactly with
+    /// [`Session::elapsed`] — both are the same running sum of the same
+    /// exact `v_s` clock-advance amounts in the same order.
+    fn assemble_trace(&self, ctx: TraceContext, outcome: &str) -> TraceTree {
+        let spans = self.obs.spans();
+        let action = spans
+            .iter()
+            .find(|s| s.parent.is_none())
+            .map(|s| s.label.clone())
+            .unwrap_or_default();
+        let site = self
+            .tracing
+            .as_ref()
+            .map(|t| t.site.clone())
+            .unwrap_or_else(|| "client".into());
+        let mut asm = TraceAssembler::new(ctx.trace_id, action, site.clone());
+        asm.add_recorder_block(&site, &spans);
+        asm.set_outcome(outcome);
+        asm.finish()
+    }
+
+    /// Post-action tracing hook, called by every action wrapper: assemble
+    /// the tree, remember it, clear the wire piggyback, and on a failure
+    /// that carries a flight dump splice the tree in — a timeout arrives
+    /// with its own causal tree up to the failure point.
+    pub(crate) fn trace_result<T>(&mut self, mut result: SessionResult<T>) -> SessionResult<T> {
+        let Some(ctx) = self.tracing.as_ref().and_then(|t| t.current) else {
+            return result;
+        };
+        self.channel.set_trace_context(None);
+        let outcome = match &result {
+            Ok(_) => "ok".to_string(),
+            Err(e) => e.kind_name().to_string(),
+        };
+        let tree = self.assemble_trace(ctx, &outcome);
+        if let Err(e) = &mut result {
+            if let Some(dump) = e.context_mut() {
+                dump.trace = Some(Box::new(tree.clone()));
+            }
+        }
+        self.last_trace = Some(tree);
+        result
+    }
+
     /// Start a measured action: reset the traffic meter, reset the
     /// recorder's per-action state, and open the root `session.action` span.
     /// Each action also credits the retry budget (a fresh request earns
@@ -411,6 +560,12 @@ impl Session {
         }
         self.reset_metering();
         self.obs.begin_action();
+        if let Some(t) = &mut self.tracing {
+            let id = t.next_id.take().unwrap_or_else(|| t.gen.next_id());
+            let ctx = TraceContext::new(id, ROOT_GID);
+            t.current = Some(ctx);
+            self.channel.set_trace_context(Some(ctx));
+        }
         self.obs.span(kinds::ACTION, name)
     }
 
@@ -571,6 +726,9 @@ impl Session {
         }
         if self.obs.is_enabled() {
             self.channel.attach_obs(self.obs.clone());
+        }
+        if let Some(ctx) = self.tracing.as_ref().and_then(|t| t.current) {
+            self.channel.set_trace_context(Some(ctx));
         }
     }
 
@@ -734,7 +892,7 @@ impl Session {
         let result = self.single_level_expand_inner(parent);
         drop(action);
         self.fold_traffic();
-        result
+        self.trace_result(result)
     }
 
     fn single_level_expand_inner(&mut self, parent: ObjectId) -> SessionResult<ExpandOutcome> {
@@ -763,7 +921,7 @@ impl Session {
         let result = self.multi_level_expand_inner(root);
         drop(action);
         self.fold_traffic();
-        result
+        self.trace_result(result)
     }
 
     fn multi_level_expand_inner(&mut self, root: ObjectId) -> SessionResult<ExpandOutcome> {
@@ -846,7 +1004,7 @@ impl Session {
         let result = self.multi_level_expand_batched_inner(root);
         drop(action);
         self.fold_traffic();
-        result
+        self.trace_result(result)
     }
 
     fn multi_level_expand_batched_inner(&mut self, root: ObjectId) -> SessionResult<ExpandOutcome> {
@@ -943,7 +1101,7 @@ impl Session {
         let result = self.metered_update_public(sql);
         drop(action);
         self.fold_traffic();
-        result
+        self.trace_result(result)
     }
 
     /// The set-oriented Query action: all (visible) nodes of the product,
@@ -953,7 +1111,7 @@ impl Session {
         let result = self.query_all_inner(root);
         drop(action);
         self.fold_traffic();
-        result
+        self.trace_result(result)
     }
 
     fn query_all_inner(&mut self, root: ObjectId) -> SessionResult<QueryOutcome> {

@@ -12,6 +12,7 @@ pub fn run(files: &[LintFile], reg: &Registries, out: &mut Vec<Finding>) {
         metric_families(f, reg, out);
         span_kinds(f, out);
         timeout_context(f, reg, out);
+        orphan_span(f, out);
     }
 }
 
@@ -88,6 +89,54 @@ fn span_kinds(f: &LintFile, out: &mut Vec<Finding>) {
                 t.line,
                 "SpanKind constructed outside the closed kinds registry in pdm-obs \
                  — register the kind there instead",
+            ));
+        }
+    }
+}
+
+/// A function that closes spans directly (`.record_closed(..)`) without
+/// referencing any trace context can never contribute to a causal tree:
+/// the span carries no `v_s`/ids linkage and silently falls out of the
+/// cross-site assembly (DESIGN.md §15). Direct closers must either thread
+/// the propagated `ctx` or touch the per-action trace buffer (any
+/// identifier containing "trace").
+fn orphan_span(f: &LintFile, out: &mut Vec<Finding>) {
+    if f.path.ends_with("crates/obs/src/span.rs") {
+        return; // the recorder crate defines the primitive itself
+    }
+    for func in &f.fns {
+        if func.is_test {
+            continue;
+        }
+        let Some((open, close)) = func.body else {
+            continue;
+        };
+        let body = &f.toks[open..=close];
+        let mut call_line = None;
+        for (k, t) in body.iter().enumerate() {
+            if t.is_punct(".")
+                && body.get(k + 1).is_some_and(|t| t.is_ident("record_closed"))
+                && body.get(k + 2).is_some_and(|t| t.is_punct("("))
+            {
+                call_line = Some(body[k + 1].line);
+                break;
+            }
+        }
+        let Some(line) = call_line else { continue };
+        let references_trace = f.toks[func.sig_start..=close].iter().any(|t| {
+            t.kind == TokKind::Ident
+                && (t.text == "ctx" || t.text.to_ascii_lowercase().contains("trace"))
+        });
+        if !references_trace {
+            out.push(Finding::new(
+                Lint::OrphanSpan,
+                &f.path,
+                line,
+                format!(
+                    "fn {} closes spans via record_closed but never references a trace \
+                     context — its spans can never join a causal tree",
+                    func.name
+                ),
             ));
         }
     }

@@ -73,6 +73,10 @@ pub enum Lint {
     /// A timeout-shaped `SessionError` built without `FlightDump`
     /// context.
     TimeoutWithoutFlight,
+    /// A function that closes spans directly (`.record_closed(..)`)
+    /// without referencing any trace context — its spans can never join
+    /// a causal tree (DESIGN.md §15).
+    OrphanSpan,
     /// Indexing/slicing with a non-literal index in protocol crates.
     UncheckedIndex,
     /// Bare `+`/`-` arithmetic on sequence/epoch/version/token counters.
@@ -97,6 +101,7 @@ impl Lint {
         Lint::MetricFamilyUnknown,
         Lint::SpanKindUnregistered,
         Lint::TimeoutWithoutFlight,
+        Lint::OrphanSpan,
         Lint::UncheckedIndex,
         Lint::UncheckedProtocolArith,
         Lint::AllowHygiene,
@@ -117,6 +122,7 @@ impl Lint {
             Lint::MetricFamilyUnknown => "metric-family-unknown",
             Lint::SpanKindUnregistered => "span-kind-unregistered",
             Lint::TimeoutWithoutFlight => "timeout-without-flight",
+            Lint::OrphanSpan => "orphan-span",
             Lint::UncheckedIndex => "unchecked-index",
             Lint::UncheckedProtocolArith => "unchecked-protocol-arith",
             Lint::AllowHygiene => "allow-hygiene",
@@ -133,9 +139,10 @@ impl Lint {
             Lint::ReplayCatchall | Lint::ReplayMissingVariant | Lint::UnfencedApply => {
                 Family::Replay
             }
-            Lint::MetricFamilyUnknown | Lint::SpanKindUnregistered | Lint::TimeoutWithoutFlight => {
-                Family::Observability
-            }
+            Lint::MetricFamilyUnknown
+            | Lint::SpanKindUnregistered
+            | Lint::TimeoutWithoutFlight
+            | Lint::OrphanSpan => Family::Observability,
             Lint::UncheckedIndex | Lint::UncheckedProtocolArith => Family::PanicSurface,
             Lint::AllowHygiene => Family::Policy,
         }
@@ -178,6 +185,9 @@ impl Lint {
             Lint::SpanKindUnregistered => "SpanKind constructed outside the closed kinds registry",
             Lint::TimeoutWithoutFlight => {
                 "timeout-shaped SessionError built without FlightDump context"
+            }
+            Lint::OrphanSpan => {
+                "record_closed caller never references a trace context; spans cannot join a causal tree"
             }
             Lint::UncheckedIndex => "non-literal indexing/slicing in protocol crates",
             Lint::UncheckedProtocolArith => {

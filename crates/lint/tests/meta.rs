@@ -52,7 +52,7 @@ fn five_families_each_carry_multiple_lints() {
     }
     assert_eq!(
         Lint::ALL.len(),
-        16,
+        17,
         "lint count drifted; update fixtures and docs together"
     );
 }

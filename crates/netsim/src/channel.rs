@@ -2,7 +2,7 @@
 //! server. Every exchange advances the virtual clock and updates traffic
 //! counters exactly per the paper's cost formulas.
 
-use pdm_obs::{kinds, Recorder};
+use pdm_obs::{kinds, Recorder, TraceContext};
 
 use crate::clock::VirtualClock;
 use crate::fault::{FaultEvent, FaultEventKind, FaultPlan, LinkError, ScriptedKind};
@@ -49,6 +49,12 @@ pub struct MeteredChannel {
     /// The channel is the only component that advances the virtual clock,
     /// so it is also the only emitter of virtually-wide spans.
     obs: Recorder,
+    /// Cross-site trace context piggybacked on every exchange while set:
+    /// each request grows by [`TraceContext::WIRE_BYTES`] (entering the
+    /// volume model through the packet count) and every wide span carries
+    /// the trace/parent ids. `None` adds zero bytes and zero attributes —
+    /// the tracing-off path is byte-identical to the untraced channel.
+    ctx: Option<TraceContext>,
     faults: Option<FaultPlan>,
     /// Attempt counter across the channel's lifetime; indexes fault draws
     /// and scripted faults. Survives `reset()` so a scripted fault plan
@@ -91,8 +97,30 @@ impl MeteredChannel {
             stats: TrafficStats::new(),
             trace: None,
             obs: Recorder::disabled(),
+            ctx: None,
             faults: None,
             exchange_index: 0,
+        }
+    }
+
+    /// Set (or clear) the propagated [`TraceContext`]. The session installs
+    /// a fresh context per traced action; replication installs the acting
+    /// session's context on every replica channel for the action's scope.
+    pub fn set_trace_context(&mut self, ctx: Option<TraceContext>) {
+        self.ctx = ctx;
+    }
+
+    /// The active trace context, if tracing is on.
+    pub fn trace_context(&self) -> Option<TraceContext> {
+        self.ctx
+    }
+
+    /// Request bytes actually put on the wire: the caller's payload plus
+    /// the trace-context piggyback when tracing is on.
+    fn wire_request_bytes(&self, request_bytes: usize) -> usize {
+        match self.ctx {
+            Some(_) => request_bytes + TraceContext::WIRE_BYTES,
+            None => request_bytes,
         }
     }
 
@@ -177,6 +205,7 @@ impl MeteredChannel {
     /// Perform one metered request/response exchange on the reliable path
     /// (no faults drawn, even when a plan is installed).
     pub fn round_trip(&mut self, request_bytes: usize, response_payload_bytes: usize) -> RoundTrip {
+        let request_bytes = self.wire_request_bytes(request_bytes);
         let request_packets = self.link.packets_for(request_bytes);
         self.exchange_index += 1;
         self.finish_exchange(
@@ -218,8 +247,13 @@ impl MeteredChannel {
         self.stats.transfer_time += transfer_time;
         self.stats.retransmits += retransmits;
 
+        // The exact clock-advance amount is computed ONCE and shared by the
+        // clock and the span's `v_s` attribute: summing `v_s` over the wide
+        // spans in record order reproduces `elapsed()` bit-for-bit (same
+        // additions, same order — interval subtraction would not).
+        let advance = latency_time + transfer_time;
         let start = self.clock.now();
-        self.clock.advance(latency_time + transfer_time);
+        self.clock.advance(advance);
 
         let cost = RoundTrip {
             request_packets,
@@ -238,19 +272,25 @@ impl MeteredChannel {
         // Exact per-exchange latency/transfer split: profiles summing these
         // attributes in record order reproduce the TrafficStats totals
         // bit-for-bit (same additions, same order).
+        let mut attrs = vec![
+            ("latency_s", latency_time),
+            ("transfer_s", transfer_time),
+            ("volume_bytes", volume),
+            ("request_bytes", request_bytes as f64),
+            ("response_bytes", response_payload_bytes as f64),
+            ("retransmits", retransmits as f64),
+            ("v_s", advance),
+        ];
+        if let Some(ctx) = self.ctx {
+            attrs.push(("trace_id", ctx.trace_id as f64));
+            attrs.push(("parent_span", ctx.parent_span as f64));
+        }
         self.obs.record_closed(
             kinds::NET_EXCHANGE,
             format!("q{}", self.stats.queries),
             start,
             self.clock.now(),
-            &[
-                ("latency_s", latency_time),
-                ("transfer_s", transfer_time),
-                ("volume_bytes", volume),
-                ("request_bytes", request_bytes as f64),
-                ("response_bytes", response_payload_bytes as f64),
-                ("retransmits", retransmits as f64),
-            ],
+            &attrs,
             "",
         );
         cost
@@ -274,12 +314,17 @@ impl MeteredChannel {
         if let Some(trace) = &mut self.trace {
             trace.record_fault(FaultEvent { exchange, at, kind });
         }
+        let mut attrs = vec![("wait_s", waited), ("v_s", waited)];
+        if let Some(ctx) = self.ctx {
+            attrs.push(("trace_id", ctx.trace_id as f64));
+            attrs.push(("parent_span", ctx.parent_span as f64));
+        }
         self.obs.record_closed(
             kinds::NET_FAULT,
             format!("{kind:?} x{exchange}"),
             at,
             self.clock.now(),
-            &[("wait_s", waited)],
+            &attrs,
             "",
         );
     }
@@ -300,6 +345,7 @@ impl MeteredChannel {
     /// `fault_wait_time`, and — except for [`LinkError::ResponseLost`],
     /// which phase 1 never returns — the server has seen nothing.
     pub fn try_send_request(&mut self, request_bytes: usize) -> Result<PendingRequest, LinkError> {
+        let request_bytes = self.wire_request_bytes(request_bytes);
         let exchange = self.exchange_index;
         self.exchange_index += 1;
         let request_packets = self.link.packets_for(request_bytes);
@@ -471,12 +517,17 @@ impl MeteredChannel {
         self.stats.fault_wait_time += seconds;
         let start = self.clock.now();
         self.clock.advance(seconds);
+        let mut attrs = vec![("wait_s", seconds), ("v_s", seconds)];
+        if let Some(ctx) = self.ctx {
+            attrs.push(("trace_id", ctx.trace_id as f64));
+            attrs.push(("parent_span", ctx.parent_span as f64));
+        }
         self.obs.record_closed(
             kinds::NET_BACKOFF,
             "backoff",
             start,
             self.clock.now(),
-            &[("wait_s", seconds)],
+            &attrs,
             "",
         );
     }
@@ -564,6 +615,49 @@ mod tests {
         }
         assert_eq!(reliable.stats(), faulty.stats());
         assert_eq!(reliable.elapsed().to_bits(), faulty.elapsed().to_bits());
+    }
+
+    #[test]
+    fn trace_context_pads_requests_and_v_s_sums_to_elapsed() {
+        let mut plain = MeteredChannel::new(LinkProfile::wan_256());
+        let mut traced = MeteredChannel::new(LinkProfile::wan_256());
+        traced.attach_obs(Recorder::new());
+        traced.set_trace_context(Some(TraceContext::new(0xBEEF, 1)));
+
+        // Small request: the 16 B piggyback stays inside the same packet,
+        // so every charged number is bit-identical to the untraced run.
+        plain.round_trip(200, 4096);
+        traced.round_trip(200, 4096);
+        assert_eq!(
+            plain.stats().volume_bytes.to_bits(),
+            traced.stats().volume_bytes.to_bits()
+        );
+
+        // Request exactly at the packet boundary: the piggyback tips one
+        // more packet — the volume model sees the context.
+        let size = plain.link().packet_size;
+        plain.round_trip(size, 0);
+        traced.round_trip(size, 0);
+        assert_eq!(
+            plain.stats().request_packets + 1,
+            traced.stats().request_packets
+        );
+
+        // Summing the exact `v_s` attributes over wide spans in record
+        // order reproduces the channel clock bit-for-bit.
+        traced.wait(0.25);
+        let sum = traced
+            .obs()
+            .spans()
+            .iter()
+            .filter_map(|s| s.attr("v_s"))
+            .fold(0.0f64, |a, v| a + v);
+        assert_eq!(sum.to_bits(), traced.elapsed().to_bits());
+        // Every wide span carries the propagated ids.
+        for s in traced.obs().spans() {
+            assert_eq!(s.attr("trace_id"), Some(0xBEEF_u64 as f64));
+            assert_eq!(s.attr("parent_span"), Some(1.0));
+        }
     }
 
     #[test]

@@ -5,6 +5,7 @@
 use std::fmt;
 
 use crate::span::SpanKind;
+use crate::trace::TraceTree;
 
 /// Ring capacity. Big enough to hold a whole multi-level expand's network
 /// exchanges, small enough that an error value stays cheap to clone.
@@ -43,6 +44,10 @@ pub struct FlightDump {
     pub expired_in: String,
     /// Recent flight events, oldest first.
     pub events: Vec<FlightEvent>,
+    /// The offending action's assembled causal tree (tracing on only) —
+    /// strictly more than the flat ring: it keeps parentage, sites, and
+    /// the exact per-segment virtual durations up to the failure point.
+    pub trace: Option<Box<TraceTree>>,
 }
 
 impl FlightDump {
@@ -51,6 +56,7 @@ impl FlightDump {
         FlightDump {
             expired_in: expired_in.into(),
             events: Vec::new(),
+            trace: None,
         }
     }
 
@@ -60,8 +66,14 @@ impl FlightDump {
         self
     }
 
+    /// Attach the action's assembled trace tree (tracing on only).
+    pub fn with_trace(mut self, trace: Option<TraceTree>) -> Self {
+        self.trace = trace.map(Box::new);
+        self
+    }
+
     pub fn is_empty(&self) -> bool {
-        self.expired_in.is_empty() && self.events.is_empty()
+        self.expired_in.is_empty() && self.events.is_empty() && self.trace.is_none()
     }
 
     /// Multi-line rendering for journals and error displays.
@@ -80,6 +92,16 @@ impl FlightDump {
             for ev in &self.events {
                 out.push_str(&format!("  {ev}\n"));
             }
+        }
+        if let Some(t) = &self.trace {
+            out.push_str(&format!(
+                "trace tree: id={:#x} action={} spans={} sites={} total_v={:.6}s\n",
+                t.trace_id,
+                t.action,
+                t.spans.len(),
+                t.sites().len(),
+                t.total_v
+            ));
         }
         out
     }

@@ -1,10 +1,11 @@
-//! `pdm-obs`: deterministic, zero-dependency observability for the PDM
-//! reproduction.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+//! `pdm-obs`: deterministic observability for the PDM reproduction (no
+//! dependencies outside the workspace).
 //!
 //! The paper's whole argument (eqs. (1)–(6)) is a decomposition of response
 //! time into round-trips, latency, and volume; this crate extends that
 //! decomposition to the server side so every subsystem can answer "where
-//! did the seconds go". Four pieces:
+//! did the seconds go". Five pieces:
 //!
 //! * [`span`] — hierarchical spans over a per-session [`Recorder`]. Every
 //!   span carries **two** clocks: the netsim virtual clock (primary — the
@@ -19,6 +20,10 @@
 //!   span tree, returned alongside results when profiling is on.
 //! * [`flight`] — a bounded ring of recent events per session, dumped into
 //!   `SessionError` context and chaos-bench journals.
+//! * [`trace`] — cross-site causal tracing: a [`TraceContext`] propagated
+//!   through every exchange and replication frame, assembly of per-site
+//!   spans into one [`TraceTree`] per action, bit-exact critical-path
+//!   attribution, tail-exemplar sampling, and Chrome-trace export.
 //!
 //! Determinism rules (also DESIGN.md §11): virtual-clock first, wall clock
 //! advisory; a disabled recorder is a no-op handle so profiling off is
@@ -30,8 +35,13 @@ pub mod json;
 pub mod metrics;
 pub mod profile;
 pub mod span;
+pub mod trace;
 
 pub use flight::{FlightDump, FlightEvent};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use profile::QueryProfile;
 pub use span::{kinds, Recorder, SpanGuard, SpanKind, SpanRecord, Subsystem};
+pub use trace::{
+    attribution, chrome_trace_json, Attribution, AttributionTable, TailSampler, TraceAssembler,
+    TraceContext, TraceIdGen, TraceSpan, TraceTree, ROOT_GID,
+};

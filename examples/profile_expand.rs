@@ -12,11 +12,16 @@
 //!
 //! ```sh
 //! cargo run --release --example profile_expand
+//! cargo run --release --example profile_expand -- --trace-out expand_trace.json
 //! ```
+//!
+//! With `--trace-out <path>`, the expand also runs with cross-site
+//! tracing on and the assembled causal tree is written as Chrome Trace
+//! Event Format JSON — load it in `chrome://tracing` or Perfetto.
 
 use pdm_repro::core::rules::condition::{CmpOp, Condition, RowPredicate};
 use pdm_repro::core::rules::{ActionKind, Rule};
-use pdm_repro::core::{RuleTable, Session, SessionConfig, Strategy, Subsystem};
+use pdm_repro::core::{chrome_trace_json, RuleTable, Session, SessionConfig, Strategy, Subsystem};
 use pdm_repro::model::response::response;
 use pdm_repro::model::{Action, KaryTree, Strategy as ModelStrategy};
 use pdm_repro::net::LinkProfile;
@@ -40,6 +45,12 @@ fn rules() -> RuleTable {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .map(|i| args.get(i + 1).expect("--trace-out needs a path").clone());
+
     let spec = TreeSpec::new(DEPTH, BRANCH, GAMMA).with_node_size(NODE);
     let (db, _) = build_database(&spec).unwrap();
     let mut session = Session::new(
@@ -111,4 +122,20 @@ fn main() {
         rel < 1.0,
         "profiled MLE must reconcile with eq. (5) within 1%"
     );
+
+    // Traced rerun, only on request: tracing adds the 16-byte context to
+    // every request, so the reconciled numbers above never see it.
+    if let Some(path) = trace_out {
+        session.enable_tracing(0x7AACE);
+        session.multi_level_expand(1).unwrap();
+        let tree = session.last_trace().unwrap();
+        tree.validate().unwrap();
+        std::fs::write(&path, chrome_trace_json(std::slice::from_ref(tree))).unwrap();
+        println!(
+            "\nwrote {path}: trace_id={} spans={} total_v={:.6}s (chrome://tracing loadable)",
+            tree.trace_id,
+            tree.spans.len(),
+            tree.total_v
+        );
+    }
 }
